@@ -1,0 +1,19 @@
+//! Diagnostic: per-query HV-ONLY costs and intermediate sizes.
+
+use miso_bench::{ks, Harness};
+use miso_core::Variant;
+
+fn main() {
+    let harness = Harness::standard();
+    let r = harness.run(Variant::HvOnly, 2.0);
+    println!("label      hv(ks)   rows");
+    for rec in &r.records {
+        println!(
+            "{:8} {:8.2} {:6}",
+            rec.label,
+            ks(rec.hv),
+            rec.result_rows
+        );
+    }
+    println!("total {:.1}ks", ks(r.tti_total()));
+}

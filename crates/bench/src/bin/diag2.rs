@@ -1,0 +1,41 @@
+//! Diagnostic: MS-MISO per-query breakdown, reorg decisions, DW design.
+
+use miso_bench::{ks, Harness};
+use miso_core::Variant;
+
+fn main() {
+    let harness = Harness::standard();
+    let mut sys = harness.system(harness.budgets(2.0), None);
+    let r = sys.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+    println!("label      hv(ks)  dw(s)  xfer(ks) views_used  hv_ops/dw_ops");
+    for rec in &r.records {
+        println!(
+            "{:8} {:8.2} {:7.1} {:8.2} {:10} {}/{}",
+            rec.label,
+            ks(rec.hv),
+            rec.dw.as_secs_f64(),
+            ks(rec.transfer),
+            rec.used_views.len(),
+            rec.hv_ops,
+            rec.dw_ops,
+        );
+    }
+    println!("\nreorgs:");
+    for (i, reorg) in r.reorgs.iter().enumerate() {
+        println!(
+            "  R{i}: to_dw={} to_hv={} dropped={} bytes={} dur={}",
+            reorg.moved_to_dw.len(),
+            reorg.moved_to_hv.len(),
+            reorg.dropped.len(),
+            reorg.bytes_moved,
+            reorg.duration
+        );
+    }
+    println!("\nfinal DW views: {:?}", sys.dw.view_names().len());
+    println!("final HV views: {:?}", sys.hv.view_names().len());
+    println!(
+        "DW bytes: {} (budget {})",
+        sys.dw.total_view_bytes(),
+        harness.budgets(2.0).dw_storage
+    );
+}

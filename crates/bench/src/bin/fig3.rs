@@ -1,0 +1,120 @@
+//! Figure 3: execution-time profile of *all* multistore plans of a single
+//! query (each plan = one split), ordered by increasing total time, with the
+//! HV / DUMP / TRANSFER+LOAD / DW component breakdown.
+//!
+//! Paper shape: the best plan (far left, "B") is only ~10% faster than the
+//! HV-only plan ("H"); early splits (marked "S") that ship large working
+//! sets are several times worse; good plans all transfer small, late
+//! working sets.
+
+use miso_bench::Harness;
+use miso_common::SimDuration;
+use miso_dw::DwStore;
+use miso_hv::HvStore;
+use miso_optimizer::cost::{estimate_split_cost, TransferModel};
+use miso_plan::estimate::estimate_plan;
+use miso_plan::split::enumerate_splits;
+
+fn main() {
+    let harness = Harness::standard();
+    // The paper profiles A1v1, a complex query with joins, aggregates and
+    // UDF-free structure; we use A8v1 (the three-way join) as the profiled
+    // query since it has the richest split space, and also print A1v1.
+    for target in ["A1v1", "A8v1"] {
+        let (label, plan) = harness
+            .workload
+            .iter()
+            .find(|(l, _)| l == target)
+            .expect("workload query");
+        println!("=== Figure 3 profile for {label} (cold design, all splits) ===");
+        let hv_store = HvStore::new();
+        let dw_store = DwStore::new();
+        let transfer = TransferModel::paper_default();
+
+        let mut stats = miso_plan::estimate::MapStats::new();
+        stats.set_log(
+            "twitter",
+            harness.corpus.twitter.len() as f64,
+            harness.corpus.twitter.size.as_bytes() as f64,
+        );
+        stats.set_log(
+            "foursquare",
+            harness.corpus.foursquare.len() as f64,
+            harness.corpus.foursquare.size.as_bytes() as f64,
+        );
+        stats.set_log(
+            "landmarks",
+            harness.corpus.landmarks.len() as f64,
+            harness.corpus.landmarks.size.as_bytes() as f64,
+        );
+        let estimates = estimate_plan(plan, &stats);
+
+        let mut rows: Vec<(SimDuration, SimDuration, SimDuration, SimDuration, usize, bool)> =
+            Vec::new();
+        let splits = enumerate_splits(plan);
+        let mut hv_only_total = SimDuration::ZERO;
+        for split in &splits {
+            let c = estimate_split_cost(
+                plan,
+                split,
+                &estimates,
+                &hv_store.cost_model,
+                &dw_store.cost_model,
+                &transfer,
+            );
+            // Split the transfer bar into DUMP and TRANSFER+LOAD like the
+            // paper's green/yellow components.
+            let cut_bytes: u64 = split
+                .cut_nodes(plan)
+                .iter()
+                .map(|c| estimates[c].bytes as u64)
+                .sum();
+            let dump = hv_store
+                .cost_model
+                .dump_cost(miso_common::ByteSize::from_bytes(cut_bytes));
+            let xferload = c.transfer.saturating_sub(dump);
+            let is_hv_only = split.is_hv_only(plan);
+            if is_hv_only {
+                hv_only_total = c.total();
+            }
+            rows.push((c.hv, dump, xferload, c.dw, split.hv_nodes().len(), is_hv_only));
+        }
+        rows.sort_by_key(|r| r.0 + r.1 + r.2 + r.3);
+
+        println!("{} plans (one per valid split); times in simulated seconds", rows.len());
+        println!(
+            "{:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7} mark",
+            "plan", "HV", "DUMP", "XFER+LOAD", "DW", "total", "hv_ops"
+        );
+        let best = rows.first().map(|r| r.0 + r.1 + r.2 + r.3).unwrap();
+        for (i, (hv, dump, xl, dw, hv_ops, is_h)) in rows.iter().enumerate() {
+            let total = *hv + *dump + *xl + *dw;
+            let mark = if i == 0 {
+                "B (best)"
+            } else if *is_h {
+                "H (HV-only)"
+            } else if total.as_secs_f64() > hv_only_total.as_secs_f64() * 1.5 {
+                "S (bad early split)"
+            } else {
+                ""
+            };
+            println!(
+                "{:>5} {:>9.0} {:>9.0} {:>9.0} {:>9.1} {:>10.0} {:>7} {}",
+                i + 1,
+                hv.as_secs_f64(),
+                dump.as_secs_f64(),
+                xl.as_secs_f64(),
+                dw.as_secs_f64(),
+                total.as_secs_f64(),
+                hv_ops,
+                mark
+            );
+        }
+        let gain = (1.0 - best.as_secs_f64() / hv_only_total.as_secs_f64()) * 100.0;
+        println!(
+            "\nbest plan vs HV-only: {gain:.1}% faster (paper: ~10%); worst/HV-only: {:.1}x\n",
+            rows.last().map(|r| (r.0 + r.1 + r.2 + r.3).as_secs_f64()).unwrap()
+                / hv_only_total.as_secs_f64()
+        );
+    }
+}

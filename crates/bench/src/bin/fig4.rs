@@ -1,0 +1,97 @@
+//! Figure 4: TTI of the five system variants, with the component breakdown
+//! (DW-EXE / TRANSFER / TUNE / HV-EXE / ETL).
+//!
+//! Paper result: MS-MISO best (4.3× over HV-ONLY, 3.1× over MS-BASIC, 1.8×
+//! over HV-OP); DW-ONLY worst (ETL dominates, ~3% slower than HV-ONLY);
+//! MS-BASIC ≈ 1.2× over HV-ONLY. Budgets: `B_h = B_d = 2×`, `B_t = 10 GB`.
+
+use miso_bench::{ks, row, Harness};
+use miso_core::Variant;
+
+fn main() {
+    let harness = Harness::standard();
+    let variants = [
+        Variant::HvOnly,
+        Variant::DwOnly,
+        Variant::MsBasic,
+        Variant::HvOp,
+        Variant::MsMiso,
+    ];
+    println!("Figure 4: TTI by system variant (10^3 simulated seconds), B = 2x, Bt = 10GB-equivalent\n");
+    let widths = [9usize, 9, 9, 9, 9, 9, 9];
+    println!(
+        "{}",
+        row(
+            &["variant", "DW-EXE", "TRANSFER", "TUNE", "HV-EXE", "ETL", "TTI"]
+                .map(String::from),
+            &widths
+        )
+    );
+    let mut results = Vec::new();
+    for variant in variants {
+        let r = harness.run(variant, 2.0);
+        println!(
+            "{}",
+            row(
+                &[
+                    variant.name().to_string(),
+                    format!("{:.1}", ks(r.tti.dw_exe)),
+                    format!("{:.1}", ks(r.tti.transfer)),
+                    format!("{:.1}", ks(r.tti.tune)),
+                    format!("{:.1}", ks(r.tti.hv_exe)),
+                    format!("{:.1}", ks(r.tti.etl)),
+                    format!("{:.1}", ks(r.tti_total())),
+                ],
+                &widths
+            )
+        );
+        results.push((variant, r));
+    }
+    let csv_rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(v, r)| {
+            vec![
+                v.name().to_string(),
+                format!("{:.3}", ks(r.tti.dw_exe)),
+                format!("{:.3}", ks(r.tti.transfer)),
+                format!("{:.3}", ks(r.tti.tune)),
+                format!("{:.3}", ks(r.tti.hv_exe)),
+                format!("{:.3}", ks(r.tti.etl)),
+                format!("{:.3}", ks(r.tti_total())),
+            ]
+        })
+        .collect();
+    let _ = miso_bench::write_csv(
+        "fig4",
+        &["variant", "dw_exe_ks", "transfer_ks", "tune_ks", "hv_exe_ks", "etl_ks", "tti_ks"],
+        &csv_rows,
+    );
+    let tti = |v: Variant| {
+        results
+            .iter()
+            .find(|(x, _)| *x == v)
+            .map(|(_, r)| r.tti_total().as_secs_f64())
+            .unwrap()
+    };
+    println!("\nSpeedups vs paper:");
+    println!(
+        "  MS-MISO over HV-ONLY : {:.1}x   (paper 4.3x)",
+        tti(Variant::HvOnly) / tti(Variant::MsMiso)
+    );
+    println!(
+        "  MS-MISO over MS-BASIC: {:.1}x   (paper 3.1x)",
+        tti(Variant::MsBasic) / tti(Variant::MsMiso)
+    );
+    println!(
+        "  MS-MISO over HV-OP   : {:.1}x   (paper 1.8x)",
+        tti(Variant::HvOp) / tti(Variant::MsMiso)
+    );
+    println!(
+        "  MS-BASIC over HV-ONLY: {:.2}x   (paper ~1.2x)",
+        tti(Variant::HvOnly) / tti(Variant::MsBasic)
+    );
+    println!(
+        "  DW-ONLY vs HV-ONLY   : {:+.1}%  (paper +3% slower)",
+        (tti(Variant::DwOnly) / tti(Variant::HvOnly) - 1.0) * 100.0
+    );
+}

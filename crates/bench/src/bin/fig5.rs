@@ -1,0 +1,72 @@
+//! Figure 5: (a) cumulative TTI vs queries completed and (b) query
+//! execution-time distribution, for the five §5.2 variants.
+//!
+//! Paper shape: (a) DW-ONLY is flat until ETL completes, then jumps;
+//! MS-MISO has the lowest curve while allowing immediate querying.
+//! (b) DW-ONLY has the fastest queries (65% < 10 s, 84%... < 100 s);
+//! HV-ONLY the slowest (< 3% under 1000 s); MS-MISO completes ≥ 30% of
+//! queries in under 100 s.
+
+use miso_bench::{ks, Harness};
+use miso_core::Variant;
+
+const VARIANTS: [Variant; 5] = [
+    Variant::HvOnly,
+    Variant::DwOnly,
+    Variant::MsBasic,
+    Variant::HvOp,
+    Variant::MsMiso,
+];
+
+fn main() {
+    let harness = Harness::standard();
+    let results: Vec<_> = VARIANTS
+        .iter()
+        .map(|&v| (v, harness.run(v, 2.0)))
+        .collect();
+
+    println!("Figure 5(a): cumulative TTI (10^3 s) after each completed query\n");
+    print!("{:>7}", "query");
+    for (v, _) in &results {
+        print!(" {:>9}", v.name());
+    }
+    println!();
+    let n = harness.workload.len();
+    for i in (3..=n).step_by(4).chain([n]) {
+        print!("{:>7}", i);
+        for (_, r) in &results {
+            print!(" {:>9.1}", ks(r.cumulative_tti()[i - 1]));
+        }
+        println!();
+    }
+
+    println!("\nFigure 5(b): fraction of queries with execution time under bound\n");
+    let bounds = [10.0, 100.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0, 50_000.0];
+    print!("{:>10}", "bound(s)");
+    for (v, _) in &results {
+        print!(" {:>9}", v.name());
+    }
+    println!();
+    for (bi, b) in bounds.iter().enumerate() {
+        print!("{:>10}", format!("<{b}"));
+        for (_, r) in &results {
+            let cdf = r.exec_time_cdf(&bounds);
+            print!(" {:>8.0}%", cdf[bi] * 100.0);
+        }
+        println!();
+    }
+
+    // Paper checkpoints.
+    let get = |v: Variant| results.iter().find(|(x, _)| *x == v).map(|(_, r)| r).unwrap();
+    let dw = get(Variant::DwOnly);
+    let hv = get(Variant::HvOnly);
+    let miso = get(Variant::MsMiso);
+    let dw_cdf = dw.exec_time_cdf(&[10.0, 100.0]);
+    let hv_cdf = hv.exec_time_cdf(&[1_000.0]);
+    let miso_cdf = miso.exec_time_cdf(&[100.0]);
+    println!("\nCheckpoints vs paper:");
+    println!("  DW-ONLY <10s : {:>3.0}%   (paper ~65%)", dw_cdf[0] * 100.0);
+    println!("  DW-ONLY <100s: {:>3.0}%   (paper ~90%)", dw_cdf[1] * 100.0);
+    println!("  HV-ONLY <1ks : {:>3.0}%   (paper <3%)", hv_cdf[0] * 100.0);
+    println!("  MS-MISO <100s: {:>3.0}%   (paper >=30%)", miso_cdf[0] * 100.0);
+}

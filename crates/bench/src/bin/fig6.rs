@@ -1,0 +1,55 @@
+//! Figure 6: per-query store utilization (fraction of execution time in HV,
+//! DW, and transfer), queries ranked by DW utilization, for (a) MS-BASIC,
+//! (b) MS-MISO at 0.125× storage, (c) MS-MISO at 2× storage.
+//!
+//! Paper shape: DW-majority queries — (a) 2, (b) 9, (c) 14; HV-seconds per
+//! DW-second over the top-16 ranks — (a) 55, (b) 1.6, (c) 0.12; operator
+//! splits shift from 2/3-HV (MS-BASIC) to 3/3-DW for MS-MISO's fastest
+//! queries.
+
+use miso_bench::Harness;
+use miso_core::Variant;
+
+fn main() {
+    let harness = Harness::standard();
+    let cases = [
+        ("(a) MS-BASIC", Variant::MsBasic, 2.0),
+        ("(b) MS-MISO 0.125x", Variant::MsMiso, 0.125),
+        ("(c) MS-MISO 2x", Variant::MsMiso, 2.0),
+    ];
+    let mut summary = Vec::new();
+    for (title, variant, mult) in cases {
+        let r = harness.run(variant, mult);
+        println!("Figure 6 {title}: queries ranked by DW utilization\n");
+        println!(
+            "{:>5} {:>8} {:>7}% {:>7}% {:>7}% {:>9}",
+            "rank", "label", "HV", "DW", "XFER", "ops H/D"
+        );
+        for (i, rec) in r.by_dw_utilization().iter().enumerate().take(20) {
+            let total = rec.exec_total().as_secs_f64().max(1e-9);
+            println!(
+                "{:>5} {:>8} {:>7.0} {:>7.0} {:>7.0} {:>6}/{}",
+                i + 1,
+                rec.label,
+                rec.hv.as_secs_f64() / total * 100.0,
+                rec.dw.as_secs_f64() / total * 100.0,
+                rec.transfer.as_secs_f64() / total * 100.0,
+                rec.hv_ops,
+                rec.dw_ops
+            );
+        }
+        let majority = r.dw_majority_queries();
+        let ratio = r.hv_per_dw_second(16);
+        println!(
+            "\nDW-majority queries: {majority}; HV seconds per DW second (top 16): {ratio:.2}\n"
+        );
+        summary.push((title, majority, ratio));
+    }
+    println!("Summary vs paper:");
+    println!("  DW-majority: (a) {} (paper 2), (b) {} (paper 9), (c) {} (paper 14)",
+        summary[0].1, summary[1].1, summary[2].1);
+    println!(
+        "  HV:DW seconds (top16): (a) {:.1} (paper 55), (b) {:.2} (paper 1.6), (c) {:.2} (paper 0.12)",
+        summary[0].2, summary[1].2, summary[2].2
+    );
+}

@@ -1,0 +1,68 @@
+//! Figure 7: TTI comparison of multistore tuning techniques at constrained
+//! budgets (`B_h = B_d = 0.125×`, `B_t = 10 GB`).
+//!
+//! Paper shape: MS-BASIC worst; MS-OFF worst among tuned (its one-shot
+//! design can't track the workload under small budgets); MS-MISO ~60% better
+//! than MS-OFF and ~56% better than MS-LRU; MS-ORA (oracle) ~32% better than
+//! MS-MISO.
+
+use miso_bench::{ks, row, Harness};
+use miso_core::Variant;
+
+fn main() {
+    let harness = Harness::standard();
+    let variants = [
+        Variant::MsBasic,
+        Variant::MsOff,
+        Variant::MsLru,
+        Variant::MsMiso,
+        Variant::MsOra,
+    ];
+    println!("Figure 7: tuning-technique comparison at B = 0.125x\n");
+    let widths = [9usize, 9, 9, 9, 9, 9];
+    println!(
+        "{}",
+        row(
+            &["variant", "DW-EXE", "TRANSFER", "TUNE", "HV-EXE", "TTI"].map(String::from),
+            &widths
+        )
+    );
+    let mut results = Vec::new();
+    for variant in variants {
+        let r = harness.run(variant, 0.125);
+        println!(
+            "{}",
+            row(
+                &[
+                    variant.name().to_string(),
+                    format!("{:.1}", ks(r.tti.dw_exe)),
+                    format!("{:.1}", ks(r.tti.transfer)),
+                    format!("{:.1}", ks(r.tti.tune)),
+                    format!("{:.1}", ks(r.tti.hv_exe)),
+                    format!("{:.1}", ks(r.tti_total())),
+                ],
+                &widths
+            )
+        );
+        results.push((variant, r.tti_total().as_secs_f64()));
+    }
+    let t = |v: Variant| results.iter().find(|(x, _)| *x == v).unwrap().1;
+    println!("\nRelations vs paper:");
+    println!(
+        "  MS-MISO vs MS-OFF : {:+.0}% improvement (paper ~60%)",
+        (1.0 - t(Variant::MsMiso) / t(Variant::MsOff)) * 100.0
+    );
+    println!(
+        "  MS-MISO vs MS-LRU : {:+.0}% improvement (paper ~56%)",
+        (1.0 - t(Variant::MsMiso) / t(Variant::MsLru)) * 100.0
+    );
+    println!(
+        "  MS-MISO vs MS-ORA : {:+.0}% worse (paper ~32% worse)",
+        (t(Variant::MsMiso) / t(Variant::MsOra) - 1.0) * 100.0
+    );
+    println!(
+        "  MS-BASIC is worst : {}",
+        results.iter().all(|(v, total)| *v == Variant::MsBasic
+            || *total <= t(Variant::MsBasic) + 1e-9)
+    );
+}

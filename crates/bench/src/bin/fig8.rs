@@ -1,0 +1,63 @@
+//! Figure 8: TTI of MS-LRU / MS-OFF / MS-MISO as the view storage budgets
+//! sweep 0.125× → 4×, transfer budget held constant.
+//!
+//! Paper shape: MS-MISO best at every budget; MS-OFF and MS-LRU improve
+//! with budget and all three converge at 2–4× where storage is plentiful.
+
+use miso_bench::{ks, Harness};
+use miso_core::Variant;
+
+fn main() {
+    let harness = Harness::standard();
+    let multiples = [0.125, 0.5, 1.0, 2.0, 4.0];
+    let variants = [Variant::MsLru, Variant::MsOff, Variant::MsMiso];
+    println!("Figure 8: TTI (10^3 s) while sweeping view storage budgets\n");
+    print!("{:>8}", "budget");
+    for v in variants {
+        print!(" {:>9}", v.name());
+    }
+    println!();
+    let mut table = Vec::new();
+    for &m in &multiples {
+        print!("{:>8}", format!("{m}x"));
+        let mut row = Vec::new();
+        for v in variants {
+            let r = harness.run(v, m);
+            print!(" {:>9.1}", ks(r.tti_total()));
+            row.push(r.tti_total().as_secs_f64());
+        }
+        println!();
+        table.push(row);
+    }
+    let csv_rows: Vec<Vec<String>> = multiples
+        .iter()
+        .zip(&table)
+        .map(|(m, r)| {
+            let mut out = vec![format!("{m}")];
+            out.extend(r.iter().map(|v| format!("{:.1}", v / 1000.0)));
+            out
+        })
+        .collect();
+    let _ = miso_bench::write_csv(
+        "fig8",
+        &["budget_multiple", "ms_lru_ks", "ms_off_ks", "ms_miso_ks"],
+        &csv_rows,
+    );
+    // Shape checks.
+    let miso_small = table[0][2];
+    let lru_small = table[0][0];
+    let off_small = table[0][1];
+    println!("\nShape vs paper:");
+    println!(
+        "  at 0.125x MS-MISO beats MS-LRU by {:.0}% (paper large gap) and MS-OFF by {:.0}%",
+        (1.0 - miso_small / lru_small) * 100.0,
+        (1.0 - miso_small / off_small) * 100.0
+    );
+    let spread_small: f64 = table[0].iter().cloned().fold(f64::MIN, f64::max)
+        / table[0].iter().cloned().fold(f64::MAX, f64::min);
+    let spread_big: f64 = table[4].iter().cloned().fold(f64::MIN, f64::max)
+        / table[4].iter().cloned().fold(f64::MAX, f64::min);
+    println!(
+        "  spread (worst/best) at 0.125x: {spread_small:.2}; at 4x: {spread_big:.2} (paper: converging)"
+    );
+}

@@ -1,0 +1,56 @@
+//! §3.2 inline figure: two related queries (q1 = A1v2, q2 = A1v3 in the
+//! paper's terms) under HV-ONLY, MS-BASIC, and MS-MISO with a reorganization
+//! phase triggered between them.
+//!
+//! Paper shape: MS-BASIC only ~8% faster than HV-ONLY; MS-MISO ~2× faster
+//! than both, because the tuner moved the "right" views into DW after q1.
+
+use miso_bench::{ks, Harness};
+use miso_core::Variant;
+
+fn main() {
+    let harness = Harness::standard();
+    // Two subsequent queries by the same analyst with overlap.
+    let pair: Vec<_> = harness
+        .workload
+        .iter()
+        .filter(|(l, _)| l == "A1v1" || l == "A1v2")
+        .cloned()
+        .collect();
+    assert_eq!(pair.len(), 2);
+
+    println!("Section 3.2 motivation: q1 (A1v1) then q2 (A1v2), reorg between\n");
+    println!("{:>10} {:>8} {:>8} {:>9}", "variant", "q1(ks)", "q2(ks)", "total(ks)");
+    let mut totals = Vec::new();
+    for variant in [Variant::HvOnly, Variant::MsBasic, Variant::MsMiso] {
+        let budgets = harness.budgets(2.0);
+        // reorg_every = 1 makes the tuner run right between q1 and q2 for
+        // MS-MISO, matching the paper's setup.
+        let mut cfg = miso_core::SystemConfig::paper_default(budgets);
+        cfg.reorg_every = 1;
+        let mut sys = miso_core::MultistoreSystem::new(
+            &harness.corpus,
+            miso_workload::workload_catalog(),
+            miso_workload::standard_udfs(),
+            cfg,
+        );
+        let r = sys.run_workload(variant, &pair).unwrap();
+        println!(
+            "{:>10} {:>8.2} {:>8.2} {:>9.2}",
+            variant.name(),
+            ks(r.records[0].exec_total()),
+            ks(r.records[1].exec_total()),
+            ks(r.tti_total()),
+        );
+        totals.push((variant, r.tti_total().as_secs_f64()));
+    }
+    let t = |v: Variant| totals.iter().find(|(x, _)| *x == v).unwrap().1;
+    println!(
+        "\nMS-BASIC vs HV-ONLY: {:.0}% faster (paper ~8%)",
+        (1.0 - t(Variant::MsBasic) / t(Variant::HvOnly)) * 100.0
+    );
+    println!(
+        "MS-MISO vs HV-ONLY : {:.1}x (paper ~2x)",
+        t(Variant::HvOnly) / t(Variant::MsMiso)
+    );
+}

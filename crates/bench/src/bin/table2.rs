@@ -1,0 +1,46 @@
+//! Table 2: mutual slowdown between the multistore workload and the DW
+//! background reporting queries, for the four spare-capacity configurations.
+//!
+//! Paper:
+//! ```text
+//!   spare          DW-query slowdown   multistore slowdown
+//!   IO  40%              1.1%                 2.5%
+//!   IO  20%              1.7%                 4.0%
+//!   CPU 40%              0.3%                 4.2%
+//!   CPU 20%              0.8%                 5.0%
+//! ```
+
+use miso_bench::Harness;
+use miso_core::Variant;
+use miso_workload::background::paper_profiles;
+
+fn main() {
+    let harness = Harness::standard();
+    // Baseline: multistore workload against an idle DW.
+    let mut quiet_sys = harness.system(harness.budgets(2.0), None);
+    let quiet = quiet_sys
+        .run_workload(Variant::MsMiso, &harness.workload)
+        .unwrap();
+    let quiet_total = quiet.tti_total().as_secs_f64();
+
+    println!("Table 2: impact of multistore workload on DW queries and vice-versa\n");
+    println!(
+        "{:>10} {:>22} {:>24}",
+        "spare", "DW-query slowdown", "multistore slowdown"
+    );
+    let paper = [(1.1, 2.5), (1.7, 4.0), (0.3, 4.2), (0.8, 5.0)];
+    for (profile, (p_dw, p_ms)) in paper_profiles().into_iter().zip(paper) {
+        let mut sys = harness.system(harness.budgets(2.0), Some(profile.simulator()));
+        let result = sys.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+        let bg = sys.background().unwrap();
+        let dw_slow = bg.bg_slowdown_percent();
+        let ms_slow = (result.tti_total().as_secs_f64() / quiet_total - 1.0) * 100.0;
+        println!(
+            "{:>10} {:>13.1}% ({p_dw}%) {:>16.1}% ({p_ms}%)",
+            profile.label(),
+            dw_slow,
+            ms_slow
+        );
+    }
+    println!("\n(parenthesized values: paper)");
+}

@@ -1,0 +1,105 @@
+//! Error handling.
+//!
+//! A single error enum spans the workspace. Variants are deliberately
+//! coarse-grained — the library is a research system, and the useful
+//! distinction for callers is *which layer* failed, carried alongside a
+//! human-readable message.
+
+use std::fmt;
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, MisoError>;
+
+/// All failures the MISO stack can surface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MisoError {
+    /// Lexing/parsing a HiveQL query failed.
+    Parse(String),
+    /// A query referenced an unknown table, column, or UDF, or types
+    /// don't line up.
+    Analysis(String),
+    /// Plan construction or manipulation produced an inconsistent DAG.
+    Plan(String),
+    /// Runtime failure inside an operator (e.g. malformed log line where the
+    /// SerDe expected JSON).
+    Execution(String),
+    /// A store rejected a request (missing table, exhausted storage, ...).
+    Store(String),
+    /// The optimizer could not produce any valid plan (e.g. a UDF pinned to
+    /// HV below a forced DW-only region).
+    Optimize(String),
+    /// The tuner was invoked with inconsistent inputs (e.g. overlapping
+    /// designs, zero discretization).
+    Tuning(String),
+    /// Experiment/driver-level configuration error.
+    Config(String),
+}
+
+impl MisoError {
+    /// The failing layer, as a static label (useful in logs and tests).
+    pub fn layer(&self) -> &'static str {
+        match self {
+            MisoError::Parse(_) => "parse",
+            MisoError::Analysis(_) => "analysis",
+            MisoError::Plan(_) => "plan",
+            MisoError::Execution(_) => "execution",
+            MisoError::Store(_) => "store",
+            MisoError::Optimize(_) => "optimize",
+            MisoError::Tuning(_) => "tuning",
+            MisoError::Config(_) => "config",
+        }
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        match self {
+            MisoError::Parse(m)
+            | MisoError::Analysis(m)
+            | MisoError::Plan(m)
+            | MisoError::Execution(m)
+            | MisoError::Store(m)
+            | MisoError::Optimize(m)
+            | MisoError::Tuning(m)
+            | MisoError::Config(m) => m,
+        }
+    }
+}
+
+impl fmt::Display for MisoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error: {}", self.layer(), self.message())
+    }
+}
+
+impl std::error::Error for MisoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_layer_and_message() {
+        let e = MisoError::Parse("unexpected token `FROM`".into());
+        assert_eq!(e.to_string(), "parse error: unexpected token `FROM`");
+        assert_eq!(e.layer(), "parse");
+        assert_eq!(e.message(), "unexpected token `FROM`");
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            MisoError::Store("full".into()),
+            MisoError::Store("full".into())
+        );
+        assert_ne!(
+            MisoError::Store("full".into()),
+            MisoError::Plan("full".into())
+        );
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&MisoError::Config("bad".into()));
+    }
+}

@@ -1,0 +1,122 @@
+//! Strongly-typed identifiers.
+//!
+//! Queries, views, plan nodes, analysts, and reorganization phases each get
+//! their own id type so they can't be confused at call sites. All ids are
+//! plain `u64` newtypes; allocation is the responsibility of whichever
+//! component mints them (e.g. the plan builder mints [`NodeId`]s).
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u64);
+
+        impl $name {
+            /// The raw numeric value.
+            pub fn raw(&self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<u64> for $name {
+            fn from(v: u64) -> Self {
+                $name(v)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// A query within the input stream (position-independent identity).
+    QueryId, "q"
+);
+define_id!(
+    /// A materialized view (opportunistic or migrated).
+    ViewId, "v"
+);
+define_id!(
+    /// A node within a logical plan DAG.
+    NodeId, "n"
+);
+define_id!(
+    /// An analyst in the evolutionary workload (paper: A1..A8).
+    AnalystId, "A"
+);
+define_id!(
+    /// A reorganization phase (tuning invocation).
+    ReorgId, "R"
+);
+define_id!(
+    /// A MapReduce-style stage within an HV job.
+    StageId, "s"
+);
+define_id!(
+    /// A table registered in the DW catalog.
+    TableId, "t"
+);
+
+/// A monotonically increasing id allocator.
+///
+/// Not thread-safe by design: each component owns its own allocator. Use an
+/// atomic wrapper if a component ever shares one across threads.
+#[derive(Debug, Clone, Default)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    /// An allocator starting at zero.
+    pub fn new() -> Self {
+        IdGen { next: 0 }
+    }
+
+    /// Allocates the next raw id.
+    pub fn next_raw(&mut self) -> u64 {
+        let id = self.next;
+        self.next += 1;
+        id
+    }
+
+    /// Allocates the next id of type `T`.
+    pub fn next_id<T: From<u64>>(&mut self) -> T {
+        T::from(self.next_raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(QueryId(7).to_string(), "q7");
+        assert_eq!(ViewId(3).to_string(), "v3");
+        assert_eq!(AnalystId(1).to_string(), "A1");
+        assert_eq!(ReorgId(2).to_string(), "R2");
+    }
+
+    #[test]
+    fn idgen_is_monotonic_and_typed() {
+        let mut gen = IdGen::new();
+        let a: ViewId = gen.next_id();
+        let b: ViewId = gen.next_id();
+        assert_eq!(a, ViewId(0));
+        assert_eq!(b, ViewId(1));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ids_are_distinct_types() {
+        // This is a compile-time property; we just confirm raw round-trips.
+        let q = QueryId::from(5u64);
+        assert_eq!(q.raw(), 5);
+    }
+}

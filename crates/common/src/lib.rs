@@ -1,0 +1,26 @@
+//! Shared primitives for the MISO multistore reproduction.
+//!
+//! This crate deliberately contains no query-processing logic. It provides the
+//! vocabulary types every other crate speaks:
+//!
+//! * [`time`] — the **simulated clock**. The paper measures time-to-insight
+//!   (TTI) on real clusters; we charge calibrated simulated seconds instead so
+//!   experiments are deterministic and laptop-scale while keeping paper-scale
+//!   magnitudes.
+//! * [`bytesize`] — byte quantities (view sizes, budgets, working sets).
+//! * [`ids`] — strongly-typed identifiers.
+//! * [`error`] — the crate-spanning error type.
+//! * [`rng`] — seedable deterministic randomness.
+//! * [`budget`] — the tuner's storage/transfer budget types.
+
+pub mod budget;
+pub mod bytesize;
+pub mod error;
+pub mod ids;
+pub mod rng;
+pub mod time;
+
+pub use budget::{Budgets, DiscretizedBudget};
+pub use bytesize::ByteSize;
+pub use error::{MisoError, Result};
+pub use time::{SimClock, SimDuration, SimInstant};

@@ -1,0 +1,248 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic component (log generators, workload mutation, background
+//! query arrivals) draws from a [`DetRng`] seeded explicitly, so experiments
+//! and tests replay bit-identically. The core generator is SplitMix64 — tiny,
+//! fast, and with well-understood statistical quality for simulation use.
+//! We intentionally avoid `rand`'s `StdRng` for *experiment* randomness since
+//! its algorithm is not stability-guaranteed across versions; `rand` is still
+//! used where distributions are handy.
+
+use rand::RngCore;
+
+/// A deterministic, seedable 64-bit generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Derives an independent child stream, e.g. one per analyst or table.
+    ///
+    /// Mixing the label through one SplitMix64 step decorrelates children of
+    /// the same parent.
+    pub fn fork(&self, label: u64) -> DetRng {
+        let mut child = DetRng::new(self.state ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        child.next_u64();
+        DetRng::new(child.next_u64())
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`. Panics on `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0) is meaningless");
+        // Lemire-style rejection-free multiply-shift is fine for simulation.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi]` inclusive. Panics if `lo > hi`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range is empty");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// True with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// A Zipf-distributed rank in `[0, n)` with exponent `s`.
+    ///
+    /// Uses inverse-CDF over the (precomputable but here on-the-fly) harmonic
+    /// normalizer; `n` is expected to be small (item popularity skew in log
+    /// generation), so the O(n) walk is acceptable.
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        assert!(n > 0, "zipf over empty domain");
+        let norm: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let mut u = self.f64() * norm;
+        for k in 1..=n {
+            u -= 1.0 / (k as f64).powf(s);
+            if u <= 0.0 {
+                return k - 1;
+            }
+        }
+        n - 1
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.below(items.len() as u64) as usize]
+    }
+}
+
+/// A Zipf sampler with a precomputed CDF for O(log n) draws.
+///
+/// Use this instead of [`DetRng::zipf`] whenever many draws share the same
+/// `(n, s)` — e.g. per-record user popularity during log generation.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over ranks `[0, n)` with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let norm = acc;
+        for v in &mut cdf {
+            *v /= norm;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Draws a rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.f64();
+        // partition_point returns the count of entries < u, i.e. the first
+        // rank whose CDF reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (DetRng::next_u64(self) >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        DetRng::next_u64(self)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = DetRng::next_u64(self).to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_replay() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be near-independent");
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let parent = DetRng::new(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = DetRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn range_inclusive_hits_endpoints() {
+        let mut rng = DetRng::new(9);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            match rng.range_inclusive(5, 8) {
+                5 => seen_lo = true,
+                8 => seen_hi = true,
+                v => assert!((5..=8).contains(&v)),
+            }
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = DetRng::new(11);
+        for _ in 0..1000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed_to_low_ranks() {
+        let mut rng = DetRng::new(13);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.zipf(10, 1.0)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::new(17);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn zipf_sampler_matches_direct_zipf_distribution() {
+        let sampler = ZipfSampler::new(10, 1.0);
+        let mut rng = DetRng::new(13);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+        // every rank reachable
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn rngcore_fill_bytes_covers_partial_chunks() {
+        let mut rng = DetRng::new(19);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

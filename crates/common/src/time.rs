@@ -1,0 +1,296 @@
+//! Simulated time.
+//!
+//! Every engine action in the reproduction (an HV MapReduce stage, a DW scan,
+//! a working-set transfer, a tuning phase) charges *simulated seconds* derived
+//! from calibrated cost models instead of consuming wall-clock time. This is
+//! the substitution that lets a 2 TB / 24-node experiment run deterministically
+//! on a laptop: the data is scaled down, but costs are expressed at paper
+//! scale.
+//!
+//! [`SimDuration`] is a length of simulated time, [`SimInstant`] a point on
+//! the simulated timeline, and [`SimClock`] an advancing cursor that the
+//! multistore driver threads through query execution.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A non-negative span of simulated time with microsecond resolution.
+///
+/// Stored as integer microseconds so that accumulation across tens of
+/// thousands of operator invocations is exact and platform-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    micros: u64,
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { micros: 0 };
+
+    /// Creates a duration from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { micros }
+    }
+
+    /// Creates a duration from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration { micros: millis * 1_000 }
+    }
+
+    /// Creates a duration from whole simulated seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration { micros: secs * 1_000_000 }
+    }
+
+    /// Creates a duration from fractional simulated seconds.
+    ///
+    /// Negative or non-finite inputs saturate to zero; this keeps cost models
+    /// (which occasionally produce tiny negative values through float
+    /// cancellation) total rather than panicking mid-experiment.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration { micros: (secs * 1e6).round() as u64 }
+    }
+
+    /// This duration in fractional seconds.
+    pub fn as_secs_f64(&self) -> f64 {
+        self.micros as f64 / 1e6
+    }
+
+    /// This duration in whole seconds, truncating.
+    pub fn as_secs(&self) -> u64 {
+        self.micros / 1_000_000
+    }
+
+    /// This duration in whole microseconds.
+    pub fn as_micros(&self) -> u64 {
+        self.micros
+    }
+
+    /// True iff this is the zero duration.
+    pub fn is_zero(&self) -> bool {
+        self.micros == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { micros: self.micros.saturating_sub(rhs.micros) }
+    }
+
+    /// Checked addition, `None` on overflow.
+    pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
+        self.micros.checked_add(rhs.micros).map(|micros| SimDuration { micros })
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { micros: self.micros + rhs.micros }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.micros += rhs.micros;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration { micros: self.micros - rhs.micros }
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.micros -= rhs.micros;
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * rhs)
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration { micros: self.micros * rhs }
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs_f64();
+        if s >= 1000.0 {
+            write!(f, "{:.1}ks", s / 1000.0)
+        } else if s >= 1.0 {
+            write!(f, "{s:.2}s")
+        } else {
+            write!(f, "{:.1}ms", s * 1000.0)
+        }
+    }
+}
+
+/// A point on the simulated timeline, measured from experiment start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimInstant {
+    since_start: SimDuration,
+}
+
+impl SimInstant {
+    /// The experiment origin.
+    pub const EPOCH: SimInstant = SimInstant { since_start: SimDuration::ZERO };
+
+    /// Instant at `d` after the epoch.
+    pub const fn at(d: SimDuration) -> Self {
+        SimInstant { since_start: d }
+    }
+
+    /// Elapsed time since the epoch.
+    pub fn elapsed_since_epoch(&self) -> SimDuration {
+        self.since_start
+    }
+
+    /// Duration from `earlier` to `self`; zero if `earlier` is later.
+    pub fn duration_since(&self, earlier: SimInstant) -> SimDuration {
+        self.since_start.saturating_sub(earlier.since_start)
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant { since_start: self.since_start + rhs }
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", self.since_start)
+    }
+}
+
+/// An advancing simulated-time cursor.
+///
+/// The multistore driver owns one clock per experiment; engines report costs
+/// as [`SimDuration`]s and the driver advances the clock. The clock records
+/// nothing about *what* consumed the time — attribution (HV-EXE vs DW-EXE vs
+/// TRANSFER vs TUNE vs ETL) lives in `miso-core`'s metrics.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: SimInstant,
+}
+
+impl SimClock {
+    /// A clock at the experiment origin.
+    pub fn new() -> Self {
+        SimClock { now: SimInstant::EPOCH }
+    }
+
+    /// The current simulated instant.
+    pub fn now(&self) -> SimInstant {
+        self.now
+    }
+
+    /// Advances the clock by `d` and returns the new instant.
+    pub fn advance(&mut self, d: SimDuration) -> SimInstant {
+        self.now = self.now + d;
+        self.now
+    }
+
+    /// Total simulated time elapsed since the origin.
+    pub fn elapsed(&self) -> SimDuration {
+        self.now.elapsed_since_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_roundtrips_seconds() {
+        let d = SimDuration::from_secs_f64(12.5);
+        assert_eq!(d.as_secs_f64(), 12.5);
+        assert_eq!(d.as_secs(), 12);
+        assert_eq!(d.as_micros(), 12_500_000);
+    }
+
+    #[test]
+    fn duration_saturates_on_negative_and_nan() {
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_secs(10);
+        let b = SimDuration::from_secs(4);
+        assert_eq!((a + b).as_secs(), 14);
+        assert_eq!((a - b).as_secs(), 6);
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!((a * 2u64).as_secs(), 20);
+        assert_eq!((a * 0.5).as_secs_f64(), 5.0);
+        assert_eq!((a / 4.0).as_secs_f64(), 2.5);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration =
+            (1..=4).map(SimDuration::from_secs).sum();
+        assert_eq!(total.as_secs(), 10);
+    }
+
+    #[test]
+    fn duration_display_scales() {
+        assert_eq!(SimDuration::from_secs(2500).to_string(), "2.5ks");
+        assert_eq!(SimDuration::from_secs_f64(2.25).to_string(), "2.25s");
+        assert_eq!(SimDuration::from_millis(120).to_string(), "120.0ms");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.now(), SimInstant::EPOCH);
+        clock.advance(SimDuration::from_secs(3));
+        clock.advance(SimDuration::from_secs(4));
+        assert_eq!(clock.elapsed().as_secs(), 7);
+    }
+
+    #[test]
+    fn instant_duration_since_is_saturating() {
+        let a = SimInstant::at(SimDuration::from_secs(5));
+        let b = SimInstant::at(SimDuration::from_secs(9));
+        assert_eq!(b.duration_since(a).as_secs(), 4);
+        assert_eq!(a.duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        let max = SimDuration::from_micros(u64::MAX);
+        assert!(max.checked_add(SimDuration::from_micros(1)).is_none());
+        assert!(max.checked_add(SimDuration::ZERO).is_some());
+    }
+}

@@ -1,0 +1,976 @@
+//! The multistore system: execution layer + query-stream driver.
+//!
+//! This is the runtime of Figure 2: queries arrive one at a time; the
+//! multistore optimizer plans each against the current physical design; the
+//! execution layer runs the HV side, dumps/transfers/loads cut working sets
+//! into DW temp space, and resumes in DW; by-products become opportunistic
+//! views; and (for tuned variants) the MISO tuner periodically reorganizes
+//! the placement of views across the stores.
+//!
+//! All eight §5 variants run through [`MultistoreSystem::run_workload`];
+//! the [`crate::variants::Variant`] flags select the retention, splitting,
+//! and tuning policies.
+
+use crate::etl::{rewrite_for_dw, run_etl, DEFAULT_ETL_OVERHEAD};
+use crate::metrics::{ExperimentResult, QueryRecord, ReorgRecord, TtiBreakdown};
+use crate::tuner::{MisoTuner, TunerConfig};
+use crate::variants::Variant;
+use miso_common::ids::QueryId;
+use miso_common::{Budgets, ByteSize, MisoError, Result, SimClock, SimDuration};
+use miso_data::logs::Corpus;
+use miso_data::Row;
+use miso_dw::{BackgroundSim, DwActivity, DwStore, TableSpace};
+use miso_exec::UdfRegistry;
+use miso_hv::HvStore;
+use miso_optimizer::cost::TransferModel;
+use miso_optimizer::optimize::{optimize, Design, OptimizerEnv, PlannedQuery};
+use miso_plan::estimate::MapStats;
+use miso_plan::fingerprint::fingerprint_all;
+use miso_plan::LogicalPlan;
+use miso_views::{ViewCatalog, ViewDef};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
+
+/// System-level configuration shared by all variants.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// View storage/transfer budgets.
+    pub budgets: Budgets,
+    /// Queries per reorganization phase (paper: every 3 of 32).
+    pub reorg_every: usize,
+    /// Tuner history window (paper: 6).
+    pub history_len: usize,
+    /// Benefit-decay epoch length (paper: 3).
+    pub epoch_len: usize,
+    /// Per-epoch decay factor.
+    pub decay: f64,
+    /// doi significance threshold.
+    pub doi_threshold: f64,
+    /// Fixed simulated time to compute a new design during a reorg phase.
+    pub tune_compute: SimDuration,
+    /// ETL Extract-Transform overhead multiplier (DW-ONLY).
+    pub etl_overhead: f64,
+    /// Optional DW background reporting workload (§5.4).
+    pub background: Option<BackgroundSim>,
+}
+
+impl SystemConfig {
+    /// Paper-default settings under the given budgets.
+    pub fn paper_default(budgets: Budgets) -> Self {
+        SystemConfig {
+            budgets,
+            reorg_every: 3,
+            history_len: 6,
+            epoch_len: 3,
+            decay: 0.5,
+            doi_threshold: 1.0,
+            tune_compute: SimDuration::from_secs(5),
+            etl_overhead: DEFAULT_ETL_OVERHEAD,
+            background: None,
+        }
+    }
+}
+
+/// One workload query: display label plus its raw (un-rewritten) plan.
+pub type WorkloadQuery = (String, LogicalPlan);
+
+/// The multistore system.
+pub struct MultistoreSystem {
+    /// The Hive-like store (owns the base logs).
+    pub hv: HvStore,
+    /// The warehouse store.
+    pub dw: DwStore,
+    /// Tuner-visible view metadata.
+    pub catalog: ViewCatalog,
+    udfs: UdfRegistry,
+    lang_catalog: miso_lang::Catalog,
+    config: SystemConfig,
+    background: Option<BackgroundSim>,
+    transfer: TransferModel,
+    /// LRU recency order (oldest first) for LRU-managed variants.
+    lru: Vec<String>,
+}
+
+impl MultistoreSystem {
+    /// Builds a system over a generated corpus.
+    pub fn new(
+        corpus: &Corpus,
+        lang_catalog: miso_lang::Catalog,
+        udfs: UdfRegistry,
+        config: SystemConfig,
+    ) -> Self {
+        let mut hv = HvStore::new();
+        hv.add_log(corpus.twitter.clone());
+        hv.add_log(corpus.foursquare.clone());
+        hv.add_log(corpus.landmarks.clone());
+        let background = config.background.clone();
+        MultistoreSystem {
+            hv,
+            dw: DwStore::new(),
+            catalog: ViewCatalog::new(),
+            udfs,
+            lang_catalog,
+            config,
+            background,
+            transfer: TransferModel::paper_default(),
+            lru: Vec::new(),
+        }
+    }
+
+    /// The background simulator's recorded timeline, if §5.4 mode is on.
+    pub fn background(&self) -> Option<&BackgroundSim> {
+        self.background.as_ref()
+    }
+
+    /// The UDF registry this system executes with.
+    pub fn udf_registry(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// The inter-store transfer model.
+    pub fn transfer_model(&self) -> &TransferModel {
+        &self.transfer
+    }
+
+    /// Public wrapper over background-contention stretching (used by the
+    /// maintenance module, which lives in a sibling file).
+    pub(crate) fn stretch_public(
+        &mut self,
+        raw: SimDuration,
+        activity: DwActivity,
+        clock: &SimClock,
+    ) -> SimDuration {
+        self.stretch(raw, activity, clock)
+    }
+
+    /// Runs a full workload under `variant`, returning all measurements.
+    ///
+    /// The system should be freshly constructed per run; repeated calls keep
+    /// accumulated views (useful for continuation experiments, but not what
+    /// the paper's comparisons do).
+    pub fn run_workload(
+        &mut self,
+        variant: Variant,
+        queries: &[WorkloadQuery],
+    ) -> Result<ExperimentResult> {
+        let mut clock = SimClock::new();
+        let mut result = ExperimentResult {
+            variant: variant.name().to_string(),
+            ..Default::default()
+        };
+
+        match variant {
+            Variant::DwOnly => self.run_dw_only(queries, &mut clock, &mut result)?,
+            Variant::MsOff => self.run_ms_off(queries, &mut clock, &mut result)?,
+            _ => self.run_stream(variant, queries, &mut clock, &mut result)?,
+        }
+        Ok(result)
+    }
+
+    // ---- DW-ONLY -------------------------------------------------------
+
+    fn run_dw_only(
+        &mut self,
+        queries: &[WorkloadQuery],
+        clock: &mut SimClock,
+        result: &mut ExperimentResult,
+    ) -> Result<()> {
+        let plans: Vec<LogicalPlan> = queries.iter().map(|(_, p)| p.clone()).collect();
+        let manifest = run_etl(
+            &plans,
+            &self.lang_catalog,
+            &self.hv,
+            &mut self.dw,
+            &self.udfs,
+            self.config.etl_overhead,
+        )?;
+        result.tti.etl += manifest.cost;
+        clock.advance(manifest.cost);
+        for (i, (label, raw)) in queries.iter().enumerate() {
+            let dw_plan = rewrite_for_dw(raw, &self.lang_catalog, &self.dw)?;
+            let run = self.dw.execute(&dw_plan, None, HashMap::new(), &self.udfs)?;
+            let stretched = self.stretch(run.cost, DwActivity::QueryExec, clock);
+            result.tti.dw_exe += stretched;
+            clock.advance(stretched);
+            result.records.push(QueryRecord {
+                query: QueryId(i as u64),
+                label: label.clone(),
+                hv: SimDuration::ZERO,
+                dw: stretched,
+                transfer: SimDuration::ZERO,
+                result_rows: run.execution.root_rows()?.len() as u64,
+                used_views: dw_plan.scanned_views(),
+                hv_ops: 0,
+                dw_ops: dw_plan.len(),
+                bytes_transferred: ByteSize::ZERO,
+                finished_at: clock.now(),
+            });
+        }
+        Ok(())
+    }
+
+    // ---- MS-OFF --------------------------------------------------------
+
+    fn run_ms_off(
+        &mut self,
+        queries: &[WorkloadQuery],
+        clock: &mut SimClock,
+        result: &mut ExperimentResult,
+    ) -> Result<()> {
+        // Pass 1 (uncharged planning pass): dry-run every query HV-only to
+        // discover the candidate views the workload would create — this is
+        // the "workload known up-front" premise of an offline design tool.
+        for (i, (_, raw)) in queries.iter().enumerate() {
+            let design = self.current_design();
+            let available: HashSet<String> = design.hv_views.clone();
+            let rewrite = miso_views::rewrite_with_catalog(raw, &available, &self.catalog);
+            let run = self.hv.execute(&rewrite.plan, None, &self.udfs)?;
+            self.harvest_views(&rewrite.plan, &run, QueryId(i as u64), usize::MAX);
+        }
+        // One-shot tune over the whole workload with uniform weights: the
+        // chosen sets become the *static retention policy*.
+        let tuner_cfg = TunerConfig {
+            budgets: Budgets::new(
+                self.config.budgets.hv_storage,
+                self.config.budgets.dw_storage,
+                // The static design is installed incrementally as views
+                // appear, so the per-phase transfer budget does not bind.
+                self.config.budgets.hv_storage + self.config.budgets.dw_storage,
+            )
+            .with_discretization(self.config.budgets.discretization),
+            history_len: queries.len().max(1),
+            epoch_len: queries.len().max(1),
+            decay: 1.0,
+            doi_threshold: self.config.doi_threshold,
+        };
+        let tuner = MisoTuner::new(tuner_cfg);
+        let plans: Vec<LogicalPlan> = queries.iter().map(|(_, p)| p.clone()).collect();
+        let current_hv: BTreeSet<String> = self.hv.view_names().into_iter().collect();
+        let current_dw: BTreeSet<String> = self.dw.view_names().into_iter().collect();
+        let stats = self.build_stats();
+        let offline_design = tuner.tune(
+            &current_hv,
+            &current_dw,
+            &self.catalog,
+            &plans,
+            &stats,
+            &self.hv.cost_model,
+            &self.dw.cost_model,
+            &self.transfer,
+        );
+
+        // Views are opportunistic by-products: none exist before the
+        // workload runs. Reset the stores; pass 2 retains exactly the views
+        // the static design selected, as they are (re)created, moving
+        // DW-designated ones at creation time (charged as TUNE).
+        for name in self.hv.view_names() {
+            self.hv.remove_view(&name);
+        }
+        for name in self.dw.view_names() {
+            self.dw.evict_view(&name);
+        }
+        let keep_dw = offline_design.dw.clone();
+        let keep_any: BTreeSet<String> = offline_design
+            .hv
+            .iter()
+            .chain(offline_design.dw.iter())
+            .cloned()
+            .collect();
+        for (i, (label, raw)) in queries.iter().enumerate() {
+            let record =
+                self.execute_one(QueryId(i as u64), label, raw, clock, &mut result.tti)?;
+            // Enforce the static design: drop non-selected views, migrate
+            // DW-designated ones.
+            for name in self.hv.view_names() {
+                if !keep_any.contains(&name) {
+                    self.hv.remove_view(&name);
+                    if !self.dw.has_view(&name) {
+                        self.catalog.remove(&name);
+                    }
+                } else if keep_dw.contains(&name) && !self.dw.has_view(&name) {
+                    let rows = self.hv.view_rows(&name).expect("present");
+                    let schema = self.hv.view_schema(&name).expect("present").clone();
+                    let size = self.hv.view_size(&name).expect("present");
+                    let raw_cost = self.hv.dump_cost(size)
+                        + self.transfer.transfer_cost(size)
+                        + self.dw.load_cost(size);
+                    let stretched =
+                        self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
+                    result.tti.tune += stretched;
+                    clock.advance(stretched);
+                    self.dw.load_view(&name, schema, rows, TableSpace::Permanent);
+                    self.hv.remove_view(&name);
+                }
+            }
+            result.records.push(record);
+        }
+        Ok(())
+    }
+
+    // ---- The online stream (all other variants) -------------------------
+
+    fn run_stream(
+        &mut self,
+        variant: Variant,
+        queries: &[WorkloadQuery],
+        clock: &mut SimClock,
+        result: &mut ExperimentResult,
+    ) -> Result<()> {
+        let tuner = MisoTuner::new(TunerConfig {
+            budgets: self.config.budgets,
+            history_len: self.config.history_len,
+            epoch_len: self.config.epoch_len,
+            decay: self.config.decay,
+            doi_threshold: self.config.doi_threshold,
+        });
+        let mut history: Vec<LogicalPlan> = Vec::new();
+
+        for (i, (label, raw)) in queries.iter().enumerate() {
+            // Reorganization phase every `reorg_every` queries (not before
+            // the first query: there is nothing to tune yet).
+            if variant.uses_miso_tuner() && i > 0 && i % self.config.reorg_every == 0 {
+                let window: Vec<LogicalPlan> = if variant == Variant::MsOra {
+                    // Oracle: the *actual* next window.
+                    queries
+                        .iter()
+                        .skip(i)
+                        .take(self.config.history_len)
+                        .map(|(_, p)| p.clone())
+                        .collect()
+                } else {
+                    history
+                        .iter()
+                        .rev()
+                        .take(self.config.history_len)
+                        .rev()
+                        .cloned()
+                        .collect()
+                };
+                let reorg = self.apply_tuner(&tuner, &window, clock)?;
+                result.tti.tune += reorg.duration;
+                result.reorgs.push(reorg);
+            }
+
+            let qid = QueryId(i as u64);
+            let record = match variant {
+                Variant::HvOnly => self.execute_hv_only(qid, label, raw, clock, &mut result.tti, false)?,
+                Variant::HvOp => self.execute_hv_only(qid, label, raw, clock, &mut result.tti, true)?,
+                Variant::MsLru => {
+                    self.execute_one_with_retention(qid, label, raw, clock, &mut result.tti, true)?
+                }
+                _ => self.execute_one(qid, label, raw, clock, &mut result.tti)?,
+            };
+
+            // Retention policies.
+            match variant {
+                Variant::MsMiso | Variant::MsOra => {
+                    // Opportunistic views accumulate until the next reorg.
+                }
+                Variant::HvOp | Variant::MsLru => {
+                    self.lru_evict_hv();
+                    if variant == Variant::MsLru {
+                        self.lru_evict_dw();
+                    }
+                }
+                _ => {}
+            }
+            if variant == Variant::MsBasic || variant == Variant::HvOnly {
+                // Nothing retained.
+                for name in self.hv.view_names() {
+                    self.hv.remove_view(&name);
+                    self.catalog.remove(&name);
+                }
+            }
+
+            history.push(raw.clone());
+            result.records.push(record);
+        }
+        Ok(())
+    }
+
+    // ---- Execution paths -------------------------------------------------
+
+    /// Executes a query entirely in HV (HV-ONLY / HV-OP).
+    fn execute_hv_only(
+        &mut self,
+        qid: QueryId,
+        label: &str,
+        raw: &LogicalPlan,
+        clock: &mut SimClock,
+        tti: &mut TtiBreakdown,
+        with_views: bool,
+    ) -> Result<QueryRecord> {
+        let available: HashSet<String> = if with_views {
+            self.hv.view_names().into_iter().collect()
+        } else {
+            HashSet::new()
+        };
+        let rewrite = miso_views::rewrite_with_catalog(raw, &available, &self.catalog);
+        let run = self.hv.execute(&rewrite.plan, None, &self.udfs)?;
+        self.record_bg(DwActivity::Idle, run.cost, clock);
+        tti.hv_exe += run.cost;
+        clock.advance(run.cost);
+        if with_views {
+            self.harvest_views(&rewrite.plan, &run, qid, usize::MAX);
+            for v in &rewrite.used {
+                self.lru_touch(v);
+            }
+        }
+        Ok(QueryRecord {
+            query: qid,
+            label: label.to_string(),
+            hv: run.cost,
+            dw: SimDuration::ZERO,
+            transfer: SimDuration::ZERO,
+            result_rows: run.execution.root_rows()?.len() as u64,
+            used_views: rewrite.used,
+            hv_ops: rewrite.plan.len(),
+            dw_ops: 0,
+            bytes_transferred: ByteSize::ZERO,
+            finished_at: clock.now(),
+        })
+    }
+
+    /// Executes a query as a multistore split plan against the current
+    /// design, harvesting opportunistic views.
+    fn execute_one(
+        &mut self,
+        qid: QueryId,
+        label: &str,
+        raw: &LogicalPlan,
+        clock: &mut SimClock,
+        tti: &mut TtiBreakdown,
+    ) -> Result<QueryRecord> {
+        self.execute_one_with_retention(qid, label, raw, clock, tti, false)
+    }
+
+    /// Executes a multistore query; with `retain_ws`, transferred working
+    /// sets are kept as permanent DW views (MS-LRU's passive tuning).
+    fn execute_one_with_retention(
+        &mut self,
+        qid: QueryId,
+        label: &str,
+        raw: &LogicalPlan,
+        clock: &mut SimClock,
+        tti: &mut TtiBreakdown,
+        retain_ws: bool,
+    ) -> Result<QueryRecord> {
+        let design = self.current_design();
+        let stats = self.build_stats();
+        let planned: PlannedQuery = {
+            let env = OptimizerEnv {
+                stats: &stats,
+                hv: &self.hv.cost_model,
+                dw: &self.dw.cost_model,
+                transfer: &self.transfer,
+                catalog: Some(&self.catalog),
+            };
+            optimize(raw, &design, &env)?
+        };
+        let plan = &planned.plan;
+        let hv_set: HashSet<_> = planned.split.hv_nodes().iter().copied().collect();
+        let dw_set: HashSet<_> = plan
+            .nodes()
+            .iter()
+            .map(|n| n.id)
+            .filter(|id| !hv_set.contains(id))
+            .collect();
+
+        let mut hv_time = SimDuration::ZERO;
+        let mut transfer_time = SimDuration::ZERO;
+        let mut dw_time = SimDuration::ZERO;
+        let mut bytes_transferred = ByteSize::ZERO;
+        let mut provided: HashMap<miso_common::ids::NodeId, Arc<Vec<Row>>> = HashMap::new();
+        let mut result_rows = 0u64;
+
+        // HV side.
+        if !hv_set.is_empty() {
+            let run = self.hv.execute(plan, Some(&hv_set), &self.udfs)?;
+            hv_time = run.cost;
+            self.record_bg(DwActivity::Idle, hv_time, clock);
+            tti.hv_exe += hv_time;
+            clock.advance(hv_time);
+
+            // Ship each cut working set.
+            for cut in planned.split.cut_nodes(plan) {
+                let rows = run.execution.output(cut).clone();
+                let bytes = run.execution.output_bytes(cut);
+                bytes_transferred += bytes;
+                let raw_cost = self.hv.dump_cost(bytes)
+                    + self.transfer.transfer_cost(bytes)
+                    + self.dw.load_cost(bytes);
+                let stretched =
+                    self.stretch(raw_cost, DwActivity::WorkingSetTransfer, clock);
+                transfer_time += stretched;
+                tti.transfer += stretched;
+                clock.advance(stretched);
+                // Working sets live in temp table space for the query only.
+                let node = plan.node(cut);
+                self.dw.load_view(
+                    &format!("ws_{qid}_{cut}"),
+                    node.schema.clone(),
+                    rows.clone(),
+                    TableSpace::Temporary,
+                );
+                if retain_ws {
+                    self.retain_working_set(plan, cut, rows.clone(), qid);
+                }
+                provided.insert(cut, rows);
+            }
+            // Harvest opportunistic views from the HV-side stages.
+            if planned.split.is_hv_only(plan) {
+                result_rows = run.execution.root_rows()?.len() as u64;
+            }
+            self.harvest_views(plan, &run, qid, usize::MAX);
+        }
+
+        // DW side.
+        if !dw_set.is_empty() {
+            let run = self.dw.execute(plan, Some(&dw_set), provided, &self.udfs)?;
+            let stretched = self.stretch(run.cost, DwActivity::QueryExec, clock);
+            dw_time = stretched;
+            tti.dw_exe += stretched;
+            clock.advance(stretched);
+            result_rows = run.execution.root_rows()?.len() as u64;
+        }
+        self.dw.clear_temp();
+
+        for v in &planned.used_views {
+            self.lru_touch(v);
+        }
+        Ok(QueryRecord {
+            query: qid,
+            label: label.to_string(),
+            hv: hv_time,
+            dw: dw_time,
+            transfer: transfer_time,
+            result_rows,
+            used_views: planned.used_views,
+            hv_ops: hv_set.len(),
+            dw_ops: dw_set.len(),
+            bytes_transferred,
+            finished_at: clock.now(),
+        })
+    }
+
+    // ---- Tuning ----------------------------------------------------------
+
+    /// Runs one reorganization phase: compute the new design and migrate
+    /// views accordingly, charging TUNE time.
+    fn apply_tuner(
+        &mut self,
+        tuner: &MisoTuner,
+        window: &[LogicalPlan],
+        clock: &mut SimClock,
+    ) -> Result<ReorgRecord> {
+        let start = clock.now();
+        let current_hv: BTreeSet<String> = self.hv.view_names().into_iter().collect();
+        let current_dw: BTreeSet<String> = self.dw.view_names().into_iter().collect();
+        let stats = self.build_stats();
+        let new_design = tuner.tune(
+            &current_hv,
+            &current_dw,
+            &self.catalog,
+            window,
+            &stats,
+            &self.hv.cost_model,
+            &self.dw.cost_model,
+            &self.transfer,
+        );
+        let mut duration = self.config.tune_compute;
+        let mut bytes_moved = ByteSize::ZERO;
+        let mut moved_to_dw = Vec::new();
+        let mut moved_to_hv = Vec::new();
+        let mut dropped = Vec::new();
+
+        // HV → DW migrations.
+        for name in new_design.dw.iter() {
+            if current_dw.contains(name) {
+                continue;
+            }
+            let Some(rows) = self.hv.view_rows(name) else {
+                return Err(MisoError::Tuning(format!(
+                    "tuner placed `{name}` in DW but no store holds it"
+                )));
+            };
+            let schema = self.hv.view_schema(name).expect("rows imply schema").clone();
+            let size = self.hv.view_size(name).expect("rows imply size");
+            let raw_cost = self.hv.dump_cost(size)
+                + self.transfer.transfer_cost(size)
+                + self.dw.load_cost(size);
+            let stretched = self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
+            duration += stretched;
+            clock.advance(stretched);
+            bytes_moved += size;
+            self.dw.load_view(name, schema, rows, TableSpace::Permanent);
+            self.hv.remove_view(name);
+            moved_to_dw.push(name.clone());
+        }
+
+        // DW → HV migrations (evicted views repacked into HV).
+        for name in new_design.hv.iter() {
+            if current_hv.contains(name) || !current_dw.contains(name) {
+                continue;
+            }
+            let Some((schema, rows, size)) = self.dw.evict_view(name) else {
+                continue;
+            };
+            let raw_cost = self.transfer.transfer_cost(size) + self.hv.dump_cost(size);
+            let stretched = self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
+            duration += stretched;
+            clock.advance(stretched);
+            bytes_moved += size;
+            self.hv.install_view(name, schema, rows);
+            moved_to_hv.push(name.clone());
+        }
+
+        // Enforce the new design. DW is tightly managed: exactly the packed
+        // set. HV "may have more spare capacity" (paper §3.1): non-design
+        // views survive as long as the HV storage budget holds, oldest
+        // evicted first beyond it.
+        let hv_budget = self.config.budgets.hv_storage;
+        let mut extras: Vec<String> = self
+            .hv
+            .view_names()
+            .into_iter()
+            .filter(|n| !new_design.hv.contains(n) && !new_design.dw.contains(n))
+            .collect();
+        // LRU order: least-recently-used extras go first.
+        extras.sort_by_key(|n| self.lru.iter().position(|x| x == n).unwrap_or(0));
+        let mut i = 0;
+        while self.hv.total_view_bytes() > hv_budget && i < extras.len() {
+            let name = &extras[i];
+            self.hv.remove_view(name);
+            if !self.dw.has_view(name) {
+                self.catalog.remove(name);
+                dropped.push(name.clone());
+            }
+            i += 1;
+        }
+        for name in self.dw.view_names() {
+            if !new_design.dw.contains(&name) {
+                self.dw.evict_view(&name);
+                if !self.hv.has_view(&name) {
+                    self.catalog.remove(&name);
+                    dropped.push(name);
+                }
+            }
+        }
+        // The design-computation time itself.
+        self.record_bg(DwActivity::Idle, self.config.tune_compute, clock);
+        clock.advance(self.config.tune_compute);
+        Ok(ReorgRecord { at: start, duration, moved_to_dw, moved_to_hv, dropped, bytes_moved })
+    }
+
+    // ---- Shared plumbing ---------------------------------------------------
+
+    /// The design implied by what the stores actually hold.
+    pub fn current_design(&self) -> Design {
+        Design {
+            hv_views: self.hv.view_names().into_iter().collect(),
+            dw_views: self.dw.view_names().into_iter().collect(),
+        }
+    }
+
+    /// Builds the stats source: true log sizes plus every catalog view's
+    /// size (views not resident anywhere have been dropped from the
+    /// catalog).
+    pub fn build_stats(&self) -> MapStats {
+        let mut stats = MapStats::new();
+        self.hv.fill_stats(&mut stats);
+        self.dw.fill_stats(&mut stats);
+        for def in self.catalog.defs() {
+            stats.set_view(def.name.clone(), def.rows as f64, def.size.as_bytes() as f64);
+        }
+        stats
+    }
+
+    /// Registers the materialized stage outputs of an HV run as
+    /// opportunistic views (up to `limit` of them, largest-subtree first).
+    fn harvest_views(
+        &mut self,
+        plan: &LogicalPlan,
+        run: &miso_hv::HvRun,
+        qid: QueryId,
+        limit: usize,
+    ) {
+        let fps = fingerprint_all(plan);
+        for m in run.materialized.iter().take(limit) {
+            // A view over a bare scan is just the base log — skip.
+            if plan.node(m.node).op.is_scan() {
+                continue;
+            }
+            let name = fps[&m.node].view_name();
+            if self.catalog.contains(&name) {
+                // Same semantics already known; refresh HV residency if the
+                // contents were dropped from both stores (can't happen: the
+                // catalog only keeps resident views).
+                if !self.hv.has_view(&name) && !self.dw.has_view(&name) {
+                    self.hv.install_view(&name, m.schema.clone(), m.rows.clone());
+                    self.lru_touch(&name);
+                }
+                continue;
+            }
+            let def = ViewDef::from_plan(
+                plan.subplan(m.node),
+                m.size,
+                m.rows.len() as u64,
+                qid,
+            );
+            debug_assert_eq!(def.name, name, "fingerprint consistency");
+            self.catalog.register(def);
+            self.hv.install_view(&name, m.schema.clone(), m.rows.clone());
+            self.lru_touch(&name);
+        }
+    }
+
+    fn lru_touch(&mut self, name: &str) {
+        self.lru.retain(|n| n != name);
+        self.lru.push(name.to_string());
+    }
+
+    /// Evicts least-recently-used HV views until within `B_h`.
+    fn lru_evict_hv(&mut self) {
+        let budget = self.config.budgets.hv_storage;
+        let mut i = 0;
+        while self.hv.total_view_bytes() > budget && i < self.lru.len() {
+            let name = self.lru[i].clone();
+            if self.hv.has_view(&name) {
+                self.hv.remove_view(&name);
+                if !self.dw.has_view(&name) {
+                    self.catalog.remove(&name);
+                }
+            }
+            i += 1;
+        }
+        self.gc_lru();
+    }
+
+    /// Evicts least-recently-used DW views until within `B_d` (MS-LRU).
+    fn lru_evict_dw(&mut self) {
+        let budget = self.config.budgets.dw_storage;
+        let mut i = 0;
+        while self.dw.total_view_bytes() > budget && i < self.lru.len() {
+            let name = self.lru[i].clone();
+            if self.dw.has_view(&name) {
+                self.dw.evict_view(&name);
+                if !self.hv.has_view(&name) {
+                    self.catalog.remove(&name);
+                }
+            }
+            i += 1;
+        }
+        self.gc_lru();
+    }
+
+    fn gc_lru(&mut self) {
+        let hv = &self.hv;
+        let dw = &self.dw;
+        self.lru.retain(|n| hv.has_view(n) || dw.has_view(n));
+    }
+
+    /// MS-LRU's passive DW tuning: retain a transferred working set as a
+    /// permanent DW view.
+    pub fn retain_working_set(
+        &mut self,
+        plan: &LogicalPlan,
+        node: miso_common::ids::NodeId,
+        rows: Arc<Vec<Row>>,
+        qid: QueryId,
+    ) {
+        let fps = fingerprint_all(plan);
+        let name = fps[&node].view_name();
+        if self.dw.has_view(&name) {
+            return;
+        }
+        let schema = plan.node(node).schema.clone();
+        let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
+        if !self.catalog.contains(&name) {
+            let def =
+                ViewDef::from_plan(plan.subplan(node), size, rows.len() as u64, qid);
+            self.catalog.register(def);
+        }
+        self.dw.load_view(&name, schema, rows, TableSpace::Permanent);
+        self.lru_touch(&name);
+    }
+
+    // ---- Background interference ------------------------------------------
+
+    /// Stretches a DW-side duration under background contention and records
+    /// the interval.
+    fn stretch(
+        &mut self,
+        raw: SimDuration,
+        activity: DwActivity,
+        clock: &SimClock,
+    ) -> SimDuration {
+        match &mut self.background {
+            Some(bg) => {
+                let stretched = raw * bg.stretch_factor(activity);
+                bg.record(clock.now(), stretched, activity);
+                stretched
+            }
+            None => raw,
+        }
+    }
+
+    fn record_bg(&mut self, activity: DwActivity, duration: SimDuration, clock: &SimClock) {
+        if let Some(bg) = &mut self.background {
+            bg.record(clock.now(), duration, activity);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::logs::LogsConfig;
+    use miso_lang::compile;
+
+    fn tiny_system(budget_kib: u64) -> MultistoreSystem {
+        let corpus = Corpus::generate(&LogsConfig::tiny());
+        let budgets = Budgets::new(
+            ByteSize::from_kib(budget_kib),
+            ByteSize::from_kib(budget_kib),
+            ByteSize::from_kib(budget_kib),
+        )
+        .with_discretization(ByteSize::from_kib(16));
+        MultistoreSystem::new(
+            &corpus,
+            miso_lang::Catalog::standard(),
+            UdfRegistry::new(),
+            SystemConfig::paper_default(budgets),
+        )
+    }
+
+    fn queries() -> Vec<WorkloadQuery> {
+        let c = miso_lang::Catalog::standard();
+        [
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 100 GROUP BY t.city",
+            "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS s FROM twitter t \
+             WHERE t.followers > 100 GROUP BY t.city",
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 100 GROUP BY t.city ORDER BY n DESC LIMIT 5",
+            "SELECT f.city AS city, COUNT(*) AS n FROM foursquare f \
+             WHERE f.likes > 2 GROUP BY f.city",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, sql)| (format!("q{i}"), compile(sql, &c).unwrap()))
+        .collect()
+    }
+
+    #[test]
+    fn hv_only_runs_and_retains_nothing() {
+        let mut sys = tiny_system(10_000);
+        let result = sys.run_workload(Variant::HvOnly, &queries()).unwrap();
+        assert_eq!(result.records.len(), 4);
+        assert!(result.tti.hv_exe > SimDuration::ZERO);
+        assert_eq!(result.tti.dw_exe, SimDuration::ZERO);
+        assert!(sys.hv.view_names().is_empty());
+        assert!(sys.catalog.is_empty());
+    }
+
+    #[test]
+    fn hv_op_reuses_views_and_speeds_up_repeats() {
+        let mut sys = tiny_system(100_000);
+        let result = sys.run_workload(Variant::HvOp, &queries()).unwrap();
+        assert!(!sys.hv.view_names().is_empty(), "opportunistic views retained");
+        // q2 (same prefix as q0/q1) should reuse a view and be much cheaper
+        // than q0.
+        let q0 = &result.records[0];
+        let q2 = &result.records[2];
+        assert!(!q2.used_views.is_empty(), "rewrite found a matching view");
+        assert!(q2.hv < q0.hv, "view reuse must cut HV time");
+    }
+
+    #[test]
+    fn ms_miso_reorganizes_and_accelerates() {
+        let mut sys = tiny_system(100_000);
+        let result = sys.run_workload(Variant::MsMiso, &queries()).unwrap();
+        assert!(!result.reorgs.is_empty(), "reorg every 3 queries");
+        assert!(result.tti.tune > SimDuration::ZERO);
+        // After the reorg (before q3), beneficial views should be in DW.
+        assert!(
+            !sys.dw.view_names().is_empty(),
+            "tuner moved views into DW: {:?}",
+            result.reorgs
+        );
+    }
+
+    #[test]
+    fn dw_only_pays_etl_once_then_fast_queries() {
+        let mut sys = tiny_system(1_000_000);
+        let result = sys.run_workload(Variant::DwOnly, &queries()).unwrap();
+        assert!(result.tti.etl > SimDuration::ZERO);
+        assert!(
+            result.tti.etl > result.tti.dw_exe * 10.0,
+            "ETL dominates: {} vs {}",
+            result.tti.etl,
+            result.tti.dw_exe
+        );
+        assert_eq!(result.records.len(), 4);
+        assert!(result.records.iter().all(|r| r.hv.is_zero()));
+    }
+
+    #[test]
+    fn results_identical_across_variants() {
+        // Every variant must compute the same answers.
+        let qs = queries();
+        let mut counts: Vec<Vec<u64>> = Vec::new();
+        for variant in [
+            Variant::HvOnly,
+            Variant::DwOnly,
+            Variant::MsBasic,
+            Variant::HvOp,
+            Variant::MsMiso,
+        ] {
+            let mut sys = tiny_system(100_000);
+            let result = sys.run_workload(variant, &qs).unwrap();
+            counts.push(result.records.iter().map(|r| r.result_rows).collect());
+        }
+        for other in &counts[1..] {
+            assert_eq!(&counts[0], other);
+        }
+    }
+
+    #[test]
+    fn ms_basic_never_keeps_views() {
+        let mut sys = tiny_system(100_000);
+        sys.run_workload(Variant::MsBasic, &queries()).unwrap();
+        assert!(sys.hv.view_names().is_empty());
+        assert!(sys.dw.view_names().is_empty());
+    }
+
+    #[test]
+    fn background_contention_slows_dw_side() {
+        let corpus = Corpus::generate(&LogsConfig::tiny());
+        let budgets = Budgets::new(
+            ByteSize::from_kib(100_000),
+            ByteSize::from_kib(100_000),
+            ByteSize::from_kib(100_000),
+        )
+        .with_discretization(ByteSize::from_kib(16));
+        let mut cfg = SystemConfig::paper_default(budgets);
+        cfg.background = Some(BackgroundSim::paper_config(
+            miso_dw::Resource::Io,
+            40,
+        ));
+        let mut sys = MultistoreSystem::new(
+            &corpus,
+            miso_lang::Catalog::standard(),
+            UdfRegistry::new(),
+            cfg,
+        );
+        let with_bg = sys.run_workload(Variant::MsMiso, &queries()).unwrap();
+        assert!(!sys.background().unwrap().samples().is_empty());
+
+        let mut sys2 = tiny_system(100_000);
+        let without = sys2.run_workload(Variant::MsMiso, &queries()).unwrap();
+        assert!(
+            with_bg.tti_total() >= without.tti_total(),
+            "contention can only slow the multistore workload"
+        );
+    }
+}

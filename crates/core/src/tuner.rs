@@ -1,0 +1,412 @@
+//! The MISO tuner — Algorithm 1 of the paper.
+//!
+//! ```text
+//! function MISO_TUNE(⟨Vh, Vd⟩, W, Bh, Bd, Bt)
+//!     V       ← Vh ∪ Vd
+//!     P       ← COMPUTE-INTERACTING-SETS(V)
+//!     Vcands  ← SPARSIFY-SETS(P)
+//!     Vd_new  ← M-KNAPSACK(Vcands, Bd, Bt)
+//!     Bt_rem  ← Bt − Σ sz(v) for v ∈ Vh ∩ Vd_new
+//!     Vh_new  ← M-KNAPSACK(Vcands − Vd_new, Bh, Bt_rem)
+//!     return ⟨Vh_new, Vd_new⟩
+//! ```
+//!
+//! DW is packed first ("it can offer superior execution performance when the
+//! right views are present"); whatever transfer budget remains pays for
+//! moving DW-evicted views back to HV; `V_h ∩ V_d = ∅` by construction.
+//!
+//! Benefits are probed through the multistore optimizer's what-if mode,
+//! decay-weighted over the recent history window (see `miso_views`).
+
+use crate::knapsack::{m_knapsack, PackItem};
+use miso_common::{Budgets, ByteSize};
+use miso_dw::DwCostModel;
+use miso_hv::HvCostModel;
+use miso_optimizer::cost::TransferModel;
+use miso_optimizer::optimize::{what_if_cost, Design, OptimizerEnv};
+use miso_plan::estimate::MapStats;
+use miso_plan::LogicalPlan;
+use miso_views::{analyze_candidates, decay_weights, AnalysisConfig, ViewCatalog, ViewInfo};
+use std::collections::{BTreeSet, HashSet};
+
+/// Tuner parameters.
+#[derive(Debug, Clone)]
+pub struct TunerConfig {
+    /// View storage and transfer budgets (with discretization).
+    pub budgets: Budgets,
+    /// History window length in queries (paper experiments: 6).
+    pub history_len: usize,
+    /// Epoch length in queries for benefit decay (paper experiments: 3).
+    pub epoch_len: usize,
+    /// Per-epoch decay factor.
+    pub decay: f64,
+    /// doi significance threshold (simulated seconds).
+    pub doi_threshold: f64,
+}
+
+impl TunerConfig {
+    /// The paper's experiment settings with the given budgets.
+    pub fn paper_default(budgets: Budgets) -> Self {
+        TunerConfig {
+            budgets,
+            history_len: 6,
+            epoch_len: 3,
+            decay: 0.5,
+            doi_threshold: 1.0,
+        }
+    }
+}
+
+/// The tuner's output: the new multistore design `M_new = ⟨V_h, V_d⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewDesign {
+    /// Views that should reside in HV.
+    pub hv: BTreeSet<String>,
+    /// Views that should reside in DW.
+    pub dw: BTreeSet<String>,
+}
+
+/// Chooses a discretization unit keeping a DP dimension small.
+fn effective_unit(base: ByteSize, budget: ByteSize) -> ByteSize {
+    const MAX_UNITS: u64 = 128;
+    let needed = budget.as_bytes().div_ceil(MAX_UNITS).max(1);
+    if base.as_bytes() >= needed {
+        base
+    } else {
+        ByteSize::from_bytes(needed)
+    }
+}
+
+/// The MISO tuner.
+#[derive(Debug, Clone)]
+pub struct MisoTuner {
+    /// Configuration.
+    pub config: TunerConfig,
+}
+
+impl MisoTuner {
+    /// Creates a tuner.
+    pub fn new(config: TunerConfig) -> Self {
+        MisoTuner { config }
+    }
+
+    /// Computes a new multistore design.
+    ///
+    /// * `current_hv`, `current_dw` — the views presently in each store;
+    /// * `catalog` — metadata (sizes) for every candidate view;
+    /// * `history` — the recent query window `W` (raw, un-rewritten plans),
+    ///   oldest first;
+    /// * `stats` — true log/view sizes for what-if costing;
+    /// * cost models — shared with the execution layer.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tune(
+        &self,
+        current_hv: &BTreeSet<String>,
+        current_dw: &BTreeSet<String>,
+        catalog: &ViewCatalog,
+        history: &[LogicalPlan],
+        stats: &MapStats,
+        hv_cost: &HvCostModel,
+        dw_cost: &DwCostModel,
+        transfer: &TransferModel,
+    ) -> NewDesign {
+        let budgets = &self.config.budgets;
+        // Per-dimension discretization: at least the configured unit, but
+        // coarse enough to keep each DP dimension ≤ MAX_UNITS cells (the
+        // paper's d = 1 GB plays the same role against TB-scale budgets).
+        let dw_unit = effective_unit(budgets.discretization, budgets.dw_storage);
+        let hv_unit = effective_unit(budgets.discretization, budgets.hv_storage);
+        let tu_unit = effective_unit(budgets.discretization, budgets.transfer);
+
+        // V = Vh ∪ Vd, with sizes from the catalog.
+        let mut names: Vec<String> = current_hv.union(current_dw).cloned().collect();
+        names.sort();
+        names.retain(|n| catalog.contains(n));
+        if names.is_empty() || history.is_empty() {
+            return NewDesign { hv: current_hv.clone(), dw: current_dw.clone() };
+        }
+        let infos: Vec<ViewInfo> = names
+            .iter()
+            .map(|n| ViewInfo { name: n.clone(), size: catalog.get(n).unwrap().size })
+            .collect();
+
+        // Decay weights over the history window.
+        let window: Vec<&LogicalPlan> = history
+            .iter()
+            .rev()
+            .take(self.config.history_len)
+            .rev()
+            .collect();
+        let weights = decay_weights(window.len(), self.config.epoch_len, self.config.decay);
+
+        // What-if probe: hypothetical design with the subset available in
+        // both stores (a view's benefit is dominated by its best placement;
+        // the knapsack phases decide the actual store).
+        let env = OptimizerEnv { stats, hv: hv_cost, dw: dw_cost, transfer, catalog: Some(catalog) };
+        let mut cost_fn = |q: usize, set: &BTreeSet<String>| -> f64 {
+            let design = Design {
+                hv_views: set.iter().cloned().collect(),
+                dw_views: set.iter().cloned().collect(),
+            };
+            what_if_cost(window[q], &design, &env).as_secs_f64()
+        };
+        let analysis_cfg = AnalysisConfig {
+            doi_threshold: self.config.doi_threshold,
+            max_part_size: Some(4),
+        };
+        let items = analyze_candidates(&infos, &weights, &mut cost_fn, &analysis_cfg);
+        if std::env::var_os("MISO_TUNER_DEBUG").is_some() {
+            eprintln!("[tuner] candidates={} -> items={}", infos.len(), items.len());
+            for item in &items {
+                eprintln!(
+                    "[tuner]   item {:?} size={} benefit={:.1}",
+                    item.views, item.size, item.benefit
+                );
+            }
+        }
+
+        // Phase 1: pack DW. HV-resident members consume B_t (Case 1).
+        let size_of = |v: &str| -> ByteSize { catalog.get(v).map(|d| d.size).unwrap_or(ByteSize::ZERO) };
+        let dw_items: Vec<PackItem> = items
+            .iter()
+            .map(|item| {
+                let storage: ByteSize = item.views.iter().map(|v| size_of(v)).sum();
+                let transfer_bytes: ByteSize = item
+                    .views
+                    .iter()
+                    .filter(|v| !current_dw.contains(*v))
+                    .map(|v| size_of(v))
+                    .sum();
+                PackItem {
+                    views: item.views.iter().cloned().collect(),
+                    storage_units: storage.units_ceil(dw_unit),
+                    transfer_units: transfer_bytes.units_ceil(tu_unit),
+                    benefit: item.benefit,
+                }
+            })
+            .collect();
+        let dw_pack = m_knapsack(
+            &dw_items,
+            budgets.dw_storage.as_bytes() / dw_unit.as_bytes(),
+            budgets.transfer.as_bytes() / tu_unit.as_bytes(),
+        );
+        let dw_new: BTreeSet<String> = dw_pack
+            .chosen
+            .iter()
+            .flat_map(|&k| dw_items[k].views.iter().cloned())
+            .collect();
+
+        // Remaining transfer budget after phase 1 (exact bytes consumed by
+        // views that actually move HV→DW).
+        let moved_to_dw: ByteSize = dw_new
+            .iter()
+            .filter(|v| !current_dw.contains(*v))
+            .map(|v| size_of(v))
+            .sum();
+        let bt_rem_units = (budgets.transfer.as_bytes() / tu_unit.as_bytes())
+            .saturating_sub(moved_to_dw.units_ceil(tu_unit));
+
+        // Phase 2: pack HV from the leftovers. DW-evicted members consume
+        // B_t^rem (they must move back); HV-resident members don't.
+        let evicted: HashSet<&String> =
+            current_dw.iter().filter(|v| !dw_new.contains(*v)).collect();
+        let hv_items: Vec<PackItem> = items
+            .iter()
+            .filter(|item| item.views.iter().all(|v| !dw_new.contains(v)))
+            .map(|item| {
+                let storage: ByteSize = item.views.iter().map(|v| size_of(v)).sum();
+                let transfer_bytes: ByteSize = item
+                    .views
+                    .iter()
+                    .filter(|v| evicted.contains(*v))
+                    .map(|v| size_of(v))
+                    .sum();
+                PackItem {
+                    views: item.views.iter().cloned().collect(),
+                    storage_units: storage.units_ceil(hv_unit),
+                    transfer_units: transfer_bytes.units_ceil(tu_unit),
+                    benefit: item.benefit,
+                }
+            })
+            .collect();
+        let hv_pack = m_knapsack(
+            &hv_items,
+            budgets.hv_storage.as_bytes() / hv_unit.as_bytes(),
+            bt_rem_units,
+        );
+        let hv_new: BTreeSet<String> = hv_pack
+            .chosen
+            .iter()
+            .flat_map(|&k| hv_items[k].views.iter().cloned())
+            .collect();
+
+        debug_assert!(hv_new.is_disjoint(&dw_new), "V_h ∩ V_d must be empty");
+        NewDesign { hv: hv_new, dw: dw_new }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_common::ids::QueryId;
+    use miso_lang::{compile, Catalog};
+    use miso_plan::Operator;
+    use miso_views::ViewDef;
+
+    fn budgets(gib: u64) -> Budgets {
+        Budgets::new(
+            ByteSize::from_gib(gib),
+            ByteSize::from_gib(gib),
+            ByteSize::from_gib(gib),
+        )
+        .with_discretization(ByteSize::from_kib(64))
+    }
+
+    fn stats() -> MapStats {
+        let mut s = MapStats::new();
+        s.set_log("twitter", 40_000.0, 40_000.0 * 280.0);
+        s.set_log("foursquare", 24_000.0, 24_000.0 * 160.0);
+        s.set_log("landmarks", 900.0, 900.0 * 190.0);
+        s
+    }
+
+    /// Builds a query plan plus a view over its filter subtree.
+    fn plan_and_view(sql: &str, size: ByteSize) -> (LogicalPlan, ViewDef) {
+        let plan = compile(sql, &Catalog::standard()).unwrap();
+        let filt = plan
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Operator::Filter { .. }))
+            .unwrap()
+            .id;
+        let sub = plan.subplan(filt);
+        let def = ViewDef::from_plan(sub, size, 1_000, QueryId(0));
+        (plan, def)
+    }
+
+    #[test]
+    fn beneficial_view_lands_in_dw() {
+        let (plan, view) = plan_and_view(
+            "SELECT t.city AS c, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 1000 GROUP BY t.city",
+            ByteSize::from_kib(200),
+        );
+        let mut catalog = ViewCatalog::new();
+        let name = view.name.clone();
+        catalog.register(view);
+        let mut s = stats();
+        s.set_view(name.clone(), 1_000.0, 200.0 * 1024.0);
+
+        let tuner = MisoTuner::new(TunerConfig::paper_default(budgets(1)));
+        let hv: BTreeSet<String> = [name.clone()].into_iter().collect();
+        let dw = BTreeSet::new();
+        let design = tuner.tune(
+            &hv,
+            &dw,
+            &catalog,
+            &[plan],
+            &s,
+            &HvCostModel::paper_default(),
+            &DwCostModel::paper_default(),
+            &TransferModel::paper_default(),
+        );
+        assert!(design.dw.contains(&name), "useful view should move to DW");
+        assert!(!design.hv.contains(&name), "designs must be disjoint");
+    }
+
+    #[test]
+    fn zero_transfer_budget_freezes_dw() {
+        let (plan, view) = plan_and_view(
+            "SELECT t.city AS c, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 1000 GROUP BY t.city",
+            ByteSize::from_kib(200),
+        );
+        let mut catalog = ViewCatalog::new();
+        let name = view.name.clone();
+        catalog.register(view);
+        let mut s = stats();
+        s.set_view(name.clone(), 1_000.0, 200.0 * 1024.0);
+
+        let b = Budgets::new(ByteSize::from_gib(1), ByteSize::from_gib(1), ByteSize::ZERO)
+            .with_discretization(ByteSize::from_kib(64));
+        let tuner = MisoTuner::new(TunerConfig::paper_default(b));
+        let hv: BTreeSet<String> = [name.clone()].into_iter().collect();
+        let design = tuner.tune(
+            &hv,
+            &BTreeSet::new(),
+            &catalog,
+            &[plan],
+            &s,
+            &HvCostModel::paper_default(),
+            &DwCostModel::paper_default(),
+            &TransferModel::paper_default(),
+        );
+        assert!(design.dw.is_empty(), "no transfer budget, nothing moves");
+        assert!(design.hv.contains(&name), "view stays in HV");
+    }
+
+    #[test]
+    fn empty_history_keeps_current_design() {
+        let tuner = MisoTuner::new(TunerConfig::paper_default(budgets(1)));
+        let hv: BTreeSet<String> = ["v_x".to_string()].into_iter().collect();
+        let dw: BTreeSet<String> = ["v_y".to_string()].into_iter().collect();
+        let design = tuner.tune(
+            &hv,
+            &dw,
+            &ViewCatalog::new(),
+            &[],
+            &stats(),
+            &HvCostModel::paper_default(),
+            &DwCostModel::paper_default(),
+            &TransferModel::paper_default(),
+        );
+        assert_eq!(design.hv, hv);
+        assert_eq!(design.dw, dw);
+    }
+
+    #[test]
+    fn dw_storage_budget_limits_design() {
+        // Two beneficial views but DW budget only fits one.
+        let (p1, v1) = plan_and_view(
+            "SELECT t.city AS c, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 1000 GROUP BY t.city",
+            ByteSize::from_kib(200),
+        );
+        let (p2, v2) = plan_and_view(
+            "SELECT f.city AS c, COUNT(*) AS n FROM foursquare f \
+             WHERE f.likes > 10 GROUP BY f.city",
+            ByteSize::from_kib(200),
+        );
+        let mut catalog = ViewCatalog::new();
+        let (n1, n2) = (v1.name.clone(), v2.name.clone());
+        catalog.register(v1);
+        catalog.register(v2);
+        let mut s = stats();
+        s.set_view(n1.clone(), 1_000.0, 200.0 * 1024.0);
+        s.set_view(n2.clone(), 1_000.0, 200.0 * 1024.0);
+
+        // DW budget: 256 KiB (one 200 KiB view, discretized at 64 KiB ->
+        // 4 units each... 200KiB = 4 units ceil; budget 4 units).
+        let b = Budgets::new(
+            ByteSize::from_gib(1),
+            ByteSize::from_kib(256),
+            ByteSize::from_gib(1),
+        )
+        .with_discretization(ByteSize::from_kib(64));
+        let tuner = MisoTuner::new(TunerConfig::paper_default(b));
+        let hv: BTreeSet<String> = [n1.clone(), n2.clone()].into_iter().collect();
+        let design = tuner.tune(
+            &hv,
+            &BTreeSet::new(),
+            &catalog,
+            &[p1, p2],
+            &s,
+            &HvCostModel::paper_default(),
+            &DwCostModel::paper_default(),
+            &TransferModel::paper_default(),
+        );
+        assert_eq!(design.dw.len(), 1, "storage fits exactly one view");
+        assert_eq!(design.hv.len(), 1, "the other stays in HV");
+        assert!(design.hv.is_disjoint(&design.dw));
+    }
+}

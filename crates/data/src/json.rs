@@ -1,0 +1,463 @@
+//! Minimal JSON parser and printer.
+//!
+//! Log records are stored as JSON text lines in the simulated HDFS, exactly
+//! as the paper describes ("logs are stored as flat HDFS files in HV in a
+//! text-based format such as JSON"). The HV scan operator plays the role of
+//! Hive's SerDe by parsing each line through [`parse_json`].
+//!
+//! This is a deliberately small, strict-enough recursive-descent parser:
+//! full string escapes, numbers (integers kept exact as `i64` when possible),
+//! nested arrays/objects, and precise error offsets. It is not a general
+//! serde backend — the sanctioned offline crate set includes `serde` but not
+//! `serde_json`, and the stores only need `Value` round-trips.
+
+use crate::value::Value;
+use miso_common::{MisoError, Result};
+
+/// Parses a complete JSON document into a [`Value`].
+///
+/// Trailing non-whitespace input is an error: each log line must be exactly
+/// one JSON value.
+pub fn parse_json(input: &str) -> Result<Value> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+/// Serializes a [`Value`] to compact JSON.
+///
+/// `Null`→`null`, strings are escaped, objects print in their canonical
+/// (sorted) key order. Non-finite floats serialize as `null`, matching the
+/// common lenient-writer behaviour.
+pub fn to_json(value: &Value) -> String {
+    let mut out = String::with_capacity(64);
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Ensure floats round-trip as floats (append .0 if integral).
+                let s = f.to_string();
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> MisoError {
+        MisoError::Parse(format!("JSON at byte {}: {}", self.pos, msg))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            Some(c) => Err(self.error(&format!("unexpected byte `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+        Ok(Value::object(fields))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => break,
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+        Ok(Value::Array(items))
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let cp = self.parse_hex4()?;
+                        // Handle surrogate pairs for completeness.
+                        if (0xD800..0xDC00).contains(&cp) {
+                            if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                return Err(self.error("unpaired high surrogate"));
+                            }
+                            let low = self.parse_hex4()?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err(self.error("invalid low surrogate"));
+                            }
+                            let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?,
+                            );
+                        } else if (0xDC00..0xE000).contains(&cp) {
+                            return Err(self.error("unexpected low surrogate"));
+                        } else {
+                            out.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?,
+                            );
+                        }
+                    }
+                    _ => return Err(self.error("invalid escape sequence")),
+                },
+                Some(b) if b < 0x20 => {
+                    return Err(self.error("unescaped control character in string"))
+                }
+                Some(b) => {
+                    // Reassemble multi-byte UTF-8: since input is &str, bytes
+                    // are valid UTF-8; collect the full codepoint.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = utf8_width(b);
+                        let end = start + width;
+                        if end > self.bytes.len() {
+                            return Err(self.error("truncated UTF-8"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.error("invalid UTF-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let d = self
+                .bump()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| self.error("expected 4 hex digits"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number slice is ASCII");
+        if text.is_empty() || text == "-" {
+            return Err(self.error("invalid number"));
+        }
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error("invalid float literal"))
+        } else {
+            // Keep integers exact when they fit; overflow falls back to f64.
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| self.error("invalid integer literal")),
+            }
+        }
+    }
+}
+
+fn utf8_width(first_byte: u8) -> usize {
+    match first_byte {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse_json("null").unwrap(), Value::Null);
+        assert_eq!(parse_json("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_json("false").unwrap(), Value::Bool(false));
+        assert_eq!(parse_json("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_json("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_json("3.25").unwrap(), Value::Float(3.25));
+        assert_eq!(parse_json("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(parse_json("\"hi\"").unwrap(), Value::str("hi"));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = parse_json(r#"{"user":{"id":7,"tags":["a","b"]},"ok":true}"#).unwrap();
+        assert_eq!(
+            v.get_field("user").unwrap().get_field("id"),
+            Some(&Value::Int(7))
+        );
+        assert_eq!(
+            v.get_field("user").unwrap().get_field("tags"),
+            Some(&Value::Array(vec![Value::str("a"), Value::str("b")]))
+        );
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        let v = parse_json("  { \"a\" : [ 1 , 2 ] }\n").unwrap();
+        assert_eq!(
+            v.get_field("a"),
+            Some(&Value::Array(vec![Value::Int(1), Value::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("{} x").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "\"unterminated", "tru", "01a", "-"] {
+            assert!(parse_json(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        let s = "line1\nline2\t\"quoted\" \\slash\\ unicode: ünïcødé 好";
+        let json = to_json(&Value::str(s));
+        assert_eq!(parse_json(&json).unwrap(), Value::str(s));
+    }
+
+    #[test]
+    fn surrogate_pairs() {
+        // U+1F600 GRINNING FACE as escaped surrogate pair
+        let v = parse_json(r#""😀""#).unwrap();
+        assert_eq!(v, Value::str("\u{1F600}"));
+        assert!(parse_json(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(parse_json(r#""\ude00""#).is_err(), "lone low surrogate");
+    }
+
+    #[test]
+    fn control_characters_must_be_escaped() {
+        assert!(parse_json("\"a\nb\"").is_err());
+        assert_eq!(parse_json(r#""a\nb""#).unwrap(), Value::str("a\nb"));
+    }
+
+    #[test]
+    fn huge_integers_degrade_to_float() {
+        let v = parse_json("99999999999999999999999").unwrap();
+        assert!(matches!(v, Value::Float(_)));
+    }
+
+    #[test]
+    fn roundtrip_structures() {
+        let original = Value::object(vec![
+            ("id".into(), Value::Int(123)),
+            ("score".into(), Value::Float(4.5)),
+            ("name".into(), Value::str("caffè")),
+            (
+                "tags".into(),
+                Value::Array(vec![Value::str("x"), Value::Null, Value::Bool(false)]),
+            ),
+            (
+                "nested".into(),
+                Value::object(vec![("k".into(), Value::Array(vec![]))]),
+            ),
+        ]);
+        let text = to_json(&original);
+        assert_eq!(parse_json(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn float_serialization_keeps_floatness() {
+        let v = Value::Float(2.0);
+        let text = to_json(&v);
+        assert_eq!(text, "2.0");
+        assert_eq!(parse_json(&text).unwrap(), Value::Float(2.0));
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(to_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(to_json(&Value::Float(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn error_reports_offset() {
+        let err = parse_json("{\"a\": @}").unwrap_err();
+        assert!(err.to_string().contains("byte 6"), "{err}");
+    }
+}

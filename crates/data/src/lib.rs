@@ -1,0 +1,26 @@
+//! Data layer for the MISO reproduction.
+//!
+//! The paper's primary data source is "large log files ... social media data
+//! drawn from sites such as Twitter, Foursquare, Instagram, Yelp", stored as
+//! JSON text in HDFS, plus a small static Landmarks data set. This crate
+//! provides:
+//!
+//! * [`value`] — the dynamically-typed [`value::Value`] runtime value, with a
+//!   total order and hashing suitable for join/group keys;
+//! * [`json`] — a minimal hand-written JSON parser/printer (the sanctioned
+//!   offline dependency set has `serde` but not `serde_json`);
+//! * [`schema`] — field/record schemas for structured intermediates;
+//! * [`logs`] — deterministic synthetic generators for the three data sets
+//!   with shared join keys (user ids across Twitter/Foursquare, venue ids
+//!   across Foursquare/Landmarks);
+//! * [`stats`] — lightweight column statistics feeding cardinality
+//!   estimation in `miso-plan`.
+
+pub mod json;
+pub mod logs;
+pub mod schema;
+pub mod stats;
+pub mod value;
+
+pub use schema::{DataType, Field, Schema};
+pub use value::{Row, Value};

@@ -1,0 +1,187 @@
+//! Column and relation statistics.
+//!
+//! The multistore optimizer needs cardinality and byte-size estimates to cost
+//! split points ("the primary challenge ... is determining the point in an
+//! execution plan at which the data size of a query's working set is small
+//! enough"). We keep the statistics machinery deliberately simple — row
+//! count, average row width, and per-column distinct-count/min/max gathered
+//! by full inspection at materialization time (our relations are small; a
+//! production system would sample or sketch).
+
+use crate::value::{Row, Value};
+use miso_common::ByteSize;
+use std::collections::HashSet;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct non-null values.
+    pub distinct: u64,
+    /// Number of NULLs.
+    pub nulls: u64,
+    /// Minimum non-null value, if any rows.
+    pub min: Option<Value>,
+    /// Maximum non-null value, if any rows.
+    pub max: Option<Value>,
+}
+
+impl ColumnStats {
+    fn empty() -> Self {
+        ColumnStats { distinct: 0, nulls: 0, min: None, max: None }
+    }
+}
+
+/// Statistics for a relation (a materialized view, table, or base log).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationStats {
+    /// Row count.
+    pub rows: u64,
+    /// Total approximate serialized size.
+    pub bytes: ByteSize,
+    /// Per-column statistics, positionally aligned with the schema.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl RelationStats {
+    /// Statistics of an empty relation with `arity` columns.
+    pub fn empty(arity: usize) -> Self {
+        RelationStats {
+            rows: 0,
+            bytes: ByteSize::ZERO,
+            columns: vec![ColumnStats::empty(); arity],
+        }
+    }
+
+    /// Computes exact statistics by scanning `rows`.
+    pub fn compute(rows: &[Row], arity: usize) -> Self {
+        let mut stats = RelationStats::empty(arity);
+        let mut distinct: Vec<HashSet<&Value>> = vec![HashSet::new(); arity];
+        for row in rows {
+            stats.rows += 1;
+            stats.bytes += ByteSize::from_bytes(row.approx_bytes());
+            for (i, v) in row.values().iter().enumerate().take(arity) {
+                let col = &mut stats.columns[i];
+                if v.is_null() {
+                    col.nulls += 1;
+                    continue;
+                }
+                distinct[i].insert(v);
+                match &col.min {
+                    None => col.min = Some(v.clone()),
+                    Some(m) if v < m => col.min = Some(v.clone()),
+                    _ => {}
+                }
+                match &col.max {
+                    None => col.max = Some(v.clone()),
+                    Some(m) if v > m => col.max = Some(v.clone()),
+                    _ => {}
+                }
+            }
+        }
+        for (i, set) in distinct.into_iter().enumerate() {
+            stats.columns[i].distinct = set.len() as u64;
+        }
+        stats
+    }
+
+    /// Average row width in bytes (0 for empty relations).
+    pub fn avg_row_bytes(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.bytes.as_bytes() as f64 / self.rows as f64
+        }
+    }
+
+    /// Selectivity estimate for an equality predicate on column `col`
+    /// (classic `1/NDV`); 1.0 when statistics are absent.
+    pub fn eq_selectivity(&self, col: usize) -> f64 {
+        match self.columns.get(col) {
+            Some(c) if c.distinct > 0 => 1.0 / c.distinct as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Selectivity estimate for a range predicate on a numeric column using
+    /// the uniform assumption over `[min, max]`; falls back to 1/3 (the
+    /// textbook default) when bounds are unusable.
+    pub fn range_selectivity(&self, col: usize, lo: Option<f64>, hi: Option<f64>) -> f64 {
+        const DEFAULT: f64 = 1.0 / 3.0;
+        let Some(c) = self.columns.get(col) else { return DEFAULT };
+        let (Some(min), Some(max)) = (
+            c.min.as_ref().and_then(Value::as_f64),
+            c.max.as_ref().and_then(Value::as_f64),
+        ) else {
+            return DEFAULT;
+        };
+        if max <= min {
+            return DEFAULT;
+        }
+        let lo = lo.unwrap_or(min).max(min);
+        let hi = hi.unwrap_or(max).min(max);
+        ((hi - lo) / (max - min)).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            Row::new(vec![Value::Int(1), Value::str("a")]),
+            Row::new(vec![Value::Int(2), Value::str("b")]),
+            Row::new(vec![Value::Int(2), Value::Null]),
+            Row::new(vec![Value::Int(5), Value::str("a")]),
+        ]
+    }
+
+    #[test]
+    fn compute_counts_and_bounds() {
+        let s = RelationStats::compute(&rows(), 2);
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.columns[0].distinct, 3);
+        assert_eq!(s.columns[0].nulls, 0);
+        assert_eq!(s.columns[0].min, Some(Value::Int(1)));
+        assert_eq!(s.columns[0].max, Some(Value::Int(5)));
+        assert_eq!(s.columns[1].distinct, 2);
+        assert_eq!(s.columns[1].nulls, 1);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let s = RelationStats::compute(&[], 3);
+        assert_eq!(s.rows, 0);
+        assert_eq!(s.avg_row_bytes(), 0.0);
+        assert_eq!(s.columns.len(), 3);
+        assert_eq!(s.columns[0].min, None);
+    }
+
+    #[test]
+    fn eq_selectivity_uses_ndv() {
+        let s = RelationStats::compute(&rows(), 2);
+        assert!((s.eq_selectivity(0) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(RelationStats::empty(1).eq_selectivity(0), 1.0);
+    }
+
+    #[test]
+    fn range_selectivity_uniform() {
+        let s = RelationStats::compute(&rows(), 2);
+        // column 0 spans [1, 5]; range [2, 4] covers half.
+        let sel = s.range_selectivity(0, Some(2.0), Some(4.0));
+        assert!((sel - 0.5).abs() < 1e-12);
+        // open-ended ranges clamp to bounds
+        assert!((s.range_selectivity(0, None, None) - 1.0).abs() < 1e-12);
+        // non-numeric column falls back
+        assert!((s.range_selectivity(1, Some(0.0), Some(1.0)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_accumulate() {
+        let r = rows();
+        let s = RelationStats::compute(&r, 2);
+        let expected: u64 = r.iter().map(Row::approx_bytes).sum();
+        assert_eq!(s.bytes.as_bytes(), expected);
+        assert!(s.avg_row_bytes() > 0.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The DW store: permanent/temporary table spaces and costed execution.
+
+use crate::cost::DwCostModel;
+use miso_common::ids::NodeId;
+use miso_common::{ByteSize, MisoError, Result, SimDuration};
+use miso_data::{Row, Schema};
+use miso_exec::engine::{execute_subset, DataSource, Execution};
+use miso_exec::UdfRegistry;
+use miso_plan::estimate::MapStats;
+use miso_plan::{LogicalPlan, Operator};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Which table space a relation lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableSpace {
+    /// Tuner-managed views: part of the physical design, survive queries.
+    Permanent,
+    /// Query-lifetime working sets: discarded when the query finishes.
+    Temporary,
+}
+
+#[derive(Debug, Clone)]
+struct StoredView {
+    schema: Schema,
+    rows: Arc<Vec<Row>>,
+    size: ByteSize,
+}
+
+/// The result of executing a (partial) plan in DW.
+#[derive(Debug)]
+pub struct DwRun {
+    /// Row-level results for every executed node.
+    pub execution: Execution,
+    /// Simulated execution cost (excludes load costs, which the execution
+    /// layer charges when it stages working sets).
+    pub cost: SimDuration,
+}
+
+/// The simulated parallel data warehouse.
+#[derive(Debug, Default)]
+pub struct DwStore {
+    permanent: HashMap<String, StoredView>,
+    temporary: HashMap<String, StoredView>,
+    /// Cost model (public so experiments can recalibrate).
+    pub cost_model: DwCostModel,
+}
+
+impl DwStore {
+    /// An empty store with the default cost model.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Loads rows into the given table space, returning `(size, load cost)`.
+    pub fn load_view(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: Arc<Vec<Row>>,
+        space: TableSpace,
+    ) -> (ByteSize, SimDuration) {
+        let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
+        let cost = self.cost_model.load_cost(size);
+        let stored = StoredView { schema, rows, size };
+        match space {
+            TableSpace::Permanent => self.permanent.insert(name.to_string(), stored),
+            TableSpace::Temporary => self.temporary.insert(name.to_string(), stored),
+        };
+        (size, cost)
+    }
+
+    /// Removes a permanent view, returning its contents for migration.
+    pub fn evict_view(&mut self, name: &str) -> Option<(Schema, Arc<Vec<Row>>, ByteSize)> {
+        self.permanent
+            .remove(name)
+            .map(|v| (v.schema, v.rows, v.size))
+    }
+
+    /// Drops all temporary tables (end of a multistore query).
+    pub fn clear_temp(&mut self) {
+        self.temporary.clear();
+    }
+
+    /// Whether a *permanent* view is present (the physical design).
+    pub fn has_view(&self, name: &str) -> bool {
+        self.permanent.contains_key(name)
+    }
+
+    /// A permanent view's size.
+    pub fn view_size(&self, name: &str) -> Option<ByteSize> {
+        self.permanent.get(name).map(|v| v.size)
+    }
+
+    /// A permanent view's rows.
+    pub fn view_rows_arc(&self, name: &str) -> Option<Arc<Vec<Row>>> {
+        self.permanent.get(name).map(|v| v.rows.clone())
+    }
+
+    /// A permanent view's schema.
+    pub fn view_schema(&self, name: &str) -> Option<&Schema> {
+        self.permanent.get(name).map(|v| &v.schema)
+    }
+
+    /// Total permanent view bytes (checked against `B_d` by the tuner).
+    pub fn total_view_bytes(&self) -> ByteSize {
+        self.permanent.values().map(|v| v.size).sum()
+    }
+
+    /// Permanent view names (sorted).
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.permanent.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registers permanent view sizes into an estimation stats source.
+    pub fn fill_stats(&self, stats: &mut MapStats) {
+        for (name, view) in &self.permanent {
+            stats.set_view(
+                name.clone(),
+                view.rows.len() as f64,
+                view.size.as_bytes() as f64,
+            );
+        }
+    }
+
+    /// Executes `subset` of `plan` in DW with pre-staged working sets.
+    ///
+    /// `provided` maps cut-node ids to their transferred rows (already loaded
+    /// into temp space by the execution layer; load cost is charged there).
+    pub fn execute(
+        &self,
+        plan: &LogicalPlan,
+        subset: Option<&HashSet<NodeId>>,
+        provided: HashMap<NodeId, Arc<Vec<Row>>>,
+        udfs: &UdfRegistry,
+    ) -> Result<DwRun> {
+        // DW cannot scan raw logs or run UDFs.
+        for node in plan.nodes() {
+            let in_subset = subset.is_none_or(|s| s.contains(&node.id));
+            if !in_subset || provided.contains_key(&node.id) {
+                continue;
+            }
+            match &node.op {
+                Operator::ScanLog { log } => {
+                    return Err(MisoError::Store(format!(
+                        "DW cannot scan raw log `{log}`"
+                    )));
+                }
+                Operator::Udf { name, .. } => {
+                    return Err(MisoError::Store(format!(
+                        "DW cannot execute UDF `{name}`"
+                    )));
+                }
+                Operator::ScanView { view, .. }
+                    if !self.permanent.contains_key(view)
+                        && !self.temporary.contains_key(view) =>
+                {
+                    return Err(MisoError::Store(format!("DW has no view `{view}`")));
+                }
+                _ => {}
+            }
+        }
+        // Bytes of provided working sets are read from temp space.
+        let mut bytes_in: ByteSize = provided
+            .values()
+            .map(|rows| ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum()))
+            .sum();
+        let provided_ids: HashSet<NodeId> = provided.keys().copied().collect();
+        let execution = execute_subset(plan, subset, provided, self, udfs)?;
+        let mut rows_processed = 0u64;
+        for node in plan.nodes() {
+            let in_subset = subset.is_none_or(|s| s.contains(&node.id));
+            if !in_subset || provided_ids.contains(&node.id) {
+                continue;
+            }
+            if let Operator::ScanView { view, .. } = &node.op {
+                let size = self
+                    .permanent
+                    .get(view)
+                    .or_else(|| self.temporary.get(view))
+                    .map(|v| v.size)
+                    .unwrap_or(ByteSize::ZERO);
+                bytes_in += size;
+            }
+            rows_processed += execution
+                .try_output(node.id)
+                .map(|r| r.len() as u64)
+                .unwrap_or(0);
+        }
+        let cost = self.cost_model.exec_cost(bytes_in, rows_processed);
+        Ok(DwRun { execution, cost })
+    }
+
+    /// What-if cost probe: estimated DW execution cost of a plan given
+    /// hypothetical resident view sizes (no execution). Mirrors the paper's
+    /// use of the DW's what-if optimizer interface.
+    pub fn what_if_cost(
+        &self,
+        plan: &LogicalPlan,
+        subset: Option<&HashSet<NodeId>>,
+        estimates: &HashMap<NodeId, miso_plan::estimate::SizeEstimate>,
+    ) -> SimDuration {
+        let mut bytes_in = 0.0f64;
+        let mut rows = 0.0f64;
+        for node in plan.nodes() {
+            let in_subset = subset.is_none_or(|s| s.contains(&node.id));
+            if !in_subset {
+                continue;
+            }
+            if let Some(est) = estimates.get(&node.id) {
+                if matches!(node.op, Operator::ScanView { .. }) {
+                    bytes_in += est.bytes;
+                }
+                rows += est.rows;
+            }
+        }
+        self.cost_model
+            .exec_cost(ByteSize::from_bytes(bytes_in as u64), rows as u64)
+    }
+
+    /// Load cost helper (used by the execution layer for working sets).
+    pub fn load_cost(&self, bytes: ByteSize) -> SimDuration {
+        self.cost_model.load_cost(bytes)
+    }
+}
+
+impl DataSource for DwStore {
+    fn log_lines(&self, log: &str) -> Result<&[String]> {
+        Err(MisoError::Store(format!(
+            "DW cannot scan raw log `{log}` (logs live in HV)"
+        )))
+    }
+
+    fn view_rows(&self, view: &str) -> Result<&[Row]> {
+        self.permanent
+            .get(view)
+            .or_else(|| self.temporary.get(view))
+            .map(|v| v.rows.as_slice())
+            .ok_or_else(|| MisoError::Store(format!("DW has no view `{view}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::{DataType, Field, Value};
+
+    fn rows(n: i64) -> Arc<Vec<Row>> {
+        Arc::new(
+            (0..n)
+                .map(|i| Row::new(vec![Value::Int(i), Value::Int(i % 7)]))
+                .collect(),
+        )
+    }
+
+    fn schema() -> Schema {
+        Schema::new(vec![Field::new("id", DataType::Int), Field::new("k", DataType::Int)])
+    }
+
+    #[test]
+    fn load_and_query_view() {
+        let mut dw = DwStore::new();
+        let (size, load_cost) = dw.load_view("v_a", schema(), rows(20_000), TableSpace::Permanent);
+        assert!(size.as_bytes() > 0);
+        assert!(load_cost > SimDuration::ZERO);
+        assert!(dw.has_view("v_a"));
+
+        let mut b = miso_plan::PlanBuilder::new();
+        let sv = b
+            .add(Operator::ScanView { view: "v_a".into(), schema: schema() }, vec![])
+            .unwrap();
+        let f = b
+            .add(
+                Operator::Filter {
+                    predicate: miso_plan::Expr::col(1).eq(miso_plan::Expr::lit(3i64)),
+                },
+                vec![sv],
+            )
+            .unwrap();
+        let plan = b.finish(f).unwrap();
+        let run = dw.execute(&plan, None, HashMap::new(), &UdfRegistry::new()).unwrap();
+        assert!(!run.execution.root_rows().unwrap().is_empty());
+        assert!(run.cost < load_cost, "resident queries are cheap; loads are not");
+    }
+
+    #[test]
+    fn temp_space_is_cleared() {
+        let mut dw = DwStore::new();
+        dw.load_view("ws", schema(), rows(10), TableSpace::Temporary);
+        assert!(!dw.has_view("ws"), "temp tables are not part of the design");
+        assert_eq!(dw.total_view_bytes(), ByteSize::ZERO);
+        assert!(dw.view_rows("ws").is_ok());
+        dw.clear_temp();
+        assert!(dw.view_rows("ws").is_err());
+    }
+
+    #[test]
+    fn rejects_raw_logs_and_udfs() {
+        let dw = DwStore::new();
+        let mut b = miso_plan::PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let plan = b.finish(scan).unwrap();
+        assert!(dw.execute(&plan, None, HashMap::new(), &UdfRegistry::new()).is_err());
+
+        let mut b2 = miso_plan::PlanBuilder::new();
+        let sv = b2
+            .add(Operator::ScanView { view: "v".into(), schema: schema() }, vec![])
+            .unwrap();
+        let u = b2
+            .add(Operator::Udf { name: "u".into(), output: schema() }, vec![sv])
+            .unwrap();
+        let plan2 = b2.finish(u).unwrap();
+        assert!(dw.execute(&plan2, None, HashMap::new(), &UdfRegistry::new()).is_err());
+    }
+
+    #[test]
+    fn provided_working_sets_execute_without_views() {
+        let dw = DwStore::new();
+        // Plan: scan log -> filter; we provide the scan output, DW runs the
+        // filter.
+        let mut b = miso_plan::PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let filt = b
+            .add(
+                Operator::Filter {
+                    predicate: miso_plan::Expr::col(0)
+                        .get("k")
+                        .cast(DataType::Int)
+                        .eq(miso_plan::Expr::lit(1i64)),
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let plan = b.finish(filt).unwrap();
+        let ws: Arc<Vec<Row>> = Arc::new(vec![
+            Row::new(vec![Value::object(vec![("k".into(), Value::Int(1))])]),
+            Row::new(vec![Value::object(vec![("k".into(), Value::Int(2))])]),
+        ]);
+        let provided: HashMap<NodeId, Arc<Vec<Row>>> =
+            [(NodeId(0), ws)].into_iter().collect();
+        let subset: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
+        let run = dw
+            .execute(&plan, Some(&subset), provided, &UdfRegistry::new())
+            .unwrap();
+        assert_eq!(run.execution.root_rows().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn eviction_returns_contents() {
+        let mut dw = DwStore::new();
+        dw.load_view("v_b", schema(), rows(5), TableSpace::Permanent);
+        let (s, r, size) = dw.evict_view("v_b").unwrap();
+        assert_eq!(s, schema());
+        assert_eq!(r.len(), 5);
+        assert!(size.as_bytes() > 0);
+        assert!(!dw.has_view("v_b"));
+        assert!(dw.evict_view("v_b").is_none());
+    }
+
+    #[test]
+    fn what_if_uses_estimates_not_contents() {
+        let dw = DwStore::new();
+        let mut b = miso_plan::PlanBuilder::new();
+        let sv = b
+            .add(
+                Operator::ScanView { view: "v_hyp".into(), schema: schema() },
+                vec![],
+            )
+            .unwrap();
+        let plan = b.finish(sv).unwrap();
+        let mut est = HashMap::new();
+        est.insert(
+            NodeId(0),
+            miso_plan::estimate::SizeEstimate { rows: 1000.0, bytes: 64_000.0 },
+        );
+        let small = dw.what_if_cost(&plan, None, &est);
+        est.insert(
+            NodeId(0),
+            miso_plan::estimate::SizeEstimate { rows: 1e6, bytes: 64e6 },
+        );
+        let big = dw.what_if_cost(&plan, None, &est);
+        assert!(big > small);
+    }
+}

@@ -1,0 +1,733 @@
+//! The operator interpreter.
+//!
+//! Executes a [`LogicalPlan`] bottom-up over a [`DataSource`], materializing
+//! every node's output as an in-memory row vector. Full materialization is a
+//! modeling choice, not laziness: Hadoop materializes stage boundaries for
+//! fault tolerance, and those materializations are precisely the
+//! opportunistic views MISO tunes with. The HV store decides *which* node
+//! outputs to retain; the engine makes them all observable.
+//!
+//! [`execute_subset`] supports split execution: the HV side runs the nodes
+//! below the cut, the working sets cross the wire, and the DW side resumes
+//! with those outputs injected as `provided` inputs.
+
+use crate::eval::{eval, eval_predicate};
+use crate::udf::UdfRegistry;
+use miso_common::ids::NodeId;
+use miso_common::{ByteSize, MisoError, Result};
+use miso_data::json::parse_json;
+use miso_data::{Row, Value};
+use miso_plan::{AggFunc, LogicalPlan, Operator};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Supplies leaf data: raw log lines and materialized view rows.
+pub trait DataSource {
+    /// The JSON lines of base log `log`.
+    fn log_lines(&self, log: &str) -> Result<&[String]>;
+    /// The rows of materialized view `view`.
+    fn view_rows(&self, view: &str) -> Result<&[Row]>;
+}
+
+/// An in-memory [`DataSource`].
+#[derive(Debug, Clone, Default)]
+pub struct MemSource {
+    logs: HashMap<String, Vec<String>>,
+    views: HashMap<String, Vec<Row>>,
+}
+
+impl MemSource {
+    /// An empty source.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a base log's lines.
+    pub fn add_log(&mut self, name: impl Into<String>, lines: Vec<String>) {
+        self.logs.insert(name.into(), lines);
+    }
+
+    /// Registers a view's rows.
+    pub fn add_view(&mut self, name: impl Into<String>, rows: Vec<Row>) {
+        self.views.insert(name.into(), rows);
+    }
+}
+
+impl DataSource for MemSource {
+    fn log_lines(&self, log: &str) -> Result<&[String]> {
+        self.logs
+            .get(log)
+            .map(Vec::as_slice)
+            .ok_or_else(|| MisoError::Store(format!("unknown log `{log}`")))
+    }
+
+    fn view_rows(&self, view: &str) -> Result<&[Row]> {
+        self.views
+            .get(view)
+            .map(Vec::as_slice)
+            .ok_or_else(|| MisoError::Store(format!("unknown view `{view}`")))
+    }
+}
+
+/// The result of executing (part of) a plan.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    outputs: HashMap<NodeId, Arc<Vec<Row>>>,
+    /// Malformed log lines skipped by scans (Hive-style lenience).
+    pub skipped_lines: u64,
+    root: NodeId,
+}
+
+impl Execution {
+    /// The output of node `id`; panics if that node was not executed.
+    pub fn output(&self, id: NodeId) -> &Arc<Vec<Row>> {
+        &self.outputs[&id]
+    }
+
+    /// The output of node `id`, if executed.
+    pub fn try_output(&self, id: NodeId) -> Option<&Arc<Vec<Row>>> {
+        self.outputs.get(&id)
+    }
+
+    /// The root output rows; errors if the root was outside the executed
+    /// subset (e.g. an HV-side partial execution).
+    pub fn root_rows(&self) -> Result<&[Row]> {
+        self.outputs
+            .get(&self.root)
+            .map(|r| r.as_slice())
+            .ok_or_else(|| {
+                MisoError::Execution("root was not part of the executed subset".into())
+            })
+    }
+
+    /// Approximate serialized size of node `id`'s output.
+    pub fn output_bytes(&self, id: NodeId) -> ByteSize {
+        ByteSize::from_bytes(
+            self.outputs
+                .get(&id)
+                .map(|rows| rows.iter().map(Row::approx_bytes).sum())
+                .unwrap_or(0),
+        )
+    }
+
+    /// Ids of all executed (or provided) nodes.
+    pub fn executed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.outputs.keys().copied()
+    }
+}
+
+/// Executes the whole plan.
+pub fn execute(plan: &LogicalPlan, source: &dyn DataSource, udfs: &UdfRegistry) -> Result<Execution> {
+    execute_subset(plan, None, HashMap::new(), source, udfs)
+}
+
+/// Executes a subset of the plan's nodes.
+///
+/// * `subset` — nodes to execute (`None` = all). Each executed node's inputs
+///   must be in the subset or in `provided`.
+/// * `provided` — pre-computed node outputs (working sets shipped from the
+///   other store during split execution).
+pub fn execute_subset(
+    plan: &LogicalPlan,
+    subset: Option<&HashSet<NodeId>>,
+    provided: HashMap<NodeId, Arc<Vec<Row>>>,
+    source: &dyn DataSource,
+    udfs: &UdfRegistry,
+) -> Result<Execution> {
+    let mut outputs: HashMap<NodeId, Arc<Vec<Row>>> = provided;
+    let mut skipped_lines = 0u64;
+    for node in plan.nodes() {
+        if outputs.contains_key(&node.id) {
+            continue; // provided
+        }
+        if let Some(set) = subset {
+            if !set.contains(&node.id) {
+                continue;
+            }
+        }
+        let get_input = |idx: usize| -> Result<&Arc<Vec<Row>>> {
+            outputs.get(&node.inputs[idx]).ok_or_else(|| {
+                MisoError::Execution(format!(
+                    "node {} input {} neither executed nor provided",
+                    node.id, node.inputs[idx]
+                ))
+            })
+        };
+        let rows: Vec<Row> = match &node.op {
+            Operator::ScanLog { log } => {
+                let mut rows = Vec::new();
+                for line in source.log_lines(log)? {
+                    match parse_json(line) {
+                        Ok(v) => rows.push(Row::new(vec![v])),
+                        Err(_) => skipped_lines += 1,
+                    }
+                }
+                rows
+            }
+            Operator::ScanView { view, .. } => source.view_rows(view)?.to_vec(),
+            Operator::Filter { predicate } => {
+                let input = get_input(0)?;
+                let mut rows = Vec::new();
+                for row in input.iter() {
+                    if eval_predicate(predicate, row)? {
+                        rows.push(row.clone());
+                    }
+                }
+                rows
+            }
+            Operator::Project { exprs } => {
+                let input = get_input(0)?;
+                let mut rows = Vec::with_capacity(input.len());
+                for row in input.iter() {
+                    let values: Vec<Value> = exprs
+                        .iter()
+                        .map(|(_, e)| eval(e, row))
+                        .collect::<Result<_>>()?;
+                    rows.push(Row::new(values));
+                }
+                rows
+            }
+            Operator::Join { on } => {
+                let left = get_input(0)?.clone();
+                let right = get_input(1)?;
+                hash_join(&left, right, on)
+            }
+            Operator::Aggregate { group_by, aggs } => {
+                let input = get_input(0)?;
+                aggregate(input, group_by, aggs)?
+            }
+            Operator::Udf { name, .. } => {
+                let udf = udfs.require(name)?;
+                let input = get_input(0)?;
+                let mut rows = Vec::new();
+                for row in input.iter() {
+                    rows.extend(udf.apply(row)?);
+                }
+                rows
+            }
+            Operator::Sort { keys } => {
+                let input = get_input(0)?;
+                let mut rows = input.as_ref().clone();
+                rows.sort_by(|a, b| {
+                    for &(col, desc) in keys {
+                        let ord = a.get(col).cmp(b.get(col));
+                        let ord = if desc { ord.reverse() } else { ord };
+                        if !ord.is_eq() {
+                            return ord;
+                        }
+                    }
+                    std::cmp::Ordering::Equal
+                });
+                rows
+            }
+            Operator::Limit { n } => {
+                let input = get_input(0)?;
+                input.iter().take(*n as usize).cloned().collect()
+            }
+        };
+        outputs.insert(node.id, Arc::new(rows));
+    }
+    Ok(Execution { outputs, skipped_lines, root: plan.root() })
+}
+
+/// Inner hash equijoin; NULL keys never match (SQL semantics).
+fn hash_join(left: &[Row], right: &[Row], on: &[(usize, usize)]) -> Vec<Row> {
+    // Build on the right side.
+    let mut table: HashMap<Vec<&Value>, Vec<&Row>> = HashMap::new();
+    'right: for row in right {
+        let mut key = Vec::with_capacity(on.len());
+        for &(_, r) in on {
+            let v = row.get(r);
+            if v.is_null() {
+                continue 'right;
+            }
+            key.push(v);
+        }
+        table.entry(key).or_default().push(row);
+    }
+    let mut out = Vec::new();
+    'left: for row in left {
+        let mut key = Vec::with_capacity(on.len());
+        for &(l, _) in on {
+            let v = row.get(l);
+            if v.is_null() {
+                continue 'left;
+            }
+            key.push(v);
+        }
+        if let Some(matches) = table.get(&key) {
+            for m in matches {
+                out.push(row.concat(m));
+            }
+        }
+    }
+    out
+}
+
+/// Streaming accumulator per aggregate function.
+enum Acc {
+    Count(i64),
+    CountDistinct(HashSet<Value>),
+    SumInt(i64, bool),
+    SumFloat(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, n: i64 },
+}
+
+impl Acc {
+    fn new(func: AggFunc, float_sum: bool) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::CountDistinct => Acc::CountDistinct(HashSet::new()),
+            AggFunc::Sum if float_sum => Acc::SumFloat(0.0, false),
+            AggFunc::Sum => Acc::SumInt(0, false),
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::Count(n) => {
+                // COUNT(*) gets None (count all); COUNT(expr) skips NULLs.
+                match v {
+                    None => *n += 1,
+                    Some(val) if !val.is_null() => *n += 1,
+                    _ => {}
+                }
+            }
+            Acc::CountDistinct(set) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        set.insert(val.clone());
+                    }
+                }
+            }
+            Acc::SumInt(acc, seen) => {
+                if let Some(val) = v {
+                    if let Some(i) = val.as_i64() {
+                        *acc += i;
+                        *seen = true;
+                    } else if let Some(f) = val.as_f64() {
+                        // Mixed input: fall back via float path; keep integer
+                        // accumulation best-effort.
+                        *acc += f as i64;
+                        *seen = true;
+                    }
+                }
+            }
+            Acc::SumFloat(acc, seen) => {
+                if let Some(f) = v.and_then(|val| val.as_f64()) {
+                    *acc += f;
+                    *seen = true;
+                }
+            }
+            Acc::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val < c) {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val > c) {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(f) = v.and_then(|val| val.as_f64()) {
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n),
+            Acc::CountDistinct(set) => Value::Int(set.len() as i64),
+            Acc::SumInt(acc, seen) => {
+                if seen {
+                    Value::Int(acc)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumFloat(acc, seen) => {
+                if seen {
+                    Value::Float(acc)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+        }
+    }
+}
+
+fn aggregate(
+    input: &[Row],
+    group_by: &[usize],
+    aggs: &[miso_plan::AggExpr],
+) -> Result<Vec<Row>> {
+    // Decide int-vs-float SUM from the first non-null input per aggregate.
+    let float_sum: Vec<bool> = aggs
+        .iter()
+        .map(|agg| {
+            if agg.func != AggFunc::Sum {
+                return false;
+            }
+            let Some(e) = &agg.input else { return false };
+            for row in input {
+                if let Ok(v) = eval(e, row) {
+                    match v {
+                        Value::Float(_) => return true,
+                        Value::Int(_) => return false,
+                        _ => continue,
+                    }
+                }
+            }
+            false
+        })
+        .collect();
+
+    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
+    // Deterministic output: remember first-seen order of groups.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    for row in input {
+        let key: Vec<Value> = group_by.iter().map(|&g| row.get(g).clone()).collect();
+        let accs = match groups.get_mut(&key) {
+            Some(a) => a,
+            None => {
+                order.push(key.clone());
+                groups.entry(key.clone()).or_insert_with(|| {
+                    aggs.iter()
+                        .zip(&float_sum)
+                        .map(|(a, &fs)| Acc::new(a.func, fs))
+                        .collect()
+                })
+            }
+        };
+        for (acc, agg) in accs.iter_mut().zip(aggs) {
+            match &agg.input {
+                Some(e) => {
+                    let v = eval(e, row)?;
+                    acc.update(Some(&v));
+                }
+                None => acc.update(None),
+            }
+        }
+    }
+    // Global aggregate over empty input still yields one row.
+    if group_by.is_empty() && groups.is_empty() {
+        let accs: Vec<Acc> = aggs
+            .iter()
+            .zip(&float_sum)
+            .map(|(a, &fs)| Acc::new(a.func, fs))
+            .collect();
+        let values: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
+        return Ok(vec![Row::new(values)]);
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let accs = groups.remove(&key).expect("group exists");
+        let mut values = key;
+        values.extend(accs.into_iter().map(Acc::finish));
+        out.push(Row::new(values));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::{DataType, Field, Schema};
+    use miso_plan::{AggExpr, Expr, PlanBuilder};
+
+    fn source() -> MemSource {
+        let mut src = MemSource::new();
+        src.add_log(
+            "events",
+            vec![
+                r#"{"uid": 1, "city": "sf", "score": 10}"#.to_string(),
+                r#"{"uid": 2, "city": "ny", "score": 20}"#.to_string(),
+                r#"{"uid": 1, "city": "sf", "score": 30}"#.to_string(),
+                "not json at all".to_string(),
+                r#"{"uid": 3, "city": "sf"}"#.to_string(),
+            ],
+        );
+        src
+    }
+
+    fn extract_plan() -> LogicalPlan {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![
+                        ("uid".into(), Expr::col(0).get("uid").cast(DataType::Int)),
+                        ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
+                        ("score".into(), Expr::col(0).get("score").cast(DataType::Int)),
+                    ],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        b.finish(proj).unwrap()
+    }
+
+    #[test]
+    fn scan_skips_malformed_lines() {
+        let exec = execute(&extract_plan(), &source(), &UdfRegistry::new()).unwrap();
+        assert_eq!(exec.skipped_lines, 1);
+        assert_eq!(exec.root_rows().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn missing_fields_become_null() {
+        let exec = execute(&extract_plan(), &source(), &UdfRegistry::new()).unwrap();
+        let last = &exec.root_rows().unwrap()[3];
+        assert_eq!(last.get(0), &Value::Int(3));
+        assert_eq!(last.get(2), &Value::Null);
+    }
+
+    #[test]
+    fn filter_and_aggregate() {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![
+                        ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
+                        ("score".into(), Expr::col(0).get("score").cast(DataType::Int)),
+                    ],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let filt = b
+            .add(
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit("sf")),
+                },
+                vec![proj],
+            )
+            .unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![0],
+                    aggs: vec![
+                        AggExpr::new(AggFunc::Count, None, "n"),
+                        AggExpr::new(AggFunc::Sum, Some(Expr::col(1)), "total"),
+                        AggExpr::new(AggFunc::Avg, Some(Expr::col(1)), "avg"),
+                        AggExpr::new(AggFunc::Min, Some(Expr::col(1)), "lo"),
+                        AggExpr::new(AggFunc::Max, Some(Expr::col(1)), "hi"),
+                    ],
+                },
+                vec![filt],
+            )
+            .unwrap();
+        let plan = b.finish(agg).unwrap();
+        let exec = execute(&plan, &source(), &UdfRegistry::new()).unwrap();
+        let rows = exec.root_rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.get(0), &Value::str("sf"));
+        assert_eq!(row.get(1), &Value::Int(3), "COUNT(*) counts null-score row");
+        assert_eq!(row.get(2), &Value::Int(40), "SUM skips NULL");
+        assert_eq!(row.get(3), &Value::Float(20.0), "AVG over non-null only");
+        assert_eq!(row.get(4), &Value::Int(10));
+        assert_eq!(row.get(5), &Value::Int(30));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("uid").cast(DataType::Int),
+                    )],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![AggExpr::new(
+                        AggFunc::CountDistinct,
+                        Some(Expr::col(0)),
+                        "users",
+                    )],
+                },
+                vec![proj],
+            )
+            .unwrap();
+        let plan = b.finish(agg).unwrap();
+        let exec = execute(&plan, &source(), &UdfRegistry::new()).unwrap();
+        assert_eq!(exec.root_rows().unwrap()[0].get(0), &Value::Int(3));
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input_yields_one_row() {
+        let mut src = MemSource::new();
+        src.add_log("empty", vec![]);
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "empty".into() }, vec![]).unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![
+                        AggExpr::new(AggFunc::Count, None, "n"),
+                        AggExpr::new(AggFunc::Sum, Some(Expr::col(0)), "s"),
+                    ],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let plan = b.finish(agg).unwrap();
+        let exec = execute(&plan, &src, &UdfRegistry::new()).unwrap();
+        let rows = exec.root_rows().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), &Value::Int(0));
+        assert_eq!(rows[0].get(1), &Value::Null);
+    }
+
+    #[test]
+    fn hash_join_matches_and_skips_nulls() {
+        let left = vec![
+            Row::new(vec![Value::Int(1), Value::str("a")]),
+            Row::new(vec![Value::Int(2), Value::str("b")]),
+            Row::new(vec![Value::Null, Value::str("n")]),
+        ];
+        let right = vec![
+            Row::new(vec![Value::Int(1), Value::str("x")]),
+            Row::new(vec![Value::Int(1), Value::str("y")]),
+            Row::new(vec![Value::Null, Value::str("z")]),
+        ];
+        let out = hash_join(&left, &right, &[(0, 0)]);
+        assert_eq!(out.len(), 2, "uid 1 matches twice; NULLs never join");
+        assert!(out.iter().all(|r| r.get(0) == &Value::Int(1)));
+        assert_eq!(out[0].arity(), 4);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![
+                        ("uid".into(), Expr::col(0).get("uid").cast(DataType::Int)),
+                        ("score".into(), Expr::col(0).get("score").cast(DataType::Int)),
+                    ],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let sort = b
+            .add(Operator::Sort { keys: vec![(1, true)] }, vec![proj])
+            .unwrap();
+        let limit = b.add(Operator::Limit { n: 2 }, vec![sort]).unwrap();
+        let plan = b.finish(limit).unwrap();
+        let exec = execute(&plan, &source(), &UdfRegistry::new()).unwrap();
+        let rows = exec.root_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get(1), &Value::Int(30));
+        assert_eq!(rows[1].get(1), &Value::Int(20));
+    }
+
+    #[test]
+    fn udf_execution() {
+        use std::sync::Arc as StdArc;
+        let mut reg = UdfRegistry::new();
+        reg.register(crate::udf::Udf::new(
+            "uid_only_positive",
+            Schema::new(vec![Field::new("uid", DataType::Int)]),
+            StdArc::new(|row: &Row| {
+                match row.get(0).get_field("uid").and_then(Value::as_i64) {
+                    Some(uid) if uid > 1 => Ok(vec![Row::new(vec![Value::Int(uid)])]),
+                    _ => Ok(vec![]),
+                }
+            }),
+        ));
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let udf = b
+            .add(
+                Operator::Udf {
+                    name: "uid_only_positive".into(),
+                    output: Schema::new(vec![Field::new("uid", DataType::Int)]),
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let plan = b.finish(udf).unwrap();
+        let exec = execute(&plan, &source(), &UdfRegistry::new().clone()).unwrap_err();
+        assert!(exec.to_string().contains("unknown UDF"));
+        let exec = execute(&plan, &source(), &reg).unwrap();
+        assert_eq!(exec.root_rows().unwrap().len(), 2); // uids 2 and 3
+    }
+
+    #[test]
+    fn split_execution_equals_full_execution() {
+        let plan = extract_plan();
+        let src = source();
+        let udfs = UdfRegistry::new();
+        let full = execute(&plan, &src, &udfs).unwrap();
+        // HV side: scan only.
+        let hv_set: HashSet<NodeId> = [NodeId(0)].into_iter().collect();
+        let hv = execute_subset(&plan, Some(&hv_set), HashMap::new(), &src, &udfs).unwrap();
+        // DW side: project, with scan's output provided.
+        let provided: HashMap<NodeId, Arc<Vec<Row>>> =
+            [(NodeId(0), hv.output(NodeId(0)).clone())].into_iter().collect();
+        let dw_set: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
+        let dw = execute_subset(&plan, Some(&dw_set), provided, &src, &udfs).unwrap();
+        assert_eq!(dw.root_rows().unwrap(), full.root_rows().unwrap());
+    }
+
+    #[test]
+    fn missing_provided_input_is_an_error() {
+        let plan = extract_plan();
+        let dw_set: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
+        let err = execute_subset(
+            &plan,
+            Some(&dw_set),
+            HashMap::new(),
+            &source(),
+            &UdfRegistry::new(),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("neither executed nor provided"));
+    }
+
+    #[test]
+    fn output_bytes_reflect_content() {
+        let exec = execute(&extract_plan(), &source(), &UdfRegistry::new()).unwrap();
+        assert!(exec.output_bytes(NodeId(1)).as_bytes() > 0);
+        assert!(exec.output_bytes(NodeId(0)) > exec.output_bytes(NodeId(1)));
+        assert_eq!(exec.output_bytes(NodeId(42)), ByteSize::ZERO);
+    }
+}

@@ -1,0 +1,22 @@
+//! Physical row-based execution.
+//!
+//! Both simulated stores execute logical plans with the same operator
+//! implementations — what differs between HV and DW is *how plans are staged
+//! and costed*, not what the operators compute. Keeping execution shared
+//! makes result-correctness testable store-independently: an HV execution, a
+//! DW execution, and a view-rewritten execution of the same query must agree.
+//!
+//! * [`eval`] — scalar expression evaluation (Hive-style lenient casts,
+//!   NULL-tolerant operators, scalar builtins);
+//! * [`udf`] — the user-defined-function registry (UDFs are the operators
+//!   that pin plan subtrees to HV);
+//! * [`engine`] — the operator interpreter: executes a plan DAG over a
+//!   [`engine::DataSource`], materializing every node's output (the
+//!   materialization behaviour that yields opportunistic views).
+
+pub mod engine;
+pub mod eval;
+pub mod udf;
+
+pub use engine::{DataSource, Execution, MemSource};
+pub use udf::{Udf, UdfRegistry};

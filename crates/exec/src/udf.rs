@@ -1,0 +1,159 @@
+//! User-defined functions.
+//!
+//! The paper's queries "contain relational operators as well as UDFs",
+//! arbitrary user code that only HV can execute — which is exactly why UDF
+//! nodes pin plan subtrees to HV during split selection. Here a UDF is a
+//! registered Rust closure mapping one input row to zero-or-more output rows
+//! (covering filters, transformers, and small flat-map extractors), plus its
+//! declared output schema.
+
+use miso_common::{MisoError, Result};
+use miso_data::{Row, Schema};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The UDF implementation signature: row in, zero-or-more rows out.
+pub type UdfFn = Arc<dyn Fn(&Row) -> Result<Vec<Row>> + Send + Sync>;
+
+/// A registered UDF.
+#[derive(Clone)]
+pub struct Udf {
+    /// Registered name (plans reference UDFs by this name).
+    pub name: String,
+    /// Declared output schema.
+    pub output: Schema,
+    func: UdfFn,
+}
+
+impl Udf {
+    /// Registers a new UDF definition.
+    pub fn new(name: impl Into<String>, output: Schema, func: UdfFn) -> Self {
+        Udf { name: name.into(), output, func }
+    }
+
+    /// Applies the UDF to one row.
+    pub fn apply(&self, row: &Row) -> Result<Vec<Row>> {
+        let out = (self.func)(row)?;
+        for r in &out {
+            if r.arity() != self.output.arity() {
+                return Err(MisoError::Execution(format!(
+                    "UDF `{}` produced a row of arity {} but declared {}",
+                    self.name,
+                    r.arity(),
+                    self.output.arity()
+                )));
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl fmt::Debug for Udf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Udf")
+            .field("name", &self.name)
+            .field("output", &self.output)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Name → UDF lookup shared by the engine and the language front-end.
+#[derive(Debug, Clone, Default)]
+pub struct UdfRegistry {
+    udfs: HashMap<String, Udf>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a UDF; replaces any previous definition of the same name.
+    pub fn register(&mut self, udf: Udf) {
+        self.udfs.insert(udf.name.clone(), udf);
+    }
+
+    /// Looks up a UDF by name.
+    pub fn get(&self, name: &str) -> Option<&Udf> {
+        self.udfs.get(name)
+    }
+
+    /// Looks up a UDF, erroring with execution context when missing.
+    pub fn require(&self, name: &str) -> Result<&Udf> {
+        self.get(name)
+            .ok_or_else(|| MisoError::Execution(format!("unknown UDF `{name}`")))
+    }
+
+    /// Registered names (sorted, for diagnostics).
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.udfs.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::{DataType, Field, Value};
+
+    fn doubling_udf() -> Udf {
+        Udf::new(
+            "double",
+            Schema::new(vec![Field::new("x2", DataType::Int)]),
+            Arc::new(|row| {
+                let v = row.get(0).as_i64().unwrap_or(0);
+                Ok(vec![Row::new(vec![Value::Int(v * 2)])])
+            }),
+        )
+    }
+
+    #[test]
+    fn apply_transforms_rows() {
+        let udf = doubling_udf();
+        let out = udf.apply(&Row::new(vec![Value::Int(21)])).unwrap();
+        assert_eq!(out, vec![Row::new(vec![Value::Int(42)])]);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let bad = Udf::new(
+            "bad",
+            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]),
+            Arc::new(|_| Ok(vec![Row::new(vec![Value::Int(1)])])),
+        );
+        assert!(bad.apply(&Row::new(vec![])).is_err());
+    }
+
+    #[test]
+    fn udf_can_filter_and_fan_out() {
+        let fanout = Udf::new(
+            "fanout",
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+            Arc::new(|row| {
+                let v = row.get(0).as_i64().unwrap_or(0);
+                if v < 0 {
+                    Ok(vec![]) // filter
+                } else {
+                    Ok((0..v).map(|i| Row::new(vec![Value::Int(i)])).collect())
+                }
+            }),
+        );
+        assert!(fanout.apply(&Row::new(vec![Value::Int(-1)])).unwrap().is_empty());
+        assert_eq!(fanout.apply(&Row::new(vec![Value::Int(3)])).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn registry_register_and_require() {
+        let mut reg = UdfRegistry::new();
+        assert!(reg.require("double").is_err());
+        reg.register(doubling_udf());
+        assert!(reg.require("double").is_ok());
+        assert_eq!(reg.names(), vec!["double"]);
+        // re-registration replaces
+        reg.register(doubling_udf());
+        assert_eq!(reg.names().len(), 1);
+    }
+}

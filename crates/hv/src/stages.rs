@@ -1,0 +1,255 @@
+//! MapReduce stage compilation.
+//!
+//! Hive turns a logical plan into a DAG of MR jobs: map-side operators
+//! (scan, SerDe projection, filter, limit) fuse into the job of their
+//! downstream blocking operator; joins, aggregates, and sorts force a
+//! shuffle and end a job; UDF transformers run as their own streaming job.
+//! Every job's output lands in HDFS — these are the opportunistic view
+//! candidates.
+//!
+//! A [`Stage`] here is one such job: the set of fused plan nodes, its
+//! *output node* (whose rows get written), and its external inputs (base
+//! logs, views, or upstream stage outputs).
+
+use miso_common::ids::NodeId;
+use miso_plan::{LogicalPlan, Operator};
+use std::collections::{HashMap, HashSet};
+
+/// One MapReduce-style job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stage {
+    /// Nodes fused into this job, in plan (topological) order.
+    pub nodes: Vec<NodeId>,
+    /// The node whose output this job materializes.
+    pub output: NodeId,
+    /// External inputs: upstream stage outputs this job reads (base-log and
+    /// view scans are *inside* `nodes` and read storage directly).
+    pub upstream: Vec<NodeId>,
+}
+
+/// Whether `op` forces a stage boundary (its output is materialized).
+pub fn is_boundary(op: &Operator) -> bool {
+    matches!(
+        op,
+        Operator::Join { .. }
+            | Operator::Aggregate { .. }
+            | Operator::Sort { .. }
+            | Operator::Udf { .. }
+    )
+}
+
+/// Compiles the sub-plan consisting of `subset` (default: all nodes) into
+/// stages, in execution (topological) order.
+///
+/// The subset must be input-closed *within the plan* except where nodes'
+/// outputs are provided externally — callers executing a DW-side remainder
+/// pass only their nodes and list the working-set boundary via
+/// `external_inputs`.
+pub fn compile_stages(
+    plan: &LogicalPlan,
+    subset: Option<&HashSet<NodeId>>,
+    external_inputs: &HashSet<NodeId>,
+) -> Vec<Stage> {
+    let in_subset = |id: NodeId| subset.is_none_or(|s| s.contains(&id));
+
+    // A node's output is materialized if it is a boundary op, or it is the
+    // last node of the executed subset feeding nothing inside the subset
+    // (the sub-plan's result), or it feeds a node outside the subset (a cut).
+    let mut consumers: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+    for node in plan.nodes() {
+        for input in &node.inputs {
+            consumers.entry(*input).or_default().push(node.id);
+        }
+    }
+    let mut boundary: HashSet<NodeId> = HashSet::new();
+    for node in plan.nodes() {
+        if !in_subset(node.id) || external_inputs.contains(&node.id) {
+            continue;
+        }
+        let cons = consumers.get(&node.id);
+        let feeds_inside = cons
+            .map(|c| c.iter().any(|x| in_subset(*x)))
+            .unwrap_or(false);
+        let feeds_outside = cons
+            .map(|c| c.iter().any(|x| !in_subset(*x)))
+            .unwrap_or(false);
+        if is_boundary(&node.op) || !feeds_inside || feeds_outside {
+            boundary.insert(node.id);
+        }
+    }
+
+    // Build one stage per boundary node: walk up through inputs, stopping at
+    // other boundary nodes and external inputs (both are this stage's
+    // upstream reads).
+    let mut stages = Vec::new();
+    let mut ordered_boundaries: Vec<NodeId> = plan
+        .nodes()
+        .iter()
+        .map(|n| n.id)
+        .filter(|id| boundary.contains(id))
+        .collect();
+    ordered_boundaries.sort_by_key(|id| id.raw());
+    for &b in &ordered_boundaries {
+        let mut nodes = Vec::new();
+        let mut upstream = Vec::new();
+        let mut stack = vec![b];
+        let mut seen = HashSet::new();
+        while let Some(id) = stack.pop() {
+            if !seen.insert(id) {
+                continue;
+            }
+            if id != b && (boundary.contains(&id) || external_inputs.contains(&id)) {
+                upstream.push(id);
+                continue;
+            }
+            if external_inputs.contains(&id) {
+                upstream.push(id);
+                continue;
+            }
+            nodes.push(id);
+            stack.extend(plan.node(id).inputs.iter().copied());
+        }
+        nodes.sort_by_key(|id| id.raw());
+        upstream.sort_by_key(|id| id.raw());
+        upstream.dedup();
+        stages.push(Stage { nodes, output: b, upstream });
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::DataType;
+    use miso_plan::{AggExpr, AggFunc, Expr, PlanBuilder};
+
+    fn proj(field: &str) -> Operator {
+        Operator::Project {
+            exprs: vec![(
+                field.to_string(),
+                Expr::col(0).get(field).cast(DataType::Int),
+            )],
+        }
+    }
+
+    /// scan → project → filter → aggregate → limit
+    fn linear() -> LogicalPlan {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let p = b.add(proj("user_id"), vec![scan]).unwrap();
+        let f = b
+            .add(Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) }, vec![p])
+            .unwrap();
+        let a = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![0],
+                    aggs: vec![AggExpr::new(AggFunc::Count, None, "n")],
+                },
+                vec![f],
+            )
+            .unwrap();
+        let l = b.add(Operator::Limit { n: 10 }, vec![a]).unwrap();
+        b.finish(l).unwrap()
+    }
+
+    #[test]
+    fn map_side_chain_fuses_into_aggregate_job() {
+        let p = linear();
+        let stages = compile_stages(&p, None, &HashSet::new());
+        // Stage 1: scan+proj+filter+agg (agg is boundary); stage 2: limit
+        // (plan result).
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].output, NodeId(3));
+        assert_eq!(stages[0].nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(stages[0].upstream.is_empty());
+        assert_eq!(stages[1].output, NodeId(4));
+        assert_eq!(stages[1].nodes, vec![NodeId(4)]);
+        assert_eq!(stages[1].upstream, vec![NodeId(3)]);
+    }
+
+    #[test]
+    fn join_plan_three_jobs() {
+        let mut b = PlanBuilder::new();
+        let s1 = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let p1 = b.add(proj("user_id"), vec![s1]).unwrap();
+        let s2 = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let p2 = b.add(proj("user_id"), vec![s2]).unwrap();
+        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2]).unwrap();
+        let a = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![AggExpr::new(AggFunc::Count, None, "n")],
+                },
+                vec![j],
+            )
+            .unwrap();
+        let plan = b.finish(a).unwrap();
+        let stages = compile_stages(&plan, None, &HashSet::new());
+        // join job (both scan chains fuse as map inputs), then agg job.
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].output, NodeId(4));
+        assert_eq!(stages[0].nodes.len(), 5);
+        assert_eq!(stages[1].upstream, vec![NodeId(4)]);
+    }
+
+    #[test]
+    fn udf_is_its_own_job() {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let u = b
+            .add(
+                Operator::Udf {
+                    name: "u".into(),
+                    output: miso_data::Schema::new(vec![miso_data::Field::new(
+                        "x",
+                        DataType::Int,
+                    )]),
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let f = b
+            .add(Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) }, vec![u])
+            .unwrap();
+        let plan = b.finish(f).unwrap();
+        let stages = compile_stages(&plan, None, &HashSet::new());
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].output, NodeId(1), "UDF job");
+        assert_eq!(stages[1].output, NodeId(2), "result job");
+    }
+
+    #[test]
+    fn subset_compilation_marks_cut_as_output() {
+        let p = linear();
+        // HV side: scan+project+filter (cut feeds the DW-side aggregate).
+        let subset: HashSet<NodeId> =
+            [NodeId(0), NodeId(1), NodeId(2)].into_iter().collect();
+        let stages = compile_stages(&p, Some(&subset), &HashSet::new());
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].output, NodeId(2), "cut node output materialized");
+    }
+
+    #[test]
+    fn external_inputs_become_upstream() {
+        let p = linear();
+        // DW-style remainder: aggregate+limit with filter output provided.
+        let subset: HashSet<NodeId> = [NodeId(3), NodeId(4)].into_iter().collect();
+        let external: HashSet<NodeId> = [NodeId(2)].into_iter().collect();
+        let stages = compile_stages(&p, Some(&subset), &external);
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].upstream, vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn single_scan_project_is_one_job() {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let pr = b.add(proj("x"), vec![scan]).unwrap();
+        let plan = b.finish(pr).unwrap();
+        let stages = compile_stages(&plan, None, &HashSet::new());
+        assert_eq!(stages.len(), 1);
+        assert_eq!(stages[0].nodes, vec![NodeId(0), NodeId(1)]);
+    }
+}

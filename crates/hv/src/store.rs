@@ -1,0 +1,404 @@
+//! The HV store: HDFS-like log storage, view storage, staged execution.
+
+use crate::cost::HvCostModel;
+use crate::stages::{compile_stages, Stage};
+use miso_common::ids::NodeId;
+use miso_common::{ByteSize, MisoError, Result, SimDuration};
+use miso_data::logs::LogFile;
+use miso_data::{Row, Schema};
+use miso_exec::engine::{execute_subset, DataSource, Execution};
+use miso_exec::UdfRegistry;
+use miso_plan::estimate::MapStats;
+use miso_plan::{LogicalPlan, Operator};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A view's contents as stored in HV.
+#[derive(Debug, Clone)]
+struct StoredView {
+    schema: Schema,
+    rows: Arc<Vec<Row>>,
+    size: ByteSize,
+}
+
+/// One stage output captured during execution — an opportunistic view
+/// candidate.
+#[derive(Debug, Clone)]
+pub struct MaterializedOutput {
+    /// The plan node whose output this is.
+    pub node: NodeId,
+    /// The materialized rows.
+    pub rows: Arc<Vec<Row>>,
+    /// The rows' schema.
+    pub schema: Schema,
+    /// Serialized size.
+    pub size: ByteSize,
+}
+
+/// The result of executing (part of) a plan in HV.
+#[derive(Debug)]
+pub struct HvRun {
+    /// Row-level results for every executed node.
+    pub execution: Execution,
+    /// Total simulated cost (sum of stage costs).
+    pub cost: SimDuration,
+    /// Per-stage costs, in execution order.
+    pub stage_costs: Vec<SimDuration>,
+    /// Stage outputs (opportunistic view candidates), in execution order.
+    pub materialized: Vec<MaterializedOutput>,
+}
+
+/// The simulated Hive/Hadoop store.
+#[derive(Debug, Default)]
+pub struct HvStore {
+    logs: HashMap<String, LogFile>,
+    views: HashMap<String, StoredView>,
+    /// Cost model (public so experiments can recalibrate).
+    pub cost_model: HvCostModel,
+}
+
+impl HvStore {
+    /// An empty store with the default cost model.
+    pub fn new() -> Self {
+        HvStore { logs: HashMap::new(), views: HashMap::new(), cost_model: HvCostModel::default() }
+    }
+
+    /// Registers a base log.
+    pub fn add_log(&mut self, log: LogFile) {
+        self.logs.insert(log.kind.table_name().to_string(), log);
+    }
+
+    /// Appends lines to a base log (HDFS-style append-only growth),
+    /// returning the appended byte count.
+    pub fn append_log(&mut self, name: &str, lines: Vec<String>) -> Result<ByteSize> {
+        let log = self
+            .logs
+            .get_mut(name)
+            .ok_or_else(|| MisoError::Store(format!("HV has no log `{name}`")))?;
+        let added: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
+        log.lines.extend(lines);
+        log.size += ByteSize::from_bytes(added);
+        Ok(ByteSize::from_bytes(added))
+    }
+
+    /// The on-disk size of a base log.
+    pub fn log_size(&self, name: &str) -> Option<ByteSize> {
+        self.logs.get(name).map(|l| l.size)
+    }
+
+    /// Total size of all base logs.
+    pub fn total_log_bytes(&self) -> ByteSize {
+        self.logs.values().map(|l| l.size).sum()
+    }
+
+    /// Installs (or replaces) a materialized view.
+    pub fn install_view(&mut self, name: &str, schema: Schema, rows: Arc<Vec<Row>>) -> ByteSize {
+        let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
+        self.views.insert(name.to_string(), StoredView { schema, rows, size });
+        size
+    }
+
+    /// Removes a view, returning its size if it existed.
+    pub fn remove_view(&mut self, name: &str) -> Option<ByteSize> {
+        self.views.remove(name).map(|v| v.size)
+    }
+
+    /// Whether a view is present.
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    /// A view's stored size.
+    pub fn view_size(&self, name: &str) -> Option<ByteSize> {
+        self.views.get(name).map(|v| v.size)
+    }
+
+    /// A view's stored rows (for migrating it to the other store).
+    pub fn view_rows(&self, name: &str) -> Option<Arc<Vec<Row>>> {
+        self.views.get(name).map(|v| v.rows.clone())
+    }
+
+    /// A view's schema.
+    pub fn view_schema(&self, name: &str) -> Option<&Schema> {
+        self.views.get(name).map(|v| &v.schema)
+    }
+
+    /// A view's rows as a slice (store-level error when absent).
+    pub fn view_rows_slice(&self, name: &str) -> Result<&[Row]> {
+        self.views
+            .get(name)
+            .map(|v| v.rows.as_slice())
+            .ok_or_else(|| MisoError::Store(format!("HV has no view `{name}`")))
+    }
+
+    /// Total bytes of stored views.
+    pub fn total_view_bytes(&self) -> ByteSize {
+        self.views.values().map(|v| v.size).sum()
+    }
+
+    /// Names of stored views (sorted).
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Registers true log/view sizes into an estimation stats source.
+    pub fn fill_stats(&self, stats: &mut MapStats) {
+        for (name, log) in &self.logs {
+            stats.set_log(name.clone(), log.len() as f64, log.size.as_bytes() as f64);
+        }
+        for (name, view) in &self.views {
+            stats.set_view(
+                name.clone(),
+                view.rows.len() as f64,
+                view.size.as_bytes() as f64,
+            );
+        }
+    }
+
+    /// Executes `subset` of `plan` (all nodes when `None`), charging staged
+    /// MapReduce costs and capturing each stage output as an opportunistic
+    /// view candidate.
+    pub fn execute(
+        &self,
+        plan: &LogicalPlan,
+        subset: Option<&HashSet<NodeId>>,
+        udfs: &UdfRegistry,
+    ) -> Result<HvRun> {
+        // Validate scans up-front for a clean store-level error.
+        for node in plan.nodes() {
+            let in_subset = subset.is_none_or(|s| s.contains(&node.id));
+            if !in_subset {
+                continue;
+            }
+            match &node.op {
+                Operator::ScanLog { log } if !self.logs.contains_key(log) => {
+                    return Err(MisoError::Store(format!("HV has no log `{log}`")));
+                }
+                Operator::ScanView { view, .. } if !self.views.contains_key(view) => {
+                    return Err(MisoError::Store(format!("HV has no view `{view}`")));
+                }
+                _ => {}
+            }
+        }
+        let stages = compile_stages(plan, subset, &HashSet::new());
+        let execution = execute_subset(plan, subset, HashMap::new(), self, udfs)?;
+        let mut cost = SimDuration::ZERO;
+        let mut stage_costs = Vec::with_capacity(stages.len());
+        let mut materialized = Vec::with_capacity(stages.len());
+        let mut stage_outputs: HashSet<NodeId> = HashSet::new();
+        for stage in &stages {
+            let c = self.charge_stage(plan, stage, &execution);
+            stage_costs.push(c);
+            cost += c;
+            let node = plan.node(stage.output);
+            stage_outputs.insert(stage.output);
+            materialized.push(MaterializedOutput {
+                node: stage.output,
+                rows: execution.output(stage.output).clone(),
+                schema: node.schema.clone(),
+                size: execution.output_bytes(stage.output),
+            });
+        }
+        // Map-phase by-products: a Filter's output is the map output spilled
+        // for the shuffle of its consuming job — Hadoop materializes these
+        // too, and [15] harvests them alongside job outputs.
+        for node in plan.nodes() {
+            let in_subset = subset.is_none_or(|s| s.contains(&node.id));
+            if !in_subset
+                || stage_outputs.contains(&node.id)
+                || !matches!(node.op, Operator::Filter { .. })
+            {
+                continue;
+            }
+            if let Some(rows) = execution.try_output(node.id) {
+                materialized.push(MaterializedOutput {
+                    node: node.id,
+                    rows: rows.clone(),
+                    schema: node.schema.clone(),
+                    size: execution.output_bytes(node.id),
+                });
+            }
+        }
+        Ok(HvRun { execution, cost, stage_costs, materialized })
+    }
+
+    /// Stage cost: leaf reads (log file bytes / view bytes) + upstream stage
+    /// output reads + per-row processing + materialized output write.
+    fn charge_stage(&self, plan: &LogicalPlan, stage: &Stage, exec: &Execution) -> SimDuration {
+        let mut bytes_in = ByteSize::ZERO;
+        let mut rows_processed = 0u64;
+        for &id in &stage.nodes {
+            match &plan.node(id).op {
+                Operator::ScanLog { log } => {
+                    bytes_in += self.logs[log].size;
+                }
+                Operator::ScanView { view, .. } => {
+                    bytes_in += self.views[view].size;
+                }
+                _ => {}
+            }
+            rows_processed += exec
+                .try_output(id)
+                .map(|rows| rows.len() as u64)
+                .unwrap_or(0);
+        }
+        for &up in &stage.upstream {
+            bytes_in += exec.output_bytes(up);
+        }
+        let bytes_out = exec.output_bytes(stage.output);
+        self.cost_model.stage_cost(bytes_in, bytes_out, rows_processed)
+    }
+
+    /// Cost of dumping a working set for transfer to DW.
+    pub fn dump_cost(&self, bytes: ByteSize) -> SimDuration {
+        self.cost_model.dump_cost(bytes)
+    }
+}
+
+impl DataSource for HvStore {
+    fn log_lines(&self, log: &str) -> Result<&[String]> {
+        self.logs
+            .get(log)
+            .map(|l| l.lines.as_slice())
+            .ok_or_else(|| MisoError::Store(format!("HV has no log `{log}`")))
+    }
+
+    fn view_rows(&self, view: &str) -> Result<&[Row]> {
+        self.views
+            .get(view)
+            .map(|v| v.rows.as_slice())
+            .ok_or_else(|| MisoError::Store(format!("HV has no view `{view}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::logs::{Corpus, LogsConfig};
+    use miso_lang::{compile, Catalog};
+
+    fn store() -> HvStore {
+        let corpus = Corpus::generate(&LogsConfig::tiny());
+        let mut s = HvStore::new();
+        s.add_log(corpus.twitter);
+        s.add_log(corpus.foursquare);
+        s.add_log(corpus.landmarks);
+        s
+    }
+
+    fn plan(sql: &str) -> LogicalPlan {
+        compile(sql, &Catalog::standard()).unwrap()
+    }
+
+    #[test]
+    fn execute_simple_aggregate() {
+        let s = store();
+        let p = plan("SELECT t.city AS city, COUNT(*) AS n FROM twitter t GROUP BY t.city");
+        let run = s.execute(&p, None, &UdfRegistry::new()).unwrap();
+        let rows = run.execution.root_rows().unwrap();
+        assert!(!rows.is_empty());
+        assert!(run.cost > SimDuration::ZERO);
+        // agg job + final projection job
+        assert_eq!(run.stage_costs.len(), run.materialized.len());
+        assert!(!run.materialized.is_empty());
+    }
+
+    #[test]
+    fn missing_log_is_store_error() {
+        let s = HvStore::new();
+        let p = plan("SELECT t.city FROM twitter t");
+        let err = s.execute(&p, None, &UdfRegistry::new()).unwrap_err();
+        assert!(matches!(err, MisoError::Store(_)));
+    }
+
+    #[test]
+    fn view_roundtrip_and_budget_accounting() {
+        let mut s = store();
+        let rows = Arc::new(vec![Row::new(vec![miso_data::Value::Int(1)])]);
+        let schema = Schema::new(vec![miso_data::Field::new("x", miso_data::DataType::Int)]);
+        let size = s.install_view("v_test", schema, rows);
+        assert!(size.as_bytes() > 0);
+        assert!(s.has_view("v_test"));
+        assert_eq!(s.view_size("v_test"), Some(size));
+        assert_eq!(s.total_view_bytes(), size);
+        assert_eq!(s.remove_view("v_test"), Some(size));
+        assert!(!s.has_view("v_test"));
+        assert_eq!(s.total_view_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn scan_from_installed_view() {
+        let mut s = store();
+        // Materialize a sub-result, install it, and scan it back.
+        let p = plan("SELECT t.city AS city, COUNT(*) AS n FROM twitter t GROUP BY t.city");
+        let run = s.execute(&p, None, &UdfRegistry::new()).unwrap();
+        let m = &run.materialized[0];
+        s.install_view("v_agg", m.schema.clone(), m.rows.clone());
+
+        let mut b = miso_plan::PlanBuilder::new();
+        let sv = b
+            .add(
+                Operator::ScanView { view: "v_agg".into(), schema: m.schema.clone() },
+                vec![],
+            )
+            .unwrap();
+        let p2 = b.finish(sv).unwrap();
+        let run2 = s.execute(&p2, None, &UdfRegistry::new()).unwrap();
+        assert_eq!(
+            run2.execution.root_rows().unwrap().len(),
+            m.rows.len()
+        );
+        // Scanning a small view is far cheaper than scanning the base log.
+        assert!(run2.cost < run.cost);
+    }
+
+    #[test]
+    fn costs_scale_with_log_size() {
+        let s = store();
+        let small = plan("SELECT l.city FROM landmarks l");
+        let big = plan("SELECT t.city FROM twitter t");
+        let c_small = s.execute(&small, None, &UdfRegistry::new()).unwrap().cost;
+        let c_big = s.execute(&big, None, &UdfRegistry::new()).unwrap().cost;
+        assert!(c_big > c_small);
+    }
+
+    #[test]
+    fn fill_stats_registers_logs_and_views() {
+        let mut s = store();
+        let rows = Arc::new(vec![Row::new(vec![miso_data::Value::Int(1)])]);
+        let schema = Schema::new(vec![miso_data::Field::new("x", miso_data::DataType::Int)]);
+        s.install_view("v_x", schema, rows);
+        let mut stats = MapStats::new();
+        s.fill_stats(&mut stats);
+        use miso_plan::estimate::StatsSource;
+        assert!(stats.log_stats("twitter").unwrap().rows > 0.0);
+        assert_eq!(stats.view_stats("v_x").unwrap().rows, 1.0);
+    }
+
+    #[test]
+    fn partial_execution_materializes_cut() {
+        let s = store();
+        let p = plan(
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 100 GROUP BY t.city",
+        );
+        // Execute only the scan+extract+filter prefix (find it structurally:
+        // everything below the pre-agg projection).
+        let agg_node = p
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Operator::Aggregate { .. }))
+            .unwrap()
+            .id;
+        let mut subset: HashSet<NodeId> = p.descendants(agg_node);
+        subset.remove(&agg_node);
+        // remove the pre-agg projection too, keeping scan/extract/filter
+        let pre_agg = p.node(agg_node).inputs[0];
+        subset.remove(&pre_agg);
+        let run = s.execute(&p, Some(&subset), &UdfRegistry::new()).unwrap();
+        assert_eq!(run.materialized.len(), 1, "cut output is materialized");
+        assert!(run.execution.try_output(agg_node).is_none());
+    }
+}

@@ -1,0 +1,288 @@
+//! Abstract syntax for the HiveQL subset.
+
+use miso_data::DataType;
+
+/// A `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Select-list items.
+    pub select: Vec<SelectItem>,
+    /// FROM clause: first table plus zero or more joins.
+    pub from: FromClause,
+    /// WHERE predicate.
+    pub where_clause: Option<SqlExpr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<SqlExpr>,
+    /// HAVING predicate.
+    pub having: Option<SqlExpr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderKey>,
+    /// LIMIT row cap.
+    pub limit: Option<u64>,
+}
+
+/// One select-list item: expression plus optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: SqlExpr,
+    /// `AS alias`, if given.
+    pub alias: Option<String>,
+}
+
+/// FROM clause: a left-deep join chain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    /// The leftmost table.
+    pub first: TableRef,
+    /// `JOIN <table> ON <cond>` items, applied left to right.
+    pub joins: Vec<JoinItem>,
+}
+
+/// One join step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinItem {
+    /// The joined table.
+    pub table: TableRef,
+    /// The ON condition.
+    pub on: SqlExpr,
+}
+
+/// A table reference in FROM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named base log: `twitter t`.
+    Base {
+        /// Log name.
+        name: String,
+        /// Alias (defaults to the log name).
+        alias: String,
+    },
+    /// A derived table: `(SELECT ...) alias`.
+    Derived {
+        /// The subquery.
+        query: Box<Query>,
+        /// Alias (required).
+        alias: String,
+    },
+    /// Table-valued UDF application: `APPLY(udf, <table_ref>) alias`.
+    Apply {
+        /// UDF name.
+        udf: String,
+        /// Input table.
+        input: Box<TableRef>,
+        /// Alias (required).
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The alias this reference binds.
+    pub fn alias(&self) -> &str {
+        match self {
+            TableRef::Base { alias, .. }
+            | TableRef::Derived { alias, .. }
+            | TableRef::Apply { alias, .. } => alias,
+        }
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// Key expression (an output-column reference in practice).
+    pub expr: SqlExpr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Surface-syntax expressions (pre name-resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// `alias.field` or bare `name` (resolved during lowering).
+    Column {
+        /// Qualifier, if written.
+        qualifier: Option<String>,
+        /// Column/field name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// NULL literal.
+    Null,
+    /// Binary operation (surface operator names from the lexer).
+    Binary {
+        /// Operator.
+        op: SqlBinOp,
+        /// Left operand.
+        left: Box<SqlExpr>,
+        /// Right operand.
+        right: Box<SqlExpr>,
+    },
+    /// `NOT expr`.
+    Not(Box<SqlExpr>),
+    /// `-expr`.
+    Neg(Box<SqlExpr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// Negated (`IS NOT NULL`)?
+        negated: bool,
+    },
+    /// `CAST(expr AS type)`.
+    Cast {
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// Target type.
+        ty: DataType,
+    },
+    /// Function call: scalar builtin or aggregate.
+    Call {
+        /// Function name (lower-cased).
+        name: String,
+        /// `DISTINCT` flag (only meaningful for COUNT).
+        distinct: bool,
+        /// `f(*)` star-argument (COUNT(*)).
+        star: bool,
+        /// Arguments.
+        args: Vec<SqlExpr>,
+    },
+}
+
+/// Surface binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SqlBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Like,
+}
+
+impl SqlExpr {
+    /// Shorthand column reference.
+    pub fn col(qualifier: Option<&str>, name: &str) -> SqlExpr {
+        SqlExpr::Column {
+            qualifier: qualifier.map(str::to_string),
+            name: name.to_string(),
+        }
+    }
+
+    /// Whether this expression (transitively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            SqlExpr::Call { name, .. } if is_aggregate_name(name) => true,
+            SqlExpr::Call { args, .. } => args.iter().any(SqlExpr::contains_aggregate),
+            SqlExpr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            SqlExpr::Not(e) | SqlExpr::Neg(e) => e.contains_aggregate(),
+            SqlExpr::IsNull { expr, .. } | SqlExpr::Cast { expr, .. } => {
+                expr.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+
+    /// The set of qualifiers referenced by this expression.
+    pub fn qualifiers(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let SqlExpr::Column { qualifier: Some(q), .. } = e {
+                out.push(q.as_str());
+            }
+        });
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit<'a>(&'a self, f: &mut impl FnMut(&'a SqlExpr)) {
+        f(self);
+        match self {
+            SqlExpr::Binary { left, right, .. } => {
+                left.visit(f);
+                right.visit(f);
+            }
+            SqlExpr::Not(e) | SqlExpr::Neg(e) => e.visit(f),
+            SqlExpr::IsNull { expr, .. } | SqlExpr::Cast { expr, .. } => expr.visit(f),
+            SqlExpr::Call { args, .. } => {
+                for a in args {
+                    a.visit(f);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Whether a function name denotes an aggregate.
+pub fn is_aggregate_name(name: &str) -> bool {
+    matches!(name, "count" | "sum" | "min" | "max" | "avg")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_structure() {
+        let agg = SqlExpr::Call {
+            name: "count".into(),
+            distinct: false,
+            star: true,
+            args: vec![],
+        };
+        let wrapped = SqlExpr::Binary {
+            op: SqlBinOp::Gt,
+            left: Box::new(agg),
+            right: Box::new(SqlExpr::Int(5)),
+        };
+        assert!(wrapped.contains_aggregate());
+        assert!(!SqlExpr::col(Some("t"), "x").contains_aggregate());
+        let scalar_call = SqlExpr::Call {
+            name: "lower".into(),
+            distinct: false,
+            star: false,
+            args: vec![SqlExpr::col(None, "x")],
+        };
+        assert!(!scalar_call.contains_aggregate());
+    }
+
+    #[test]
+    fn qualifiers_dedup() {
+        let e = SqlExpr::Binary {
+            op: SqlBinOp::And,
+            left: Box::new(SqlExpr::col(Some("t"), "a")),
+            right: Box::new(SqlExpr::Binary {
+                op: SqlBinOp::Eq,
+                left: Box::new(SqlExpr::col(Some("t"), "b")),
+                right: Box::new(SqlExpr::col(Some("f"), "c")),
+            }),
+        };
+        assert_eq!(e.qualifiers(), vec!["f", "t"]);
+    }
+
+    #[test]
+    fn table_ref_alias() {
+        let base = TableRef::Base { name: "twitter".into(), alias: "t".into() };
+        assert_eq!(base.alias(), "t");
+    }
+}

@@ -1,0 +1,126 @@
+//! EXPLAIN for multistore plans.
+//!
+//! Renders a [`PlannedQuery`] as an annotated tree: which store executes
+//! each operator, where the plan splits, what crosses the wire, and the
+//! estimated cost breakdown — the multistore analogue of `EXPLAIN`.
+
+use crate::optimize::PlannedQuery;
+use miso_common::ids::NodeId;
+use std::fmt::Write;
+
+/// Renders `planned` as a human-readable explanation.
+pub fn explain(planned: &PlannedQuery) -> String {
+    let plan = &planned.plan;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "multistore plan: est. total {} (HV {}, transfer {}, DW {})",
+        planned.est.total(),
+        planned.est.hv,
+        planned.est.transfer,
+        planned.est.dw
+    );
+    if planned.used_views.is_empty() {
+        let _ = writeln!(out, "views: none");
+    } else {
+        let _ = writeln!(out, "views: {}", planned.used_views.join(", "));
+    }
+    let cuts = planned.split.cut_nodes(plan);
+    if planned.split.is_hv_only(plan) {
+        let _ = writeln!(out, "placement: entirely in HV");
+    } else if planned.split.is_dw_only() {
+        let _ = writeln!(out, "placement: entirely in DW");
+    } else {
+        let _ = writeln!(
+            out,
+            "placement: split — {} operator(s) in HV, {} in DW; {} working set(s) cross",
+            planned.split.hv_nodes().len(),
+            plan.len() - planned.split.hv_nodes().len(),
+            cuts.len()
+        );
+    }
+    render_node(planned, plan.root(), 0, &cuts, &mut out);
+    out
+}
+
+fn render_node(
+    planned: &PlannedQuery,
+    id: NodeId,
+    depth: usize,
+    cuts: &[NodeId],
+    out: &mut String,
+) {
+    let node = planned.plan.node(id);
+    let store = if planned.split.in_hv(id) { "HV" } else { "DW" };
+    let cut_mark = if cuts.contains(&id) { "  <== working set ships to DW" } else { "" };
+    let _ = writeln!(
+        out,
+        "  [{store}] {}{}{}",
+        "  ".repeat(depth),
+        node.op.label(),
+        cut_mark
+    );
+    for &input in &node.inputs {
+        render_node(planned, input, depth + 1, cuts, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::TransferModel;
+    use crate::optimize::{optimize, Design, OptimizerEnv};
+    use miso_dw::DwCostModel;
+    use miso_hv::HvCostModel;
+    use miso_lang::{compile, Catalog};
+    use miso_plan::estimate::MapStats;
+
+    fn planned(sql: &str) -> PlannedQuery {
+        let plan = compile(sql, &Catalog::standard()).unwrap();
+        let mut stats = MapStats::new();
+        stats.set_log("twitter", 40_000.0, 40_000.0 * 280.0);
+        stats.set_log("foursquare", 24_000.0, 24_000.0 * 160.0);
+        let hv = HvCostModel::paper_default();
+        let dw = DwCostModel::paper_default();
+        let tm = TransferModel::paper_default();
+        let env = OptimizerEnv {
+            stats: &stats,
+            hv: &hv,
+            dw: &dw,
+            transfer: &tm,
+            catalog: None,
+        };
+        optimize(&plan, &Design::new(), &env).unwrap()
+    }
+
+    #[test]
+    fn explain_renders_stores_and_costs() {
+        let p = planned(
+            "SELECT t.city AS c, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 500 GROUP BY t.city",
+        );
+        let text = explain(&p);
+        assert!(text.contains("multistore plan: est. total"));
+        assert!(text.contains("[HV]"), "{text}");
+        assert!(text.contains("ScanLog(twitter)"));
+        assert!(text.contains("views: none"));
+    }
+
+    #[test]
+    fn explain_marks_cut_working_sets_on_split_plans() {
+        let p = planned(
+            "SELECT t.city AS c, COUNT(*) AS n, COUNT(DISTINCT t.user_id) AS u \
+             FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
+             WHERE t.followers > 500 AND f.likes > 3 \
+             GROUP BY t.city ORDER BY n DESC LIMIT 5",
+        );
+        let text = explain(&p);
+        if !p.split.is_hv_only(&p.plan) {
+            assert!(text.contains("working set"), "{text}");
+            assert!(text.contains("[DW]"), "{text}");
+        }
+        // Every plan node appears exactly once.
+        let lines = text.lines().filter(|l| l.contains("[HV]") || l.contains("[DW]"));
+        assert_eq!(lines.count(), p.plan.len());
+    }
+}

@@ -1,0 +1,30 @@
+//! The multistore query optimizer.
+//!
+//! Given a freshly lowered query plan and the current (or hypothetical)
+//! placement of views across HV and DW, choose:
+//!
+//! 1. **a rewrite** — which materialized views to consume (\[15\]'s rewriting
+//!    algorithm, via `miso_views::rewrite`), and
+//! 2. **a split point** — the cut at which the working set migrates from HV
+//!    to DW (paper §3.1: "the multistore query optimizer chooses the split
+//!    points based on the logical execution plan and then delegates the
+//!    resulting sub-plans to the store-specific optimizers").
+//!
+//! Costing uses a common simulated-time unit across the three components —
+//! HV execution, transfer (dump + network + load), DW execution — which is
+//! the unit-normalization the paper performs empirically ("some unit
+//! normalization is required for each specific store"). Estimates come from
+//! `miso_plan::estimate`; true sizes of base logs and existing views are
+//! injected through the stats source.
+//!
+//! The optimizer also exposes the **what-if mode** the MISO tuner probes:
+//! [`what_if_cost`] costs a query under a hypothetical design without
+//! executing anything.
+
+pub mod cost;
+pub mod explain;
+pub mod optimize;
+
+pub use cost::{CostBreakdown, TransferModel};
+pub use explain::explain;
+pub use optimize::{optimize, what_if_cost, Design, PlannedQuery};

@@ -1,0 +1,28 @@
+//! Logical query plans for the MISO reproduction.
+//!
+//! Queries arrive as HiveQL text (`miso-lang`), are lowered to the logical
+//! plan DAGs defined here, and are then executed by the store engines
+//! (`miso-exec` drives the operators) or rewritten over materialized views
+//! (`miso-views`). This crate also owns the plan-level analyses the
+//! multistore machinery is built on:
+//!
+//! * [`fingerprint`] — canonical semantic fingerprints of sub-plans, the
+//!   identity under which opportunistic views are deduplicated and matched;
+//! * [`split`] — enumeration of the *split points* ("cuts in the plan graph
+//!   whereby data and computation is migrated from one store to the other",
+//!   paper §3.1);
+//! * [`estimate`] — cardinality/byte estimates feeding the multistore cost
+//!   model.
+
+pub mod estimate;
+pub mod expr;
+pub mod fingerprint;
+pub mod op;
+pub mod plan;
+pub mod split;
+
+pub use expr::{AggExpr, AggFunc, BinOp, Expr, UnaryOp};
+pub use fingerprint::Fingerprint;
+pub use op::Operator;
+pub use plan::{LogicalPlan, PlanBuilder, PlanNode};
+pub use split::Split;

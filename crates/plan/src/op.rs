@@ -1,0 +1,241 @@
+//! Logical operators.
+//!
+//! The operator set mirrors what the paper's HiveQL workload needs:
+//! relational operators (scan/filter/project/equijoin/aggregate/sort/limit)
+//! plus opaque **UDFs**, which are pinned to HV ("a UDF that can only be
+//! executed in HV" constrains split points). [`Operator::ScanView`] scans a
+//! materialized view — it appears only after rewriting, never in freshly
+//! lowered plans.
+
+use crate::expr::{AggExpr, Expr};
+use miso_data::{DataType, Field, Schema};
+use std::fmt;
+
+/// A logical operator. Input arity is implied: `Join` has two inputs, `Scan*`
+/// none, everything else one.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Operator {
+    /// Scan a base log (raw JSON lines). Output schema is a single `Json`
+    /// column named `record`; field extraction happens in a `Project` above.
+    ScanLog {
+        /// Base log name (`twitter`, `foursquare`, `landmarks`).
+        log: String,
+    },
+    /// Scan a materialized view by name. Carries the view's schema, since the
+    /// plan must be self-describing.
+    ScanView {
+        /// View name (canonical fingerprint string).
+        view: String,
+        /// The view's schema.
+        schema: Schema,
+    },
+    /// Keep rows satisfying the predicate.
+    Filter {
+        /// Boolean predicate over the input schema.
+        predicate: Expr,
+    },
+    /// Compute named output expressions.
+    Project {
+        /// `(output name, expression)` pairs.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Inner hash equijoin.
+    Join {
+        /// Pairs of `(left column, right column)` equated.
+        on: Vec<(usize, usize)>,
+    },
+    /// Hash aggregation.
+    Aggregate {
+        /// Grouping columns (positional, may be empty for global aggregates).
+        group_by: Vec<usize>,
+        /// Aggregates computed per group.
+        aggs: Vec<AggExpr>,
+    },
+    /// Apply a named user-defined function row transformer. UDFs execute
+    /// only in HV; their schema effect is declared at registration and is
+    /// carried here so plans are self-describing.
+    Udf {
+        /// Registered UDF name.
+        name: String,
+        /// Declared output schema.
+        output: Schema,
+    },
+    /// Total sort.
+    Sort {
+        /// `(column, descending)` keys, in priority order.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Row cap.
+        n: u64,
+    },
+}
+
+impl Operator {
+    /// Number of inputs this operator consumes.
+    pub fn input_arity(&self) -> usize {
+        match self {
+            Operator::ScanLog { .. } | Operator::ScanView { .. } => 0,
+            Operator::Join { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether this operator must run in HV (paper: UDFs are HV-only).
+    pub fn hv_only(&self) -> bool {
+        matches!(self, Operator::Udf { .. })
+    }
+
+    /// Whether this operator is a leaf scan.
+    pub fn is_scan(&self) -> bool {
+        self.input_arity() == 0
+    }
+
+    /// Derives the output schema from input schemas. Panics if the number of
+    /// inputs is wrong — plans are built through [`crate::PlanBuilder`],
+    /// which enforces arity.
+    pub fn derive_schema(&self, inputs: &[&Schema]) -> Schema {
+        assert_eq!(inputs.len(), self.input_arity(), "operator arity mismatch");
+        match self {
+            Operator::ScanLog { .. } => {
+                Schema::new(vec![Field::new("record", DataType::Json)])
+            }
+            Operator::ScanView { schema, .. } => schema.clone(),
+            Operator::Filter { .. } | Operator::Limit { .. } | Operator::Sort { .. } => {
+                inputs[0].clone()
+            }
+            Operator::Project { exprs } => Schema::new(
+                exprs
+                    .iter()
+                    .map(|(name, e)| Field::new(name.clone(), e.infer_type(inputs[0])))
+                    .collect(),
+            ),
+            Operator::Join { .. } => inputs[0].join(inputs[1]),
+            Operator::Aggregate { group_by, aggs } => {
+                let mut fields: Vec<Field> = group_by
+                    .iter()
+                    .map(|&i| inputs[0].field_at(i).clone())
+                    .collect();
+                for agg in aggs {
+                    let in_ty = agg
+                        .input
+                        .as_ref()
+                        .map(|e| e.infer_type(inputs[0]))
+                        .unwrap_or(DataType::Int);
+                    fields.push(Field::new(agg.name.clone(), agg.func.output_type(in_ty)));
+                }
+                Schema::new(fields)
+            }
+            Operator::Udf { output, .. } => output.clone(),
+        }
+    }
+
+    /// A short operator label for plan rendering.
+    pub fn label(&self) -> String {
+        match self {
+            Operator::ScanLog { log } => format!("ScanLog({log})"),
+            Operator::ScanView { view, .. } => format!("ScanView({view})"),
+            Operator::Filter { predicate } => format!("Filter({predicate})"),
+            Operator::Project { exprs } => {
+                let names: Vec<&str> = exprs.iter().map(|(n, _)| n.as_str()).collect();
+                format!("Project({})", names.join(", "))
+            }
+            Operator::Join { on } => {
+                let conds: Vec<String> =
+                    on.iter().map(|(l, r)| format!("l{l}=r{r}")).collect();
+                format!("Join({})", conds.join(" AND "))
+            }
+            Operator::Aggregate { group_by, aggs } => {
+                format!("Aggregate(by {:?}, {} aggs)", group_by, aggs.len())
+            }
+            Operator::Udf { name, .. } => format!("Udf({name})"),
+            Operator::Sort { keys } => format!("Sort({keys:?})"),
+            Operator::Limit { n } => format!("Limit({n})"),
+        }
+    }
+}
+
+impl fmt::Display for Operator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggFunc, Expr};
+
+    #[test]
+    fn arity_is_structural() {
+        assert_eq!(Operator::ScanLog { log: "twitter".into() }.input_arity(), 0);
+        assert_eq!(Operator::Join { on: vec![] }.input_arity(), 2);
+        assert_eq!(Operator::Limit { n: 5 }.input_arity(), 1);
+    }
+
+    #[test]
+    fn scan_log_schema_is_single_json_record() {
+        let s = Operator::ScanLog { log: "twitter".into() }.derive_schema(&[]);
+        assert_eq!(s.arity(), 1);
+        assert_eq!(s.field_at(0).name, "record");
+        assert_eq!(s.field_at(0).ty, DataType::Json);
+    }
+
+    #[test]
+    fn project_schema_uses_inferred_types() {
+        let input = Operator::ScanLog { log: "t".into() }.derive_schema(&[]);
+        let op = Operator::Project {
+            exprs: vec![
+                ("uid".into(), Expr::col(0).get("user_id").cast(DataType::Int)),
+                ("raw".into(), Expr::col(0).get("text")),
+            ],
+        };
+        let s = op.derive_schema(&[&input]);
+        assert_eq!(s.field("uid").unwrap().ty, DataType::Int);
+        assert_eq!(s.field("raw").unwrap().ty, DataType::Json);
+    }
+
+    #[test]
+    fn aggregate_schema_groups_then_aggs() {
+        let input = Schema::new(vec![
+            Field::new("city", DataType::Str),
+            Field::new("score", DataType::Float),
+        ]);
+        let op = Operator::Aggregate {
+            group_by: vec![0],
+            aggs: vec![
+                AggExpr::new(AggFunc::Count, None, "n"),
+                AggExpr::new(AggFunc::Avg, Some(Expr::col(1)), "avg_score"),
+            ],
+        };
+        let s = op.derive_schema(&[&input]);
+        assert_eq!(s.names(), vec!["city", "n", "avg_score"]);
+        assert_eq!(s.field("n").unwrap().ty, DataType::Int);
+        assert_eq!(s.field("avg_score").unwrap().ty, DataType::Float);
+    }
+
+    #[test]
+    fn join_schema_concats() {
+        let l = Schema::new(vec![Field::new("a", DataType::Int)]);
+        let r = Schema::new(vec![Field::new("b", DataType::Str)]);
+        let s = Operator::Join { on: vec![(0, 0)] }.derive_schema(&[&l, &r]);
+        assert_eq!(s.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn only_udf_is_hv_pinned() {
+        assert!(Operator::Udf {
+            name: "sentiment".into(),
+            output: Schema::empty()
+        }
+        .hv_only());
+        assert!(!Operator::Filter { predicate: Expr::lit(true) }.hv_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn derive_schema_checks_arity() {
+        Operator::Limit { n: 1 }.derive_schema(&[]);
+    }
+}

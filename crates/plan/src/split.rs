@@ -1,0 +1,413 @@
+//! Split-point enumeration.
+//!
+//! A multistore execution plan "may contain split points, denoting a cut in
+//! the plan graph whereby data and computation is migrated from one store to
+//! the other" (paper §3.1). Because DW only accelerates HV queries, data
+//! moves in one direction: HV → DW.
+//!
+//! We model a split as the set of nodes evaluated in HV; the complement runs
+//! in DW. Validity requires:
+//!
+//! * **downward closure** — if a node runs in HV, so do all its inputs
+//!   (otherwise data would flow DW → HV);
+//! * **UDF pinning** — `Udf` nodes, and hence their subtrees, run in HV;
+//! * **base-log pinning** — `ScanLog` reads HDFS and must be in HV.
+//!   `ScanView` leaves may run on either side; whether the view is actually
+//!   *present* in that store is a placement question the optimizer checks.
+//!
+//! The **cut** of a split is the set of HV nodes with at least one DW
+//! consumer (plus the root when the whole plan runs in HV produces no cut);
+//! their outputs are the working sets dumped, transferred, and loaded into
+//! DW — the green/yellow bars of the paper's Figure 3.
+
+use crate::plan::LogicalPlan;
+use miso_common::ids::NodeId;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// A candidate multistore split: which nodes execute in HV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    hv_nodes: BTreeSet<NodeId>,
+}
+
+impl Split {
+    /// Builds a split from the HV-side node set. The caller must guarantee
+    /// validity; use [`enumerate_splits`] for generated candidates or
+    /// [`Split::validate`] to check.
+    pub fn new(hv_nodes: BTreeSet<NodeId>) -> Self {
+        Split { hv_nodes }
+    }
+
+    /// The split that executes everything in HV.
+    pub fn all_hv(plan: &LogicalPlan) -> Self {
+        Split { hv_nodes: plan.nodes().iter().map(|n| n.id).collect() }
+    }
+
+    /// The split that executes everything in DW (valid only for plans with
+    /// no base-log scans or UDFs).
+    pub fn all_dw() -> Self {
+        Split { hv_nodes: BTreeSet::new() }
+    }
+
+    /// Nodes executing in HV.
+    pub fn hv_nodes(&self) -> &BTreeSet<NodeId> {
+        &self.hv_nodes
+    }
+
+    /// Whether `id` executes in HV.
+    pub fn in_hv(&self, id: NodeId) -> bool {
+        self.hv_nodes.contains(&id)
+    }
+
+    /// Whether every node executes in HV.
+    pub fn is_hv_only(&self, plan: &LogicalPlan) -> bool {
+        self.hv_nodes.len() == plan.len()
+    }
+
+    /// Whether every node executes in DW.
+    pub fn is_dw_only(&self) -> bool {
+        self.hv_nodes.is_empty()
+    }
+
+    /// The HV nodes whose outputs cross to DW (deduplicated, in plan order).
+    ///
+    /// Empty for HV-only plans (nothing crosses) and DW-only plans (nothing
+    /// starts in HV).
+    pub fn cut_nodes(&self, plan: &LogicalPlan) -> Vec<NodeId> {
+        let mut cut = Vec::new();
+        for node in plan.nodes() {
+            if !self.in_hv(node.id) {
+                continue;
+            }
+            let feeds_dw = consumers_of(plan, node.id)
+                .iter()
+                .any(|c| !self.in_hv(*c));
+            if feeds_dw {
+                cut.push(node.id);
+            }
+        }
+        cut
+    }
+
+    /// Validates downward closure and operator pinning against `plan`.
+    pub fn validate(&self, plan: &LogicalPlan) -> Result<(), String> {
+        for node in plan.nodes() {
+            if self.in_hv(node.id) {
+                for input in &node.inputs {
+                    if !self.in_hv(*input) {
+                        return Err(format!(
+                            "node {} in HV consumes {} in DW (reverse flow)",
+                            node.id, input
+                        ));
+                    }
+                }
+            } else if node.op.hv_only() {
+                return Err(format!("UDF node {} assigned to DW", node.id));
+            } else if matches!(node.op, crate::op::Operator::ScanLog { .. }) {
+                return Err(format!("base-log scan {} assigned to DW", node.id));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Consumers (parents) of `id` within `plan`.
+pub fn consumers_of(plan: &LogicalPlan, id: NodeId) -> Vec<NodeId> {
+    plan.nodes()
+        .iter()
+        .filter(|n| n.inputs.contains(&id))
+        .map(|n| n.id)
+        .collect()
+}
+
+/// Builds the consumer adjacency for all nodes at once.
+pub fn consumer_map(plan: &LogicalPlan) -> HashMap<NodeId, Vec<NodeId>> {
+    let mut map: HashMap<NodeId, Vec<NodeId>> =
+        plan.nodes().iter().map(|n| (n.id, Vec::new())).collect();
+    for node in plan.nodes() {
+        for input in &node.inputs {
+            map.get_mut(input).expect("input exists").push(node.id);
+        }
+    }
+    map
+}
+
+/// Enumerates every valid split of `plan`.
+///
+/// For plans of ≤ `EXHAUSTIVE_LIMIT` nodes this is exhaustive over all
+/// downward-closed node subsets (the paper's Figure 3 profiles "all possible
+/// plans" of a query). Larger plans fall back to the topological-prefix
+/// family, which always contains the HV-only split and the best
+/// "late-single-cut" splits that the paper observes winning in practice.
+pub fn enumerate_splits(plan: &LogicalPlan) -> Vec<Split> {
+    const EXHAUSTIVE_LIMIT: usize = 14;
+    if plan.len() <= EXHAUSTIVE_LIMIT {
+        enumerate_exhaustive(plan)
+    } else {
+        enumerate_prefixes(plan)
+    }
+}
+
+fn enumerate_exhaustive(plan: &LogicalPlan) -> Vec<Split> {
+    let n = plan.len();
+    // Bit i corresponds to NodeId(i); required bits = UDF subtrees + log scans.
+    let mut required: u64 = 0;
+    for node in plan.nodes() {
+        if node.op.hv_only() {
+            for d in plan.descendants(node.id) {
+                required |= 1 << d.raw();
+            }
+        }
+        if matches!(node.op, crate::op::Operator::ScanLog { .. }) {
+            required |= 1 << node.id.raw();
+        }
+    }
+    let mut out = Vec::new();
+    'mask: for mask in 0u64..(1u64 << n) {
+        if mask & required != required {
+            continue;
+        }
+        // Downward closure: every HV node's inputs are HV.
+        for node in plan.nodes() {
+            if mask & (1 << node.id.raw()) != 0 {
+                for input in &node.inputs {
+                    if mask & (1 << input.raw()) == 0 {
+                        continue 'mask;
+                    }
+                }
+            }
+        }
+        let hv_nodes: BTreeSet<NodeId> = (0..n)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| NodeId(i as u64))
+            .collect();
+        out.push(Split::new(hv_nodes));
+    }
+    out
+}
+
+fn enumerate_prefixes(plan: &LogicalPlan) -> Vec<Split> {
+    // Arena order is topological, so every prefix is downward-closed.
+    let ids: Vec<NodeId> = plan.nodes().iter().map(|n| n.id).collect();
+    let min_prefix = minimum_hv_prefix(plan);
+    let mut out = Vec::new();
+    for k in min_prefix..=ids.len() {
+        let hv_nodes: BTreeSet<NodeId> = ids[..k].iter().copied().collect();
+        let split = Split::new(hv_nodes);
+        if split.validate(plan).is_ok() {
+            out.push(split);
+        }
+    }
+    out
+}
+
+/// Smallest prefix length that covers all pinned nodes.
+fn minimum_hv_prefix(plan: &LogicalPlan) -> usize {
+    let mut pinned: HashSet<NodeId> = HashSet::new();
+    for node in plan.nodes() {
+        if node.op.hv_only() {
+            pinned.extend(plan.descendants(node.id));
+        }
+        if matches!(node.op, crate::op::Operator::ScanLog { .. }) {
+            pinned.insert(node.id);
+        }
+    }
+    pinned
+        .iter()
+        .map(|id| id.raw() as usize + 1)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{AggExpr, AggFunc, Expr};
+    use crate::op::Operator;
+    use crate::plan::PlanBuilder;
+    use miso_data::{DataType, Field, Schema};
+
+    /// Linear plan: scan -> project -> filter -> aggregate.
+    fn linear() -> LogicalPlan {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("user_id").cast(DataType::Int),
+                    )],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let filt = b
+            .add(
+                Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) },
+                vec![proj],
+            )
+            .unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![AggExpr::new(AggFunc::Count, None, "n")],
+                },
+                vec![filt],
+            )
+            .unwrap();
+        b.finish(agg).unwrap()
+    }
+
+    #[test]
+    fn linear_plan_has_one_split_per_prefix() {
+        let p = linear();
+        let splits = enumerate_splits(&p);
+        // scan is pinned to HV, so valid HV sets are prefixes of length 1..=4.
+        assert_eq!(splits.len(), 4);
+        assert!(splits.iter().all(|s| s.validate(&p).is_ok()));
+        assert_eq!(splits.iter().filter(|s| s.is_hv_only(&p)).count(), 1);
+        assert!(!splits.iter().any(|s| s.is_dw_only()));
+    }
+
+    #[test]
+    fn cut_nodes_identify_crossing_edges() {
+        let p = linear();
+        // HV = {scan, project}; cut = {project}.
+        let split = Split::new([NodeId(0), NodeId(1)].into_iter().collect());
+        assert!(split.validate(&p).is_ok());
+        assert_eq!(split.cut_nodes(&p), vec![NodeId(1)]);
+        // HV-only: no cut.
+        assert!(Split::all_hv(&p).cut_nodes(&p).is_empty());
+    }
+
+    #[test]
+    fn reverse_flow_is_invalid() {
+        let p = linear();
+        // HV = {scan, filter} without project: filter consumes project in DW.
+        let split = Split::new([NodeId(0), NodeId(2)].into_iter().collect());
+        assert!(split.validate(&p).is_err());
+    }
+
+    #[test]
+    fn udf_pins_subtree_to_hv() {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let udf = b
+            .add(
+                Operator::Udf {
+                    name: "u".into(),
+                    output: Schema::new(vec![Field::new("x", DataType::Int)]),
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let lim = b.add(Operator::Limit { n: 10 }, vec![udf]).unwrap();
+        let p = b.finish(lim).unwrap();
+        let splits = enumerate_splits(&p);
+        // UDF (and its scan) must be in HV: only splits are {scan,udf} and all.
+        assert_eq!(splits.len(), 2);
+        assert!(splits.iter().all(|s| s.in_hv(NodeId(1))));
+    }
+
+    #[test]
+    fn view_only_plan_allows_dw_only() {
+        let mut b = PlanBuilder::new();
+        let sv = b
+            .add(
+                Operator::ScanView {
+                    view: "v_x".into(),
+                    schema: Schema::new(vec![Field::new("a", DataType::Int)]),
+                },
+                vec![],
+            )
+            .unwrap();
+        let lim = b.add(Operator::Limit { n: 1 }, vec![sv]).unwrap();
+        let p = b.finish(lim).unwrap();
+        let splits = enumerate_splits(&p);
+        assert!(splits.iter().any(|s| s.is_dw_only()));
+        assert_eq!(splits.len(), 3); // {}, {scan}, {scan, limit}
+    }
+
+    #[test]
+    fn bushy_plan_enumerates_all_ideals() {
+        // Two scan->project branches joined, then aggregated: 6 nodes.
+        let mut b = PlanBuilder::new();
+        let s1 = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let p1 = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("user_id").cast(DataType::Int),
+                    )],
+                },
+                vec![s1],
+            )
+            .unwrap();
+        let s2 = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let p2 = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("user_id").cast(DataType::Int),
+                    )],
+                },
+                vec![s2],
+            )
+            .unwrap();
+        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2]).unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![AggExpr::new(AggFunc::Count, None, "n")],
+                },
+                vec![j],
+            )
+            .unwrap();
+        let plan = b.finish(agg).unwrap();
+        let splits = enumerate_splits(&plan);
+        // Scans pinned; branches independent: HV sets are products of
+        // per-branch prefixes plus join/agg tail choices.
+        // Branch A: {s1} or {s1,p1}; Branch B: {s2} or {s2,p2} -> 4 bases;
+        // join in HV requires both projects; agg requires join.
+        // Valid sets: 4 (no join) + 1 (join) + 1 (join+agg) = 6.
+        assert_eq!(splits.len(), 6);
+        for s in &splits {
+            assert!(s.validate(&plan).is_ok());
+        }
+        // A split cutting both branches transfers two working sets (the
+        // paper's third panel in the §3.1 figure).
+        let two_cut = Split::new(
+            [NodeId(0), NodeId(1), NodeId(2), NodeId(3)].into_iter().collect(),
+        );
+        assert_eq!(two_cut.cut_nodes(&plan).len(), 2);
+    }
+
+    #[test]
+    fn consumer_map_matches_consumers_of() {
+        let p = linear();
+        let map = consumer_map(&p);
+        for node in p.nodes() {
+            assert_eq!(map[&node.id], consumers_of(&p, node.id));
+        }
+        assert_eq!(map[&NodeId(3)], Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn prefix_fallback_used_for_large_plans() {
+        // Build a 25-node chain to cross the exhaustive limit.
+        let mut b = PlanBuilder::new();
+        let mut prev = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        for i in 0..24 {
+            prev = b.add(Operator::Limit { n: 1000 - i }, vec![prev]).unwrap();
+        }
+        let p = b.finish(prev).unwrap();
+        let splits = enumerate_splits(&p);
+        assert_eq!(splits.len(), 25);
+        assert!(splits.iter().all(|s| s.validate(&p).is_ok()));
+    }
+}

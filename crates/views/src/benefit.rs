@@ -1,0 +1,94 @@
+//! Predicted future benefit with per-epoch decay.
+//!
+//! The tuner computes each view's expected benefit "by utilizing the
+//! predicted future benefit function from \[18\]: the benefit function divides
+//! W into a series of non-overlapping epochs ... the predicted future
+//! benefit of each view is computed by applying a decay on the view's
+//! benefit per epoch — for each q ∈ W, the benefit of a view v for query q
+//! is weighted less as q appears farther in the past" (paper §4.3).
+//!
+//! This module provides the decay-weight schedule; the actual per-query
+//! benefits come from what-if costing in the tuner.
+
+/// Per-query weights for a history of `n` queries.
+///
+/// `epoch_len` consecutive queries share an epoch; the most recent epoch has
+/// weight 1 and each older epoch is multiplied by `decay` (∈ (0, 1]).
+/// Index `n - 1` is the most recent query.
+pub fn decay_weights(n: usize, epoch_len: usize, decay: f64) -> Vec<f64> {
+    assert!(epoch_len > 0, "epoch length must be positive");
+    assert!(
+        (0.0..=1.0).contains(&decay) && decay > 0.0,
+        "decay must be in (0, 1]"
+    );
+    (0..n)
+        .map(|i| {
+            // age in epochs, newest epoch = 0
+            let age_queries = n - 1 - i;
+            let age_epochs = age_queries / epoch_len;
+            decay.powi(age_epochs as i32)
+        })
+        .collect()
+}
+
+/// Weighted sum of per-query benefits — the predicted future benefit of a
+/// view (or view set) given its observed benefit on each history query.
+pub fn weighted_benefit(per_query: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(per_query.len(), weights.len(), "history length mismatch");
+    per_query
+        .iter()
+        .zip(weights)
+        .map(|(b, w)| b * w)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newest_epoch_has_unit_weight() {
+        let w = decay_weights(6, 3, 0.5);
+        assert_eq!(w.len(), 6);
+        // queries 3..5 (newest epoch) weight 1; 0..2 weight 0.5
+        assert_eq!(&w[3..], &[1.0, 1.0, 1.0]);
+        assert_eq!(&w[..3], &[0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn deeper_history_decays_geometrically() {
+        let w = decay_weights(9, 3, 0.5);
+        assert_eq!(w[0], 0.25);
+        assert_eq!(w[3], 0.5);
+        assert_eq!(w[8], 1.0);
+    }
+
+    #[test]
+    fn no_decay_means_uniform() {
+        let w = decay_weights(5, 2, 1.0);
+        assert!(w.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn empty_history() {
+        assert!(decay_weights(0, 3, 0.5).is_empty());
+        assert_eq!(weighted_benefit(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_benefit_prefers_recent() {
+        let weights = decay_weights(4, 2, 0.5);
+        // Same raw benefit, different position.
+        let old_only = weighted_benefit(&[10.0, 0.0, 0.0, 0.0], &weights);
+        let new_only = weighted_benefit(&[0.0, 0.0, 0.0, 10.0], &weights);
+        assert!(new_only > old_only);
+        assert_eq!(new_only, 10.0);
+        assert_eq!(old_only, 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch length")]
+    fn zero_epoch_rejected() {
+        decay_weights(3, 0, 0.5);
+    }
+}

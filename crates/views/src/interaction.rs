@@ -1,0 +1,520 @@
+//! View interactions: signed doi, stable partition, sparsification.
+//!
+//! The knapsack DP requires item benefits to be independent, but views
+//! interact (paper §4.1): a pair may be worth *more* together (a join's two
+//! inputs) or *less* (two views that each answer the same subexpression —
+//! the optimizer will only ever use one). Following §4.3:
+//!
+//! 1. compute the **signed degree of interaction** between view pairs, the
+//!    decay-weighted difference between joint and separate benefits;
+//! 2. **partition** views into interacting sets: connected components of the
+//!    graph with edges where |doi| exceeds a threshold (\[19\]'s stable
+//!    partition — views in different parts don't interact);
+//! 3. **sparsify** each part: recursively merge the most strongly
+//!    *positively* interacting pair into a single composite item (packed
+//!    together or not at all), then among the remaining mutually *negative*
+//!    items keep only the best benefit-per-byte representative.
+//!
+//! The result is a list of independent [`KnapsackItem`]s for M-KNAPSACK.
+//!
+//! All benefits are probed through a caller-supplied what-if cost function
+//! `cost(query_index, view_subset)`, memoized internally — the tuner wires
+//! this to the multistore optimizer's what-if mode.
+
+use miso_common::ByteSize;
+use std::collections::{BTreeSet, HashMap};
+
+/// A view the tuner is considering, with current placement.
+#[derive(Debug, Clone)]
+pub struct ViewInfo {
+    /// Canonical view name.
+    pub name: String,
+    /// Materialized size.
+    pub size: ByteSize,
+}
+
+/// Tuning parameters for the interaction analysis.
+#[derive(Debug, Clone)]
+pub struct AnalysisConfig {
+    /// Minimum |doi| for an edge to count as a real interaction. System- and
+    /// workload-dependent (paper §4.3); expressed in the same simulated-
+    /// seconds units as benefits.
+    pub doi_threshold: f64,
+    /// If set, raise the threshold adaptively until no interacting set has
+    /// more than this many views (the paper tunes its threshold "to result
+    /// in parts with a small number (e.g., 4) of views").
+    pub max_part_size: Option<usize>,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        AnalysisConfig { doi_threshold: 1.0, max_part_size: Some(4) }
+    }
+}
+
+/// An independent knapsack item: one view, or a positively-interacting
+/// view set merged into an all-or-nothing unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnapsackItem {
+    /// The views packed together by this item.
+    pub views: BTreeSet<String>,
+    /// Combined size (sum of member sizes).
+    pub size: ByteSize,
+    /// Decay-weighted benefit of having all members present.
+    pub benefit: f64,
+}
+
+/// Memoizing wrapper over the what-if cost probe.
+struct CostCache<'a> {
+    f: &'a mut dyn FnMut(usize, &BTreeSet<String>) -> f64,
+    cache: HashMap<(usize, Vec<String>), f64>,
+}
+
+impl<'a> CostCache<'a> {
+    fn cost(&mut self, q: usize, views: &BTreeSet<String>) -> f64 {
+        let key = (q, views.iter().cloned().collect::<Vec<_>>());
+        if let Some(&v) = self.cache.get(&key) {
+            return v;
+        }
+        let v = (self.f)(q, views);
+        self.cache.insert(key, v);
+        v
+    }
+}
+
+/// Runs the full §4.3 pipeline and returns independent knapsack items.
+///
+/// * `views` — candidate views (with sizes);
+/// * `weights` — decay weight per history query (`weights[i]` for query `i`;
+///   see [`crate::benefit::decay_weights`]);
+/// * `cost_fn` — what-if cost of history query `i` under a hypothetical
+///   design containing exactly the given views.
+pub fn analyze_candidates(
+    views: &[ViewInfo],
+    weights: &[f64],
+    cost_fn: &mut dyn FnMut(usize, &BTreeSet<String>) -> f64,
+    config: &AnalysisConfig,
+) -> Vec<KnapsackItem> {
+    let mut cache = CostCache { f: cost_fn, cache: HashMap::new() };
+    let n_q = weights.len();
+    let empty = BTreeSet::new();
+    let base: Vec<f64> = (0..n_q).map(|q| cache.cost(q, &empty)).collect();
+
+    // 1. Per-query relevance: which views individually reduce each query's
+    // cost (their decay-weighted benefits are recomputed during
+    // sparsification, so only relevance is kept here).
+    let mut relevant_per_query: Vec<Vec<usize>> = vec![Vec::new(); n_q];
+    for (vi, view) in views.iter().enumerate() {
+        let single: BTreeSet<String> = [view.name.clone()].into_iter().collect();
+        for q in 0..n_q {
+            let b = (base[q] - cache.cost(q, &single)).max(0.0);
+            if b > 0.0 {
+                relevant_per_query[q].push(vi);
+            }
+        }
+    }
+
+    // 2. Signed doi for pairs where at least one member is relevant to the
+    // query. (A view with no individual benefit on any query never interacts
+    // under exact-match rewriting: each replacement reduces cost on its own;
+    // interactions only modulate — super- or sub-additively — benefits that
+    // already exist.)
+    let mut doi: HashMap<(usize, usize), f64> = HashMap::new();
+    for q in 0..n_q {
+        let rel = &relevant_per_query[q];
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for &a in rel {
+            for b in 0..views.len() {
+                if a != b {
+                    pairs.push((a.min(b), a.max(b)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        {
+            for &(a, b) in &pairs {
+                let pair: BTreeSet<String> =
+                    [views[a].name.clone(), views[b].name.clone()].into_iter().collect();
+                let sa: BTreeSet<String> = [views[a].name.clone()].into_iter().collect();
+                let sb: BTreeSet<String> = [views[b].name.clone()].into_iter().collect();
+                let joint = (base[q] - cache.cost(q, &pair)).max(0.0);
+                let ba = (base[q] - cache.cost(q, &sa)).max(0.0);
+                let bb = (base[q] - cache.cost(q, &sb)).max(0.0);
+                *doi.entry((a, b)).or_insert(0.0) += weights[q] * (joint - ba - bb);
+            }
+        }
+    }
+
+    // 3. Stable partition: union-find over |doi| >= threshold edges. The
+    // threshold adapts upward until every part is small (paper §4.3).
+    let threshold = adaptive_threshold(&doi, views.len(), config);
+    let mut parent: Vec<usize> = (0..views.len()).collect();
+    fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        if parent[x] != x {
+            let root = find(parent, parent[x]);
+            parent[x] = root;
+        }
+        parent[x]
+    }
+    for (&(a, b), &d) in &doi {
+        if d.abs() >= threshold {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra] = rb;
+            }
+        }
+    }
+    let mut parts: HashMap<usize, Vec<usize>> = HashMap::new();
+    for v in 0..views.len() {
+        let root = find(&mut parent, v);
+        parts.entry(root).or_default().push(v);
+    }
+    let config = &AnalysisConfig { doi_threshold: threshold, max_part_size: config.max_part_size };
+
+    // 4. Sparsify each part.
+    let mut items = Vec::new();
+    let mut part_roots: Vec<usize> = parts.keys().copied().collect();
+    part_roots.sort_unstable();
+    for root in part_roots {
+        let members = &parts[&root];
+        items.extend(sparsify_part(members, views, weights, &base, &doi, &mut cache, config));
+    }
+    // Drop zero-benefit items: they can never help and only consume budget.
+    items.retain(|item| item.benefit > 0.0);
+    // Deterministic output order.
+    items.sort_by(|a, b| {
+        a.views
+            .iter()
+            .next()
+            .cmp(&b.views.iter().next())
+    });
+    items
+}
+
+/// Sparsifies one interacting part into zero or more independent items.
+fn sparsify_part(
+    members: &[usize],
+    views: &[ViewInfo],
+    weights: &[f64],
+    base: &[f64],
+    doi: &HashMap<(usize, usize), f64>,
+    cache: &mut CostCache<'_>,
+    config: &AnalysisConfig,
+) -> Vec<KnapsackItem> {
+    // Current items: sets of member indexes.
+    let mut sets: Vec<BTreeSet<usize>> =
+        members.iter().map(|&m| [m].into_iter().collect()).collect();
+
+    let names_of = |set: &BTreeSet<usize>| -> BTreeSet<String> {
+        set.iter().map(|&i| views[i].name.clone()).collect()
+    };
+    let weighted_benefit = |set: &BTreeSet<usize>, cache: &mut CostCache<'_>| -> f64 {
+        let names = names_of(set);
+        (0..weights.len())
+            .map(|q| weights[q] * (base[q] - cache.cost(q, &names)).max(0.0))
+            .sum()
+    };
+    // doi between two current items: recompute from joint benefits when the
+    // items are composite; seed from the pairwise table when singleton.
+    let pair_doi = |a: &BTreeSet<usize>, b: &BTreeSet<usize>, cache: &mut CostCache<'_>| -> f64 {
+        if a.len() == 1 && b.len() == 1 {
+            let (&x, &y) = (a.iter().next().unwrap(), b.iter().next().unwrap());
+            return *doi.get(&(x.min(y), x.max(y))).unwrap_or(&0.0);
+        }
+        let ba = weighted_benefit(a, cache);
+        let bb = weighted_benefit(b, cache);
+        let union: BTreeSet<usize> = a.union(b).copied().collect();
+        weighted_benefit(&union, cache) - ba - bb
+    };
+
+    // Recursively merge the strongest positive edge.
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..sets.len() {
+            for j in (i + 1)..sets.len() {
+                let d = pair_doi(&sets[i], &sets[j], cache);
+                if d >= config.doi_threshold
+                    && best.is_none_or(|(_, _, bd)| d > bd)
+                {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let Some((i, j, _)) = best else { break };
+        let merged: BTreeSet<usize> = sets[i].union(&sets[j]).copied().collect();
+        // Remove j first (j > i) to keep indexes valid.
+        sets.remove(j);
+        sets.remove(i);
+        sets.push(merged);
+    }
+
+    // Build items. Remaining edges are negative (or weak): greedily select
+    // a maximal independent set by decreasing benefit-per-byte, never
+    // packing two items with a *strong* negative interaction together —
+    // the paper's representative rule, generalized beyond two-view parts
+    // (a part may chain A–hub–B where A and B don't interact; both should
+    // survive, only the dominated hub is dropped).
+    let mut order: Vec<usize> = (0..sets.len()).collect();
+    let densities: Vec<f64> = sets
+        .iter()
+        .map(|set| {
+            let b = weighted_benefit(set, cache);
+            let size: ByteSize = set.iter().map(|&i| views[i].size).sum();
+            b / (size.as_bytes().max(1) as f64)
+        })
+        .collect();
+    order.sort_by(|&a, &b| {
+        densities[b]
+            .partial_cmp(&densities[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut selected: Vec<usize> = Vec::new();
+    for &k in &order {
+        let conflicts = selected.iter().any(|&s| {
+            pair_doi(&sets[s], &sets[k], cache) <= -config.doi_threshold
+        });
+        if !conflicts {
+            selected.push(k);
+        }
+    }
+    selected.sort_unstable();
+    selected
+        .iter()
+        .map(|&k| {
+            let set = &sets[k];
+            let benefit = weighted_benefit(set, cache);
+            let size: ByteSize = set.iter().map(|&i| views[i].size).sum();
+            KnapsackItem { views: names_of(set), size, benefit }
+        })
+        .collect()
+}
+
+/// Raises the doi threshold until every connected component has at most
+/// `max_part_size` members.
+fn adaptive_threshold(
+    doi: &HashMap<(usize, usize), f64>,
+    n: usize,
+    config: &AnalysisConfig,
+) -> f64 {
+    let Some(max_part) = config.max_part_size else {
+        return config.doi_threshold;
+    };
+    let mut magnitudes: Vec<f64> = doi
+        .values()
+        .map(|d| d.abs())
+        .filter(|&m| m >= config.doi_threshold)
+        .collect();
+    magnitudes.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    magnitudes.dedup();
+    let part_ok = |threshold: f64| -> bool {
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for (&(a, b), &d) in doi {
+            if d.abs() >= threshold {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra] = rb;
+                }
+            }
+        }
+        let mut counts: HashMap<usize, usize> = HashMap::new();
+        for v in 0..n {
+            let root = find(&mut parent, v);
+            *counts.entry(root).or_insert(0) += 1;
+        }
+        counts.values().all(|&c| c <= max_part)
+    };
+    let mut threshold = config.doi_threshold;
+    for &m in &magnitudes {
+        if part_ok(threshold) {
+            return threshold;
+        }
+        // Raise just past the next magnitude, dropping its edges.
+        threshold = m * (1.0 + 1e-9) + 1e-12;
+    }
+    threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(names_sizes: &[(&str, u64)]) -> Vec<ViewInfo> {
+        names_sizes
+            .iter()
+            .map(|(n, s)| ViewInfo { name: n.to_string(), size: ByteSize::from_kib(*s) })
+            .collect()
+    }
+
+    /// A cost model where each view independently saves a fixed amount.
+    fn independent_cost(q: usize, set: &BTreeSet<String>) -> f64 {
+        let mut cost = 100.0;
+        let _ = q;
+        if set.contains("a") {
+            cost -= 10.0;
+        }
+        if set.contains("b") {
+            cost -= 20.0;
+        }
+        cost
+    }
+
+    #[test]
+    fn independent_views_become_separate_items() {
+        let v = views(&[("a", 1), ("b", 1)]);
+        let weights = vec![1.0];
+        let mut f = independent_cost;
+        let items = analyze_candidates(&v, &weights, &mut f, &AnalysisConfig::default());
+        assert_eq!(items.len(), 2);
+        let by_name: HashMap<String, f64> = items
+            .iter()
+            .map(|i| (i.views.iter().next().unwrap().clone(), i.benefit))
+            .collect();
+        assert_eq!(by_name["a"], 10.0);
+        assert_eq!(by_name["b"], 20.0);
+    }
+
+    #[test]
+    fn positive_interaction_merges() {
+        // Super-additive pair (two join inputs): each alone saves 10, both
+        // together let the whole join collapse, saving 50.
+        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+            match (set.contains("a"), set.contains("b")) {
+                (true, true) => 50.0,
+                (true, false) | (false, true) => 90.0,
+                (false, false) => 100.0,
+            }
+        };
+        let v = views(&[("a", 1), ("b", 2)]);
+        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        assert_eq!(items.len(), 1);
+        let item = &items[0];
+        assert_eq!(item.views.len(), 2);
+        assert_eq!(item.benefit, 50.0);
+        assert_eq!(item.size, ByteSize::from_kib(3));
+    }
+
+    #[test]
+    fn negative_interaction_keeps_representative() {
+        // Either view alone answers the query (saves 30); both adds nothing.
+        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+            if set.contains("a") || set.contains("b") {
+                70.0
+            } else {
+                100.0
+            }
+        };
+        // b is smaller → better benefit/weight → representative.
+        let v = views(&[("a", 10), ("b", 2)]);
+        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].views.iter().next().unwrap(), "b");
+        assert_eq!(items[0].benefit, 30.0);
+    }
+
+    #[test]
+    fn weak_interactions_are_ignored() {
+        // Tiny sub-threshold interaction: treated as independent.
+        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+            let mut c = 100.0;
+            if set.contains("a") {
+                c -= 10.0;
+            }
+            if set.contains("b") {
+                c -= 10.0;
+            }
+            if set.contains("a") && set.contains("b") {
+                c -= 0.5; // weak positive
+            }
+            c
+        };
+        let v = views(&[("a", 1), ("b", 1)]);
+        let cfg = AnalysisConfig { doi_threshold: 1.0, max_part_size: Some(4) };
+        let items = analyze_candidates(&v, &[1.0], &mut f, &cfg);
+        assert_eq!(items.len(), 2, "below-threshold doi leaves views separate");
+    }
+
+    #[test]
+    fn zero_benefit_views_are_dropped() {
+        let mut f = |_q: usize, _set: &BTreeSet<String>| -> f64 { 100.0 };
+        let v = views(&[("a", 1), ("b", 1)]);
+        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        assert!(items.is_empty());
+    }
+
+    #[test]
+    fn decay_weights_discount_old_benefits() {
+        // View a helps only the old query, b only the new one.
+        let mut f = |q: usize, set: &BTreeSet<String>| -> f64 {
+            let mut c = 100.0;
+            if q == 0 && set.contains("a") {
+                c -= 10.0;
+            }
+            if q == 1 && set.contains("b") {
+                c -= 10.0;
+            }
+            c
+        };
+        let v = views(&[("a", 1), ("b", 1)]);
+        let weights = vec![0.5, 1.0];
+        let items = analyze_candidates(&v, &weights, &mut f, &AnalysisConfig::default());
+        let by_name: HashMap<String, f64> = items
+            .iter()
+            .map(|i| (i.views.iter().next().unwrap().clone(), i.benefit))
+            .collect();
+        assert_eq!(by_name["a"], 5.0);
+        assert_eq!(by_name["b"], 10.0);
+    }
+
+    #[test]
+    fn three_way_positive_chain_merges_all() {
+        // a+b strongly positive; the merged pair then interacts positively
+        // with c: recursive merging unites all three.
+        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+            let a = set.contains("a");
+            let b = set.contains("b");
+            let c = set.contains("c");
+            let mut cost: f64 = 100.0;
+            if a {
+                cost -= 5.0;
+            }
+            if b {
+                cost -= 5.0;
+            }
+            if c {
+                cost -= 5.0;
+            }
+            if a && b {
+                cost -= 30.0; // join collapse
+            }
+            if a && c {
+                cost -= 10.0; // pairwise chain linking c into the part
+            }
+            if a && b && c {
+                cost -= 45.0; // whole query answered in DW
+            }
+            cost
+        };
+        let v = views(&[("a", 1), ("b", 1), ("c", 1)]);
+        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].views.len(), 3);
+        assert_eq!(items[0].benefit, 100.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let mut f = independent_cost;
+        assert!(analyze_candidates(&[], &[1.0], &mut f, &AnalysisConfig::default())
+            .is_empty());
+        let v = views(&[("a", 1)]);
+        assert!(analyze_candidates(&v, &[], &mut f, &AnalysisConfig::default()).is_empty());
+    }
+}

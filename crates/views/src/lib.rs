@@ -1,0 +1,26 @@
+//! Opportunistic materialized views and the analyses MISO runs over them.
+//!
+//! Views are the *elements of the multistore physical design* (paper §4.1).
+//! They arise for free — HV stage outputs and migrated working sets — and
+//! are identified semantically by their defining sub-plan's fingerprint.
+//!
+//! * [`view`] — view metadata and the view catalog;
+//! * [`rewrite`] — semantic view matching: replacing plan subtrees whose
+//!   fingerprint matches an available view with a `ScanView` (the rewriting
+//!   algorithm role of the paper's \[15\]);
+//! * [`benefit`] — per-view benefit and the **predicted future benefit**
+//!   with per-epoch decay over the sliding workload history (\[18\]);
+//! * [`interaction`] — signed degree-of-interaction (\[20\]), the stable
+//!   partition into interacting sets (\[19\]), and sparsification into
+//!   independent knapsack items (paper §4.3).
+
+pub mod benefit;
+pub mod containment;
+pub mod interaction;
+pub mod rewrite;
+pub mod view;
+
+pub use benefit::decay_weights;
+pub use interaction::{analyze_candidates, AnalysisConfig, KnapsackItem, ViewInfo};
+pub use rewrite::{rewrite_with_catalog, rewrite_with_views};
+pub use view::{ViewCatalog, ViewDef};

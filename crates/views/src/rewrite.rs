@@ -1,0 +1,264 @@
+//! Semantic view matching and plan rewriting.
+//!
+//! Given a query plan and the set of views available in some store, replace
+//! every maximal subtree whose fingerprint matches a view with a `ScanView`
+//! leaf. Matching is *exact-semantic*: the subtree must compute precisely
+//! the view's expression (modulo the canonicalizations in
+//! `miso_plan::fingerprint`). Containment-based rewriting (view ⊇ query
+//! fragment plus compensation) is future work in the paper's \[15\] lineage;
+//! exact matching is what the evolutionary workload's shared subexpressions
+//! need.
+//!
+//! Matching is top-down: if a node matches, its descendants are not
+//! considered (the larger the replaced subtree, the more computation is
+//! reused).
+
+use crate::containment::{apply_containment, filter_views, find_containment_matches};
+use crate::view::ViewCatalog;
+use miso_plan::fingerprint::fingerprint_all;
+use miso_plan::{LogicalPlan, Operator};
+use std::collections::HashSet;
+
+/// The result of a rewrite pass.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    /// The rewritten plan (equal to the input when `used` is empty).
+    pub plan: LogicalPlan,
+    /// Names of the views the rewrite consumed, in use order.
+    pub used: Vec<String>,
+}
+
+/// Rewrites `plan` over the views in `available`, using both exact semantic
+/// matches and filter-containment matches with compensation (see
+/// [`crate::containment`]). The catalog supplies view structure for the
+/// containment pass; exact matches are always preferred.
+pub fn rewrite_with_catalog(
+    plan: &LogicalPlan,
+    available: &HashSet<String>,
+    catalog: &ViewCatalog,
+) -> Rewrite {
+    let mut rewrite = rewrite_with_views(plan, available);
+    let fviews = filter_views(catalog, available);
+    if fviews.is_empty() {
+        return rewrite;
+    }
+    // Alternate containment and exact passes to fixpoint (each containment
+    // application strictly shrinks the plan or its conjunct count).
+    for _ in 0..32 {
+        let matches = find_containment_matches(&rewrite.plan, &fviews);
+        // Skip "matches" that exact rewriting already declined (a ScanView
+        // of the same name is already in place).
+        let Some(m) = matches.iter().find(|m| m.residual.is_some()) else {
+            break;
+        };
+        let Ok(applied) = apply_containment(&rewrite.plan, m) else { break };
+        rewrite.plan = applied;
+        rewrite.used.push(m.view.clone());
+        // New exact opportunities may open above the spliced scan.
+        let again = rewrite_with_views(&rewrite.plan, available);
+        rewrite.used.extend(again.used);
+        rewrite.plan = again.plan;
+    }
+    rewrite
+}
+
+/// Rewrites `plan` over the views in `available` (canonical view names).
+///
+/// Returns the rewritten plan and which views it uses. Scanning an available
+/// view is always preferred over recomputing the subtree; when nested
+/// matches exist the outermost wins.
+pub fn rewrite_with_views(plan: &LogicalPlan, available: &HashSet<String>) -> Rewrite {
+    let mut current = plan.clone();
+    let mut used = Vec::new();
+    // Iterate until fixpoint: after one replacement node ids shift, so
+    // recompute fingerprints and scan again. Each iteration strictly shrinks
+    // the plan, so this terminates quickly.
+    loop {
+        let fps = fingerprint_all(&current);
+        // Top-down: visit from root; skip subtrees of matched nodes.
+        let mut replaced = false;
+        // Consider nodes in reverse topological order (root last in arena,
+        // so iterate from the end) and pick the first (largest) match not
+        // already a ScanView of the same name.
+        let mut skip: HashSet<miso_common::ids::NodeId> = HashSet::new();
+        for node in current.nodes().iter().rev() {
+            if skip.contains(&node.id) {
+                continue;
+            }
+            let name = fps[&node.id].view_name();
+            let already = matches!(&node.op, Operator::ScanView { view, .. } if *view == name);
+            if !already && available.contains(&name) {
+                current = current
+                    .replace_with_view(node.id, &name)
+                    .expect("replacing a subtree of a valid plan");
+                used.push(name);
+                replaced = true;
+                break;
+            }
+            // Don't descend into a ScanView (nothing below it).
+            if matches!(node.op, Operator::ScanView { .. }) {
+                continue;
+            }
+            let _ = &mut skip; // descendants handled implicitly by restart
+        }
+        if !replaced {
+            break;
+        }
+    }
+    Rewrite { plan: current, used }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::DataType;
+    use miso_plan::fingerprint::{fingerprint_plan, fingerprint_subtree};
+    use miso_common::ids::NodeId;
+    use miso_plan::{AggExpr, AggFunc, Expr, PlanBuilder};
+
+    /// scan → project(uid) → filter(uid = k) → aggregate(count)
+    fn plan(k: i64) -> LogicalPlan {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("user_id").cast(DataType::Int),
+                    )],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let filt = b
+            .add(
+                Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(k)) },
+                vec![proj],
+            )
+            .unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![AggExpr::new(AggFunc::Count, None, "n")],
+                },
+                vec![filt],
+            )
+            .unwrap();
+        b.finish(agg).unwrap()
+    }
+
+    fn name_of(plan: &LogicalPlan, id: NodeId) -> String {
+        fingerprint_subtree(plan, id).view_name()
+    }
+
+    #[test]
+    fn no_views_no_change() {
+        let p = plan(1);
+        let rw = rewrite_with_views(&p, &HashSet::new());
+        assert!(rw.used.is_empty());
+        assert_eq!(rw.plan, p);
+    }
+
+    #[test]
+    fn matching_subtree_is_replaced() {
+        let p = plan(1);
+        let filt_view = name_of(&p, NodeId(2));
+        let available: HashSet<String> = [filt_view.clone()].into_iter().collect();
+        let rw = rewrite_with_views(&p, &available);
+        assert_eq!(rw.used, vec![filt_view.clone()]);
+        assert_eq!(rw.plan.len(), 2, "ScanView + Aggregate");
+        assert_eq!(rw.plan.scanned_views(), vec![filt_view]);
+        assert_eq!(rw.plan.schema(), p.schema());
+    }
+
+    #[test]
+    fn outermost_match_wins() {
+        let p = plan(1);
+        let proj_view = name_of(&p, NodeId(1));
+        let filt_view = name_of(&p, NodeId(2));
+        let available: HashSet<String> =
+            [proj_view, filt_view.clone()].into_iter().collect();
+        let rw = rewrite_with_views(&p, &available);
+        assert_eq!(rw.used, vec![filt_view], "larger subtree preferred");
+        assert_eq!(rw.plan.len(), 2);
+    }
+
+    #[test]
+    fn non_matching_views_are_ignored() {
+        let p = plan(1);
+        let other = name_of(&plan(2), NodeId(2));
+        let available: HashSet<String> = [other].into_iter().collect();
+        let rw = rewrite_with_views(&p, &available);
+        assert!(rw.used.is_empty());
+    }
+
+    #[test]
+    fn whole_plan_match_collapses_to_single_scan() {
+        let p = plan(3);
+        let root_view = fingerprint_plan(&p).view_name();
+        let available: HashSet<String> = [root_view.clone()].into_iter().collect();
+        let rw = rewrite_with_views(&p, &available);
+        assert_eq!(rw.plan.len(), 1);
+        assert!(matches!(
+            rw.plan.root_node().op,
+            Operator::ScanView { .. }
+        ));
+        assert_eq!(rw.used, vec![root_view]);
+    }
+
+    #[test]
+    fn rewrite_is_idempotent_over_scan_views() {
+        let p = plan(4);
+        let root_view = fingerprint_plan(&p).view_name();
+        let available: HashSet<String> = [root_view].into_iter().collect();
+        let rw1 = rewrite_with_views(&p, &available);
+        let rw2 = rewrite_with_views(&rw1.plan, &available);
+        assert!(rw2.used.is_empty(), "no infinite self-replacement");
+        assert_eq!(rw2.plan, rw1.plan);
+    }
+
+    #[test]
+    fn multiple_branches_both_rewritten() {
+        // join of two identical-shape branches over different logs
+        let mut b = PlanBuilder::new();
+        let s1 = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let p1 = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("user_id").cast(DataType::Int),
+                    )],
+                },
+                vec![s1],
+            )
+            .unwrap();
+        let s2 = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let p2 = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("user_id").cast(DataType::Int),
+                    )],
+                },
+                vec![s2],
+            )
+            .unwrap();
+        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2]).unwrap();
+        let p = b.finish(j).unwrap();
+        let v1 = name_of(&p, NodeId(1));
+        let v2 = name_of(&p, NodeId(3));
+        let available: HashSet<String> = [v1.clone(), v2.clone()].into_iter().collect();
+        let rw = rewrite_with_views(&p, &available);
+        assert_eq!(rw.used.len(), 2);
+        assert_eq!(rw.plan.len(), 3, "two ScanViews + Join");
+        let mut scanned = rw.plan.scanned_views();
+        scanned.sort();
+        let mut expect = vec![v1, v2];
+        expect.sort();
+        assert_eq!(scanned, expect);
+    }
+}

@@ -1,0 +1,218 @@
+//! View metadata and the view catalog.
+//!
+//! A [`ViewDef`] records everything the tuner needs to know about a view
+//! *without* its contents (contents live in whichever store holds the view):
+//! the defining sub-plan, semantic fingerprint, schema, size, and
+//! provenance. The [`ViewCatalog`] is the tuner's registry of every view
+//! that currently exists anywhere in the multistore system.
+
+use miso_common::ids::QueryId;
+use miso_common::ByteSize;
+use miso_data::Schema;
+use miso_plan::{Fingerprint, LogicalPlan};
+use std::collections::HashMap;
+
+/// Metadata for one opportunistic view.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// Canonical name (`v_<fingerprint>`).
+    pub name: String,
+    /// Semantic fingerprint of the defining sub-plan.
+    pub fingerprint: Fingerprint,
+    /// The defining sub-plan (over base logs and/or other views).
+    pub plan: LogicalPlan,
+    /// Output schema.
+    pub schema: Schema,
+    /// Materialized size.
+    pub size: ByteSize,
+    /// Materialized row count.
+    pub rows: u64,
+    /// The query whose execution produced this view.
+    pub created_by: QueryId,
+}
+
+impl ViewDef {
+    /// Builds a definition from a defining plan, deriving name/fingerprint.
+    pub fn from_plan(
+        plan: LogicalPlan,
+        size: ByteSize,
+        rows: u64,
+        created_by: QueryId,
+    ) -> Self {
+        let fingerprint = miso_plan::fingerprint::fingerprint_plan(&plan);
+        let schema = plan.schema().clone();
+        ViewDef {
+            name: fingerprint.view_name(),
+            fingerprint,
+            plan,
+            schema,
+            size,
+            rows,
+            created_by,
+        }
+    }
+}
+
+/// All views known to the tuner, keyed by canonical name.
+#[derive(Debug, Clone, Default)]
+pub struct ViewCatalog {
+    views: HashMap<String, ViewDef>,
+}
+
+impl ViewCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a view; a semantically identical view (same name) keeps the
+    /// existing entry and returns `false` (dedup under semantic identity).
+    pub fn register(&mut self, def: ViewDef) -> bool {
+        if self.views.contains_key(&def.name) {
+            return false;
+        }
+        self.views.insert(def.name.clone(), def);
+        true
+    }
+
+    /// Removes a view (it no longer exists in any store).
+    pub fn remove(&mut self, name: &str) -> Option<ViewDef> {
+        self.views.remove(name)
+    }
+
+    /// Look up a view by name.
+    pub fn get(&self, name: &str) -> Option<&ViewDef> {
+        self.views.get(name)
+    }
+
+    /// Whether the catalog knows `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.views.contains_key(name)
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// True iff no views are registered.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// All view names, sorted (deterministic iteration for the tuner).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.views.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// All definitions, sorted by name.
+    pub fn defs(&self) -> Vec<&ViewDef> {
+        let mut defs: Vec<&ViewDef> = self.views.values().collect();
+        defs.sort_by(|a, b| a.name.cmp(&b.name));
+        defs
+    }
+
+    /// Updates a view's size/rowcount metadata after a refresh; no-op when
+    /// the view is unknown.
+    pub fn update_stats(&mut self, name: &str, size: ByteSize, rows: u64) {
+        if let Some(def) = self.views.get_mut(name) {
+            def.size = size;
+            def.rows = rows;
+        }
+    }
+
+    /// Total size of a set of views (absent names contribute zero).
+    pub fn total_size(&self, names: &[String]) -> ByteSize {
+        names
+            .iter()
+            .filter_map(|n| self.views.get(n).map(|v| v.size))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::DataType;
+    use miso_plan::{Expr, Operator, PlanBuilder};
+
+    fn sample_plan(filter_value: i64) -> LogicalPlan {
+        let mut b = PlanBuilder::new();
+        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![(
+                        "uid".into(),
+                        Expr::col(0).get("user_id").cast(DataType::Int),
+                    )],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let f = b
+            .add(
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(filter_value)),
+                },
+                vec![proj],
+            )
+            .unwrap();
+        b.finish(f).unwrap()
+    }
+
+    fn def(filter_value: i64) -> ViewDef {
+        ViewDef::from_plan(
+            sample_plan(filter_value),
+            ByteSize::from_kib(10),
+            100,
+            QueryId(1),
+        )
+    }
+
+    #[test]
+    fn from_plan_derives_identity() {
+        let d = def(5);
+        assert!(d.name.starts_with("v_"));
+        assert_eq!(d.name, d.fingerprint.view_name());
+        assert_eq!(d.schema.names(), vec!["uid"]);
+    }
+
+    #[test]
+    fn semantic_dedup() {
+        let mut cat = ViewCatalog::new();
+        assert!(cat.register(def(5)));
+        assert!(!cat.register(def(5)), "same semantics, same name");
+        assert!(cat.register(def(6)), "different predicate, new view");
+        assert_eq!(cat.len(), 2);
+    }
+
+    #[test]
+    fn names_are_sorted_and_total_size_sums() {
+        let mut cat = ViewCatalog::new();
+        cat.register(def(1));
+        cat.register(def(2));
+        let names = cat.names();
+        assert_eq!(names.len(), 2);
+        assert!(names[0] < names[1]);
+        assert_eq!(cat.total_size(&names), ByteSize::from_kib(20));
+        assert_eq!(
+            cat.total_size(&["missing".to_string()]),
+            ByteSize::ZERO
+        );
+    }
+
+    #[test]
+    fn remove_roundtrip() {
+        let mut cat = ViewCatalog::new();
+        let d = def(7);
+        let name = d.name.clone();
+        cat.register(d);
+        assert!(cat.contains(&name));
+        let removed = cat.remove(&name).unwrap();
+        assert_eq!(removed.name, name);
+        assert!(cat.is_empty());
+    }
+}

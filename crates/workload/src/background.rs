@@ -1,0 +1,85 @@
+//! Background DW reporting workload profiles (paper §5.4).
+//!
+//! The paper keeps a commercial DW busy with parameterized TPC-DS queries —
+//! template q3 (IO-intensive) and q83 (CPU-intensive) — run continuously to
+//! pin spare capacity at 20% or 40%. Our DW is simulated, so the profiles
+//! here parameterize `miso_dw::BackgroundSim` rather than issue real SQL;
+//! the template metadata is kept for the benches' reporting.
+
+use miso_dw::{BackgroundSim, Resource};
+
+/// One §5.4 configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackgroundProfile {
+    /// Saturated resource.
+    pub resource: Resource,
+    /// Spare percentage (20 or 40).
+    pub spare_percent: u32,
+    /// The TPC-DS template the paper used to create this load.
+    pub template: &'static str,
+    /// Concurrent instances the paper ran.
+    pub instances: u32,
+}
+
+impl BackgroundProfile {
+    /// Builds the matching simulator.
+    pub fn simulator(&self) -> BackgroundSim {
+        BackgroundSim::paper_config(self.resource, self.spare_percent)
+    }
+
+    /// Display label, e.g. `IO 40%`.
+    pub fn label(&self) -> String {
+        let r = match self.resource {
+            Resource::Io => "IO",
+            Resource::Cpu => "CPU",
+        };
+        format!("{r} {}%", self.spare_percent)
+    }
+}
+
+/// The four Table 2 rows.
+pub fn paper_profiles() -> [BackgroundProfile; 4] {
+    [
+        BackgroundProfile {
+            resource: Resource::Io,
+            spare_percent: 40,
+            template: "q3",
+            instances: 1,
+        },
+        BackgroundProfile {
+            resource: Resource::Io,
+            spare_percent: 20,
+            template: "q3",
+            instances: 3,
+        },
+        BackgroundProfile {
+            resource: Resource::Cpu,
+            spare_percent: 40,
+            template: "q83",
+            instances: 2,
+        },
+        BackgroundProfile {
+            resource: Resource::Cpu,
+            spare_percent: 20,
+            template: "q83",
+            instances: 3,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_profiles_matching_table_2() {
+        let profiles = paper_profiles();
+        assert_eq!(profiles.len(), 4);
+        assert_eq!(profiles[0].label(), "IO 40%");
+        assert_eq!(profiles[3].label(), "CPU 20%");
+        for p in profiles {
+            let sim = p.simulator();
+            assert!((sim.spare - p.spare_percent as f64 / 100.0).abs() < 1e-9);
+        }
+    }
+}

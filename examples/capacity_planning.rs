@@ -1,0 +1,102 @@
+//! Capacity planning: how do the view storage and transfer budgets trade
+//! off against query acceleration and warehouse interference?
+//!
+//! Sweeps `B_h`/`B_d` multiples and `B_t`, and shows the Table-2-style
+//! mutual impact when the warehouse already runs a reporting workload.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use miso::common::Budgets;
+use miso::core::{MultistoreSystem, SystemConfig, Variant};
+use miso::data::logs::{Corpus, LogsConfig};
+use miso::dw::{BackgroundSim, Resource};
+use miso::workload::{compile_workload, standard_udfs, workload_catalog};
+
+fn run(
+    corpus: &Corpus,
+    workload: &[(String, miso::plan::LogicalPlan)],
+    budgets: Budgets,
+    background: Option<BackgroundSim>,
+) -> (miso::core::ExperimentResult, Option<f64>) {
+    let mut config = SystemConfig::paper_default(budgets);
+    config.background = background;
+    let mut system =
+        MultistoreSystem::new(corpus, workload_catalog(), standard_udfs(), config);
+    let result = system.run_workload(Variant::MsMiso, workload).unwrap();
+    let bg_slowdown = system.background().map(|bg| bg.bg_slowdown_percent());
+    (result, bg_slowdown)
+}
+
+fn main() {
+    let corpus = Corpus::generate(&LogsConfig::experiment());
+    let catalog = workload_catalog();
+    let workload = compile_workload(&catalog).unwrap();
+    let base = corpus.total_size();
+
+    println!("== storage-budget sweep (B_t fixed at 2% of base) ==");
+    println!("{:>8} {:>10} {:>12} {:>12}", "budget", "TTI (ks)", "views in DW", "reorg moves");
+    for mult in [0.125, 0.5, 2.0] {
+        let budgets = Budgets::new(
+            base.scale(mult),
+            base.scale(0.1 * mult),
+            base.scale(0.02),
+        )
+        .with_discretization(miso::common::ByteSize::from_kib(8));
+        let (result, _) = run(&corpus, &workload, budgets, None);
+        let moved: usize = result.reorgs.iter().map(|r| r.moved_to_dw.len()).sum();
+        println!(
+            "{:>7}x {:>10.1} {:>12} {:>12}",
+            mult,
+            result.tti_total().as_secs_f64() / 1000.0,
+            result
+                .reorgs
+                .last()
+                .map(|r| r.moved_to_dw.len())
+                .unwrap_or(0),
+            moved
+        );
+    }
+
+    println!("\n== transfer-budget sweep (storage fixed at 2x) ==");
+    println!("{:>8} {:>10} {:>11}", "B_t", "TTI (ks)", "tune (ks)");
+    for bt_frac in [0.0025, 0.01, 0.02, 0.08] {
+        let budgets = Budgets::new(base.scale(2.0), base.scale(0.2), base.scale(bt_frac))
+            .with_discretization(miso::common::ByteSize::from_kib(8));
+        let (result, _) = run(&corpus, &workload, budgets, None);
+        println!(
+            "{:>7.2}% {:>10.1} {:>11.2}",
+            bt_frac * 100.0,
+            result.tti_total().as_secs_f64() / 1000.0,
+            result.tti.tune.as_secs_f64() / 1000.0
+        );
+    }
+
+    println!("\n== interference with a busy warehouse (storage 2x, B_t 2%) ==");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "spare", "bg slowdown", "TTI (ks)"
+    );
+    let budgets = Budgets::new(base.scale(2.0), base.scale(0.2), base.scale(0.02))
+        .with_discretization(miso::common::ByteSize::from_kib(8));
+    for (resource, spare) in [(Resource::Io, 40), (Resource::Io, 20), (Resource::Cpu, 20)] {
+        let bg = BackgroundSim::paper_config(resource, spare);
+        let label = format!(
+            "{} {spare}%",
+            if resource == Resource::Io { "IO" } else { "CPU" }
+        );
+        let (result, bg_slowdown) = run(&corpus, &workload, budgets, Some(bg));
+        println!(
+            "{:>10} {:>13.1}% {:>14.1}",
+            label,
+            bg_slowdown.unwrap(),
+            result.tti_total().as_secs_f64() / 1000.0
+        );
+    }
+    println!(
+        "\ntakeaway: modest budgets already capture most of the acceleration, \
+         and the reporting workload barely notices — the paper's §5.4 story."
+    );
+}

@@ -1,0 +1,90 @@
+//! Marketing analytics: the paper's full evaluation scenario — eight
+//! analysts exploring social-media logs for restaurant-marketing insights,
+//! 32 evolving queries, MISO tuning both stores online.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example marketing_analytics
+//! ```
+
+use miso::common::Budgets;
+use miso::core::{MultistoreSystem, SystemConfig, Variant};
+use miso::data::logs::{Corpus, LogsConfig};
+use miso::workload::{compile_workload, standard_udfs, workload_catalog};
+
+fn main() {
+    let corpus = Corpus::generate(&LogsConfig::experiment());
+    let catalog = workload_catalog();
+    let workload = compile_workload(&catalog).unwrap();
+    println!(
+        "workload: {} queries over {} of logs\n",
+        workload.len(),
+        corpus.total_size()
+    );
+
+    // Paper-style budgets: 2x of each store's base data, small transfer
+    // budget per reorganization phase.
+    let base = corpus.total_size();
+    let budgets = Budgets::new(base.scale(2.0), base.scale(0.2), base.scale(0.02))
+        .with_discretization(miso::common::ByteSize::from_kib(8));
+
+    // Run the same stream under three regimes and compare.
+    let mut rows = Vec::new();
+    for variant in [Variant::HvOnly, Variant::MsBasic, Variant::MsMiso] {
+        let config = SystemConfig::paper_default(budgets);
+        let mut system =
+            MultistoreSystem::new(&corpus, workload_catalog(), standard_udfs(), config);
+        let result = system.run_workload(variant, &workload).unwrap();
+        rows.push((variant, result));
+    }
+
+    println!(
+        "{:>9} {:>10} {:>10} {:>10} {:>10} {:>11}",
+        "variant", "HV-EXE", "DW-EXE", "TRANSFER", "TUNE", "TTI (ks)"
+    );
+    for (variant, r) in &rows {
+        println!(
+            "{:>9} {:>10.1} {:>10.1} {:>10.1} {:>10.1} {:>11.1}",
+            variant.name(),
+            r.tti.hv_exe.as_secs_f64() / 1000.0,
+            r.tti.dw_exe.as_secs_f64() / 1000.0,
+            r.tti.transfer.as_secs_f64() / 1000.0,
+            r.tti.tune.as_secs_f64() / 1000.0,
+            r.tti_total().as_secs_f64() / 1000.0,
+        );
+    }
+
+    let hv_only = rows[0].1.tti_total().as_secs_f64();
+    let miso = rows[2].1.tti_total().as_secs_f64();
+    println!("\nMISO speedup over Hive-only: {:.1}x", hv_only / miso);
+
+    // Which analysts benefited most? Group per-query times by analyst.
+    println!("\nper-analyst total execution time (ks), MS-MISO vs HV-ONLY:");
+    for analyst in 1..=8 {
+        let label = format!("A{analyst}");
+        let sum = |r: &miso::core::ExperimentResult| -> f64 {
+            r.records
+                .iter()
+                .filter(|rec| rec.label.starts_with(&label))
+                .map(|rec| rec.exec_total().as_secs_f64())
+                .sum::<f64>()
+                / 1000.0
+        };
+        let cold = sum(&rows[0].1);
+        let tuned = sum(&rows[2].1);
+        println!(
+            "  {label}: {cold:>6.1} -> {tuned:>6.1}  ({:.1}x)",
+            cold / tuned.max(1e-9)
+        );
+    }
+
+    // The queries that ended up fully accelerated.
+    let fast: Vec<&str> = rows[2]
+        .1
+        .records
+        .iter()
+        .filter(|rec| rec.dw_utilization() > 0.5)
+        .map(|rec| rec.label.as_str())
+        .collect();
+    println!("\nqueries that ran mostly in the warehouse: {fast:?}");
+}

@@ -1,0 +1,99 @@
+//! Quickstart: stand up a multistore system, pose a HiveQL query over raw
+//! JSON logs, and watch MISO tune the physical design.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use miso::common::{Budgets, ByteSize};
+use miso::core::{MultistoreSystem, SystemConfig, Variant};
+use miso::data::logs::{Corpus, LogsConfig};
+use miso::lang::compile;
+use miso::workload::{standard_udfs, workload_catalog};
+
+fn main() {
+    // 1. Generate a synthetic social-media corpus (Twitter + Foursquare +
+    //    Landmarks logs as JSON lines, deterministic from the seed).
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    println!(
+        "corpus: {} tweets, {} check-ins, {} landmarks ({} total)",
+        corpus.twitter.len(),
+        corpus.foursquare.len(),
+        corpus.landmarks.len(),
+        corpus.total_size()
+    );
+
+    // 2. Build the multistore system: HV (Hive-like, holds the logs) plus
+    //    DW (warehouse-like, empty), with view storage/transfer budgets.
+    let budgets = Budgets::new(
+        ByteSize::from_mib(64), // B_h
+        ByteSize::from_mib(8),  // B_d
+        ByteSize::from_mib(4),  // B_t per reorganization
+    )
+    .with_discretization(ByteSize::from_kib(16));
+    let mut config = SystemConfig::paper_default(budgets);
+    config.reorg_every = 2; // tune aggressively for this tiny demo
+    let mut system =
+        MultistoreSystem::new(&corpus, workload_catalog(), standard_udfs(), config);
+
+    // 3. Pose an evolving sequence of HiveQL queries, the way an analyst
+    //    iterates. Queries are declarative over the raw logs; the SerDe
+    //    extraction, splitting, and view reuse all happen inside.
+    let catalog = workload_catalog();
+    let sqls = [
+        ("explore", "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+                     WHERE t.followers > 100 GROUP BY t.city"),
+        ("refine", "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+                    WHERE t.followers > 100 GROUP BY t.city \
+                    HAVING COUNT(*) > 5 ORDER BY n DESC"),
+        ("pivot", "SELECT t.lang AS lang, COUNT(*) AS n FROM twitter t \
+                   WHERE t.followers > 100 GROUP BY t.lang"),
+        ("zoom", "SELECT t.lang AS lang, COUNT(*) AS n FROM twitter t \
+                  WHERE t.followers > 100 GROUP BY t.lang ORDER BY n DESC LIMIT 3"),
+    ];
+    let queries: Vec<(String, _)> = sqls
+        .iter()
+        .map(|(label, sql)| (label.to_string(), compile(sql, &catalog).unwrap()))
+        .collect();
+
+    let result = system.run_workload(Variant::MsMiso, &queries).unwrap();
+
+    // 4. Inspect what happened.
+    println!("\nper-query breakdown (simulated seconds):");
+    println!(
+        "{:>8} {:>10} {:>8} {:>8} {:>6} {:>12}",
+        "query", "HV", "DW", "xfer", "rows", "views used"
+    );
+    for rec in &result.records {
+        println!(
+            "{:>8} {:>10.1} {:>8.2} {:>8.1} {:>6} {:>12}",
+            rec.label,
+            rec.hv.as_secs_f64(),
+            rec.dw.as_secs_f64(),
+            rec.transfer.as_secs_f64(),
+            rec.result_rows,
+            rec.used_views.len()
+        );
+    }
+    println!("\nreorganizations: {}", result.reorgs.len());
+    for (i, r) in result.reorgs.iter().enumerate() {
+        println!(
+            "  phase {i}: {} view(s) -> DW, {} -> HV, {} moved",
+            r.moved_to_dw.len(),
+            r.moved_to_hv.len(),
+            r.bytes_moved
+        );
+    }
+    println!("\nTTI breakdown:");
+    println!("  HV-EXE   {:>10.1}s", result.tti.hv_exe.as_secs_f64());
+    println!("  DW-EXE   {:>10.1}s", result.tti.dw_exe.as_secs_f64());
+    println!("  TRANSFER {:>10.1}s", result.tti.transfer.as_secs_f64());
+    println!("  TUNE     {:>10.1}s", result.tti.tune.as_secs_f64());
+    println!("  total    {:>10.1}s", result.tti_total().as_secs_f64());
+    println!(
+        "\nfinal design: {} view(s) in HV, {} in DW",
+        system.hv.view_names().len(),
+        system.dw.view_names().len()
+    );
+}

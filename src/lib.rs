@@ -1,0 +1,38 @@
+//! # MISO — Souping Up Big Data Query Processing with a Multistore System
+//!
+//! A from-scratch Rust reproduction of LeFevre et al., SIGMOD 2014.
+//!
+//! This facade crate re-exports the whole workspace so examples, integration
+//! tests, and downstream users can depend on a single crate:
+//!
+//! ```
+//! use miso::prelude::*;
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use miso_common as common;
+pub use miso_core as core;
+pub use miso_data as data;
+pub use miso_dw as dw;
+pub use miso_exec as exec;
+pub use miso_hv as hv;
+pub use miso_lang as lang;
+pub use miso_optimizer as optimizer;
+pub use miso_plan as plan;
+pub use miso_views as views;
+pub use miso_workload as workload;
+
+/// One-stop imports for the common workflow: generate a corpus, compile
+/// queries, drive a system variant, read its TTI breakdown.
+pub mod prelude {
+    pub use miso_common::{Budgets, ByteSize, MisoError, Result, SimClock, SimDuration};
+    pub use miso_core::{
+        ExperimentResult, MaintenancePolicy, MultistoreSystem, SystemConfig, Variant,
+    };
+    pub use miso_data::logs::{Corpus, LogKind, LogsConfig};
+    pub use miso_lang::{compile, Catalog};
+    pub use miso_plan::LogicalPlan;
+    pub use miso_workload::{compile_workload, standard_udfs, workload_catalog};
+}

@@ -1,0 +1,231 @@
+//! Failure-injection and edge-condition tests: the system must degrade
+//! gracefully, never corrupt results, and report precise errors.
+
+use miso::common::{Budgets, ByteSize};
+use miso::core::{MultistoreSystem, SystemConfig, Variant};
+use miso::data::logs::{Corpus, LogFile, LogKind, LogsConfig};
+use miso::exec::engine::execute;
+use miso::exec::MemSource;
+use miso::lang::compile;
+use miso::workload::{standard_udfs, workload_catalog};
+
+fn budgets() -> Budgets {
+    Budgets::new(
+        ByteSize::from_mib(16),
+        ByteSize::from_mib(2),
+        ByteSize::from_mib(1),
+    )
+    .with_discretization(ByteSize::from_kib(16))
+}
+
+#[test]
+fn corrupted_log_lines_are_skipped_not_fatal() {
+    let mut corpus = Corpus::generate(&LogsConfig::tiny());
+    // Corrupt a third of the tweet log in assorted ways.
+    let mut lines = corpus.twitter.lines.clone();
+    for (i, line) in lines.iter_mut().enumerate() {
+        match i % 9 {
+            0 => *line = "totally not json".to_string(),
+            3 => *line = line[..line.len() / 2].to_string(), // truncated
+            6 => line.push_str("}} trailing"),               // trailing garbage
+            _ => {}
+        }
+    }
+    let expected_good = lines
+        .iter()
+        .filter(|l| miso::data::json::parse_json(l).is_ok())
+        .count();
+    corpus.twitter = LogFile {
+        kind: LogKind::Twitter,
+        size: corpus.twitter.size,
+        lines,
+    };
+
+    let catalog = workload_catalog();
+    let mut sys = MultistoreSystem::new(
+        &corpus,
+        catalog.clone(),
+        standard_udfs(),
+        SystemConfig::paper_default(budgets()),
+    );
+    let q = compile("SELECT COUNT(*) AS n FROM twitter t WHERE t.tweet_id >= 0", &catalog)
+        .unwrap();
+    let result = sys
+        .run_workload(Variant::HvOnly, &[("probe".into(), q)])
+        .unwrap();
+    assert_eq!(result.records[0].result_rows, 1);
+    // The count reflects only parseable records.
+    assert!(expected_good < corpus.twitter.len());
+}
+
+#[test]
+fn missing_log_is_a_store_error_not_a_panic() {
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let mut catalog = workload_catalog();
+    catalog.add_log("instagram", [("user_id", miso::data::DataType::Int)]);
+    let q = compile("SELECT i.user_id FROM instagram i WHERE i.user_id > 0", &catalog).unwrap();
+    let mut sys = MultistoreSystem::new(
+        &corpus,
+        catalog,
+        standard_udfs(),
+        SystemConfig::paper_default(budgets()),
+    );
+    let err = sys
+        .run_workload(Variant::HvOnly, &[("q".into(), q)])
+        .unwrap_err();
+    assert_eq!(err.layer(), "store");
+    assert!(err.to_string().contains("instagram"));
+}
+
+#[test]
+fn unknown_udf_at_execution_is_an_error() {
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let mut catalog = workload_catalog();
+    catalog.add_udf(
+        "phantom",
+        miso::data::Schema::new(vec![miso::data::Field::new(
+            "x",
+            miso::data::DataType::Int,
+        )]),
+    );
+    let q = compile("SELECT p.x FROM APPLY(phantom, twitter) p WHERE p.x > 0", &catalog)
+        .unwrap();
+    // Registry lacks `phantom`.
+    let mut sys = MultistoreSystem::new(
+        &corpus,
+        catalog,
+        standard_udfs(),
+        SystemConfig::paper_default(budgets()),
+    );
+    let err = sys
+        .run_workload(Variant::HvOnly, &[("q".into(), q)])
+        .unwrap_err();
+    assert!(err.to_string().contains("phantom"), "{err}");
+}
+
+#[test]
+fn empty_workload_is_a_clean_no_op() {
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    for variant in Variant::ALL {
+        let mut sys = MultistoreSystem::new(
+            &corpus,
+            workload_catalog(),
+            standard_udfs(),
+            SystemConfig::paper_default(budgets()),
+        );
+        let result = sys.run_workload(variant, &[]).unwrap();
+        assert!(result.records.is_empty(), "{variant}");
+        if variant != Variant::DwOnly {
+            assert!(
+                result.tti_total().is_zero(),
+                "{variant}: {}",
+                result.tti_total()
+            );
+        }
+    }
+}
+
+#[test]
+fn queries_over_empty_logs_work() {
+    let empty = Corpus {
+        twitter: LogFile { kind: LogKind::Twitter, lines: vec![], size: ByteSize::ZERO },
+        foursquare: LogFile {
+            kind: LogKind::Foursquare,
+            lines: vec![],
+            size: ByteSize::ZERO,
+        },
+        landmarks: LogFile {
+            kind: LogKind::Landmarks,
+            lines: vec![],
+            size: ByteSize::ZERO,
+        },
+    };
+    let catalog = workload_catalog();
+    let q = compile(
+        "SELECT t.city AS c, COUNT(*) AS n FROM twitter t WHERE t.followers > 1 GROUP BY t.city",
+        &catalog,
+    )
+    .unwrap();
+    let mut sys = MultistoreSystem::new(
+        &empty,
+        catalog,
+        standard_udfs(),
+        SystemConfig::paper_default(budgets()),
+    );
+    let result = sys
+        .run_workload(Variant::MsMiso, &[("q".into(), q)])
+        .unwrap();
+    assert_eq!(result.records[0].result_rows, 0);
+}
+
+#[test]
+fn udf_errors_propagate_with_context() {
+    use std::sync::Arc;
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let mut catalog = workload_catalog();
+    let schema = miso::data::Schema::new(vec![miso::data::Field::new(
+        "x",
+        miso::data::DataType::Int,
+    )]);
+    catalog.add_udf("exploder", schema.clone());
+    let mut udfs = standard_udfs();
+    udfs.register(miso::exec::Udf::new(
+        "exploder",
+        schema,
+        Arc::new(|_row: &miso::data::Row| {
+            Err(miso::common::MisoError::Execution("boom".into()))
+        }),
+    ));
+    let q = compile("SELECT e.x FROM APPLY(exploder, twitter) e WHERE e.x > 0", &catalog)
+        .unwrap();
+    let mut src = MemSource::new();
+    src.add_log("twitter", corpus.twitter.lines.clone());
+    let err = execute(&q, &src, &udfs).unwrap_err();
+    assert!(err.to_string().contains("boom"));
+}
+
+#[test]
+fn degenerate_budgets_still_run() {
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let catalog = workload_catalog();
+    let q = compile(
+        "SELECT t.city AS c, COUNT(*) AS n FROM twitter t WHERE t.followers > 1 GROUP BY t.city",
+        &catalog,
+    )
+    .unwrap();
+    // All budgets zero: the system degrades to MS-BASIC-like behaviour.
+    let zero = Budgets::new(ByteSize::ZERO, ByteSize::ZERO, ByteSize::ZERO)
+        .with_discretization(ByteSize::from_kib(16));
+    let mut sys = MultistoreSystem::new(
+        &corpus,
+        catalog,
+        standard_udfs(),
+        SystemConfig::paper_default(zero),
+    );
+    let queries: Vec<_> = (0..4).map(|i| (format!("q{i}"), q.clone())).collect();
+    let result = sys.run_workload(Variant::MsMiso, &queries).unwrap();
+    assert_eq!(result.records.len(), 4);
+    assert!(sys.dw.view_names().is_empty());
+    // HV may hold views created since the *last* reorganization (the budget
+    // is only enforced at tuning time, paper §3.1), but every reorg must
+    // have enforced B_h = 0 when it ran.
+    for reorg in &result.reorgs {
+        assert!(reorg.moved_to_dw.is_empty());
+    }
+}
+
+#[test]
+fn reorg_with_no_views_and_no_history_is_harmless() {
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let catalog = workload_catalog();
+    let q = compile("SELECT COUNT(*) AS n FROM landmarks l WHERE l.rating > 0.0", &catalog)
+        .unwrap();
+    let mut cfg = SystemConfig::paper_default(budgets());
+    cfg.reorg_every = 1; // reorganize between every pair of queries
+    let mut sys =
+        MultistoreSystem::new(&corpus, catalog, standard_udfs(), cfg);
+    let queries: Vec<_> = (0..3).map(|i| (format!("q{i}"), q.clone())).collect();
+    let result = sys.run_workload(Variant::MsMiso, &queries).unwrap();
+    assert_eq!(result.records.len(), 3);
+    assert_eq!(result.reorgs.len(), 2);
+}

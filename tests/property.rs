@@ -1,0 +1,264 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithmic invariants.
+
+use miso::common::rng::DetRng;
+use miso::common::ByteSize;
+use miso::core::{m_knapsack, PackItem};
+use miso::data::json::{parse_json, to_json};
+use miso::data::Value;
+use miso::plan::split::enumerate_splits;
+use miso::plan::{AggExpr, AggFunc, Expr, LogicalPlan, Operator, PlanBuilder};
+use miso::views::decay_weights;
+use proptest::prelude::*;
+
+// ---- JSON round-trips -------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite floats only: non-finite serialize to null by design.
+        (-1e15f64..1e15f64).prop_map(Value::Float),
+        "[a-zA-Z0-9 _äöü€]{0,24}".prop_map(Value::str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
+            prop::collection::vec(("[a-z]{1,8}", inner), 0..5)
+                .prop_map(|fields| Value::object(
+                    fields.into_iter().collect()
+                )),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrip(v in arb_value()) {
+        let text = to_json(&v);
+        let back = parse_json(&text).unwrap();
+        // Floats that happen to be integral parse back as Int; Value's
+        // cross-type equality makes this comparison still exact.
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_never_panics_on_garbage(s in "\\PC{0,64}") {
+        let _ = parse_json(&s);
+    }
+}
+
+// ---- Value ordering is a total order -----------------------------------
+
+proptest! {
+    #[test]
+    fn value_ordering_is_total_and_antisymmetric(
+        a in arb_value(),
+        b in arb_value(),
+        c in arb_value()
+    ) {
+        use std::cmp::Ordering;
+        // antisymmetry
+        let ab = a.cmp(&b);
+        let ba = b.cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        // transitivity (spot check)
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        // equality consistent with hashing
+        if a == b {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+}
+
+// ---- Knapsack optimality vs brute force ---------------------------------
+
+fn arb_items() -> impl Strategy<Value = Vec<PackItem>> {
+    prop::collection::vec(
+        (0u64..6, 0u64..4, 0.0f64..100.0),
+        0..10,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (s, t, b))| PackItem {
+                views: vec![format!("v{i}")],
+                storage_units: s,
+                transfer_units: t,
+                benefit: b,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn knapsack_matches_brute_force(
+        items in arb_items(),
+        storage in 0u64..12,
+        transfer in 0u64..8
+    ) {
+        let dp = m_knapsack(&items, storage, transfer);
+        let mut best = 0.0f64;
+        for mask in 0u32..(1 << items.len()) {
+            let mut s = 0;
+            let mut t = 0;
+            let mut b = 0.0;
+            for (i, item) in items.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    s += item.storage_units;
+                    t += item.transfer_units;
+                    b += item.benefit;
+                }
+            }
+            if s <= storage && t <= transfer {
+                best = best.max(b);
+            }
+        }
+        prop_assert!((dp.benefit - best).abs() < 1e-9,
+            "dp {} vs brute {best}", dp.benefit);
+        prop_assert!(dp.storage_used <= storage);
+        prop_assert!(dp.transfer_used <= transfer);
+    }
+}
+
+// ---- Split enumeration invariants ---------------------------------------
+
+/// Random linear-with-one-join plan shapes.
+fn arb_plan() -> impl Strategy<Value = LogicalPlan> {
+    (1usize..4, 0usize..3, any::<bool>()).prop_map(|(left_len, right_len, join)| {
+        let mut b = PlanBuilder::new();
+        let mut node = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        for i in 0..left_len {
+            node = b
+                .add(
+                    Operator::Filter {
+                        predicate: Expr::col(0).eq(Expr::lit(i as i64)),
+                    },
+                    vec![node],
+                )
+                .unwrap();
+        }
+        if join {
+            let mut right = b
+                .add(Operator::ScanLog { log: "foursquare".into() }, vec![])
+                .unwrap();
+            for i in 0..right_len {
+                right = b
+                    .add(
+                        Operator::Filter {
+                            predicate: Expr::col(0).eq(Expr::lit(i as i64)),
+                        },
+                        vec![right],
+                    )
+                    .unwrap();
+            }
+            node = b.add(Operator::Join { on: vec![(0, 0)] }, vec![node, right]).unwrap();
+        }
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![],
+                    aggs: vec![AggExpr::new(AggFunc::Count, None, "n")],
+                },
+                vec![node],
+            )
+            .unwrap();
+        b.finish(agg).unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn enumerated_splits_are_valid_unique_and_include_hv_only(p in arb_plan()) {
+        let splits = enumerate_splits(&p);
+        prop_assert!(!splits.is_empty());
+        for s in &splits {
+            prop_assert!(s.validate(&p).is_ok());
+        }
+        // Uniqueness.
+        for i in 0..splits.len() {
+            for j in (i + 1)..splits.len() {
+                prop_assert_ne!(&splits[i], &splits[j]);
+            }
+        }
+        prop_assert!(splits.iter().any(|s| s.is_hv_only(&p)));
+        // Cut working sets are exactly the HV nodes feeding DW nodes.
+        for s in &splits {
+            for cut in s.cut_nodes(&p) {
+                prop_assert!(s.in_hv(cut));
+            }
+        }
+    }
+}
+
+// ---- Decay weights -------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn decay_weights_are_monotone_and_bounded(
+        n in 0usize..40,
+        epoch in 1usize..8,
+        decay in 0.05f64..1.0
+    ) {
+        let w = decay_weights(n, epoch, decay);
+        prop_assert_eq!(w.len(), n);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-12, "weights increase toward now");
+        }
+        for &x in &w {
+            prop_assert!(x > 0.0 && x <= 1.0);
+        }
+        if n > 0 {
+            prop_assert!((w[n - 1] - 1.0).abs() < 1e-12);
+        }
+    }
+}
+
+// ---- ByteSize discretization ----------------------------------------------
+
+proptest! {
+    #[test]
+    fn units_ceil_overcharges_but_never_undercharges(
+        bytes in 0u64..1_000_000,
+        unit_kib in 1u64..128
+    ) {
+        let size = ByteSize::from_bytes(bytes);
+        let unit = ByteSize::from_kib(unit_kib);
+        let units = size.units_ceil(unit);
+        prop_assert!(units * unit.as_bytes() >= bytes);
+        prop_assert!(units.saturating_sub(1) * unit.as_bytes() < bytes || bytes == 0);
+    }
+}
+
+// ---- Deterministic RNG -----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn det_rng_streams_replay(seed in any::<u64>()) {
+        let mut a = DetRng::new(seed);
+        let mut b = DetRng::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn det_rng_below_is_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = DetRng::new(seed);
+        for _ in 0..16 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}
