@@ -1,103 +1,141 @@
 //! Criterion microbenchmarks for the execution substrate: JSON SerDe, the
 //! row operators, and staged HV execution.
+//!
+//! Gated behind `extern-deps`: criterion comes from crates.io, which the
+//! offline build cannot resolve.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use miso_data::json::parse_json;
-use miso_data::logs::{Corpus, LogsConfig};
-use miso_exec::engine::{execute, MemSource};
-use miso_hv::HvStore;
-use miso_lang::compile;
-use miso_workload::{standard_udfs, workload_catalog};
+#[cfg(feature = "extern-deps")]
+mod real {
+    use criterion::{criterion_group, criterion_main, Criterion};
+    use miso_data::json::parse_json;
+    use miso_data::logs::{Corpus, LogsConfig};
+    use miso_exec::engine::{execute, MemSource};
+    use miso_hv::HvStore;
+    use miso_lang::compile;
+    use miso_workload::{standard_udfs, workload_catalog};
 
-fn corpus() -> Corpus {
-    Corpus::generate(&LogsConfig::tiny())
-}
+    fn corpus() -> Corpus {
+        Corpus::generate(&LogsConfig::tiny())
+    }
 
-fn bench_serde(c: &mut Criterion) {
-    let corpus = corpus();
-    c.bench_function("json_parse_1200_tweets", |b| {
-        b.iter(|| {
-            corpus
-                .twitter
-                .lines
-                .iter()
-                .filter(|l| parse_json(l).is_ok())
-                .count()
+    fn bench_serde(c: &mut Criterion) {
+        let corpus = corpus();
+        c.bench_function("json_parse_1200_tweets", |b| {
+            b.iter(|| {
+                corpus
+                    .twitter
+                    .lines
+                    .iter()
+                    .filter(|l| parse_json(l).is_ok())
+                    .count()
+            });
         });
-    });
+    }
+
+    fn bench_operators(c: &mut Criterion) {
+        let corpus = corpus();
+        let mut src = MemSource::new();
+        src.add_log("twitter", corpus.twitter.lines.clone());
+        src.add_log("foursquare", corpus.foursquare.lines.clone());
+        src.add_log("landmarks", corpus.landmarks.lines.clone());
+        let catalog = workload_catalog();
+        let udfs = standard_udfs();
+
+        let agg = compile(
+            "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS mood \
+             FROM twitter t WHERE t.followers > 50 GROUP BY t.city",
+            &catalog,
+        )
+        .unwrap();
+        c.bench_function("exec_filter_aggregate", |b| {
+            b.iter(|| {
+                execute(&agg, &src, &udfs)
+                    .unwrap()
+                    .root_rows()
+                    .unwrap()
+                    .len()
+            });
+        });
+
+        let join = compile(
+            "SELECT l.category AS cat, COUNT(*) AS n \
+             FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
+             GROUP BY l.category",
+            &catalog,
+        )
+        .unwrap();
+        c.bench_function("exec_hash_join_aggregate", |b| {
+            b.iter(|| {
+                execute(&join, &src, &udfs)
+                    .unwrap()
+                    .root_rows()
+                    .unwrap()
+                    .len()
+            });
+        });
+
+        let udf_query = compile(
+            "SELECT b.city AS city, MAX(b.buzz) AS peak \
+             FROM APPLY(buzz_score, twitter) b GROUP BY b.city",
+            &catalog,
+        )
+        .unwrap();
+        c.bench_function("exec_udf_pipeline", |b| {
+            b.iter(|| {
+                execute(&udf_query, &src, &udfs)
+                    .unwrap()
+                    .root_rows()
+                    .unwrap()
+                    .len()
+            });
+        });
+    }
+
+    fn bench_staged_hv(c: &mut Criterion) {
+        let corpus = corpus();
+        let mut hv = HvStore::new();
+        hv.add_log(corpus.twitter.clone());
+        hv.add_log(corpus.foursquare.clone());
+        hv.add_log(corpus.landmarks.clone());
+        let catalog = workload_catalog();
+        let udfs = standard_udfs();
+        let q = compile(
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 50 GROUP BY t.city ORDER BY n DESC",
+            &catalog,
+        )
+        .unwrap();
+        c.bench_function("hv_staged_execution_with_view_capture", |b| {
+            b.iter(|| hv.execute(&q, None, &udfs).unwrap().materialized.len());
+        });
+    }
+
+    fn bench_compile(c: &mut Criterion) {
+        let catalog = workload_catalog();
+        let sql = "SELECT l.category AS cat, COUNT(*) AS n, COUNT(DISTINCT t.user_id) AS users \
+                   FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
+                                  JOIN landmarks l ON f.venue_id = l.venue_id \
+                   WHERE t.followers > 30000 AND f.likes > 10 AND l.rating > 4.0 \
+                   GROUP BY l.category HAVING COUNT(*) > 5 ORDER BY n DESC LIMIT 10";
+        c.bench_function("compile_three_way_join", |b| {
+            b.iter(|| compile(sql, &catalog).unwrap().len());
+        });
+    }
+
+    criterion_group!(
+        benches,
+        bench_serde,
+        bench_operators,
+        bench_staged_hv,
+        bench_compile
+    );
+    criterion_main!(benches);
 }
 
-fn bench_operators(c: &mut Criterion) {
-    let corpus = corpus();
-    let mut src = MemSource::new();
-    src.add_log("twitter", corpus.twitter.lines.clone());
-    src.add_log("foursquare", corpus.foursquare.lines.clone());
-    src.add_log("landmarks", corpus.landmarks.lines.clone());
-    let catalog = workload_catalog();
-    let udfs = standard_udfs();
-
-    let agg = compile(
-        "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS mood \
-         FROM twitter t WHERE t.followers > 50 GROUP BY t.city",
-        &catalog,
-    )
-    .unwrap();
-    c.bench_function("exec_filter_aggregate", |b| {
-        b.iter(|| execute(&agg, &src, &udfs).unwrap().root_rows().unwrap().len());
-    });
-
-    let join = compile(
-        "SELECT l.category AS cat, COUNT(*) AS n \
-         FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
-         GROUP BY l.category",
-        &catalog,
-    )
-    .unwrap();
-    c.bench_function("exec_hash_join_aggregate", |b| {
-        b.iter(|| execute(&join, &src, &udfs).unwrap().root_rows().unwrap().len());
-    });
-
-    let udf_query = compile(
-        "SELECT b.city AS city, MAX(b.buzz) AS peak \
-         FROM APPLY(buzz_score, twitter) b GROUP BY b.city",
-        &catalog,
-    )
-    .unwrap();
-    c.bench_function("exec_udf_pipeline", |b| {
-        b.iter(|| execute(&udf_query, &src, &udfs).unwrap().root_rows().unwrap().len());
-    });
+#[cfg(feature = "extern-deps")]
+fn main() {
+    real::main()
 }
 
-fn bench_staged_hv(c: &mut Criterion) {
-    let corpus = corpus();
-    let mut hv = HvStore::new();
-    hv.add_log(corpus.twitter.clone());
-    hv.add_log(corpus.foursquare.clone());
-    hv.add_log(corpus.landmarks.clone());
-    let catalog = workload_catalog();
-    let udfs = standard_udfs();
-    let q = compile(
-        "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
-         WHERE t.followers > 50 GROUP BY t.city ORDER BY n DESC",
-        &catalog,
-    )
-    .unwrap();
-    c.bench_function("hv_staged_execution_with_view_capture", |b| {
-        b.iter(|| hv.execute(&q, None, &udfs).unwrap().materialized.len());
-    });
-}
-
-fn bench_compile(c: &mut Criterion) {
-    let catalog = workload_catalog();
-    let sql = "SELECT l.category AS cat, COUNT(*) AS n, COUNT(DISTINCT t.user_id) AS users \
-               FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
-                              JOIN landmarks l ON f.venue_id = l.venue_id \
-               WHERE t.followers > 30000 AND f.likes > 10 AND l.rating > 4.0 \
-               GROUP BY l.category HAVING COUNT(*) > 5 ORDER BY n DESC LIMIT 10";
-    c.bench_function("compile_three_way_join", |b| {
-        b.iter(|| compile(sql, &catalog).unwrap().len());
-    });
-}
-
-criterion_group!(benches, bench_serde, bench_operators, bench_staged_hv, bench_compile);
-criterion_main!(benches);
+#[cfg(not(feature = "extern-deps"))]
+fn main() {}

@@ -1,166 +1,183 @@
 //! Criterion microbenchmarks for the components the paper claims are
 //! "lightweight": the knapsack DP, interaction analysis, view rewriting,
 //! plan fingerprinting, and the full tuner invocation.
+//!
+//! Gated behind `extern-deps`: criterion comes from crates.io, which the
+//! offline build cannot resolve.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use miso_common::{Budgets, ByteSize};
-use miso_core::{m_knapsack, MisoTuner, PackItem, TunerConfig};
-use miso_dw::DwCostModel;
-use miso_hv::HvCostModel;
-use miso_lang::compile;
-use miso_optimizer::cost::TransferModel;
-use miso_plan::estimate::MapStats;
-use miso_plan::fingerprint::{fingerprint_all, fingerprint_subtree};
-use miso_plan::split::enumerate_splits;
-use miso_plan::Operator;
-use miso_views::{rewrite_with_views, ViewCatalog, ViewDef};
-use miso_workload::{authored_queries, workload_catalog};
-use std::collections::{BTreeSet, HashSet};
+#[cfg(feature = "extern-deps")]
+mod real {
+    use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+    use miso_common::{Budgets, ByteSize};
+    use miso_core::{m_knapsack, MisoTuner, PackItem, TunerConfig};
+    use miso_dw::DwCostModel;
+    use miso_hv::HvCostModel;
+    use miso_lang::compile;
+    use miso_optimizer::cost::TransferModel;
+    use miso_plan::estimate::MapStats;
+    use miso_plan::fingerprint::{fingerprint_all, fingerprint_subtree};
+    use miso_plan::split::enumerate_splits;
+    use miso_plan::Operator;
+    use miso_views::{rewrite_with_views, ViewCatalog, ViewDef};
+    use miso_workload::{authored_queries, workload_catalog};
+    use std::collections::{BTreeSet, HashSet};
 
-fn knapsack_items(n: usize) -> Vec<PackItem> {
-    (0..n)
-        .map(|i| PackItem {
-            views: vec![format!("v{i}")],
-            storage_units: (i as u64 * 7 + 3) % 20 + 1,
-            transfer_units: (i as u64 * 5 + 1) % 10,
-            benefit: ((i * 37) % 100) as f64 + 1.0,
-        })
-        .collect()
-}
-
-fn bench_knapsack(c: &mut Criterion) {
-    let mut group = c.benchmark_group("m_knapsack");
-    for &n in &[8usize, 32, 128] {
-        let items = knapsack_items(n);
-        group.bench_with_input(BenchmarkId::new("items", n), &items, |b, items| {
-            b.iter(|| m_knapsack(items, 128, 64));
-        });
+    fn knapsack_items(n: usize) -> Vec<PackItem> {
+        (0..n)
+            .map(|i| PackItem {
+                views: vec![format!("v{i}")],
+                storage_units: (i as u64 * 7 + 3) % 20 + 1,
+                transfer_units: (i as u64 * 5 + 1) % 10,
+                benefit: ((i * 37) % 100) as f64 + 1.0,
+            })
+            .collect()
     }
-    group.finish();
-}
 
-fn bench_fingerprints(c: &mut Criterion) {
-    let catalog = workload_catalog();
-    let plans: Vec<_> = authored_queries()
-        .into_iter()
-        .map(|q| compile(&q.sql, &catalog).unwrap())
-        .collect();
-    c.bench_function("fingerprint_all_32_queries", |b| {
-        b.iter(|| {
-            plans
-                .iter()
-                .map(|p| fingerprint_all(p).len())
-                .sum::<usize>()
-        });
-    });
-}
+    fn bench_knapsack(c: &mut Criterion) {
+        let mut group = c.benchmark_group("m_knapsack");
+        for &n in &[8usize, 32, 128] {
+            let items = knapsack_items(n);
+            group.bench_with_input(BenchmarkId::new("items", n), &items, |b, items| {
+                b.iter(|| m_knapsack(items, 128, 64));
+            });
+        }
+        group.finish();
+    }
 
-fn bench_split_enumeration(c: &mut Criterion) {
-    let catalog = workload_catalog();
-    let three_way = compile(
-        &authored_queries()
+    fn bench_fingerprints(c: &mut Criterion) {
+        let catalog = workload_catalog();
+        let plans: Vec<_> = authored_queries()
             .into_iter()
-            .find(|q| q.label == "A8v4")
-            .unwrap()
-            .sql,
-        &catalog,
-    )
-    .unwrap();
-    c.bench_function("enumerate_splits_A8v4", |b| {
-        b.iter(|| enumerate_splits(&three_way).len());
-    });
-}
+            .map(|q| compile(&q.sql, &catalog).unwrap())
+            .collect();
+        c.bench_function("fingerprint_all_32_queries", |b| {
+            b.iter(|| {
+                plans
+                    .iter()
+                    .map(|p| fingerprint_all(p).len())
+                    .sum::<usize>()
+            });
+        });
+    }
 
-fn bench_rewrite(c: &mut Criterion) {
-    let catalog = workload_catalog();
-    let plans: Vec<_> = authored_queries()
-        .into_iter()
-        .map(|q| compile(&q.sql, &catalog).unwrap())
-        .collect();
-    // Materialize every filter view of the first 8 queries as candidates.
-    let mut available: HashSet<String> = HashSet::new();
-    for plan in plans.iter().take(8) {
-        let fps = fingerprint_all(plan);
-        for node in plan.nodes() {
-            if matches!(node.op, Operator::Filter { .. }) {
-                available.insert(fps[&node.id].view_name());
+    fn bench_split_enumeration(c: &mut Criterion) {
+        let catalog = workload_catalog();
+        let three_way = compile(
+            &authored_queries()
+                .into_iter()
+                .find(|q| q.label == "A8v4")
+                .unwrap()
+                .sql,
+            &catalog,
+        )
+        .unwrap();
+        c.bench_function("enumerate_splits_A8v4", |b| {
+            b.iter(|| enumerate_splits(&three_way).len());
+        });
+    }
+
+    fn bench_rewrite(c: &mut Criterion) {
+        let catalog = workload_catalog();
+        let plans: Vec<_> = authored_queries()
+            .into_iter()
+            .map(|q| compile(&q.sql, &catalog).unwrap())
+            .collect();
+        // Materialize every filter view of the first 8 queries as candidates.
+        let mut available: HashSet<String> = HashSet::new();
+        for plan in plans.iter().take(8) {
+            let fps = fingerprint_all(plan);
+            for node in plan.nodes() {
+                if matches!(node.op, Operator::Filter { .. }) {
+                    available.insert(fps[&node.id].view_name());
+                }
             }
         }
-    }
-    c.bench_function("rewrite_32_queries_over_views", |b| {
-        b.iter(|| {
-            plans
-                .iter()
-                .map(|p| rewrite_with_views(p, &available).used.len())
-                .sum::<usize>()
+        c.bench_function("rewrite_32_queries_over_views", |b| {
+            b.iter(|| {
+                plans
+                    .iter()
+                    .map(|p| rewrite_with_views(p, &available).used.len())
+                    .sum::<usize>()
+            });
         });
-    });
-}
+    }
 
-fn bench_full_tuner(c: &mut Criterion) {
-    // A realistic reorganization: ~12 candidate views, 6-query history.
-    let catalog = workload_catalog();
-    let plans: Vec<_> = authored_queries()
-        .into_iter()
-        .take(6)
-        .map(|q| compile(&q.sql, &catalog).unwrap())
-        .collect();
-    let mut view_catalog = ViewCatalog::new();
-    let mut hv_views = BTreeSet::new();
-    let mut stats = MapStats::new();
-    stats.set_log("twitter", 40_000.0, 40_000.0 * 280.0);
-    stats.set_log("foursquare", 24_000.0, 24_000.0 * 160.0);
-    stats.set_log("landmarks", 900.0, 900.0 * 190.0);
-    for plan in &plans {
-        for node in plan.nodes() {
-            if matches!(node.op, Operator::Filter { .. } | Operator::Aggregate { .. }) {
-                let sub = plan.subplan(node.id);
-                let def = ViewDef::from_plan(
-                    sub,
-                    ByteSize::from_kib(64),
-                    1_000,
-                    miso_common::ids::QueryId(0),
-                );
-                let fp = fingerprint_subtree(plan, node.id);
-                stats.set_view(fp.view_name(), 1_000.0, 64.0 * 1024.0);
-                hv_views.insert(def.name.clone());
-                view_catalog.register(def);
+    fn bench_full_tuner(c: &mut Criterion) {
+        // A realistic reorganization: ~12 candidate views, 6-query history.
+        let catalog = workload_catalog();
+        let plans: Vec<_> = authored_queries()
+            .into_iter()
+            .take(6)
+            .map(|q| compile(&q.sql, &catalog).unwrap())
+            .collect();
+        let mut view_catalog = ViewCatalog::new();
+        let mut hv_views = BTreeSet::new();
+        let mut stats = MapStats::new();
+        stats.set_log("twitter", 40_000.0, 40_000.0 * 280.0);
+        stats.set_log("foursquare", 24_000.0, 24_000.0 * 160.0);
+        stats.set_log("landmarks", 900.0, 900.0 * 190.0);
+        for plan in &plans {
+            for node in plan.nodes() {
+                if matches!(
+                    node.op,
+                    Operator::Filter { .. } | Operator::Aggregate { .. }
+                ) {
+                    let sub = plan.subplan(node.id);
+                    let def = ViewDef::from_plan(
+                        sub,
+                        ByteSize::from_kib(64),
+                        1_000,
+                        miso_common::ids::QueryId(0),
+                    );
+                    let fp = fingerprint_subtree(plan, node.id);
+                    stats.set_view(fp.view_name(), 1_000.0, 64.0 * 1024.0);
+                    hv_views.insert(def.name.clone());
+                    view_catalog.register(def);
+                }
             }
         }
-    }
-    let budgets = Budgets::new(
-        ByteSize::from_mib(16),
-        ByteSize::from_mib(2),
-        ByteSize::from_mib(1),
-    )
-    .with_discretization(ByteSize::from_kib(16));
-    let tuner = MisoTuner::new(TunerConfig::paper_default(budgets));
-    let hv_cost = HvCostModel::paper_default();
-    let dw_cost = DwCostModel::paper_default();
-    let transfer = TransferModel::paper_default();
-    let dw_views = BTreeSet::new();
-    c.bench_function("miso_tune_full_reorg", |b| {
-        b.iter(|| {
-            tuner.tune(
-                &hv_views,
-                &dw_views,
-                &view_catalog,
-                &plans,
-                &stats,
-                &hv_cost,
-                &dw_cost,
-                &transfer,
-            )
+        let budgets = Budgets::new(
+            ByteSize::from_mib(16),
+            ByteSize::from_mib(2),
+            ByteSize::from_mib(1),
+        )
+        .with_discretization(ByteSize::from_kib(16));
+        let tuner = MisoTuner::new(TunerConfig::paper_default(budgets));
+        let hv_cost = HvCostModel::paper_default();
+        let dw_cost = DwCostModel::paper_default();
+        let transfer = TransferModel::paper_default();
+        let dw_views = BTreeSet::new();
+        c.bench_function("miso_tune_full_reorg", |b| {
+            b.iter(|| {
+                tuner.tune(
+                    &hv_views,
+                    &dw_views,
+                    &view_catalog,
+                    &plans,
+                    &stats,
+                    &hv_cost,
+                    &dw_cost,
+                    &transfer,
+                )
+            });
         });
-    });
+    }
+
+    criterion_group!(
+        benches,
+        bench_knapsack,
+        bench_fingerprints,
+        bench_split_enumeration,
+        bench_rewrite,
+        bench_full_tuner
+    );
+    criterion_main!(benches);
 }
 
-criterion_group!(
-    benches,
-    bench_knapsack,
-    bench_fingerprints,
-    bench_split_enumeration,
-    bench_rewrite,
-    bench_full_tuner
-);
-criterion_main!(benches);
+#[cfg(feature = "extern-deps")]
+fn main() {
+    real::main()
+}
+
+#[cfg(not(feature = "extern-deps"))]
+fn main() {}

@@ -11,6 +11,7 @@
 
 use miso_bench::{ks, Harness};
 use miso_core::{SystemConfig, Variant};
+use miso_data::Value;
 
 fn run_with(harness: &Harness, tweak: impl FnOnce(&mut SystemConfig)) -> f64 {
     let mut config = SystemConfig::paper_default(harness.budgets(2.0));
@@ -21,11 +22,14 @@ fn run_with(harness: &Harness, tweak: impl FnOnce(&mut SystemConfig)) -> f64 {
         miso_workload::standard_udfs(),
         config,
     );
-    let r = sys.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+    let r = sys
+        .run_workload(Variant::MsMiso, &harness.workload)
+        .unwrap();
     ks(r.tti_total())
 }
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     println!("Ablations of MS-MISO (B = 2x); TTI in 10^3 simulated seconds\n");
     let baseline = run_with(&harness, |_| {});
@@ -59,23 +63,31 @@ fn main() {
         ),
         (
             "tiny transfer budget (Bt/8)",
-            Box::new(|c: &mut SystemConfig| {
-                c.budgets.transfer = c.budgets.transfer.scale(0.125)
-            }),
+            Box::new(|c: &mut SystemConfig| c.budgets.transfer = c.budgets.transfer.scale(0.125)),
         ),
         (
             "huge transfer budget (Bt*8)",
-            Box::new(|c: &mut SystemConfig| {
-                c.budgets.transfer = c.budgets.transfer.scale(8.0)
-            }),
+            Box::new(|c: &mut SystemConfig| c.budgets.transfer = c.budgets.transfer.scale(8.0)),
         ),
     ];
+    let mut report_cases = vec![Value::object(vec![
+        ("case".into(), Value::str("baseline")),
+        ("tti_ks".into(), Value::Float(baseline)),
+    ])];
     for (label, tweak) in cases {
         let total = run_with(&harness, tweak);
         println!(
             "{label:<34} {total:>8.1}  ({:+.1}% vs baseline)",
             (total / baseline - 1.0) * 100.0
         );
+        report_cases.push(Value::object(vec![
+            ("case".into(), Value::str(label)),
+            ("tti_ks".into(), Value::Float(total)),
+            (
+                "delta_pct".into(),
+                Value::Float((total / baseline - 1.0) * 100.0),
+            ),
+        ]));
     }
     println!(
         "\nreading: positive deltas mean the knocked-out ingredient was \
@@ -83,4 +95,6 @@ fn main() {
          starves DW placement; larger helps with diminishing returns and \
          more DW impact per phase)."
     );
+    let extra = Value::object(vec![("cases".into(), Value::Array(report_cases))]);
+    miso_bench::write_report("ablation", extra);
 }

@@ -8,12 +8,7 @@ fn main() {
     let r = harness.run(Variant::HvOnly, 2.0);
     println!("label      hv(ks)   rows");
     for rec in &r.records {
-        println!(
-            "{:8} {:8.2} {:6}",
-            rec.label,
-            ks(rec.hv),
-            rec.result_rows
-        );
+        println!("{:8} {:8.2} {:6}", rec.label, ks(rec.hv), rec.result_rows);
     }
     println!("total {:.1}ks", ks(r.tti_total()));
 }

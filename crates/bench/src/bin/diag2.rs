@@ -6,7 +6,9 @@ use miso_core::Variant;
 fn main() {
     let harness = Harness::standard();
     let mut sys = harness.system(harness.budgets(2.0), None);
-    let r = sys.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+    let r = sys
+        .run_workload(Variant::MsMiso, &harness.workload)
+        .unwrap();
     println!("label      hv(ks)  dw(s)  xfer(ks) views_used  hv_ops/dw_ops");
     for rec in &r.records {
         println!(

@@ -9,6 +9,8 @@
 
 use miso_bench::Harness;
 use miso_common::SimDuration;
+use miso_core::Variant;
+use miso_data::Value;
 use miso_dw::DwStore;
 use miso_hv::HvStore;
 use miso_optimizer::cost::{estimate_split_cost, TransferModel};
@@ -16,7 +18,9 @@ use miso_plan::estimate::estimate_plan;
 use miso_plan::split::enumerate_splits;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
+    let mut profiles = Vec::new();
     // The paper profiles A1v1, a complex query with joins, aggregates and
     // UDF-free structure; we use A8v1 (the three-way join) as the profiled
     // query since it has the richest split space, and also print A1v1.
@@ -49,8 +53,14 @@ fn main() {
         );
         let estimates = estimate_plan(plan, &stats);
 
-        let mut rows: Vec<(SimDuration, SimDuration, SimDuration, SimDuration, usize, bool)> =
-            Vec::new();
+        let mut rows: Vec<(
+            SimDuration,
+            SimDuration,
+            SimDuration,
+            SimDuration,
+            usize,
+            bool,
+        )> = Vec::new();
         let splits = enumerate_splits(plan);
         let mut hv_only_total = SimDuration::ZERO;
         for split in &splits {
@@ -77,11 +87,21 @@ fn main() {
             if is_hv_only {
                 hv_only_total = c.total();
             }
-            rows.push((c.hv, dump, xferload, c.dw, split.hv_nodes().len(), is_hv_only));
+            rows.push((
+                c.hv,
+                dump,
+                xferload,
+                c.dw,
+                split.hv_nodes().len(),
+                is_hv_only,
+            ));
         }
         rows.sort_by_key(|r| r.0 + r.1 + r.2 + r.3);
 
-        println!("{} plans (one per valid split); times in simulated seconds", rows.len());
+        println!(
+            "{} plans (one per valid split); times in simulated seconds",
+            rows.len()
+        );
         println!(
             "{:>5} {:>9} {:>9} {:>9} {:>9} {:>10} {:>7} mark",
             "plan", "HV", "DUMP", "XFER+LOAD", "DW", "total", "hv_ops"
@@ -113,8 +133,31 @@ fn main() {
         let gain = (1.0 - best.as_secs_f64() / hv_only_total.as_secs_f64()) * 100.0;
         println!(
             "\nbest plan vs HV-only: {gain:.1}% faster (paper: ~10%); worst/HV-only: {:.1}x\n",
-            rows.last().map(|r| (r.0 + r.1 + r.2 + r.3).as_secs_f64()).unwrap()
+            rows.last()
+                .map(|r| (r.0 + r.1 + r.2 + r.3).as_secs_f64())
+                .unwrap()
                 / hv_only_total.as_secs_f64()
         );
+        profiles.push(Value::object(vec![
+            ("query".into(), Value::str(label.as_str())),
+            ("plans".into(), Value::Int(rows.len() as i64)),
+            ("best_s".into(), Value::Float(best.as_secs_f64())),
+            (
+                "hv_only_s".into(),
+                Value::Float(hv_only_total.as_secs_f64()),
+            ),
+            ("gain_pct".into(), Value::Float(gain)),
+        ]));
     }
+    // The profile above is a static estimation pass; additionally run the
+    // MS-MISO stream (silently — the printed figure is unchanged) so traces
+    // carry the full query lifecycle (parse → optimize → split → hv/dw exec
+    // → transfer) and the tuner epochs, and the run report carries the
+    // optimizer/knapsack/tuner counters.
+    let stream = harness.run(Variant::MsMiso, 2.0);
+    let extra = Value::object(vec![
+        ("profiles".into(), Value::Array(profiles)),
+        ("ms_miso_stream".into(), miso_bench::tti_value(&stream)),
+    ]);
+    miso_bench::write_report("fig3", extra);
 }

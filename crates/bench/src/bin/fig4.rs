@@ -7,8 +7,10 @@
 
 use miso_bench::{ks, row, Harness};
 use miso_core::Variant;
+use miso_data::Value;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     let variants = [
         Variant::HvOnly,
@@ -17,13 +19,14 @@ fn main() {
         Variant::HvOp,
         Variant::MsMiso,
     ];
-    println!("Figure 4: TTI by system variant (10^3 simulated seconds), B = 2x, Bt = 10GB-equivalent\n");
+    println!(
+        "Figure 4: TTI by system variant (10^3 simulated seconds), B = 2x, Bt = 10GB-equivalent\n"
+    );
     let widths = [9usize, 9, 9, 9, 9, 9, 9];
     println!(
         "{}",
         row(
-            &["variant", "DW-EXE", "TRANSFER", "TUNE", "HV-EXE", "ETL", "TTI"]
-                .map(String::from),
+            &["variant", "DW-EXE", "TRANSFER", "TUNE", "HV-EXE", "ETL", "TTI"].map(String::from),
             &widths
         )
     );
@@ -63,7 +66,15 @@ fn main() {
         .collect();
     let _ = miso_bench::write_csv(
         "fig4",
-        &["variant", "dw_exe_ks", "transfer_ks", "tune_ks", "hv_exe_ks", "etl_ks", "tti_ks"],
+        &[
+            "variant",
+            "dw_exe_ks",
+            "transfer_ks",
+            "tune_ks",
+            "hv_exe_ks",
+            "etl_ks",
+            "tti_ks",
+        ],
         &csv_rows,
     );
     let tti = |v: Variant| {
@@ -94,4 +105,14 @@ fn main() {
         "  DW-ONLY vs HV-ONLY   : {:+.1}%  (paper +3% slower)",
         (tti(Variant::DwOnly) / tti(Variant::HvOnly) - 1.0) * 100.0
     );
+    let extra = Value::object(vec![(
+        "variants".into(),
+        Value::Array(
+            results
+                .iter()
+                .map(|(_, r)| miso_bench::tti_value(r))
+                .collect(),
+        ),
+    )]);
+    miso_bench::write_report("fig4", extra);
 }

@@ -9,6 +9,7 @@
 
 use miso_bench::{ks, Harness};
 use miso_core::Variant;
+use miso_data::Value;
 
 const VARIANTS: [Variant; 5] = [
     Variant::HvOnly,
@@ -19,11 +20,9 @@ const VARIANTS: [Variant; 5] = [
 ];
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
-    let results: Vec<_> = VARIANTS
-        .iter()
-        .map(|&v| (v, harness.run(v, 2.0)))
-        .collect();
+    let results: Vec<_> = VARIANTS.iter().map(|&v| (v, harness.run(v, 2.0))).collect();
 
     println!("Figure 5(a): cumulative TTI (10^3 s) after each completed query\n");
     print!("{:>7}", "query");
@@ -57,7 +56,13 @@ fn main() {
     }
 
     // Paper checkpoints.
-    let get = |v: Variant| results.iter().find(|(x, _)| *x == v).map(|(_, r)| r).unwrap();
+    let get = |v: Variant| {
+        results
+            .iter()
+            .find(|(x, _)| *x == v)
+            .map(|(_, r)| r)
+            .unwrap()
+    };
     let dw = get(Variant::DwOnly);
     let hv = get(Variant::HvOnly);
     let miso = get(Variant::MsMiso);
@@ -65,8 +70,27 @@ fn main() {
     let hv_cdf = hv.exec_time_cdf(&[1_000.0]);
     let miso_cdf = miso.exec_time_cdf(&[100.0]);
     println!("\nCheckpoints vs paper:");
-    println!("  DW-ONLY <10s : {:>3.0}%   (paper ~65%)", dw_cdf[0] * 100.0);
-    println!("  DW-ONLY <100s: {:>3.0}%   (paper ~90%)", dw_cdf[1] * 100.0);
+    println!(
+        "  DW-ONLY <10s : {:>3.0}%   (paper ~65%)",
+        dw_cdf[0] * 100.0
+    );
+    println!(
+        "  DW-ONLY <100s: {:>3.0}%   (paper ~90%)",
+        dw_cdf[1] * 100.0
+    );
     println!("  HV-ONLY <1ks : {:>3.0}%   (paper <3%)", hv_cdf[0] * 100.0);
-    println!("  MS-MISO <100s: {:>3.0}%   (paper >=30%)", miso_cdf[0] * 100.0);
+    println!(
+        "  MS-MISO <100s: {:>3.0}%   (paper >=30%)",
+        miso_cdf[0] * 100.0
+    );
+    let extra = Value::object(vec![(
+        "variants".into(),
+        Value::Array(
+            results
+                .iter()
+                .map(|(_, r)| miso_bench::tti_value(r))
+                .collect(),
+        ),
+    )]);
+    miso_bench::write_report("fig5", extra);
 }

@@ -9,8 +9,10 @@
 
 use miso_bench::Harness;
 use miso_core::Variant;
+use miso_data::Value;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     let cases = [
         ("(a) MS-BASIC", Variant::MsBasic, 2.0),
@@ -18,6 +20,7 @@ fn main() {
         ("(c) MS-MISO 2x", Variant::MsMiso, 2.0),
     ];
     let mut summary = Vec::new();
+    let mut report_cases = Vec::new();
     for (title, variant, mult) in cases {
         let r = harness.run(variant, mult);
         println!("Figure 6 {title}: queries ranked by DW utilization\n");
@@ -44,12 +47,23 @@ fn main() {
             "\nDW-majority queries: {majority}; HV seconds per DW second (top 16): {ratio:.2}\n"
         );
         summary.push((title, majority, ratio));
+        report_cases.push(Value::object(vec![
+            ("case".into(), Value::str(title)),
+            ("storage_multiple".into(), Value::Float(mult)),
+            ("dw_majority_queries".into(), Value::Int(majority as i64)),
+            ("hv_per_dw_second_top16".into(), Value::Float(ratio)),
+            ("tti".into(), miso_bench::tti_value(&r)),
+        ]));
     }
     println!("Summary vs paper:");
-    println!("  DW-majority: (a) {} (paper 2), (b) {} (paper 9), (c) {} (paper 14)",
-        summary[0].1, summary[1].1, summary[2].1);
+    println!(
+        "  DW-majority: (a) {} (paper 2), (b) {} (paper 9), (c) {} (paper 14)",
+        summary[0].1, summary[1].1, summary[2].1
+    );
     println!(
         "  HV:DW seconds (top16): (a) {:.1} (paper 55), (b) {:.2} (paper 1.6), (c) {:.2} (paper 0.12)",
         summary[0].2, summary[1].2, summary[2].2
     );
+    let extra = Value::object(vec![("cases".into(), Value::Array(report_cases))]);
+    miso_bench::write_report("fig6", extra);
 }

@@ -8,8 +8,10 @@
 
 use miso_bench::{ks, row, Harness};
 use miso_core::Variant;
+use miso_data::Value;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     let variants = [
         Variant::MsBasic,
@@ -28,6 +30,7 @@ fn main() {
         )
     );
     let mut results = Vec::new();
+    let mut report_variants = Vec::new();
     for variant in variants {
         let r = harness.run(variant, 0.125);
         println!(
@@ -44,6 +47,7 @@ fn main() {
                 &widths
             )
         );
+        report_variants.push(miso_bench::tti_value(&r));
         results.push((variant, r.tti_total().as_secs_f64()));
     }
     let t = |v: Variant| results.iter().find(|(x, _)| *x == v).unwrap().1;
@@ -62,7 +66,10 @@ fn main() {
     );
     println!(
         "  MS-BASIC is worst : {}",
-        results.iter().all(|(v, total)| *v == Variant::MsBasic
-            || *total <= t(Variant::MsBasic) + 1e-9)
+        results
+            .iter()
+            .all(|(v, total)| *v == Variant::MsBasic || *total <= t(Variant::MsBasic) + 1e-9)
     );
+    let extra = Value::object(vec![("variants".into(), Value::Array(report_variants))]);
+    miso_bench::write_report("fig7", extra);
 }

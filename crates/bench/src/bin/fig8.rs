@@ -6,8 +6,10 @@
 
 use miso_bench::{ks, Harness};
 use miso_core::Variant;
+use miso_data::Value;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     let multiples = [0.125, 0.5, 1.0, 2.0, 4.0];
     let variants = [Variant::MsLru, Variant::MsOff, Variant::MsMiso];
@@ -60,4 +62,18 @@ fn main() {
     println!(
         "  spread (worst/best) at 0.125x: {spread_small:.2}; at 4x: {spread_big:.2} (paper: converging)"
     );
+    let sweep: Vec<Value> = multiples
+        .iter()
+        .zip(&table)
+        .map(|(&m, row)| {
+            Value::object(vec![
+                ("budget_multiple".into(), Value::Float(m)),
+                ("ms_lru_s".into(), Value::Float(row[0])),
+                ("ms_off_s".into(), Value::Float(row[1])),
+                ("ms_miso_s".into(), Value::Float(row[2])),
+            ])
+        })
+        .collect();
+    let extra = Value::object(vec![("sweep".into(), Value::Array(sweep))]);
+    miso_bench::write_report("fig8", extra);
 }

@@ -9,17 +9,21 @@
 
 use miso_bench::Harness;
 use miso_core::Variant;
+use miso_data::Value;
 use miso_dw::{DwActivity, Resource};
 use miso_workload::background::paper_profiles;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     let profile = paper_profiles()
         .into_iter()
         .find(|p| p.resource == Resource::Io && p.spare_percent == 40)
         .unwrap();
     let mut sys = harness.system(harness.budgets(2.0), Some(profile.simulator()));
-    let result = sys.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+    let result = sys
+        .run_workload(Variant::MsMiso, &harness.workload)
+        .unwrap();
     let bg = sys.background().unwrap();
 
     println!(
@@ -64,7 +68,10 @@ fn main() {
         .map(|s| bg.bg_latency_peak(s.activity).as_secs_f64())
         .fold(0.0, f64::max);
     println!("\n(b) background-query latency:");
-    println!("  base latency          : {:.2}s (paper 1.06s)", bg.base_latency.as_secs_f64());
+    println!(
+        "  base latency          : {:.2}s (paper 1.06s)",
+        bg.base_latency.as_secs_f64()
+    );
     println!("  peak during transfers : {peak:.2}s (paper >5s)");
     println!(
         "  time-weighted average : {:.3}s -> {:.1}% slowdown (paper 2.5%)",
@@ -74,9 +81,16 @@ fn main() {
 
     // Multistore slowdown vs an idle DW.
     let mut sys2 = harness.system(harness.budgets(2.0), None);
-    let quiet = sys2.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+    let quiet = sys2
+        .run_workload(Variant::MsMiso, &harness.workload)
+        .unwrap();
     let slow = (result.tti_total().as_secs_f64() / quiet.tti_total().as_secs_f64() - 1.0) * 100.0;
-    println!(
-        "  multistore workload slowdown vs idle DW: {slow:.1}% (paper 2.5%)"
-    );
+    println!("  multistore workload slowdown vs idle DW: {slow:.1}% (paper 2.5%)");
+    let extra = Value::object(vec![
+        ("busy_dw".into(), miso_bench::tti_value(&result)),
+        ("idle_dw".into(), miso_bench::tti_value(&quiet)),
+        ("bg_peak_latency_s".into(), Value::Float(peak)),
+        ("multistore_slowdown_pct".into(), Value::Float(slow)),
+    ]);
+    miso_bench::write_report("fig9", extra);
 }

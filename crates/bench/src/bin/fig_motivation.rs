@@ -7,8 +7,10 @@
 
 use miso_bench::{ks, Harness};
 use miso_core::Variant;
+use miso_data::Value;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     // Two subsequent queries by the same analyst with overlap.
     let pair: Vec<_> = harness
@@ -20,8 +22,12 @@ fn main() {
     assert_eq!(pair.len(), 2);
 
     println!("Section 3.2 motivation: q1 (A1v1) then q2 (A1v2), reorg between\n");
-    println!("{:>10} {:>8} {:>8} {:>9}", "variant", "q1(ks)", "q2(ks)", "total(ks)");
+    println!(
+        "{:>10} {:>8} {:>8} {:>9}",
+        "variant", "q1(ks)", "q2(ks)", "total(ks)"
+    );
     let mut totals = Vec::new();
+    let mut report_variants = Vec::new();
     for variant in [Variant::HvOnly, Variant::MsBasic, Variant::MsMiso] {
         let budgets = harness.budgets(2.0);
         // reorg_every = 1 makes the tuner run right between q1 and q2 for
@@ -43,6 +49,7 @@ fn main() {
             ks(r.tti_total()),
         );
         totals.push((variant, r.tti_total().as_secs_f64()));
+        report_variants.push(miso_bench::tti_value(&r));
     }
     let t = |v: Variant| totals.iter().find(|(x, _)| *x == v).unwrap().1;
     println!(
@@ -53,4 +60,6 @@ fn main() {
         "MS-MISO vs HV-ONLY : {:.1}x (paper ~2x)",
         t(Variant::HvOnly) / t(Variant::MsMiso)
     );
+    let extra = Value::object(vec![("variants".into(), Value::Array(report_variants))]);
+    miso_bench::write_report("fig_motivation", extra);
 }

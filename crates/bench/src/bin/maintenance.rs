@@ -8,8 +8,10 @@
 use miso_bench::{ks, Harness};
 use miso_core::{MaintenancePolicy, Variant};
 use miso_data::logs::{generate_delta, LogKind, LogsConfig};
+use miso_data::Value;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     let cfg = LogsConfig::experiment();
     println!("View maintenance under streaming appends (4 batches x 2000 tweets)\n");
@@ -21,7 +23,9 @@ fn main() {
     // Baseline: no appends.
     {
         let mut sys = harness.system(harness.budgets(2.0), None);
-        let r = sys.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+        let r = sys
+            .run_workload(Variant::MsMiso, &harness.workload)
+            .unwrap();
         println!(
             "{:>12} {:>11.1} {:>12.1} {:>11.1} {:>9}",
             "(no appends)",
@@ -32,6 +36,7 @@ fn main() {
         );
     }
 
+    let mut report_rows = Vec::new();
     for policy in [MaintenancePolicy::Invalidate, MaintenancePolicy::Refresh] {
         let mut sys = harness.system(harness.budgets(2.0), None);
         let mut clock = miso_common::SimClock::new();
@@ -55,10 +60,19 @@ fn main() {
             ks(exec + maint),
             sys.catalog.len()
         );
+        report_rows.push(Value::object(vec![
+            ("policy".into(), Value::str(format!("{policy:?}"))),
+            ("exec_ks".into(), Value::Float(ks(exec))),
+            ("maint_ks".into(), Value::Float(ks(maint))),
+            ("total_ks".into(), Value::Float(ks(exec + maint))),
+            ("views".into(), Value::Int(sys.catalog.len() as i64)),
+        ]));
     }
     println!(
         "\nnote: run_workload per chunk resets the stream clock, so exec \
          columns are comparable across rows; `views` is the live design at \
          the end."
     );
+    let extra = Value::object(vec![("policies".into(), Value::Array(report_rows))]);
+    miso_bench::write_report("maintenance", extra);
 }

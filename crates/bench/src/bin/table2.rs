@@ -12,9 +12,11 @@
 
 use miso_bench::Harness;
 use miso_core::Variant;
+use miso_data::Value;
 use miso_workload::background::paper_profiles;
 
 fn main() {
+    miso_bench::obs_init();
     let harness = Harness::standard();
     // Baseline: multistore workload against an idle DW.
     let mut quiet_sys = harness.system(harness.budgets(2.0), None);
@@ -29,9 +31,12 @@ fn main() {
         "spare", "DW-query slowdown", "multistore slowdown"
     );
     let paper = [(1.1, 2.5), (1.7, 4.0), (0.3, 4.2), (0.8, 5.0)];
+    let mut report_rows = Vec::new();
     for (profile, (p_dw, p_ms)) in paper_profiles().into_iter().zip(paper) {
         let mut sys = harness.system(harness.budgets(2.0), Some(profile.simulator()));
-        let result = sys.run_workload(Variant::MsMiso, &harness.workload).unwrap();
+        let result = sys
+            .run_workload(Variant::MsMiso, &harness.workload)
+            .unwrap();
         let bg = sys.background().unwrap();
         let dw_slow = bg.bg_slowdown_percent();
         let ms_slow = (result.tti_total().as_secs_f64() / quiet_total - 1.0) * 100.0;
@@ -41,6 +46,16 @@ fn main() {
             dw_slow,
             ms_slow
         );
+        report_rows.push(Value::object(vec![
+            ("spare".into(), Value::str(profile.label())),
+            ("dw_slowdown_pct".into(), Value::Float(dw_slow)),
+            ("multistore_slowdown_pct".into(), Value::Float(ms_slow)),
+        ]));
     }
     println!("\n(parenthesized values: paper)");
+    let extra = Value::object(vec![
+        ("idle_baseline".into(), miso_bench::tti_value(&quiet)),
+        ("rows".into(), Value::Array(report_rows)),
+    ]);
+    miso_bench::write_report("table2", extra);
 }

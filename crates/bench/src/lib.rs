@@ -10,6 +10,7 @@
 use miso_common::{Budgets, ByteSize};
 use miso_core::{ExperimentResult, MultistoreSystem, SystemConfig, Variant};
 use miso_data::logs::{Corpus, LogsConfig};
+use miso_data::Value;
 use miso_dw::BackgroundSim;
 use miso_plan::LogicalPlan;
 use miso_workload::{compile_workload, standard_udfs, workload_catalog};
@@ -68,7 +69,52 @@ impl Harness {
     /// Runs one variant at the given storage multiple, no background load.
     pub fn run(&self, variant: Variant, storage_multiple: f64) -> ExperimentResult {
         let mut sys = self.system(self.budgets(storage_multiple), None);
-        sys.run_workload(variant, &self.workload).expect("experiment runs")
+        sys.run_workload(variant, &self.workload)
+            .expect("experiment runs")
+    }
+}
+
+/// Initializes observability from `MISO_TRACE` / `MISO_OBS`; every bench
+/// binary calls this first thing in `main`. Returns whether tracing or
+/// metrics ended up enabled.
+pub fn obs_init() -> bool {
+    miso_obs::init_from_env()
+}
+
+/// Encodes one experiment's TTI breakdown as a JSON object for run reports.
+pub fn tti_value(result: &ExperimentResult) -> Value {
+    Value::object(vec![
+        ("variant".into(), Value::str(result.variant.as_str())),
+        ("queries".into(), Value::Int(result.records.len() as i64)),
+        (
+            "hv_exe_s".into(),
+            Value::Float(result.tti.hv_exe.as_secs_f64()),
+        ),
+        (
+            "dw_exe_s".into(),
+            Value::Float(result.tti.dw_exe.as_secs_f64()),
+        ),
+        (
+            "transfer_s".into(),
+            Value::Float(result.tti.transfer.as_secs_f64()),
+        ),
+        ("tune_s".into(), Value::Float(result.tti.tune.as_secs_f64())),
+        ("etl_s".into(), Value::Float(result.tti.etl.as_secs_f64())),
+        (
+            "total_s".into(),
+            Value::Float(result.tti_total().as_secs_f64()),
+        ),
+        ("reorgs".into(), Value::Int(result.reorgs.len() as i64)),
+    ])
+}
+
+/// Writes the versioned run report for `name` under `results/` (metrics
+/// snapshot + benchmark-specific `extra`) and flushes the trace sink.
+/// Failures warn on stderr rather than failing the benchmark.
+pub fn write_report(name: &str, extra: Value) {
+    miso_obs::flush();
+    if let Err(e) = miso_obs::write_report("results", name, extra) {
+        eprintln!("warning: cannot write results/{name}.report.json: {e}");
     }
 }
 

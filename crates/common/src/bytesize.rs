@@ -49,7 +49,9 @@ impl ByteSize {
         if !gib.is_finite() || gib <= 0.0 {
             return ByteSize::ZERO;
         }
-        ByteSize { bytes: (gib * GIB as f64).round() as u64 }
+        ByteSize {
+            bytes: (gib * GIB as f64).round() as u64,
+        }
     }
 
     /// Exact bytes.
@@ -74,7 +76,9 @@ impl ByteSize {
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
-        ByteSize { bytes: self.bytes.saturating_sub(rhs.bytes) }
+        ByteSize {
+            bytes: self.bytes.saturating_sub(rhs.bytes),
+        }
     }
 
     /// Number of discrete units of width `unit`, rounding **up** — a view that
@@ -90,14 +94,18 @@ impl ByteSize {
         if !factor.is_finite() || factor <= 0.0 {
             return ByteSize::ZERO;
         }
-        ByteSize { bytes: (self.bytes as f64 * factor).round() as u64 }
+        ByteSize {
+            bytes: (self.bytes as f64 * factor).round() as u64,
+        }
     }
 }
 
 impl Add for ByteSize {
     type Output = ByteSize;
     fn add(self, rhs: ByteSize) -> ByteSize {
-        ByteSize { bytes: self.bytes + rhs.bytes }
+        ByteSize {
+            bytes: self.bytes + rhs.bytes,
+        }
     }
 }
 
@@ -110,7 +118,9 @@ impl AddAssign for ByteSize {
 impl Sub for ByteSize {
     type Output = ByteSize;
     fn sub(self, rhs: ByteSize) -> ByteSize {
-        ByteSize { bytes: self.bytes - rhs.bytes }
+        ByteSize {
+            bytes: self.bytes - rhs.bytes,
+        }
     }
 }
 
@@ -123,7 +133,9 @@ impl SubAssign for ByteSize {
 impl Mul<u64> for ByteSize {
     type Output = ByteSize;
     fn mul(self, rhs: u64) -> ByteSize {
-        ByteSize { bytes: self.bytes * rhs }
+        ByteSize {
+            bytes: self.bytes * rhs,
+        }
     }
 }
 
@@ -183,7 +195,10 @@ mod tests {
         assert_eq!(ByteSize::ZERO.units_ceil(gib), 0);
         assert_eq!(ByteSize::from_bytes(1).units_ceil(gib), 1);
         assert_eq!(ByteSize::from_gib(1).units_ceil(gib), 1);
-        assert_eq!((ByteSize::from_gib(1) + ByteSize::from_bytes(1)).units_ceil(gib), 2);
+        assert_eq!(
+            (ByteSize::from_gib(1) + ByteSize::from_bytes(1)).units_ceil(gib),
+            2
+        );
     }
 
     #[test]

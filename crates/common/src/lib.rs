@@ -23,4 +23,5 @@ pub mod time;
 pub use budget::{Budgets, DiscretizedBudget};
 pub use bytesize::ByteSize;
 pub use error::{MisoError, Result};
+pub use rng::{DetRng, RandomSource};
 pub use time::{SimClock, SimDuration, SimInstant};

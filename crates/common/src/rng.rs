@@ -4,11 +4,32 @@
 //! query arrivals) draws from a [`DetRng`] seeded explicitly, so experiments
 //! and tests replay bit-identically. The core generator is SplitMix64 — tiny,
 //! fast, and with well-understood statistical quality for simulation use.
-//! We intentionally avoid `rand`'s `StdRng` for *experiment* randomness since
-//! its algorithm is not stability-guaranteed across versions; `rand` is still
-//! used where distributions are handy.
+//! We intentionally avoid external RNG crates entirely: the [`RandomSource`]
+//! trait below covers the byte/word-filling surface the repo needs, keeping
+//! the build free of crates.io dependencies and the streams
+//! stability-guaranteed forever.
 
-use rand::RngCore;
+/// The generic randomness surface, an in-crate stand-in for `rand::RngCore`.
+///
+/// Anything that needs "some generator" rather than [`DetRng`] specifically
+/// should accept `&mut dyn RandomSource` (or be generic over it).
+pub trait RandomSource {
+    /// The next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next raw 32-bit value (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
 
 /// A deterministic, seedable 64-bit generator (SplitMix64).
 #[derive(Debug, Clone)]
@@ -124,25 +145,9 @@ impl ZipfSampler {
     }
 }
 
-impl RngCore for DetRng {
-    fn next_u32(&mut self) -> u32 {
-        (DetRng::next_u64(self) >> 32) as u32
-    }
-
+impl RandomSource for DetRng {
     fn next_u64(&mut self) -> u64 {
         DetRng::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        for chunk in dest.chunks_mut(8) {
-            let v = DetRng::next_u64(self).to_le_bytes();
-            chunk.copy_from_slice(&v[..chunk.len()]);
-        }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 
@@ -215,7 +220,10 @@ mod tests {
         for _ in 0..10_000 {
             counts[rng.zipf(10, 1.0)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "rank 0 should dominate: {counts:?}"
+        );
     }
 
     #[test]
@@ -233,13 +241,16 @@ mod tests {
         for _ in 0..10_000 {
             counts[sampler.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[9] * 3, "rank 0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[9] * 3,
+            "rank 0 should dominate: {counts:?}"
+        );
         // every rank reachable
         assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
     }
 
     #[test]
-    fn rngcore_fill_bytes_covers_partial_chunks() {
+    fn random_source_fill_bytes_covers_partial_chunks() {
         let mut rng = DetRng::new(19);
         let mut buf = [0u8; 13];
         rng.fill_bytes(&mut buf);

@@ -35,12 +35,16 @@ impl SimDuration {
 
     /// Creates a duration from whole milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration { micros: millis * 1_000 }
+        SimDuration {
+            micros: millis * 1_000,
+        }
     }
 
     /// Creates a duration from whole simulated seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration { micros: secs * 1_000_000 }
+        SimDuration {
+            micros: secs * 1_000_000,
+        }
     }
 
     /// Creates a duration from fractional simulated seconds.
@@ -52,7 +56,9 @@ impl SimDuration {
         if !secs.is_finite() || secs <= 0.0 {
             return SimDuration::ZERO;
         }
-        SimDuration { micros: (secs * 1e6).round() as u64 }
+        SimDuration {
+            micros: (secs * 1e6).round() as u64,
+        }
     }
 
     /// This duration in fractional seconds.
@@ -77,19 +83,25 @@ impl SimDuration {
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros.saturating_sub(rhs.micros) }
+        SimDuration {
+            micros: self.micros.saturating_sub(rhs.micros),
+        }
     }
 
     /// Checked addition, `None` on overflow.
     pub fn checked_add(self, rhs: SimDuration) -> Option<SimDuration> {
-        self.micros.checked_add(rhs.micros).map(|micros| SimDuration { micros })
+        self.micros
+            .checked_add(rhs.micros)
+            .map(|micros| SimDuration { micros })
     }
 }
 
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros + rhs.micros }
+        SimDuration {
+            micros: self.micros + rhs.micros,
+        }
     }
 }
 
@@ -102,7 +114,9 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration { micros: self.micros - rhs.micros }
+        SimDuration {
+            micros: self.micros - rhs.micros,
+        }
     }
 }
 
@@ -122,7 +136,9 @@ impl Mul<f64> for SimDuration {
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
     fn mul(self, rhs: u64) -> SimDuration {
-        SimDuration { micros: self.micros * rhs }
+        SimDuration {
+            micros: self.micros * rhs,
+        }
     }
 }
 
@@ -160,7 +176,9 @@ pub struct SimInstant {
 
 impl SimInstant {
     /// The experiment origin.
-    pub const EPOCH: SimInstant = SimInstant { since_start: SimDuration::ZERO };
+    pub const EPOCH: SimInstant = SimInstant {
+        since_start: SimDuration::ZERO,
+    };
 
     /// Instant at `d` after the epoch.
     pub const fn at(d: SimDuration) -> Self {
@@ -181,7 +199,9 @@ impl SimInstant {
 impl Add<SimDuration> for SimInstant {
     type Output = SimInstant;
     fn add(self, rhs: SimDuration) -> SimInstant {
-        SimInstant { since_start: self.since_start + rhs }
+        SimInstant {
+            since_start: self.since_start + rhs,
+        }
     }
 }
 
@@ -205,7 +225,9 @@ pub struct SimClock {
 impl SimClock {
     /// A clock at the experiment origin.
     pub fn new() -> Self {
-        SimClock { now: SimInstant::EPOCH }
+        SimClock {
+            now: SimInstant::EPOCH,
+        }
     }
 
     /// The current simulated instant.
@@ -241,7 +263,10 @@ mod tests {
     fn duration_saturates_on_negative_and_nan() {
         assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(f64::NEG_INFINITY),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -258,8 +283,7 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: SimDuration =
-            (1..=4).map(SimDuration::from_secs).sum();
+        let total: SimDuration = (1..=4).map(SimDuration::from_secs).sum();
         assert_eq!(total.as_secs(), 10);
     }
 

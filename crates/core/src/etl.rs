@@ -87,7 +87,12 @@ pub fn run_etl(
             .find(|m| m.node == root)
             .ok_or_else(|| MisoError::Execution("ETL produced no output".into()))?;
         let table = format!("etl_{log}");
-        let (_, load) = dw.load_view(&table, out.schema.clone(), out.rows.clone(), TableSpace::Permanent);
+        let (_, load) = dw.load_view(
+            &table,
+            out.schema.clone(),
+            out.rows.clone(),
+            TableSpace::Permanent,
+        );
         raw_cost += load;
         manifest.logs.push((log.clone(), table));
     }
@@ -100,7 +105,13 @@ pub fn run_etl(
             .udf_output(udf)
             .ok_or_else(|| MisoError::Analysis(format!("unknown UDF `{udf}`")))?
             .clone();
-        let u = b.add(Operator::Udf { name: udf.clone(), output }, vec![scan])?;
+        let u = b.add(
+            Operator::Udf {
+                name: udf.clone(),
+                output,
+            },
+            vec![scan],
+        )?;
         let plan = b.finish(u)?;
         let run = hv.execute(&plan, None, udfs)?;
         raw_cost += run.cost;
@@ -111,7 +122,12 @@ pub fn run_etl(
             .find(|m| m.node == root)
             .ok_or_else(|| MisoError::Execution("ETL UDF produced no output".into()))?;
         let table = format!("etl_{udf}_{log}");
-        let (_, load) = dw.load_view(&table, out.schema.clone(), out.rows.clone(), TableSpace::Permanent);
+        let (_, load) = dw.load_view(
+            &table,
+            out.schema.clone(),
+            out.rows.clone(),
+            TableSpace::Permanent,
+        );
         raw_cost += load;
         manifest.udfs.push(((udf.clone(), log.clone()), table));
     }
@@ -124,12 +140,21 @@ pub fn run_etl(
 fn full_extraction_plan(log: &str, catalog: &Catalog) -> Result<LogicalPlan> {
     let fields = catalog_fields(log, catalog)?;
     let mut b = PlanBuilder::new();
-    let scan = b.add(Operator::ScanLog { log: log.to_string() }, vec![])?;
+    let scan = b.add(
+        Operator::ScanLog {
+            log: log.to_string(),
+        },
+        vec![],
+    )?;
     let exprs: Vec<(String, Expr)> = fields
         .iter()
         .map(|(f, ty)| {
             let e = Expr::col(0).get(f.clone());
-            let e = if *ty != DataType::Json { e.cast(*ty) } else { e };
+            let e = if *ty != DataType::Json {
+                e.cast(*ty)
+            } else {
+                e
+            };
             (f.clone(), e)
         })
         .collect();
@@ -144,15 +169,34 @@ fn catalog_fields(log: &str, catalog: &Catalog) -> Result<Vec<(String, DataType)
     // three known logs plus any query-specific hints.
     let known: &[&str] = match log {
         "twitter" => &[
-            "tweet_id", "user_id", "ts", "text", "hashtags", "retweets",
-            "followers", "lang", "city", "sentiment",
+            "tweet_id",
+            "user_id",
+            "ts",
+            "text",
+            "hashtags",
+            "retweets",
+            "followers",
+            "lang",
+            "city",
+            "sentiment",
         ],
         "foursquare" => &[
-            "checkin_id", "user_id", "venue_id", "ts", "likes", "with_friends",
+            "checkin_id",
+            "user_id",
+            "venue_id",
+            "ts",
+            "likes",
+            "with_friends",
             "city",
         ],
         "landmarks" => &[
-            "venue_id", "name", "category", "city", "lat", "lon", "rating",
+            "venue_id",
+            "name",
+            "category",
+            "city",
+            "lat",
+            "lon",
+            "rating",
             "price_tier",
         ],
         other => {
@@ -198,11 +242,15 @@ pub fn rewrite_for_dw(
                 let table = format!("etl_{name}_{log}");
                 let schema = dw
                     .view_schema(&table)
-                    .ok_or_else(|| {
-                        MisoError::Store(format!("ETL table `{table}` missing"))
-                    })?
+                    .ok_or_else(|| MisoError::Store(format!("ETL table `{table}` missing")))?
                     .clone();
-                b.add(Operator::ScanView { view: table, schema }, vec![])?
+                b.add(
+                    Operator::ScanView {
+                        view: table,
+                        schema,
+                    },
+                    vec![],
+                )?
             }
             Operator::Project { exprs }
                 if matches!(plan.node(node.inputs[0]).op, Operator::ScanLog { .. }) =>
@@ -213,13 +261,14 @@ pub fn rewrite_for_dw(
                 let table = format!("etl_{log}");
                 let schema = dw
                     .view_schema(&table)
-                    .ok_or_else(|| {
-                        MisoError::Store(format!("ETL table `{table}` missing"))
-                    })?
+                    .ok_or_else(|| MisoError::Store(format!("ETL table `{table}` missing")))?
                     .clone();
                 let fields = catalog_fields(log, lang_catalog)?;
                 let sv = b.add(
-                    Operator::ScanView { view: table, schema },
+                    Operator::ScanView {
+                        view: table,
+                        schema,
+                    },
                     vec![],
                 )?;
                 // Rebuild each extraction expression as a column reference
@@ -227,9 +276,8 @@ pub fn rewrite_for_dw(
                 let new_exprs: Vec<(String, Expr)> = exprs
                     .iter()
                     .map(|(name, e)| {
-                        let col = extraction_field(e).and_then(|f| {
-                            fields.iter().position(|(name, _)| *name == f)
-                        });
+                        let col = extraction_field(e)
+                            .and_then(|f| fields.iter().position(|(name, _)| *name == f));
                         match col {
                             Some(idx) => Ok((name.clone(), Expr::Column(idx))),
                             None => Err(MisoError::Plan(format!(
@@ -247,8 +295,7 @@ pub fn rewrite_for_dw(
                     .map(|i| {
                         mapping.get(i).copied().ok_or_else(|| {
                             MisoError::Plan(
-                                "DW rewrite requires extraction projections over scans"
-                                    .into(),
+                                "DW rewrite requires extraction projections over scans".into(),
                             )
                         })
                     })
@@ -291,8 +338,11 @@ mod tests {
     #[test]
     fn etl_loads_touched_logs_only() {
         let (hv, mut dw, catalog, udfs) = setup();
-        let q = compile("SELECT t.city AS c FROM twitter t WHERE t.followers > 5", &catalog)
-            .unwrap();
+        let q = compile(
+            "SELECT t.city AS c FROM twitter t WHERE t.followers > 5",
+            &catalog,
+        )
+        .unwrap();
         let manifest = run_etl(&[q], &catalog, &hv, &mut dw, &udfs, 1.0).unwrap();
         assert_eq!(manifest.logs.len(), 1);
         assert!(dw.has_view("etl_twitter"));
@@ -308,7 +358,9 @@ mod tests {
             .unwrap()
             .cost;
         let mut dw2 = DwStore::new();
-        let heavy = run_etl(&[q], &catalog, &hv, &mut dw2, &udfs, 10.0).unwrap().cost;
+        let heavy = run_etl(&[q], &catalog, &hv, &mut dw2, &udfs, 10.0)
+            .unwrap()
+            .cost;
         let ratio = heavy.as_secs_f64() / base.as_secs_f64();
         assert!((9.9..10.1).contains(&ratio));
     }
@@ -390,12 +442,15 @@ mod tests {
             &catalog,
         )
         .unwrap();
-        let manifest = run_etl(std::slice::from_ref(&q), &catalog, &hv, &mut dw, &udfs, 1.0).unwrap();
+        let manifest =
+            run_etl(std::slice::from_ref(&q), &catalog, &hv, &mut dw, &udfs, 1.0).unwrap();
         assert_eq!(manifest.udfs.len(), 1);
         assert!(dw.has_view("etl_buzz_score_twitter"));
         let dw_plan = rewrite_for_dw(&q, &catalog, &dw).unwrap();
         let hv_run = hv.execute(&q, None, &udfs).unwrap();
-        let dw_run = dw.execute(&dw_plan, None, Default::default(), &udfs).unwrap();
+        let dw_run = dw
+            .execute(&dw_plan, None, Default::default(), &udfs)
+            .unwrap();
         assert_eq!(
             hv_run.execution.root_rows().unwrap(),
             dw_run.execution.root_rows().unwrap()

@@ -43,9 +43,11 @@ pub struct PackResult {
 /// remaining transfer budget (when it needs transfer) or the remaining
 /// storage budget; otherwise the DP takes the max of skipping and packing.
 pub fn m_knapsack(items: &[PackItem], storage_budget: u64, transfer_budget: u64) -> PackResult {
+    let mut obs = miso_obs::span("knapsack.pack");
     let s_dim = (storage_budget + 1) as usize;
     let t_dim = (transfer_budget + 1) as usize;
     let cells = s_dim * t_dim;
+    let mut dp_cells = 0u64;
     // dp[s * t_dim + t] = best benefit with s storage and t transfer left
     // after considering a prefix of items; `take` records decisions for
     // backtracking.
@@ -59,6 +61,7 @@ pub fn m_knapsack(items: &[PackItem], storage_budget: u64, transfer_budget: u64)
         if su >= s_dim || tu >= t_dim {
             continue; // can never fit
         }
+        dp_cells += ((s_dim - su) * (t_dim - tu)) as u64;
         for s in (su..s_dim).rev() {
             for t in (tu..t_dim).rev() {
                 let with = dp[(s - su) * t_dim + (t - tu)] + item.benefit;
@@ -95,7 +98,20 @@ pub fn m_knapsack(items: &[PackItem], storage_budget: u64, transfer_budget: u64)
     let transfer_used: u64 = chosen.iter().map(|&k| items[k].transfer_units).sum();
     debug_assert!(storage_used <= storage_budget);
     debug_assert!(transfer_used <= transfer_budget);
-    PackResult { chosen, benefit, storage_used, transfer_used }
+    miso_obs::count("knapsack.dp_cells", dp_cells);
+    if obs.is_active() {
+        obs.push_field("items", miso_obs::FieldValue::U64(items.len() as u64));
+        obs.push_field("chosen", miso_obs::FieldValue::U64(chosen.len() as u64));
+        obs.push_field("dp_cells", miso_obs::FieldValue::U64(dp_cells));
+        obs.push_field("benefit", miso_obs::FieldValue::F64(benefit));
+        miso_obs::observe("knapsack.items", items.len() as u64);
+    }
+    PackResult {
+        chosen,
+        benefit,
+        storage_used,
+        transfer_used,
+    }
 }
 
 #[cfg(test)]

@@ -207,15 +207,19 @@ impl MultistoreSystem {
         let udfs = self.udf_registry().clone();
         if is_distributive(&def.plan) {
             // Run the defining plan over the delta only and union the rows.
-            let src = DeltaSource { hv: &self.hv, log: log_name, delta };
+            let src = DeltaSource {
+                hv: &self.hv,
+                log: log_name,
+                delta,
+            };
             let exec = execute(&def.plan, &src, &udfs)?;
             let new_rows = exec.root_rows()?.to_vec();
-            let delta_bytes =
-                ByteSize::from_bytes(new_rows.iter().map(Row::approx_bytes).sum());
-            let scan_bytes =
-                ByteSize::from_bytes(delta.iter().map(|l| l.len() as u64 + 1).sum());
+            let delta_bytes = ByteSize::from_bytes(new_rows.iter().map(Row::approx_bytes).sum());
+            let scan_bytes = ByteSize::from_bytes(delta.iter().map(|l| l.len() as u64 + 1).sum());
             let mut cost =
-                self.hv.cost_model.stage_cost(scan_bytes, delta_bytes, new_rows.len() as u64);
+                self.hv
+                    .cost_model
+                    .stage_cost(scan_bytes, delta_bytes, new_rows.len() as u64);
             // Union into the resident copy.
             if in_dw {
                 let (schema, rows, _) = self
@@ -232,7 +236,8 @@ impl MultistoreSystem {
             } else if let Some(rows) = self.hv.view_rows(&def.name) {
                 let mut all = rows.as_ref().clone();
                 all.extend(new_rows);
-                self.hv.install_view(&def.name, def.schema.clone(), Arc::new(all));
+                self.hv
+                    .install_view(&def.name, def.schema.clone(), Arc::new(all));
             } else {
                 return Err(MisoError::Store(format!(
                     "view {} resident nowhere",
@@ -278,11 +283,17 @@ impl MultistoreSystem {
     /// Updates catalog size/rowcount metadata after a refresh.
     fn bump_view_stats(&mut self, name: &str) -> Result<()> {
         let (size, rows) = if let Some(sz) = self.hv.view_size(name) {
-            (sz, self.hv.view_rows(name).map(|r| r.len() as u64).unwrap_or(0))
+            (
+                sz,
+                self.hv.view_rows(name).map(|r| r.len() as u64).unwrap_or(0),
+            )
         } else if let Some(sz) = self.dw.view_size(name) {
             (
                 sz,
-                self.dw.view_rows_arc(name).map(|r| r.len() as u64).unwrap_or(0),
+                self.dw
+                    .view_rows_arc(name)
+                    .map(|r| r.len() as u64)
+                    .unwrap_or(0),
             )
         } else {
             return Err(MisoError::Store(format!("view {name} resident nowhere")));
@@ -291,11 +302,7 @@ impl MultistoreSystem {
         Ok(())
     }
 
-    fn stretch_for_maintenance(
-        &mut self,
-        raw: SimDuration,
-        clock: &SimClock,
-    ) -> SimDuration {
+    fn stretch_for_maintenance(&mut self, raw: SimDuration, clock: &SimClock) -> SimDuration {
         self.stretch_public(raw, DwActivity::ViewTransfer, clock)
     }
 }
@@ -354,8 +361,13 @@ mod tests {
 
         let delta = generate_delta(&cfg, LogKind::Twitter, 0, 100);
         let mut clock = SimClock::new();
-        sys.append_log(LogKind::Twitter, delta, MaintenancePolicy::Invalidate, &mut clock)
-            .unwrap();
+        sys.append_log(
+            LogKind::Twitter,
+            delta,
+            MaintenancePolicy::Invalidate,
+            &mut clock,
+        )
+        .unwrap();
         let after = sys.run_workload(Variant::HvOnly, &[q]).unwrap().records[0].result_rows;
         assert_eq!(after, before + 100, "{after} vs {before}");
     }
@@ -405,7 +417,12 @@ mod tests {
         let delta = generate_delta(&cfg, LogKind::Twitter, 0, 50);
         let mut clock = SimClock::new();
         let report = sys
-            .append_log(LogKind::Twitter, delta, MaintenancePolicy::Invalidate, &mut clock)
+            .append_log(
+                LogKind::Twitter,
+                delta,
+                MaintenancePolicy::Invalidate,
+                &mut clock,
+            )
             .unwrap();
         assert_eq!(report.invalidated.len(), twitter_views.len());
         for v in &twitter_views {
@@ -430,13 +447,19 @@ mod tests {
             )
             .unwrap(),
         );
-        sys.run_workload(Variant::MsMiso, std::slice::from_ref(&q)).unwrap();
+        sys.run_workload(Variant::MsMiso, std::slice::from_ref(&q))
+            .unwrap();
         assert!(!sys.catalog.is_empty());
 
         let delta = generate_delta(&cfg, LogKind::Twitter, 1, 200);
         let mut clock = SimClock::new();
         let report = sys
-            .append_log(LogKind::Twitter, delta, MaintenancePolicy::Refresh, &mut clock)
+            .append_log(
+                LogKind::Twitter,
+                delta,
+                MaintenancePolicy::Refresh,
+                &mut clock,
+            )
             .unwrap();
         assert!(
             !report.delta_refreshed.is_empty() || !report.recomputed.is_empty(),
@@ -446,7 +469,9 @@ mod tests {
 
         // Post-refresh, a rerun reusing views must agree with a from-scratch
         // system over the same (grown) corpus.
-        let reuse = sys.run_workload(Variant::MsMiso, std::slice::from_ref(&q)).unwrap();
+        let reuse = sys
+            .run_workload(Variant::MsMiso, std::slice::from_ref(&q))
+            .unwrap();
         let mut fresh_corpus = Corpus::generate(&cfg);
         let delta_again = generate_delta(&cfg, LogKind::Twitter, 1, 200);
         fresh_corpus.twitter.lines.extend(delta_again);
@@ -498,7 +523,10 @@ mod tests {
         let (mut sys, _) = system();
         let mut clock = SimClock::new();
         // Landmarks exists; craft a bogus call via direct store access.
-        let err = sys.hv.append_log("instagram", vec!["{}".into()]).unwrap_err();
+        let err = sys
+            .hv
+            .append_log("instagram", vec!["{}".into()])
+            .unwrap_err();
         assert!(err.to_string().contains("instagram"));
         // And a legitimate empty append is a no-op.
         let report = sys

@@ -151,7 +151,10 @@ impl ExperimentResult {
     /// Number of queries that spend the majority of execution time in DW
     /// (the headline counts of Fig 6: 2 / 9 / 14).
     pub fn dw_majority_queries(&self) -> usize {
-        self.records.iter().filter(|r| r.dw_utilization() > 0.5).count()
+        self.records
+            .iter()
+            .filter(|r| r.dw_utilization() > 0.5)
+            .count()
     }
 
     /// HV:DW execution-second ratio over the top-`k` DW-utilization queries
@@ -225,12 +228,32 @@ mod tests {
     fn exec_time_cdf_buckets() {
         let result = ExperimentResult {
             variant: "test".into(),
-            records: vec![rec("a", 5, 0, 0, 5), rec("b", 50, 0, 0, 55), rec("c", 500, 0, 0, 555)],
+            records: vec![
+                rec("a", 5, 0, 0, 5),
+                rec("b", 50, 0, 0, 55),
+                rec("c", 500, 0, 0, 555),
+            ],
             reorgs: vec![],
             tti: TtiBreakdown::default(),
         };
         let cdf = result.exec_time_cdf(&[10.0, 100.0, 1000.0]);
         assert_eq!(cdf, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
+    }
+
+    #[test]
+    fn zero_exec_time_has_zero_utilization() {
+        let r = rec("idle", 0, 0, 0, 1);
+        assert_eq!(r.exec_total(), SimDuration::ZERO);
+        assert_eq!(r.dw_utilization(), 0.0, "must not divide by zero");
+    }
+
+    #[test]
+    fn exec_time_cdf_with_no_records() {
+        let empty = ExperimentResult::default();
+        let cdf = empty.exec_time_cdf(&[1.0, 10.0]);
+        assert_eq!(cdf, vec![0.0, 0.0], "empty stream yields all-zero CDF");
+        assert!(empty.cumulative_tti().is_empty());
+        assert_eq!(empty.dw_majority_queries(), 0);
     }
 
     #[test]

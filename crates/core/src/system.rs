@@ -153,6 +153,14 @@ impl MultistoreSystem {
         variant: Variant,
         queries: &[WorkloadQuery],
     ) -> Result<ExperimentResult> {
+        let mut obs = miso_obs::span("workload.run");
+        if obs.is_active() {
+            obs.push_field(
+                "variant",
+                miso_obs::FieldValue::Str(variant.name().to_string()),
+            );
+            obs.push_field("queries", miso_obs::FieldValue::U64(queries.len() as u64));
+        }
         let mut clock = SimClock::new();
         let mut result = ExperimentResult {
             variant: variant.name().to_string(),
@@ -164,6 +172,7 @@ impl MultistoreSystem {
             Variant::MsOff => self.run_ms_off(queries, &mut clock, &mut result)?,
             _ => self.run_stream(variant, queries, &mut clock, &mut result)?,
         }
+        obs.set_sim_us(clock.now().elapsed_since_epoch().as_micros());
         Ok(result)
     }
 
@@ -176,19 +185,31 @@ impl MultistoreSystem {
         result: &mut ExperimentResult,
     ) -> Result<()> {
         let plans: Vec<LogicalPlan> = queries.iter().map(|(_, p)| p.clone()).collect();
-        let manifest = run_etl(
-            &plans,
-            &self.lang_catalog,
-            &self.hv,
-            &mut self.dw,
-            &self.udfs,
-            self.config.etl_overhead,
-        )?;
+        let manifest = {
+            let mut obs = miso_obs::span("system.etl");
+            let manifest = run_etl(
+                &plans,
+                &self.lang_catalog,
+                &self.hv,
+                &mut self.dw,
+                &self.udfs,
+                self.config.etl_overhead,
+            )?;
+            if obs.is_active() {
+                obs.push_field(
+                    "cost_us",
+                    miso_obs::FieldValue::U64(manifest.cost.as_micros()),
+                );
+            }
+            manifest
+        };
         result.tti.etl += manifest.cost;
         clock.advance(manifest.cost);
         for (i, (label, raw)) in queries.iter().enumerate() {
             let dw_plan = rewrite_for_dw(raw, &self.lang_catalog, &self.dw)?;
-            let run = self.dw.execute(&dw_plan, None, HashMap::new(), &self.udfs)?;
+            let run = self
+                .dw
+                .execute(&dw_plan, None, HashMap::new(), &self.udfs)?;
             let stretched = self.stretch(run.cost, DwActivity::QueryExec, clock);
             result.tti.dw_exe += stretched;
             clock.advance(stretched);
@@ -277,8 +298,7 @@ impl MultistoreSystem {
             .cloned()
             .collect();
         for (i, (label, raw)) in queries.iter().enumerate() {
-            let record =
-                self.execute_one(QueryId(i as u64), label, raw, clock, &mut result.tti)?;
+            let record = self.execute_one(QueryId(i as u64), label, raw, clock, &mut result.tti)?;
             // Enforce the static design: drop non-selected views, migrate
             // DW-designated ones.
             for name in self.hv.view_names() {
@@ -294,11 +314,11 @@ impl MultistoreSystem {
                     let raw_cost = self.hv.dump_cost(size)
                         + self.transfer.transfer_cost(size)
                         + self.dw.load_cost(size);
-                    let stretched =
-                        self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
+                    let stretched = self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
                     result.tti.tune += stretched;
                     clock.advance(stretched);
-                    self.dw.load_view(&name, schema, rows, TableSpace::Permanent);
+                    self.dw
+                        .load_view(&name, schema, rows, TableSpace::Permanent);
                     self.hv.remove_view(&name);
                 }
             }
@@ -353,8 +373,12 @@ impl MultistoreSystem {
 
             let qid = QueryId(i as u64);
             let record = match variant {
-                Variant::HvOnly => self.execute_hv_only(qid, label, raw, clock, &mut result.tti, false)?,
-                Variant::HvOp => self.execute_hv_only(qid, label, raw, clock, &mut result.tti, true)?,
+                Variant::HvOnly => {
+                    self.execute_hv_only(qid, label, raw, clock, &mut result.tti, false)?
+                }
+                Variant::HvOp => {
+                    self.execute_hv_only(qid, label, raw, clock, &mut result.tti, true)?
+                }
                 Variant::MsLru => {
                     self.execute_one_with_retention(qid, label, raw, clock, &mut result.tti, true)?
                 }
@@ -400,6 +424,11 @@ impl MultistoreSystem {
         tti: &mut TtiBreakdown,
         with_views: bool,
     ) -> Result<QueryRecord> {
+        let mut obs = miso_obs::span("query");
+        if obs.is_active() {
+            obs.push_field("label", miso_obs::FieldValue::Str(label.to_string()));
+            obs.push_field("qid", miso_obs::FieldValue::U64(qid.raw()));
+        }
         let available: HashSet<String> = if with_views {
             self.hv.view_names().into_iter().collect()
         } else {
@@ -415,6 +444,10 @@ impl MultistoreSystem {
             for v in &rewrite.used {
                 self.lru_touch(v);
             }
+        }
+        if obs.is_active() {
+            obs.set_sim_us(clock.now().elapsed_since_epoch().as_micros());
+            obs.push_field("hv_us", miso_obs::FieldValue::U64(run.cost.as_micros()));
         }
         Ok(QueryRecord {
             query: qid,
@@ -455,6 +488,11 @@ impl MultistoreSystem {
         tti: &mut TtiBreakdown,
         retain_ws: bool,
     ) -> Result<QueryRecord> {
+        let mut obs = miso_obs::span("query");
+        if obs.is_active() {
+            obs.push_field("label", miso_obs::FieldValue::Str(label.to_string()));
+            obs.push_field("qid", miso_obs::FieldValue::U64(qid.raw()));
+        }
         let design = self.current_design();
         let stats = self.build_stats();
         let planned: PlannedQuery = {
@@ -496,11 +534,18 @@ impl MultistoreSystem {
                 let rows = run.execution.output(cut).clone();
                 let bytes = run.execution.output_bytes(cut);
                 bytes_transferred += bytes;
+                miso_obs::count("system.bytes_transferred", bytes.as_bytes());
+                miso_obs::instant(
+                    "query.transfer",
+                    vec![
+                        ("cut", miso_obs::FieldValue::U64(cut.raw())),
+                        ("bytes", miso_obs::FieldValue::U64(bytes.as_bytes())),
+                    ],
+                );
                 let raw_cost = self.hv.dump_cost(bytes)
                     + self.transfer.transfer_cost(bytes)
                     + self.dw.load_cost(bytes);
-                let stretched =
-                    self.stretch(raw_cost, DwActivity::WorkingSetTransfer, clock);
+                let stretched = self.stretch(raw_cost, DwActivity::WorkingSetTransfer, clock);
                 transfer_time += stretched;
                 tti.transfer += stretched;
                 clock.advance(stretched);
@@ -538,6 +583,24 @@ impl MultistoreSystem {
         for v in &planned.used_views {
             self.lru_touch(v);
         }
+        if obs.is_active() {
+            obs.set_sim_us(clock.now().elapsed_since_epoch().as_micros());
+            obs.push_field("hv_us", miso_obs::FieldValue::U64(hv_time.as_micros()));
+            obs.push_field("dw_us", miso_obs::FieldValue::U64(dw_time.as_micros()));
+            obs.push_field(
+                "transfer_us",
+                miso_obs::FieldValue::U64(transfer_time.as_micros()),
+            );
+            obs.push_field(
+                "bytes_transferred",
+                miso_obs::FieldValue::U64(bytes_transferred.as_bytes()),
+            );
+            obs.push_field("rows", miso_obs::FieldValue::U64(result_rows));
+            obs.push_field(
+                "used_views",
+                miso_obs::FieldValue::U64(planned.used_views.len() as u64),
+            );
+        }
         Ok(QueryRecord {
             query: qid,
             label: label.to_string(),
@@ -563,6 +626,8 @@ impl MultistoreSystem {
         window: &[LogicalPlan],
         clock: &mut SimClock,
     ) -> Result<ReorgRecord> {
+        let mut obs = miso_obs::span("tuner.reorg");
+        miso_obs::count("tuner.reorgs", 1);
         let start = clock.now();
         let current_hv: BTreeSet<String> = self.hv.view_names().into_iter().collect();
         let current_dw: BTreeSet<String> = self.dw.view_names().into_iter().collect();
@@ -593,7 +658,11 @@ impl MultistoreSystem {
                     "tuner placed `{name}` in DW but no store holds it"
                 )));
             };
-            let schema = self.hv.view_schema(name).expect("rows imply schema").clone();
+            let schema = self
+                .hv
+                .view_schema(name)
+                .expect("rows imply schema")
+                .clone();
             let size = self.hv.view_size(name).expect("rows imply size");
             let raw_cost = self.hv.dump_cost(size)
                 + self.transfer.transfer_cost(size)
@@ -659,7 +728,39 @@ impl MultistoreSystem {
         // The design-computation time itself.
         self.record_bg(DwActivity::Idle, self.config.tune_compute, clock);
         clock.advance(self.config.tune_compute);
-        Ok(ReorgRecord { at: start, duration, moved_to_dw, moved_to_hv, dropped, bytes_moved })
+        miso_obs::count(
+            "tuner.views_moved",
+            (moved_to_dw.len() + moved_to_hv.len()) as u64,
+        );
+        miso_obs::count("tuner.views_dropped", dropped.len() as u64);
+        if obs.is_active() {
+            obs.set_sim_us(clock.now().elapsed_since_epoch().as_micros());
+            obs.push_field(
+                "moved_to_dw",
+                miso_obs::FieldValue::U64(moved_to_dw.len() as u64),
+            );
+            obs.push_field(
+                "moved_to_hv",
+                miso_obs::FieldValue::U64(moved_to_hv.len() as u64),
+            );
+            obs.push_field("dropped", miso_obs::FieldValue::U64(dropped.len() as u64));
+            obs.push_field(
+                "bytes_moved",
+                miso_obs::FieldValue::U64(bytes_moved.as_bytes()),
+            );
+            obs.push_field(
+                "duration_us",
+                miso_obs::FieldValue::U64(duration.as_micros()),
+            );
+        }
+        Ok(ReorgRecord {
+            at: start,
+            duration,
+            moved_to_dw,
+            moved_to_hv,
+            dropped,
+            bytes_moved,
+        })
     }
 
     // ---- Shared plumbing ---------------------------------------------------
@@ -680,7 +781,11 @@ impl MultistoreSystem {
         self.hv.fill_stats(&mut stats);
         self.dw.fill_stats(&mut stats);
         for def in self.catalog.defs() {
-            stats.set_view(def.name.clone(), def.rows as f64, def.size.as_bytes() as f64);
+            stats.set_view(
+                def.name.clone(),
+                def.rows as f64,
+                def.size.as_bytes() as f64,
+            );
         }
         stats
     }
@@ -706,20 +811,17 @@ impl MultistoreSystem {
                 // contents were dropped from both stores (can't happen: the
                 // catalog only keeps resident views).
                 if !self.hv.has_view(&name) && !self.dw.has_view(&name) {
-                    self.hv.install_view(&name, m.schema.clone(), m.rows.clone());
+                    self.hv
+                        .install_view(&name, m.schema.clone(), m.rows.clone());
                     self.lru_touch(&name);
                 }
                 continue;
             }
-            let def = ViewDef::from_plan(
-                plan.subplan(m.node),
-                m.size,
-                m.rows.len() as u64,
-                qid,
-            );
+            let def = ViewDef::from_plan(plan.subplan(m.node), m.size, m.rows.len() as u64, qid);
             debug_assert_eq!(def.name, name, "fingerprint consistency");
             self.catalog.register(def);
-            self.hv.install_view(&name, m.schema.clone(), m.rows.clone());
+            self.hv
+                .install_view(&name, m.schema.clone(), m.rows.clone());
             self.lru_touch(&name);
         }
     }
@@ -786,11 +888,11 @@ impl MultistoreSystem {
         let schema = plan.node(node).schema.clone();
         let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
         if !self.catalog.contains(&name) {
-            let def =
-                ViewDef::from_plan(plan.subplan(node), size, rows.len() as u64, qid);
+            let def = ViewDef::from_plan(plan.subplan(node), size, rows.len() as u64, qid);
             self.catalog.register(def);
         }
-        self.dw.load_view(&name, schema, rows, TableSpace::Permanent);
+        self.dw
+            .load_view(&name, schema, rows, TableSpace::Permanent);
         self.lru_touch(&name);
     }
 
@@ -798,12 +900,7 @@ impl MultistoreSystem {
 
     /// Stretches a DW-side duration under background contention and records
     /// the interval.
-    fn stretch(
-        &mut self,
-        raw: SimDuration,
-        activity: DwActivity,
-        clock: &SimClock,
-    ) -> SimDuration {
+    fn stretch(&mut self, raw: SimDuration, activity: DwActivity, clock: &SimClock) -> SimDuration {
         match &mut self.background {
             Some(bg) => {
                 let stretched = raw * bg.stretch_factor(activity);
@@ -876,7 +973,10 @@ mod tests {
     fn hv_op_reuses_views_and_speeds_up_repeats() {
         let mut sys = tiny_system(100_000);
         let result = sys.run_workload(Variant::HvOp, &queries()).unwrap();
-        assert!(!sys.hv.view_names().is_empty(), "opportunistic views retained");
+        assert!(
+            !sys.hv.view_names().is_empty(),
+            "opportunistic views retained"
+        );
         // q2 (same prefix as q0/q1) should reuse a view and be much cheaper
         // than q0.
         let q0 = &result.records[0];
@@ -953,10 +1053,7 @@ mod tests {
         )
         .with_discretization(ByteSize::from_kib(16));
         let mut cfg = SystemConfig::paper_default(budgets);
-        cfg.background = Some(BackgroundSim::paper_config(
-            miso_dw::Resource::Io,
-            40,
-        ));
+        cfg.background = Some(BackgroundSim::paper_config(miso_dw::Resource::Io, 40));
         let mut sys = MultistoreSystem::new(
             &corpus,
             miso_lang::Catalog::standard(),

@@ -110,6 +110,7 @@ impl MisoTuner {
         dw_cost: &DwCostModel,
         transfer: &TransferModel,
     ) -> NewDesign {
+        let mut obs = miso_obs::span("tuner.tune");
         let budgets = &self.config.budgets;
         // Per-dimension discretization: at least the configured unit, but
         // coarse enough to keep each DP dimension ≤ MAX_UNITS cells (the
@@ -123,11 +124,17 @@ impl MisoTuner {
         names.sort();
         names.retain(|n| catalog.contains(n));
         if names.is_empty() || history.is_empty() {
-            return NewDesign { hv: current_hv.clone(), dw: current_dw.clone() };
+            return NewDesign {
+                hv: current_hv.clone(),
+                dw: current_dw.clone(),
+            };
         }
         let infos: Vec<ViewInfo> = names
             .iter()
-            .map(|n| ViewInfo { name: n.clone(), size: catalog.get(n).unwrap().size })
+            .map(|n| ViewInfo {
+                name: n.clone(),
+                size: catalog.get(n).unwrap().size,
+            })
             .collect();
 
         // Decay weights over the history window.
@@ -142,7 +149,13 @@ impl MisoTuner {
         // What-if probe: hypothetical design with the subset available in
         // both stores (a view's benefit is dominated by its best placement;
         // the knapsack phases decide the actual store).
-        let env = OptimizerEnv { stats, hv: hv_cost, dw: dw_cost, transfer, catalog: Some(catalog) };
+        let env = OptimizerEnv {
+            stats,
+            hv: hv_cost,
+            dw: dw_cost,
+            transfer,
+            catalog: Some(catalog),
+        };
         let mut cost_fn = |q: usize, set: &BTreeSet<String>| -> f64 {
             let design = Design {
                 hv_views: set.iter().cloned().collect(),
@@ -156,7 +169,11 @@ impl MisoTuner {
         };
         let items = analyze_candidates(&infos, &weights, &mut cost_fn, &analysis_cfg);
         if std::env::var_os("MISO_TUNER_DEBUG").is_some() {
-            eprintln!("[tuner] candidates={} -> items={}", infos.len(), items.len());
+            eprintln!(
+                "[tuner] candidates={} -> items={}",
+                infos.len(),
+                items.len()
+            );
             for item in &items {
                 eprintln!(
                     "[tuner]   item {:?} size={} benefit={:.1}",
@@ -166,7 +183,8 @@ impl MisoTuner {
         }
 
         // Phase 1: pack DW. HV-resident members consume B_t (Case 1).
-        let size_of = |v: &str| -> ByteSize { catalog.get(v).map(|d| d.size).unwrap_or(ByteSize::ZERO) };
+        let size_of =
+            |v: &str| -> ByteSize { catalog.get(v).map(|d| d.size).unwrap_or(ByteSize::ZERO) };
         let dw_items: Vec<PackItem> = items
             .iter()
             .map(|item| {
@@ -241,7 +259,17 @@ impl MisoTuner {
             .collect();
 
         debug_assert!(hv_new.is_disjoint(&dw_new), "V_h ∩ V_d must be empty");
-        NewDesign { hv: hv_new, dw: dw_new }
+        if obs.is_active() {
+            obs.push_field("candidates", miso_obs::FieldValue::U64(infos.len() as u64));
+            obs.push_field("items", miso_obs::FieldValue::U64(items.len() as u64));
+            obs.push_field("dw_views", miso_obs::FieldValue::U64(dw_new.len() as u64));
+            obs.push_field("hv_views", miso_obs::FieldValue::U64(hv_new.len() as u64));
+            obs.push_field("history", miso_obs::FieldValue::U64(window.len() as u64));
+        }
+        NewDesign {
+            hv: hv_new,
+            dw: dw_new,
+        }
     }
 }
 

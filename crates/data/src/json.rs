@@ -19,7 +19,10 @@ use miso_common::{MisoError, Result};
 /// Trailing non-whitespace input is an error: each log line must be exactly
 /// one JSON value.
 pub fn parse_json(input: &str) -> Result<Value> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -313,8 +316,8 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number slice is ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number slice is ASCII");
         if text.is_empty() || text == "-" {
             return Err(self.error("invalid number"));
         }
@@ -389,7 +392,16 @@ mod tests {
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["", "{", "[1,", "{\"a\"}", "\"unterminated", "tru", "01a", "-"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "\"unterminated",
+            "tru",
+            "01a",
+            "-",
+        ] {
             assert!(parse_json(bad).is_err(), "should reject {bad:?}");
         }
     }

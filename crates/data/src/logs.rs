@@ -103,7 +103,11 @@ pub struct LogFile {
 impl LogFile {
     fn from_lines(kind: LogKind, lines: Vec<String>) -> Self {
         let bytes: u64 = lines.iter().map(|l| l.len() as u64 + 1).sum();
-        LogFile { kind, lines, size: ByteSize::from_bytes(bytes) }
+        LogFile {
+            kind,
+            lines,
+            size: ByteSize::from_bytes(bytes),
+        }
     }
 
     /// Record count.
@@ -157,20 +161,24 @@ impl Corpus {
 pub fn generate_delta(cfg: &LogsConfig, kind: LogKind, batch: u64, count: usize) -> Vec<String> {
     let root = DetRng::new(cfg.seed ^ 0xDE17A);
     match kind {
-        LogKind::Twitter => generate_twitter_batch(
-            cfg,
-            root.fork(batch * 4 + 1),
-            cfg.tweets + batch as usize * count,
-            count,
-        )
-        .lines,
-        LogKind::Foursquare => generate_foursquare_batch(
-            cfg,
-            root.fork(batch * 4 + 2),
-            cfg.checkins + batch as usize * count,
-            count,
-        )
-        .lines,
+        LogKind::Twitter => {
+            generate_twitter_batch(
+                cfg,
+                root.fork(batch * 4 + 1),
+                cfg.tweets + batch as usize * count,
+                count,
+            )
+            .lines
+        }
+        LogKind::Foursquare => {
+            generate_foursquare_batch(
+                cfg,
+                root.fork(batch * 4 + 2),
+                cfg.checkins + batch as usize * count,
+                count,
+            )
+            .lines
+        }
         // Landmarks is static reference data; an appended batch models newly
         // listed venues beyond the base id range.
         LogKind::Landmarks => {
@@ -184,29 +192,57 @@ pub fn generate_delta(cfg: &LogsConfig, kind: LogKind, batch: u64, count: usize)
 
 /// Marketing-relevant topic vocabulary: queries filter on these hashtags.
 pub const TOPICS: &[&str] = &[
-    "coffee", "pizza", "sushi", "burgers", "brunch", "vegan", "bbq", "tacos",
-    "ramen", "dessert", "cocktails", "beer", "wine", "breakfast", "seafood",
+    "coffee",
+    "pizza",
+    "sushi",
+    "burgers",
+    "brunch",
+    "vegan",
+    "bbq",
+    "tacos",
+    "ramen",
+    "dessert",
+    "cocktails",
+    "beer",
+    "wine",
+    "breakfast",
+    "seafood",
     "steak",
 ];
 
 /// Venue categories used by Landmarks and filtered by the workload.
 pub const CATEGORIES: &[&str] = &[
-    "restaurant", "cafe", "bar", "museum", "park", "theater", "stadium",
-    "hotel", "mall", "landmark",
+    "restaurant",
+    "cafe",
+    "bar",
+    "museum",
+    "park",
+    "theater",
+    "stadium",
+    "hotel",
+    "mall",
+    "landmark",
 ];
 
 /// Cities shared by all three logs (geography join/filter dimension).
 pub const CITIES: &[&str] = &[
-    "san_francisco", "new_york", "austin", "seattle", "chicago", "boston",
-    "portland", "denver", "miami", "los_angeles",
+    "san_francisco",
+    "new_york",
+    "austin",
+    "seattle",
+    "chicago",
+    "boston",
+    "portland",
+    "denver",
+    "miami",
+    "los_angeles",
 ];
 
 const LANGS: &[&str] = &["en", "es", "pt", "ja", "de", "fr"];
 const WORDS: &[&str] = &[
-    "loving", "the", "new", "place", "downtown", "amazing", "terrible",
-    "queue", "service", "tonight", "friends", "best", "worst", "ever",
-    "grand", "opening", "happy", "hour", "deal", "try", "again", "never",
-    "crowded", "quiet", "cozy", "fresh", "local", "spot", "hidden", "gem",
+    "loving", "the", "new", "place", "downtown", "amazing", "terrible", "queue", "service",
+    "tonight", "friends", "best", "worst", "ever", "grand", "opening", "happy", "hour", "deal",
+    "try", "again", "never", "crowded", "quiet", "cozy", "fresh", "local", "spot", "hidden", "gem",
 ];
 
 /// Timestamps span 90 synthetic days, seconds resolution.
@@ -253,8 +289,14 @@ fn generate_twitter_batch(
             ("ts".into(), Value::Int(rng.below(TIME_SPAN_SECS) as i64)),
             ("text".into(), Value::Str(text)),
             ("hashtags".into(), Value::Array(tags)),
-            ("retweets".into(), Value::Int(retweets.sample(&mut rng) as i64)),
-            ("followers".into(), Value::Int(followers.sample(&mut rng) as i64)),
+            (
+                "retweets".into(),
+                Value::Int(retweets.sample(&mut rng) as i64),
+            ),
+            (
+                "followers".into(),
+                Value::Int(followers.sample(&mut rng) as i64),
+            ),
             ("lang".into(), Value::str(*rng.pick(LANGS))),
             ("city".into(), Value::str(*rng.pick(CITIES))),
             (
@@ -290,10 +332,7 @@ fn generate_foursquare_batch(
             ("venue_id".into(), Value::Int(venue)),
             ("ts".into(), Value::Int(rng.below(TIME_SPAN_SECS) as i64)),
             ("likes".into(), Value::Int(likes.sample(&mut rng) as i64)),
-            (
-                "with_friends".into(),
-                Value::Bool(rng.chance(0.35)),
-            ),
+            ("with_friends".into(), Value::Bool(rng.chance(0.35))),
             ("city".into(), Value::str(*rng.pick(CITIES))),
         ]);
         lines.push(to_json(&record));
@@ -313,19 +352,16 @@ fn generate_landmarks(cfg: &LogsConfig, mut rng: DetRng) -> LogFile {
             ),
             ("category".into(), Value::str(*rng.pick(CATEGORIES))),
             ("city".into(), Value::str(*rng.pick(CITIES))),
-            (
-                "lat".into(),
-                Value::Float(25.0 + rng.f64() * 24.0),
-            ),
-            (
-                "lon".into(),
-                Value::Float(-124.0 + rng.f64() * 54.0),
-            ),
+            ("lat".into(), Value::Float(25.0 + rng.f64() * 24.0)),
+            ("lon".into(), Value::Float(-124.0 + rng.f64() * 54.0)),
             (
                 "rating".into(),
                 Value::Float((rng.f64() * 4.0 + 1.0 * rng.f64()).clamp(0.5, 5.0)),
             ),
-            ("price_tier".into(), Value::Int(rng.range_inclusive(1, 4) as i64)),
+            (
+                "price_tier".into(),
+                Value::Int(rng.range_inclusive(1, 4) as i64),
+            ),
         ]);
         lines.push(to_json(&record));
     }

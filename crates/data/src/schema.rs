@@ -47,9 +47,7 @@ impl DataType {
         match (self, other) {
             (Int, Int) => Some(Int),
             (Int, Float) | (Float, Int) | (Float, Float) => Some(Float),
-            (Json, Int) | (Int, Json) | (Json, Float) | (Float, Json) | (Json, Json) => {
-                Some(Json)
-            }
+            (Json, Int) | (Int, Json) | (Json, Float) | (Float, Json) | (Json, Json) => Some(Json),
             _ => None,
         }
     }
@@ -80,7 +78,10 @@ pub struct Field {
 impl Field {
     /// Constructs a field.
     pub fn new(name: impl Into<String>, ty: DataType) -> Self {
-        Field { name: name.into(), ty }
+        Field {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -238,7 +239,10 @@ mod tests {
 
     #[test]
     fn numeric_join_rules() {
-        assert_eq!(DataType::Int.numeric_join(DataType::Int), Some(DataType::Int));
+        assert_eq!(
+            DataType::Int.numeric_join(DataType::Int),
+            Some(DataType::Int)
+        );
         assert_eq!(
             DataType::Int.numeric_join(DataType::Float),
             Some(DataType::Float)

@@ -27,7 +27,12 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     fn empty() -> Self {
-        ColumnStats { distinct: 0, nulls: 0, min: None, max: None }
+        ColumnStats {
+            distinct: 0,
+            nulls: 0,
+            min: None,
+            max: None,
+        }
     }
 }
 
@@ -107,7 +112,9 @@ impl RelationStats {
     /// textbook default) when bounds are unusable.
     pub fn range_selectivity(&self, col: usize, lo: Option<f64>, hi: Option<f64>) -> f64 {
         const DEFAULT: f64 = 1.0 / 3.0;
-        let Some(c) = self.columns.get(col) else { return DEFAULT };
+        let Some(c) = self.columns.get(col) else {
+            return DEFAULT;
+        };
         let (Some(min), Some(max)) = (
             c.min.as_ref().and_then(Value::as_f64),
             c.max.as_ref().and_then(Value::as_f64),

@@ -132,9 +132,7 @@ impl Value {
             Value::Int(_) => 8,
             Value::Float(_) => 8,
             Value::Str(s) => 4 + s.len() as u64,
-            Value::Array(items) => {
-                4 + items.iter().map(Value::approx_bytes).sum::<u64>()
-            }
+            Value::Array(items) => 4 + items.iter().map(Value::approx_bytes).sum::<u64>(),
             Value::Object(fields) => {
                 4 + fields
                     .iter()

@@ -61,9 +61,18 @@ impl DwActivity {
     pub fn demand(&self) -> Demand {
         match self {
             DwActivity::Idle => Demand { io: 0.0, cpu: 0.0 },
-            DwActivity::QueryExec => Demand { io: 0.03, cpu: 0.06 },
-            DwActivity::WorkingSetTransfer => Demand { io: 0.09, cpu: 0.11 },
-            DwActivity::ViewTransfer => Demand { io: 0.10, cpu: 0.12 },
+            DwActivity::QueryExec => Demand {
+                io: 0.03,
+                cpu: 0.06,
+            },
+            DwActivity::WorkingSetTransfer => Demand {
+                io: 0.09,
+                cpu: 0.11,
+            },
+            DwActivity::ViewTransfer => Demand {
+                io: 0.10,
+                cpu: 0.12,
+            },
         }
     }
 
@@ -73,7 +82,10 @@ impl DwActivity {
     pub fn peak_demand(&self) -> Demand {
         match self {
             DwActivity::Idle => Demand { io: 0.0, cpu: 0.0 },
-            DwActivity::QueryExec => Demand { io: 0.15, cpu: 0.25 },
+            DwActivity::QueryExec => Demand {
+                io: 0.15,
+                cpu: 0.25,
+            },
             DwActivity::WorkingSetTransfer => Demand { io: 0.9, cpu: 0.45 },
             DwActivity::ViewTransfer => Demand { io: 1.0, cpu: 0.5 },
         }
@@ -114,7 +126,12 @@ impl BackgroundSim {
     /// A background workload leaving `spare` fraction of `resource`.
     pub fn new(resource: Resource, spare: f64, base_latency: SimDuration) -> Self {
         assert!((0.0..=1.0).contains(&spare), "spare must be a fraction");
-        BackgroundSim { resource, spare, base_latency, samples: Vec::new() }
+        BackgroundSim {
+            resource,
+            spare,
+            base_latency,
+            samples: Vec::new(),
+        }
     }
 
     /// The paper's four §5.4 configurations.
@@ -250,7 +267,10 @@ mod tests {
         let sim = sim40io();
         let peak = sim.bg_latency_peak(DwActivity::ViewTransfer);
         let ratio = peak.as_secs_f64() / sim.base_latency.as_secs_f64();
-        assert!(ratio > 4.0, "Figure 9b peaks exceed 5 s from 1.06 s; got ratio {ratio}");
+        assert!(
+            ratio > 4.0,
+            "Figure 9b peaks exceed 5 s from 1.06 s; got ratio {ratio}"
+        );
         // Sustained inflation is much milder than the burst peaks.
         let sustained = sim.bg_latency_during(DwActivity::ViewTransfer);
         assert!(sustained < peak);
@@ -263,7 +283,11 @@ mod tests {
         // 98% idle/query time, 2% transfer time — the paper's shape.
         sim.record(t0, SimDuration::from_secs(9_800), DwActivity::Idle);
         sim.record(t0, SimDuration::from_secs(100), DwActivity::QueryExec);
-        sim.record(t0, SimDuration::from_secs(100), DwActivity::WorkingSetTransfer);
+        sim.record(
+            t0,
+            SimDuration::from_secs(100),
+            DwActivity::WorkingSetTransfer,
+        );
         let pct = sim.bg_slowdown_percent();
         assert!(pct > 0.0 && pct < 10.0, "got {pct}%");
     }

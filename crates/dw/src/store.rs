@@ -136,6 +136,7 @@ impl DwStore {
         provided: HashMap<NodeId, Arc<Vec<Row>>>,
         udfs: &UdfRegistry,
     ) -> Result<DwRun> {
+        let mut obs = miso_obs::span("dw.execute");
         // DW cannot scan raw logs or run UDFs.
         for node in plan.nodes() {
             let in_subset = subset.is_none_or(|s| s.contains(&node.id));
@@ -144,18 +145,13 @@ impl DwStore {
             }
             match &node.op {
                 Operator::ScanLog { log } => {
-                    return Err(MisoError::Store(format!(
-                        "DW cannot scan raw log `{log}`"
-                    )));
+                    return Err(MisoError::Store(format!("DW cannot scan raw log `{log}`")));
                 }
                 Operator::Udf { name, .. } => {
-                    return Err(MisoError::Store(format!(
-                        "DW cannot execute UDF `{name}`"
-                    )));
+                    return Err(MisoError::Store(format!("DW cannot execute UDF `{name}`")));
                 }
                 Operator::ScanView { view, .. }
-                    if !self.permanent.contains_key(view)
-                        && !self.temporary.contains_key(view) =>
+                    if !self.permanent.contains_key(view) && !self.temporary.contains_key(view) =>
                 {
                     return Err(MisoError::Store(format!("DW has no view `{view}`")));
                 }
@@ -190,6 +186,12 @@ impl DwStore {
                 .unwrap_or(0);
         }
         let cost = self.cost_model.exec_cost(bytes_in, rows_processed);
+        if obs.is_active() {
+            obs.push_field("bytes_in", miso_obs::FieldValue::U64(bytes_in.as_bytes()));
+            obs.push_field("rows", miso_obs::FieldValue::U64(rows_processed));
+            obs.push_field("cost_us", miso_obs::FieldValue::U64(cost.as_micros()));
+            miso_obs::count("dw.bytes_scanned", bytes_in.as_bytes());
+        }
         Ok(DwRun { execution, cost })
     }
 
@@ -256,7 +258,10 @@ mod tests {
     }
 
     fn schema() -> Schema {
-        Schema::new(vec![Field::new("id", DataType::Int), Field::new("k", DataType::Int)])
+        Schema::new(vec![
+            Field::new("id", DataType::Int),
+            Field::new("k", DataType::Int),
+        ])
     }
 
     #[test]
@@ -269,7 +274,13 @@ mod tests {
 
         let mut b = miso_plan::PlanBuilder::new();
         let sv = b
-            .add(Operator::ScanView { view: "v_a".into(), schema: schema() }, vec![])
+            .add(
+                Operator::ScanView {
+                    view: "v_a".into(),
+                    schema: schema(),
+                },
+                vec![],
+            )
             .unwrap();
         let f = b
             .add(
@@ -280,9 +291,14 @@ mod tests {
             )
             .unwrap();
         let plan = b.finish(f).unwrap();
-        let run = dw.execute(&plan, None, HashMap::new(), &UdfRegistry::new()).unwrap();
+        let run = dw
+            .execute(&plan, None, HashMap::new(), &UdfRegistry::new())
+            .unwrap();
         assert!(!run.execution.root_rows().unwrap().is_empty());
-        assert!(run.cost < load_cost, "resident queries are cheap; loads are not");
+        assert!(
+            run.cost < load_cost,
+            "resident queries are cheap; loads are not"
+        );
     }
 
     #[test]
@@ -300,19 +316,42 @@ mod tests {
     fn rejects_raw_logs_and_udfs() {
         let dw = DwStore::new();
         let mut b = miso_plan::PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let plan = b.finish(scan).unwrap();
-        assert!(dw.execute(&plan, None, HashMap::new(), &UdfRegistry::new()).is_err());
+        assert!(dw
+            .execute(&plan, None, HashMap::new(), &UdfRegistry::new())
+            .is_err());
 
         let mut b2 = miso_plan::PlanBuilder::new();
         let sv = b2
-            .add(Operator::ScanView { view: "v".into(), schema: schema() }, vec![])
+            .add(
+                Operator::ScanView {
+                    view: "v".into(),
+                    schema: schema(),
+                },
+                vec![],
+            )
             .unwrap();
         let u = b2
-            .add(Operator::Udf { name: "u".into(), output: schema() }, vec![sv])
+            .add(
+                Operator::Udf {
+                    name: "u".into(),
+                    output: schema(),
+                },
+                vec![sv],
+            )
             .unwrap();
         let plan2 = b2.finish(u).unwrap();
-        assert!(dw.execute(&plan2, None, HashMap::new(), &UdfRegistry::new()).is_err());
+        assert!(dw
+            .execute(&plan2, None, HashMap::new(), &UdfRegistry::new())
+            .is_err());
     }
 
     #[test]
@@ -321,7 +360,9 @@ mod tests {
         // Plan: scan log -> filter; we provide the scan output, DW runs the
         // filter.
         let mut b = miso_plan::PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let scan = b
+            .add(Operator::ScanLog { log: "t".into() }, vec![])
+            .unwrap();
         let filt = b
             .add(
                 Operator::Filter {
@@ -338,8 +379,7 @@ mod tests {
             Row::new(vec![Value::object(vec![("k".into(), Value::Int(1))])]),
             Row::new(vec![Value::object(vec![("k".into(), Value::Int(2))])]),
         ]);
-        let provided: HashMap<NodeId, Arc<Vec<Row>>> =
-            [(NodeId(0), ws)].into_iter().collect();
+        let provided: HashMap<NodeId, Arc<Vec<Row>>> = [(NodeId(0), ws)].into_iter().collect();
         let subset: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
         let run = dw
             .execute(&plan, Some(&subset), provided, &UdfRegistry::new())
@@ -365,7 +405,10 @@ mod tests {
         let mut b = miso_plan::PlanBuilder::new();
         let sv = b
             .add(
-                Operator::ScanView { view: "v_hyp".into(), schema: schema() },
+                Operator::ScanView {
+                    view: "v_hyp".into(),
+                    schema: schema(),
+                },
                 vec![],
             )
             .unwrap();
@@ -373,12 +416,18 @@ mod tests {
         let mut est = HashMap::new();
         est.insert(
             NodeId(0),
-            miso_plan::estimate::SizeEstimate { rows: 1000.0, bytes: 64_000.0 },
+            miso_plan::estimate::SizeEstimate {
+                rows: 1000.0,
+                bytes: 64_000.0,
+            },
         );
         let small = dw.what_if_cost(&plan, None, &est);
         est.insert(
             NodeId(0),
-            miso_plan::estimate::SizeEstimate { rows: 1e6, bytes: 64e6 },
+            miso_plan::estimate::SizeEstimate {
+                rows: 1e6,
+                bytes: 64e6,
+            },
         );
         let big = dw.what_if_cost(&plan, None, &est);
         assert!(big > small);

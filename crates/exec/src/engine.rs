@@ -95,9 +95,7 @@ impl Execution {
         self.outputs
             .get(&self.root)
             .map(|r| r.as_slice())
-            .ok_or_else(|| {
-                MisoError::Execution("root was not part of the executed subset".into())
-            })
+            .ok_or_else(|| MisoError::Execution("root was not part of the executed subset".into()))
     }
 
     /// Approximate serialized size of node `id`'s output.
@@ -117,7 +115,11 @@ impl Execution {
 }
 
 /// Executes the whole plan.
-pub fn execute(plan: &LogicalPlan, source: &dyn DataSource, udfs: &UdfRegistry) -> Result<Execution> {
+pub fn execute(
+    plan: &LogicalPlan,
+    source: &dyn DataSource,
+    udfs: &UdfRegistry,
+) -> Result<Execution> {
     execute_subset(plan, None, HashMap::new(), source, udfs)
 }
 
@@ -144,6 +146,11 @@ pub fn execute_subset(
             if !set.contains(&node.id) {
                 continue;
             }
+        }
+        let mut op_span = miso_obs::span("exec.op");
+        if op_span.is_active() {
+            op_span.push_field("op", miso_obs::FieldValue::Str(node.op.label()));
+            op_span.push_field("node", miso_obs::FieldValue::U64(node.id.raw()));
         }
         let get_input = |idx: usize| -> Result<&Arc<Vec<Row>>> {
             outputs.get(&node.inputs[idx]).ok_or_else(|| {
@@ -225,9 +232,18 @@ pub fn execute_subset(
                 input.iter().take(*n as usize).cloned().collect()
             }
         };
+        if op_span.is_active() {
+            op_span.push_field("rows_out", miso_obs::FieldValue::U64(rows.len() as u64));
+            miso_obs::observe("exec.op_rows_out", rows.len() as u64);
+        }
+        miso_obs::count("exec.ops_executed", 1);
         outputs.insert(node.id, Arc::new(rows));
     }
-    Ok(Execution { outputs, skipped_lines, root: plan.root() })
+    Ok(Execution {
+        outputs,
+        skipped_lines,
+        root: plan.root(),
+    })
 }
 
 /// Inner hash equijoin; NULL keys never match (SQL semantics).
@@ -377,11 +393,7 @@ impl Acc {
     }
 }
 
-fn aggregate(
-    input: &[Row],
-    group_by: &[usize],
-    aggs: &[miso_plan::AggExpr],
-) -> Result<Vec<Row>> {
+fn aggregate(input: &[Row], group_by: &[usize], aggs: &[miso_plan::AggExpr]) -> Result<Vec<Row>> {
     // Decide int-vs-float SUM from the first non-null input per aggregate.
     let float_sum: Vec<bool> = aggs
         .iter()
@@ -473,14 +485,24 @@ mod tests {
 
     fn extract_plan() -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "events".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
                     exprs: vec![
                         ("uid".into(), Expr::col(0).get("uid").cast(DataType::Int)),
                         ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
-                        ("score".into(), Expr::col(0).get("score").cast(DataType::Int)),
+                        (
+                            "score".into(),
+                            Expr::col(0).get("score").cast(DataType::Int),
+                        ),
                     ],
                 },
                 vec![scan],
@@ -507,13 +529,23 @@ mod tests {
     #[test]
     fn filter_and_aggregate() {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "events".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
                     exprs: vec![
                         ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
-                        ("score".into(), Expr::col(0).get("score").cast(DataType::Int)),
+                        (
+                            "score".into(),
+                            Expr::col(0).get("score").cast(DataType::Int),
+                        ),
                     ],
                 },
                 vec![scan],
@@ -558,14 +590,18 @@ mod tests {
     #[test]
     fn count_distinct() {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "events".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
-                    exprs: vec![(
-                        "uid".into(),
-                        Expr::col(0).get("uid").cast(DataType::Int),
-                    )],
+                    exprs: vec![("uid".into(), Expr::col(0).get("uid").cast(DataType::Int))],
                 },
                 vec![scan],
             )
@@ -593,7 +629,14 @@ mod tests {
         let mut src = MemSource::new();
         src.add_log("empty", vec![]);
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "empty".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "empty".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let agg = b
             .add(
                 Operator::Aggregate {
@@ -635,20 +678,35 @@ mod tests {
     #[test]
     fn sort_and_limit() {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "events".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
                     exprs: vec![
                         ("uid".into(), Expr::col(0).get("uid").cast(DataType::Int)),
-                        ("score".into(), Expr::col(0).get("score").cast(DataType::Int)),
+                        (
+                            "score".into(),
+                            Expr::col(0).get("score").cast(DataType::Int),
+                        ),
                     ],
                 },
                 vec![scan],
             )
             .unwrap();
         let sort = b
-            .add(Operator::Sort { keys: vec![(1, true)] }, vec![proj])
+            .add(
+                Operator::Sort {
+                    keys: vec![(1, true)],
+                },
+                vec![proj],
+            )
             .unwrap();
         let limit = b.add(Operator::Limit { n: 2 }, vec![sort]).unwrap();
         let plan = b.finish(limit).unwrap();
@@ -666,15 +724,22 @@ mod tests {
         reg.register(crate::udf::Udf::new(
             "uid_only_positive",
             Schema::new(vec![Field::new("uid", DataType::Int)]),
-            StdArc::new(|row: &Row| {
-                match row.get(0).get_field("uid").and_then(Value::as_i64) {
+            StdArc::new(
+                |row: &Row| match row.get(0).get_field("uid").and_then(Value::as_i64) {
                     Some(uid) if uid > 1 => Ok(vec![Row::new(vec![Value::Int(uid)])]),
                     _ => Ok(vec![]),
-                }
-            }),
+                },
+            ),
         ));
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "events".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "events".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let udf = b
             .add(
                 Operator::Udf {
@@ -701,8 +766,9 @@ mod tests {
         let hv_set: HashSet<NodeId> = [NodeId(0)].into_iter().collect();
         let hv = execute_subset(&plan, Some(&hv_set), HashMap::new(), &src, &udfs).unwrap();
         // DW side: project, with scan's output provided.
-        let provided: HashMap<NodeId, Arc<Vec<Row>>> =
-            [(NodeId(0), hv.output(NodeId(0)).clone())].into_iter().collect();
+        let provided: HashMap<NodeId, Arc<Vec<Row>>> = [(NodeId(0), hv.output(NodeId(0)).clone())]
+            .into_iter()
+            .collect();
         let dw_set: HashSet<NodeId> = [NodeId(1)].into_iter().collect();
         let dw = execute_subset(&plan, Some(&dw_set), provided, &src, &udfs).unwrap();
         assert_eq!(dw.root_rows().unwrap(), full.root_rows().unwrap());

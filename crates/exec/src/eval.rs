@@ -58,8 +58,7 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
             Ok(eval_binary(*op, l, r))
         }
         Expr::Func { name, args } => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, row)).collect::<Result<_>>()?;
+            let vals: Vec<Value> = args.iter().map(|a| eval(a, row)).collect::<Result<_>>()?;
             eval_func(name, &vals)
         }
     }
@@ -113,9 +112,7 @@ fn eval_binary(op: BinOp, l: Value, r: Value) -> Value {
                 _ => unreachable!(),
             })
         }
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            arithmetic(op, l, r)
-        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arithmetic(op, l, r),
         BinOp::And | BinOp::Or => unreachable!("handled by eval_logical"),
     }
 }
@@ -202,15 +199,21 @@ pub fn cast(v: Value, ty: DataType) -> Value {
             Value::Int(i) => Value::Int(i),
             Value::Float(f) if f.is_finite() => Value::Int(f.trunc() as i64),
             Value::Bool(b) => Value::Int(b as i64),
-            Value::Str(s) => s.trim().parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
+            Value::Str(s) => s
+                .trim()
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
             _ => Value::Null,
         },
         DataType::Float => match v {
             Value::Int(i) => Value::Float(i as f64),
             Value::Float(f) => Value::Float(f),
-            Value::Str(s) => {
-                s.trim().parse::<f64>().map(Value::Float).unwrap_or(Value::Null)
-            }
+            Value::Str(s) => s
+                .trim()
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
             _ => Value::Null,
         },
         DataType::Str => match v {
@@ -264,16 +267,12 @@ fn eval_func(name: &str, args: &[Value]) -> Result<Value> {
             _ => arity_err(),
         },
         "contains" => match args {
-            [Value::Str(hay), Value::Str(needle)] => {
-                Ok(Value::Bool(hay.contains(needle.as_str())))
-            }
+            [Value::Str(hay), Value::Str(needle)] => Ok(Value::Bool(hay.contains(needle.as_str()))),
             [_, _] => Ok(Value::Null),
             _ => arity_err(),
         },
         "array_contains" => match args {
-            [Value::Array(items), needle] => {
-                Ok(Value::Bool(items.contains(needle)))
-            }
+            [Value::Array(items), needle] => Ok(Value::Bool(items.contains(needle))),
             [_, _] => Ok(Value::Null),
             _ => arity_err(),
         },
@@ -403,14 +402,23 @@ mod tests {
             left: Box::new(l),
             right: Box::new(r),
         };
-        assert_eq!(ev(&bin(BinOp::Add, Expr::lit(2i64), Expr::lit(3i64))), Value::Int(5));
+        assert_eq!(
+            ev(&bin(BinOp::Add, Expr::lit(2i64), Expr::lit(3i64))),
+            Value::Int(5)
+        );
         assert_eq!(
             ev(&bin(BinOp::Div, Expr::lit(7i64), Expr::lit(2i64))),
             Value::Float(3.5),
             "integer division is float, Hive-style"
         );
-        assert_eq!(ev(&bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64))), Value::Null);
-        assert_eq!(ev(&bin(BinOp::Mod, Expr::lit(-7i64), Expr::lit(3i64))), Value::Int(2));
+        assert_eq!(
+            ev(&bin(BinOp::Div, Expr::lit(1i64), Expr::lit(0i64))),
+            Value::Null
+        );
+        assert_eq!(
+            ev(&bin(BinOp::Mod, Expr::lit(-7i64), Expr::lit(3i64))),
+            Value::Int(2)
+        );
         assert_eq!(
             ev(&bin(BinOp::Mul, Expr::lit(2.5f64), Expr::lit(4i64))),
             Value::Float(10.0)
@@ -477,7 +485,10 @@ mod tests {
     #[test]
     fn builtins() {
         let f = |name: &str, args: Vec<Expr>| {
-            ev(&Expr::Func { name: name.into(), args })
+            ev(&Expr::Func {
+                name: name.into(),
+                args,
+            })
         };
         assert_eq!(f("lower", vec![Expr::col(1)]), Value::str("hello world"));
         assert_eq!(f("upper", vec![Expr::lit("ab")]), Value::str("AB"));
@@ -505,7 +516,10 @@ mod tests {
             Value::str("a1")
         );
         assert_eq!(
-            f("substr", vec![Expr::col(1), Expr::lit(0i64), Expr::lit(5i64)]),
+            f(
+                "substr",
+                vec![Expr::col(1), Expr::lit(0i64), Expr::lit(5i64)]
+            ),
             Value::str("Hello")
         );
         assert_eq!(f("abs", vec![Expr::lit(-3i64)]), Value::Int(3));
@@ -517,7 +531,10 @@ mod tests {
 
     #[test]
     fn unknown_builtin_errors() {
-        let e = Expr::Func { name: "nope".into(), args: vec![] };
+        let e = Expr::Func {
+            name: "nope".into(),
+            args: vec![],
+        };
         assert!(eval(&e, &row()).is_err());
     }
 

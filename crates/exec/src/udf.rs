@@ -29,7 +29,11 @@ pub struct Udf {
 impl Udf {
     /// Registers a new UDF definition.
     pub fn new(name: impl Into<String>, output: Schema, func: UdfFn) -> Self {
-        Udf { name: name.into(), output, func }
+        Udf {
+            name: name.into(),
+            output,
+            func,
+        }
     }
 
     /// Applies the UDF to one row.
@@ -121,7 +125,10 @@ mod tests {
     fn arity_mismatch_is_an_error() {
         let bad = Udf::new(
             "bad",
-            Schema::new(vec![Field::new("a", DataType::Int), Field::new("b", DataType::Int)]),
+            Schema::new(vec![
+                Field::new("a", DataType::Int),
+                Field::new("b", DataType::Int),
+            ]),
             Arc::new(|_| Ok(vec![Row::new(vec![Value::Int(1)])])),
         );
         assert!(bad.apply(&Row::new(vec![])).is_err());
@@ -141,8 +148,14 @@ mod tests {
                 }
             }),
         );
-        assert!(fanout.apply(&Row::new(vec![Value::Int(-1)])).unwrap().is_empty());
-        assert_eq!(fanout.apply(&Row::new(vec![Value::Int(3)])).unwrap().len(), 3);
+        assert!(fanout
+            .apply(&Row::new(vec![Value::Int(-1)]))
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            fanout.apply(&Row::new(vec![Value::Int(3)])).unwrap().len(),
+            3
+        );
     }
 
     #[test]

@@ -112,7 +112,11 @@ pub fn compile_stages(
         nodes.sort_by_key(|id| id.raw());
         upstream.sort_by_key(|id| id.raw());
         upstream.dedup();
-        stages.push(Stage { nodes, output: b, upstream });
+        stages.push(Stage {
+            nodes,
+            output: b,
+            upstream,
+        });
     }
     stages
 }
@@ -135,10 +139,22 @@ mod tests {
     /// scan → project → filter → aggregate → limit
     fn linear() -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p = b.add(proj("user_id"), vec![scan]).unwrap();
         let f = b
-            .add(Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) }, vec![p])
+            .add(
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(1i64)),
+                },
+                vec![p],
+            )
             .unwrap();
         let a = b
             .add(
@@ -161,7 +177,10 @@ mod tests {
         // (plan result).
         assert_eq!(stages.len(), 2);
         assert_eq!(stages[0].output, NodeId(3));
-        assert_eq!(stages[0].nodes, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            stages[0].nodes,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
         assert!(stages[0].upstream.is_empty());
         assert_eq!(stages[1].output, NodeId(4));
         assert_eq!(stages[1].nodes, vec![NodeId(4)]);
@@ -171,11 +190,27 @@ mod tests {
     #[test]
     fn join_plan_three_jobs() {
         let mut b = PlanBuilder::new();
-        let s1 = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let s1 = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p1 = b.add(proj("user_id"), vec![s1]).unwrap();
-        let s2 = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let s2 = b
+            .add(
+                Operator::ScanLog {
+                    log: "foursquare".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p2 = b.add(proj("user_id"), vec![s2]).unwrap();
-        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2]).unwrap();
+        let j = b
+            .add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2])
+            .unwrap();
         let a = b
             .add(
                 Operator::Aggregate {
@@ -197,21 +232,25 @@ mod tests {
     #[test]
     fn udf_is_its_own_job() {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let scan = b
+            .add(Operator::ScanLog { log: "t".into() }, vec![])
+            .unwrap();
         let u = b
             .add(
                 Operator::Udf {
                     name: "u".into(),
-                    output: miso_data::Schema::new(vec![miso_data::Field::new(
-                        "x",
-                        DataType::Int,
-                    )]),
+                    output: miso_data::Schema::new(vec![miso_data::Field::new("x", DataType::Int)]),
                 },
                 vec![scan],
             )
             .unwrap();
         let f = b
-            .add(Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) }, vec![u])
+            .add(
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(1i64)),
+                },
+                vec![u],
+            )
             .unwrap();
         let plan = b.finish(f).unwrap();
         let stages = compile_stages(&plan, None, &HashSet::new());
@@ -224,8 +263,7 @@ mod tests {
     fn subset_compilation_marks_cut_as_output() {
         let p = linear();
         // HV side: scan+project+filter (cut feeds the DW-side aggregate).
-        let subset: HashSet<NodeId> =
-            [NodeId(0), NodeId(1), NodeId(2)].into_iter().collect();
+        let subset: HashSet<NodeId> = [NodeId(0), NodeId(1), NodeId(2)].into_iter().collect();
         let stages = compile_stages(&p, Some(&subset), &HashSet::new());
         assert_eq!(stages.len(), 1);
         assert_eq!(stages[0].output, NodeId(2), "cut node output materialized");
@@ -245,7 +283,9 @@ mod tests {
     #[test]
     fn single_scan_project_is_one_job() {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let scan = b
+            .add(Operator::ScanLog { log: "t".into() }, vec![])
+            .unwrap();
         let pr = b.add(proj("x"), vec![scan]).unwrap();
         let plan = b.finish(pr).unwrap();
         let stages = compile_stages(&plan, None, &HashSet::new());

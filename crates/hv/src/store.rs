@@ -60,7 +60,11 @@ pub struct HvStore {
 impl HvStore {
     /// An empty store with the default cost model.
     pub fn new() -> Self {
-        HvStore { logs: HashMap::new(), views: HashMap::new(), cost_model: HvCostModel::default() }
+        HvStore {
+            logs: HashMap::new(),
+            views: HashMap::new(),
+            cost_model: HvCostModel::default(),
+        }
     }
 
     /// Registers a base log.
@@ -94,7 +98,8 @@ impl HvStore {
     /// Installs (or replaces) a materialized view.
     pub fn install_view(&mut self, name: &str, schema: Schema, rows: Arc<Vec<Row>>) -> ByteSize {
         let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
-        self.views.insert(name.to_string(), StoredView { schema, rows, size });
+        self.views
+            .insert(name.to_string(), StoredView { schema, rows, size });
         size
     }
 
@@ -166,6 +171,7 @@ impl HvStore {
         subset: Option<&HashSet<NodeId>>,
         udfs: &UdfRegistry,
     ) -> Result<HvRun> {
+        let mut obs = miso_obs::span("hv.execute");
         // Validate scans up-front for a clean store-level error.
         for node in plan.nodes() {
             let in_subset = subset.is_none_or(|s| s.contains(&node.id));
@@ -221,7 +227,24 @@ impl HvStore {
                 });
             }
         }
-        Ok(HvRun { execution, cost, stage_costs, materialized })
+        if obs.is_active() {
+            let bytes: u64 = materialized.iter().map(|m| m.size.as_bytes()).sum();
+            obs.push_field("stages", miso_obs::FieldValue::U64(stages.len() as u64));
+            obs.push_field("cost_us", miso_obs::FieldValue::U64(cost.as_micros()));
+            obs.push_field(
+                "materialized",
+                miso_obs::FieldValue::U64(materialized.len() as u64),
+            );
+            obs.push_field("materialized_bytes", miso_obs::FieldValue::U64(bytes));
+            miso_obs::count("hv.stages_run", stages.len() as u64);
+            miso_obs::count("hv.bytes_materialized", bytes);
+        }
+        Ok(HvRun {
+            execution,
+            cost,
+            stage_costs,
+            materialized,
+        })
     }
 
     /// Stage cost: leaf reads (log file bytes / view bytes) + upstream stage
@@ -248,7 +271,8 @@ impl HvStore {
             bytes_in += exec.output_bytes(up);
         }
         let bytes_out = exec.output_bytes(stage.output);
-        self.cost_model.stage_cost(bytes_in, bytes_out, rows_processed)
+        self.cost_model
+            .stage_cost(bytes_in, bytes_out, rows_processed)
     }
 
     /// Cost of dumping a working set for transfer to DW.
@@ -340,16 +364,16 @@ mod tests {
         let mut b = miso_plan::PlanBuilder::new();
         let sv = b
             .add(
-                Operator::ScanView { view: "v_agg".into(), schema: m.schema.clone() },
+                Operator::ScanView {
+                    view: "v_agg".into(),
+                    schema: m.schema.clone(),
+                },
                 vec![],
             )
             .unwrap();
         let p2 = b.finish(sv).unwrap();
         let run2 = s.execute(&p2, None, &UdfRegistry::new()).unwrap();
-        assert_eq!(
-            run2.execution.root_rows().unwrap().len(),
-            m.rows.len()
-        );
+        assert_eq!(run2.execution.root_rows().unwrap().len(), m.rows.len());
         // Scanning a small view is far cheaper than scanning the base log.
         assert!(run2.cost < run.cost);
     }

@@ -193,9 +193,7 @@ impl SqlExpr {
                 left.contains_aggregate() || right.contains_aggregate()
             }
             SqlExpr::Not(e) | SqlExpr::Neg(e) => e.contains_aggregate(),
-            SqlExpr::IsNull { expr, .. } | SqlExpr::Cast { expr, .. } => {
-                expr.contains_aggregate()
-            }
+            SqlExpr::IsNull { expr, .. } | SqlExpr::Cast { expr, .. } => expr.contains_aggregate(),
             _ => false,
         }
     }
@@ -204,7 +202,10 @@ impl SqlExpr {
     pub fn qualifiers(&self) -> Vec<&str> {
         let mut out = Vec::new();
         self.visit(&mut |e| {
-            if let SqlExpr::Column { qualifier: Some(q), .. } = e {
+            if let SqlExpr::Column {
+                qualifier: Some(q), ..
+            } = e
+            {
                 out.push(q.as_str());
             }
         });
@@ -282,7 +283,10 @@ mod tests {
 
     #[test]
     fn table_ref_alias() {
-        let base = TableRef::Base { name: "twitter".into(), alias: "t".into() };
+        let base = TableRef::Base {
+            name: "twitter".into(),
+            alias: "t".into(),
+        };
         assert_eq!(base.alias(), "t");
     }
 }

@@ -210,22 +210,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>> {
                 tokens.push(Token::Ne);
                 pos += 2;
             }
-            b'<' => {
-                match bytes.get(pos + 1) {
-                    Some(b'=') => {
-                        tokens.push(Token::Le);
-                        pos += 2;
-                    }
-                    Some(b'>') => {
-                        tokens.push(Token::Ne);
-                        pos += 2;
-                    }
-                    _ => {
-                        tokens.push(Token::Lt);
-                        pos += 1;
-                    }
+            b'<' => match bytes.get(pos + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::Le);
+                    pos += 2;
                 }
-            }
+                Some(b'>') => {
+                    tokens.push(Token::Ne);
+                    pos += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    pos += 1;
+                }
+            },
             b'>' => {
                 if bytes.get(pos + 1) == Some(&b'=') {
                     tokens.push(Token::Ge);
@@ -327,10 +325,8 @@ mod tests {
 
     #[test]
     fn lexes_a_full_query() {
-        let toks = lex(
-            "SELECT t.user_id AS uid, COUNT(*) FROM twitter t WHERE t.followers >= 100",
-        )
-        .unwrap();
+        let toks = lex("SELECT t.user_id AS uid, COUNT(*) FROM twitter t WHERE t.followers >= 100")
+            .unwrap();
         assert!(toks.contains(&Token::Keyword(Keyword::Select)));
         assert!(toks.contains(&Token::Ident("user_id".into())));
         assert!(toks.contains(&Token::Ge));

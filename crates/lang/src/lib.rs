@@ -59,7 +59,10 @@ impl Catalog {
     ) {
         self.logs.insert(
             name.into(),
-            fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
         );
     }
 
@@ -134,8 +137,15 @@ impl Catalog {
 
 /// Parses and lowers a HiveQL query to a logical plan in one call.
 pub fn compile(sql: &str, catalog: &Catalog) -> Result<LogicalPlan> {
+    let mut obs = miso_obs::span("lang.compile");
+    miso_obs::count("lang.queries_compiled", 1);
     let query = parser::parse(sql)?;
-    lower::lower(&query, catalog)
+    let plan = lower::lower(&query, catalog)?;
+    if obs.is_active() {
+        obs.push_field("sql_bytes", miso_obs::FieldValue::U64(sql.len() as u64));
+        obs.push_field("plan_nodes", miso_obs::FieldValue::U64(plan.len() as u64));
+    }
+    Ok(plan)
 }
 
 #[cfg(test)]

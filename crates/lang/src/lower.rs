@@ -42,7 +42,9 @@ struct Scope {
 
 impl Scope {
     fn single(alias: &str, cols: Vec<String>) -> Scope {
-        Scope { entries: vec![(alias.to_string(), cols)] }
+        Scope {
+            entries: vec![(alias.to_string(), cols)],
+        }
     }
 
     fn push(&mut self, alias: &str, cols: Vec<String>) {
@@ -67,17 +69,18 @@ impl Scope {
     fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<usize> {
         match qualifier {
             Some(q) => {
-                let offset = self.offset_of_alias(q).ok_or_else(|| {
-                    MisoError::Analysis(format!("unknown table alias `{q}`"))
-                })?;
+                let offset = self
+                    .offset_of_alias(q)
+                    .ok_or_else(|| MisoError::Analysis(format!("unknown table alias `{q}`")))?;
                 let (_, cols) = self
                     .entries
                     .iter()
                     .find(|(a, _)| a == q)
                     .expect("alias just found");
-                let idx = cols.iter().position(|c| c == name).ok_or_else(|| {
-                    MisoError::Analysis(format!("no column `{name}` in `{q}`"))
-                })?;
+                let idx = cols
+                    .iter()
+                    .position(|c| c == name)
+                    .ok_or_else(|| MisoError::Analysis(format!("no column `{name}` in `{q}`")))?;
                 Ok(offset + idx)
             }
             None => {
@@ -107,23 +110,13 @@ fn lower_query(query: &Query, catalog: &Catalog, b: &mut PlanBuilder) -> Result<
     let (pushdown, residual_where) = partition_where(query);
 
     // 3. Build each FROM branch.
-    let (mut node, mut scope) = lower_table_ref(
-        &query.from.first,
-        catalog,
-        b,
-        &fields_by_alias,
-        &pushdown,
-    )?;
+    let (mut node, mut scope) =
+        lower_table_ref(&query.from.first, catalog, b, &fields_by_alias, &pushdown)?;
 
     // 4. Left-deep joins.
     for join in &query.from.joins {
-        let (right_node, right_scope) = lower_table_ref(
-            &join.table,
-            catalog,
-            b,
-            &fields_by_alias,
-            &pushdown,
-        )?;
+        let (right_node, right_scope) =
+            lower_table_ref(&join.table, catalog, b, &fields_by_alias, &pushdown)?;
         let left_arity = scope.arity();
         let mut joined_scope = scope.clone();
         for (alias, cols) in &right_scope.entries {
@@ -133,9 +126,7 @@ fn lower_query(query: &Query, catalog: &Catalog, b: &mut PlanBuilder) -> Result<
         let mut on_pairs: Vec<(usize, usize)> = Vec::new();
         let mut residue: Vec<Expr> = Vec::new();
         for conjunct in conjuncts_of(&join.on) {
-            if let Some((l, r)) =
-                as_equi_pair(conjunct, &scope, &right_scope, left_arity)?
-            {
+            if let Some((l, r)) = as_equi_pair(conjunct, &scope, &right_scope, left_arity)? {
                 on_pairs.push((l, r));
             } else {
                 residue.push(resolve_expr(conjunct, &joined_scope, catalog)?);
@@ -143,8 +134,7 @@ fn lower_query(query: &Query, catalog: &Catalog, b: &mut PlanBuilder) -> Result<
         }
         if on_pairs.is_empty() {
             return Err(MisoError::Analysis(
-                "JOIN requires at least one equality condition between the two sides"
-                    .into(),
+                "JOIN requires at least one equality condition between the two sides".into(),
             ));
         }
         node = b.add(Operator::Join { on: on_pairs }, vec![node, right_node])?;
@@ -163,7 +153,10 @@ fn lower_query(query: &Query, catalog: &Catalog, b: &mut PlanBuilder) -> Result<
     // 6. Aggregation pipeline or plain projection.
     let has_agg = !query.group_by.is_empty()
         || query.select.iter().any(|s| s.expr.contains_aggregate())
-        || query.having.as_ref().is_some_and(SqlExpr::contains_aggregate);
+        || query
+            .having
+            .as_ref()
+            .is_some_and(SqlExpr::contains_aggregate);
 
     let (node, out_names) = if has_agg {
         lower_aggregation(query, catalog, b, node, &scope)?
@@ -203,7 +196,11 @@ fn collect_fields(query: &Query) -> Result<HashMap<String, Vec<String>>> {
         v.extend(query.from.joins.iter().map(|j| j.table.alias()));
         v
     };
-    let single_base = if base_aliases.len() == 1 { Some(base_aliases[0]) } else { None };
+    let single_base = if base_aliases.len() == 1 {
+        Some(base_aliases[0])
+    } else {
+        None
+    };
 
     let mut fields: HashMap<String, Vec<String>> = HashMap::new();
     let mut add = |alias: &str, name: &str| {
@@ -287,7 +284,10 @@ fn partition_where(query: &Query) -> (HashMap<String, Vec<SqlExpr>>, Option<SqlE
 fn fully_qualified(e: &SqlExpr) -> bool {
     let mut ok = true;
     e.visit(&mut |sub| {
-        if let SqlExpr::Column { qualifier: None, .. } = sub {
+        if let SqlExpr::Column {
+            qualifier: None, ..
+        } = sub
+        {
             ok = false;
         }
     });
@@ -297,7 +297,12 @@ fn fully_qualified(e: &SqlExpr) -> bool {
 fn conjuncts_of(e: &SqlExpr) -> Vec<&SqlExpr> {
     let mut out = Vec::new();
     fn walk<'a>(e: &'a SqlExpr, out: &mut Vec<&'a SqlExpr>) {
-        if let SqlExpr::Binary { op: SqlBinOp::And, left, right } = e {
+        if let SqlExpr::Binary {
+            op: SqlBinOp::And,
+            left,
+            right,
+        } = e
+        {
             walk(left, out);
             walk(right, out);
         } else {
@@ -316,20 +321,39 @@ fn as_equi_pair(
     right: &Scope,
     _left_arity: usize,
 ) -> Result<Option<(usize, usize)>> {
-    let SqlExpr::Binary { op: SqlBinOp::Eq, left: l, right: r } = e else {
+    let SqlExpr::Binary {
+        op: SqlBinOp::Eq,
+        left: l,
+        right: r,
+    } = e
+    else {
         return Ok(None);
     };
-    let (SqlExpr::Column { qualifier: Some(lq), name: ln },
-         SqlExpr::Column { qualifier: Some(rq), name: rn }) = (l.as_ref(), r.as_ref())
+    let (
+        SqlExpr::Column {
+            qualifier: Some(lq),
+            name: ln,
+        },
+        SqlExpr::Column {
+            qualifier: Some(rq),
+            name: rn,
+        },
+    ) = (l.as_ref(), r.as_ref())
     else {
         return Ok(None);
     };
     let in_left = |q: &str| left.offset_of_alias(q).is_some();
     let in_right = |q: &str| right.offset_of_alias(q).is_some();
     if in_left(lq) && in_right(rq) {
-        Ok(Some((left.resolve(Some(lq), ln)?, right.resolve(Some(rq), rn)?)))
+        Ok(Some((
+            left.resolve(Some(lq), ln)?,
+            right.resolve(Some(rq), rn)?,
+        )))
     } else if in_left(rq) && in_right(lq) {
-        Ok(Some((left.resolve(Some(rq), rn)?, right.resolve(Some(lq), ln)?)))
+        Ok(Some((
+            left.resolve(Some(rq), rn)?,
+            right.resolve(Some(lq), ln)?,
+        )))
     } else {
         Ok(None)
     }
@@ -396,7 +420,10 @@ fn lower_table_ref(
                 other => lower_table_ref(other, catalog, b, fields_by_alias, pushdown)?.0,
             };
             let node = b.add(
-                Operator::Udf { name: udf.clone(), output: output.clone() },
+                Operator::Udf {
+                    name: udf.clone(),
+                    output: output.clone(),
+                },
                 vec![input_node],
             )?;
             let cols = output.fields().iter().map(|f| f.name.clone()).collect();
@@ -415,7 +442,9 @@ fn apply_pushdown(
     catalog: &Catalog,
     b: &mut PlanBuilder,
 ) -> Result<NodeId> {
-    let Some(conjuncts) = pushdown.get(alias) else { return Ok(node) };
+    let Some(conjuncts) = pushdown.get(alias) else {
+        return Ok(node);
+    };
     let resolved: Vec<Expr> = conjuncts
         .iter()
         .map(|c| resolve_expr(c, scope, catalog))
@@ -478,13 +507,17 @@ fn resolve_expr(e: &SqlExpr, scope: &Scope, catalog: &Catalog) -> Result<Expr> {
             input: Box::new(resolve_expr(inner, scope, catalog)?),
         },
         SqlExpr::IsNull { expr, negated } => Expr::Unary {
-            op: if *negated { UnaryOp::IsNotNull } else { UnaryOp::IsNull },
+            op: if *negated {
+                UnaryOp::IsNotNull
+            } else {
+                UnaryOp::IsNull
+            },
             input: Box::new(resolve_expr(expr, scope, catalog)?),
         },
-        SqlExpr::Cast { expr, ty } => {
-            resolve_expr(expr, scope, catalog)?.cast(*ty)
-        }
-        SqlExpr::Call { name, args, star, .. } => {
+        SqlExpr::Cast { expr, ty } => resolve_expr(expr, scope, catalog)?.cast(*ty),
+        SqlExpr::Call {
+            name, args, star, ..
+        } => {
             if is_aggregate_name(name) {
                 return Err(MisoError::Analysis(format!(
                     "aggregate `{name}` not allowed here"
@@ -509,9 +542,7 @@ fn resolve_expr(e: &SqlExpr, scope: &Scope, catalog: &Catalog) -> Result<Expr> {
 /// `LIKE '%foo%'` is implemented as `contains` after stripping `%` anchors.
 fn strip_like_wildcards(pattern: Expr) -> Expr {
     match pattern {
-        Expr::Literal(miso_data::Value::Str(s)) => {
-            Expr::lit(s.trim_matches('%'))
-        }
+        Expr::Literal(miso_data::Value::Str(s)) => Expr::lit(s.trim_matches('%')),
         other => other,
     }
 }
@@ -556,7 +587,13 @@ fn lower_aggregation(
     let mut discover = |e: &SqlExpr| -> Result<()> {
         let mut err = None;
         e.visit(&mut |sub| {
-            if let SqlExpr::Call { name, distinct, star, args } = sub {
+            if let SqlExpr::Call {
+                name,
+                distinct,
+                star,
+                args,
+            } = sub
+            {
                 if !is_aggregate_name(name) {
                     return;
                 }
@@ -604,7 +641,9 @@ fn lower_aggregation(
     // Name aggregates: select-item alias when the item *is* the call.
     for agg in aggs.iter_mut() {
         let alias = query.select.iter().find_map(|item| {
-            (item.expr == agg.surface).then(|| item.alias.clone()).flatten()
+            (item.expr == agg.surface)
+                .then(|| item.alias.clone())
+                .flatten()
         });
         agg.name = alias.unwrap_or_default();
     }
@@ -665,7 +704,10 @@ fn lower_aggregation(
         })
         .collect();
     let mut node = b.add(
-        Operator::Aggregate { group_by: (0..n_groups).collect(), aggs: agg_exprs },
+        Operator::Aggregate {
+            group_by: (0..n_groups).collect(),
+            aggs: agg_exprs,
+        },
         vec![pre],
     )?;
 
@@ -717,7 +759,10 @@ fn resolve_post_agg(
         return Ok(Expr::Column(idx));
     }
     match e {
-        SqlExpr::Column { qualifier: None, name } => {
+        SqlExpr::Column {
+            qualifier: None,
+            name,
+        } => {
             if let Some(idx) = group_names.iter().position(|g| g == name) {
                 return Ok(Expr::Column(idx));
             }
@@ -728,7 +773,10 @@ fn resolve_post_agg(
                 "`{name}` is neither a group key nor an aggregate"
             )))
         }
-        SqlExpr::Column { qualifier: Some(q), name } => Err(MisoError::Analysis(format!(
+        SqlExpr::Column {
+            qualifier: Some(q),
+            name,
+        } => Err(MisoError::Analysis(format!(
             "`{q}.{name}` must appear in GROUP BY to be selected"
         ))),
         SqlExpr::Int(i) => Ok(Expr::lit(*i)),
@@ -760,7 +808,11 @@ fn resolve_post_agg(
             input: Box::new(resolve_post_agg(inner, query, group_names, aggs, catalog)?),
         }),
         SqlExpr::IsNull { expr, negated } => Ok(Expr::Unary {
-            op: if *negated { UnaryOp::IsNotNull } else { UnaryOp::IsNull },
+            op: if *negated {
+                UnaryOp::IsNotNull
+            } else {
+                UnaryOp::IsNull
+            },
             input: Box::new(resolve_post_agg(expr, query, group_names, aggs, catalog)?),
         }),
         SqlExpr::Cast { expr, ty } => {
@@ -802,7 +854,11 @@ fn lower_plain_select(
             })
             .unwrap_or_else(|| format!("c{i}"));
         // Duplicate output names get positional suffixes.
-        let name = if out_names.contains(&name) { format!("{name}_{i}") } else { name };
+        let name = if out_names.contains(&name) {
+            format!("{name}_{i}")
+        } else {
+            name
+        };
         exprs.push((name.clone(), resolve_expr(&item.expr, scope, catalog)?));
         out_names.push(name);
     }
@@ -811,18 +867,14 @@ fn lower_plain_select(
 }
 
 /// Resolves an ORDER BY key to an output column index.
-fn resolve_output_column(
-    e: &SqlExpr,
-    out_names: &[String],
-    query: &Query,
-) -> Result<usize> {
+fn resolve_output_column(e: &SqlExpr, out_names: &[String], query: &Query) -> Result<usize> {
     match e {
-        SqlExpr::Column { qualifier: None, name } => out_names
-            .iter()
-            .position(|n| n == name)
-            .ok_or_else(|| {
-                MisoError::Analysis(format!("ORDER BY `{name}` is not an output column"))
-            }),
+        SqlExpr::Column {
+            qualifier: None,
+            name,
+        } => out_names.iter().position(|n| n == name).ok_or_else(|| {
+            MisoError::Analysis(format!("ORDER BY `{name}` is not an output column"))
+        }),
         other => {
             // Allow ordering by a select expression written out verbatim.
             query
@@ -830,9 +882,7 @@ fn resolve_output_column(
                 .iter()
                 .position(|item| item.expr == *other)
                 .ok_or_else(|| {
-                    MisoError::Analysis(
-                        "ORDER BY expression must name an output column".into(),
-                    )
+                    MisoError::Analysis("ORDER BY expression must name an output column".into())
                 })
         }
     }
@@ -885,7 +935,10 @@ mod tests {
         // filter sits directly on the extraction, the same shape a joined
         // branch gets — uniform shapes make opportunistic views reusable.
         assert_eq!(p.len(), 4);
-        assert!(matches!(p.node(miso_common::ids::NodeId(2)).op, Operator::Filter { .. }));
+        assert!(matches!(
+            p.node(miso_common::ids::NodeId(2)).op,
+            Operator::Filter { .. }
+        ));
         assert!(matches!(
             p.node(miso_common::ids::NodeId(3)).op,
             Operator::Project { .. }
@@ -916,10 +969,8 @@ mod tests {
 
     #[test]
     fn join_requires_equality() {
-        let q = parse(
-            "SELECT t.user_id FROM twitter t JOIN foursquare f ON t.followers > f.likes",
-        )
-        .unwrap();
+        let q = parse("SELECT t.user_id FROM twitter t JOIN foursquare f ON t.followers > f.likes")
+            .unwrap();
         assert!(lower(&q, &catalog()).is_err());
     }
 
@@ -951,9 +1002,7 @@ mod tests {
 
     #[test]
     fn count_distinct_lowering() {
-        let p = lower_sql(
-            "SELECT COUNT(DISTINCT t.user_id) AS users FROM twitter t",
-        );
+        let p = lower_sql("SELECT COUNT(DISTINCT t.user_id) AS users FROM twitter t");
         let agg = p
             .nodes()
             .iter()
@@ -968,9 +1017,7 @@ mod tests {
 
     #[test]
     fn arithmetic_over_aggregates() {
-        let p = lower_sql(
-            "SELECT SUM(t.retweets) / COUNT(*) AS ratio FROM twitter t",
-        );
+        let p = lower_sql("SELECT SUM(t.retweets) / COUNT(*) AS ratio FROM twitter t");
         assert_eq!(p.schema().names(), vec!["ratio"]);
         // Two distinct aggregates discovered.
         let agg = p
@@ -1018,11 +1065,7 @@ mod tests {
     fn unknown_names_error() {
         let c = catalog();
         assert!(lower(&parse("SELECT t.x FROM nope t").unwrap(), &c).is_err());
-        assert!(lower(
-            &parse("SELECT q.x FROM twitter t").unwrap(),
-            &c
-        )
-        .is_err());
+        assert!(lower(&parse("SELECT q.x FROM twitter t").unwrap(), &c).is_err());
         assert!(lower(
             &parse("SELECT x.s FROM APPLY(missing_udf, twitter) x").unwrap(),
             &c

@@ -84,7 +84,9 @@ impl Parser {
     fn expect_ident(&mut self) -> Result<String> {
         match self.bump() {
             Token::Ident(s) => Ok(s),
-            other => Err(MisoError::Parse(format!("expected identifier, found {other}"))),
+            other => Err(MisoError::Parse(format!(
+                "expected identifier, found {other}"
+            ))),
         }
     }
 
@@ -142,7 +144,15 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { select, from, where_clause, group_by, having, order_by, limit })
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn parse_select_list(&mut self) -> Result<Vec<SelectItem>> {
@@ -182,7 +192,10 @@ impl Parser {
             let query = self.parse_query()?;
             self.expect(&Token::RParen)?;
             let alias = self.parse_alias(true, "derived table")?;
-            Ok(TableRef::Derived { query: Box::new(query), alias })
+            Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            })
         } else if self.eat_kw(Keyword::Apply) {
             self.expect(&Token::LParen)?;
             let udf = self.expect_ident()?;
@@ -190,11 +203,19 @@ impl Parser {
             let input = self.parse_table_ref()?;
             self.expect(&Token::RParen)?;
             let alias = self.parse_alias(true, "APPLY")?;
-            Ok(TableRef::Apply { udf, input: Box::new(input), alias })
+            Ok(TableRef::Apply {
+                udf,
+                input: Box::new(input),
+                alias,
+            })
         } else {
             let name = self.expect_ident()?;
             let alias = self.parse_alias(false, "table")?;
-            let alias = if alias.is_empty() { name.clone() } else { alias };
+            let alias = if alias.is_empty() {
+                name.clone()
+            } else {
+                alias
+            };
             Ok(TableRef::Base { name, alias })
         }
     }
@@ -281,7 +302,10 @@ impl Parser {
         self.expect_kw(Keyword::Is)?;
         let negated = self.eat_kw(Keyword::Not);
         self.expect_kw(Keyword::Null)?;
-        Ok(SqlExpr::IsNull { expr: Box::new(left), negated })
+        Ok(SqlExpr::IsNull {
+            expr: Box::new(left),
+            negated,
+        })
     }
 
     fn parse_additive(&mut self) -> Result<SqlExpr> {
@@ -294,7 +318,11 @@ impl Parser {
             };
             self.bump();
             let right = self.parse_multiplicative()?;
-            left = SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -310,7 +338,11 @@ impl Parser {
             };
             self.bump();
             let right = self.parse_unary()?;
-            left = SqlExpr::Binary { op, left: Box::new(left), right: Box::new(right) };
+            left = SqlExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
         }
         Ok(left)
     }
@@ -352,17 +384,26 @@ impl Parser {
                     }
                 };
                 self.expect(&Token::RParen)?;
-                Ok(SqlExpr::Cast { expr: Box::new(e), ty })
+                Ok(SqlExpr::Cast {
+                    expr: Box::new(e),
+                    ty,
+                })
             }
             Token::Ident(name) => {
                 if self.eat(&Token::Dot) {
                     // qualified column: alias.field (or alias.*, unsupported)
                     let field = self.expect_ident()?;
-                    Ok(SqlExpr::Column { qualifier: Some(name), name: field })
+                    Ok(SqlExpr::Column {
+                        qualifier: Some(name),
+                        name: field,
+                    })
                 } else if self.eat(&Token::LParen) {
                     self.parse_call(name.to_lowercase())
                 } else {
-                    Ok(SqlExpr::Column { qualifier: None, name })
+                    Ok(SqlExpr::Column {
+                        qualifier: None,
+                        name,
+                    })
                 }
             }
             other => Err(MisoError::Parse(format!(
@@ -375,7 +416,12 @@ impl Parser {
         // COUNT(*), COUNT(DISTINCT x), f(a, b, ...)
         if self.eat(&Token::Star) {
             self.expect(&Token::RParen)?;
-            return Ok(SqlExpr::Call { name, distinct: false, star: true, args: vec![] });
+            return Ok(SqlExpr::Call {
+                name,
+                distinct: false,
+                star: true,
+                args: vec![],
+            });
         }
         let distinct = self.eat_kw(Keyword::Distinct);
         let mut args = Vec::new();
@@ -388,7 +434,12 @@ impl Parser {
                 }
             }
         }
-        Ok(SqlExpr::Call { name, distinct, star: false, args })
+        Ok(SqlExpr::Call {
+            name,
+            distinct,
+            star: false,
+            args,
+        })
     }
 }
 
@@ -432,15 +483,35 @@ mod tests {
         let q = parse("SELECT a + b * c FROM t x WHERE a = 1 OR b = 2 AND c = 3").unwrap();
         // a + (b * c)
         match &q.select[0].expr {
-            SqlExpr::Binary { op: SqlBinOp::Add, right, .. } => {
-                assert!(matches!(**right, SqlExpr::Binary { op: SqlBinOp::Mul, .. }));
+            SqlExpr::Binary {
+                op: SqlBinOp::Add,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    SqlExpr::Binary {
+                        op: SqlBinOp::Mul,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
         // a=1 OR (b=2 AND c=3)
         match q.where_clause.as_ref().unwrap() {
-            SqlExpr::Binary { op: SqlBinOp::Or, right, .. } => {
-                assert!(matches!(**right, SqlExpr::Binary { op: SqlBinOp::And, .. }));
+            SqlExpr::Binary {
+                op: SqlBinOp::Or,
+                right,
+                ..
+            } => {
+                assert!(matches!(
+                    **right,
+                    SqlExpr::Binary {
+                        op: SqlBinOp::And,
+                        ..
+                    }
+                ));
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -448,10 +519,7 @@ mod tests {
 
     #[test]
     fn derived_table_and_apply() {
-        let q = parse(
-            "SELECT d.uid FROM (SELECT t.user_id AS uid FROM twitter t) d",
-        )
-        .unwrap();
+        let q = parse("SELECT d.uid FROM (SELECT t.user_id AS uid FROM twitter t) d").unwrap();
         assert!(matches!(q.from.first, TableRef::Derived { .. }));
         let q2 = parse("SELECT x.s FROM APPLY(sentiment, twitter) x").unwrap();
         match &q2.from.first {
@@ -466,10 +534,7 @@ mod tests {
 
     #[test]
     fn nested_apply() {
-        let q = parse(
-            "SELECT x.s FROM APPLY(outer_udf, APPLY(inner_udf, twitter) y) x",
-        )
-        .unwrap();
+        let q = parse("SELECT x.s FROM APPLY(outer_udf, APPLY(inner_udf, twitter) y) x").unwrap();
         match &q.from.first {
             TableRef::Apply { input, .. } => {
                 assert!(matches!(**input, TableRef::Apply { .. }));
@@ -499,7 +564,11 @@ mod tests {
         let q = parse("SELECT a FROM t t WHERE a IS NOT NULL AND NOT b = 1").unwrap();
         let w = q.where_clause.unwrap();
         match w {
-            SqlExpr::Binary { op: SqlBinOp::And, left, right } => {
+            SqlExpr::Binary {
+                op: SqlBinOp::And,
+                left,
+                right,
+            } => {
                 assert!(matches!(*left, SqlExpr::IsNull { negated: true, .. }));
                 assert!(matches!(*right, SqlExpr::Not(_)));
             }
@@ -512,7 +581,10 @@ mod tests {
         let q = parse("SELECT CAST(t.x AS INT) FROM t t").unwrap();
         assert!(matches!(
             q.select[0].expr,
-            SqlExpr::Cast { ty: DataType::Int, .. }
+            SqlExpr::Cast {
+                ty: DataType::Int,
+                ..
+            }
         ));
     }
 
@@ -521,7 +593,10 @@ mod tests {
         assert!(parse("SELECT a FROM t t extra junk()").is_err());
         assert!(parse("SELECT FROM t").is_err());
         assert!(parse("SELECT a").is_err());
-        assert!(parse("SELECT a FROM (SELECT b FROM t t)").is_err(), "derived needs alias");
+        assert!(
+            parse("SELECT a FROM (SELECT b FROM t t)").is_err(),
+            "derived needs alias"
+        );
         assert!(parse("SELECT a FROM t t LIMIT x").is_err());
     }
 
@@ -530,7 +605,10 @@ mod tests {
         let q = parse("SELECT a FROM t t WHERE t.name LIKE 'foo'").unwrap();
         assert!(matches!(
             q.where_clause.unwrap(),
-            SqlExpr::Binary { op: SqlBinOp::Like, .. }
+            SqlExpr::Binary {
+                op: SqlBinOp::Like,
+                ..
+            }
         ));
     }
 }

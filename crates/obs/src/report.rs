@@ -1,0 +1,135 @@
+//! Machine-readable run reports.
+//!
+//! Every bench binary writes a versioned JSON report next to its text
+//! output: the full metrics snapshot (counters, gauges, histogram
+//! percentiles) plus benchmark-specific extras such as per-variant TTI
+//! breakdowns. Reports are what you diff across PRs to see whether a
+//! "perf improvement" actually moved `optimizer.cost_evals` or
+//! `knapsack.dp_cells`.
+
+use crate::metrics::MetricsSnapshot;
+use miso_data::json::to_json;
+use miso_data::Value;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Bumped whenever the report layout changes shape.
+pub const REPORT_SCHEMA_VERSION: i64 = 1;
+
+fn snapshot_to_value(snap: &MetricsSnapshot) -> Vec<(String, Value)> {
+    let counters: Vec<(String, Value)> = snap
+        .counters
+        .iter()
+        .map(|(&k, &v)| (k.to_string(), Value::Int(v as i64)))
+        .collect();
+    let gauges: Vec<(String, Value)> = snap
+        .gauges
+        .iter()
+        .map(|(&k, &v)| (k.to_string(), Value::Float(v)))
+        .collect();
+    let histograms: Vec<(String, Value)> = snap
+        .histograms
+        .iter()
+        .map(|(&k, s)| {
+            (
+                k.to_string(),
+                Value::object(vec![
+                    ("count".into(), Value::Int(s.count as i64)),
+                    ("sum".into(), Value::Int(s.sum as i64)),
+                    ("max".into(), Value::Int(s.max as i64)),
+                    ("p50".into(), Value::Int(s.p50 as i64)),
+                    ("p90".into(), Value::Int(s.p90 as i64)),
+                    ("p99".into(), Value::Int(s.p99 as i64)),
+                ]),
+            )
+        })
+        .collect();
+    vec![
+        ("counters".into(), Value::object(counters)),
+        ("gauges".into(), Value::object(gauges)),
+        ("histograms".into(), Value::object(histograms)),
+    ]
+}
+
+/// Builds the report document for `bench` from the current global metrics
+/// plus benchmark-specific `extra` data (pass `Value::Null` for none).
+pub fn build_report(bench: &str, extra: Value) -> Value {
+    let mut obj = vec![
+        ("schema_version".into(), Value::Int(REPORT_SCHEMA_VERSION)),
+        ("bench".into(), Value::str(bench)),
+    ];
+    obj.extend(snapshot_to_value(&crate::snapshot()));
+    if extra != Value::Null {
+        obj.push(("extra".into(), extra));
+    }
+    Value::object(obj)
+}
+
+/// Serializes `report` as pretty-enough JSON (compact, single line) into
+/// `dir/<bench>.report.json`, creating `dir` on demand. Returns the path.
+pub fn write_report(dir: impl AsRef<Path>, bench: &str, extra: Value) -> io::Result<PathBuf> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{bench}.report.json"));
+    let report = build_report(bench, extra);
+    std::fs::write(&path, to_json(&report) + "\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{count, init, observe, reset_metrics, ObsConfig};
+    use miso_data::json::parse_json;
+
+    #[test]
+    fn report_includes_metrics_and_extra() {
+        let _g = crate::tests::GLOBAL_TEST_LOCK.lock().unwrap();
+        init(ObsConfig::ring(16));
+        reset_metrics();
+        count("report.test_counter", 7);
+        for v in [10u64, 20, 30] {
+            observe("report.test_hist", v);
+        }
+        let extra = Value::object(vec![("variant".into(), Value::str("MS-MISO"))]);
+        let report = build_report("unit", extra);
+        let text = to_json(&report);
+        let v = parse_json(&text).unwrap();
+        assert_eq!(v.get_field("schema_version"), Some(&Value::Int(1)));
+        assert_eq!(v.get_field("bench"), Some(&Value::str("unit")));
+        assert_eq!(
+            v.get_field("counters")
+                .unwrap()
+                .get_field("report.test_counter"),
+            Some(&Value::Int(7))
+        );
+        let hist = v
+            .get_field("histograms")
+            .unwrap()
+            .get_field("report.test_hist")
+            .unwrap();
+        assert_eq!(hist.get_field("count"), Some(&Value::Int(3)));
+        assert_eq!(
+            v.get_field("extra").unwrap().get_field("variant"),
+            Some(&Value::str("MS-MISO"))
+        );
+        init(ObsConfig::disabled());
+    }
+
+    #[test]
+    fn write_report_creates_versioned_file() {
+        let _g = crate::tests::GLOBAL_TEST_LOCK.lock().unwrap();
+        init(ObsConfig::ring(16));
+        reset_metrics();
+        count("report.file_counter", 1);
+        let dir = std::env::temp_dir().join(format!("miso-obs-report-{}", std::process::id()));
+        let path = write_report(&dir, "smoke", Value::Null).unwrap();
+        assert!(path.ends_with("smoke.report.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v = parse_json(text.trim()).unwrap();
+        assert_eq!(v.get_field("schema_version"), Some(&Value::Int(1)));
+        assert!(v.get_field("extra").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+        init(ObsConfig::disabled());
+    }
+}

@@ -1,0 +1,317 @@
+//! Trace events and pluggable sinks.
+//!
+//! An [`Event`] is the unit of tracing: span starts/ends and standalone
+//! instants, carrying a monotonic wall timestamp, an optional *simulated*
+//! timestamp (the experiment clock), and typed key/value fields. Sinks
+//! decide what happens to events: drop them ([`NoopSink`]), keep the last N
+//! in memory ([`RingSink`]), or stream them as JSON lines ([`JsonlSink`]).
+
+use miso_data::json::to_json;
+use miso_data::Value;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed (carries duration and fields).
+    SpanEnd,
+    /// A standalone point event.
+    Instant,
+}
+
+impl EventKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            EventKind::SpanStart => "span_start",
+            EventKind::SpanEnd => "span_end",
+            EventKind::Instant => "event",
+        }
+    }
+}
+
+/// A typed field value attached to an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl FieldValue {
+    fn to_value(&self) -> Value {
+        match self {
+            FieldValue::U64(v) => {
+                if *v <= i64::MAX as u64 {
+                    Value::Int(*v as i64)
+                } else {
+                    Value::Float(*v as f64)
+                }
+            }
+            FieldValue::I64(v) => Value::Int(*v),
+            FieldValue::F64(v) => Value::Float(*v),
+            FieldValue::Str(s) => Value::str(s.as_str()),
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Start/end/instant.
+    pub kind: EventKind,
+    /// Span or event name (dotted taxonomy, e.g. `query.optimize`).
+    pub name: &'static str,
+    /// Id of the span this event belongs to (0 for unspanned instants).
+    pub span: u64,
+    /// Id of the enclosing span (0 = root).
+    pub parent: u64,
+    /// Monotonic wall nanoseconds since observability init.
+    pub t_mono_ns: u64,
+    /// Wall duration (SpanEnd only).
+    pub dur_ns: u64,
+    /// Simulated-clock microseconds, when the instrumented layer has one.
+    pub sim_us: Option<u64>,
+    /// Typed payload fields.
+    pub fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl Event {
+    /// Encodes the event as one compact JSON object (the JSONL line format;
+    /// see the run-report/trace schema in `README.md`).
+    pub fn to_json_value(&self) -> Value {
+        let mut obj: Vec<(String, Value)> = vec![
+            ("ev".into(), Value::str(self.kind.as_str())),
+            ("name".into(), Value::str(self.name)),
+            ("span".into(), Value::Int(self.span as i64)),
+        ];
+        if self.parent != 0 {
+            obj.push(("parent".into(), Value::Int(self.parent as i64)));
+        }
+        obj.push(("t_ns".into(), Value::Int(self.t_mono_ns as i64)));
+        if self.kind == EventKind::SpanEnd {
+            obj.push(("dur_ns".into(), Value::Int(self.dur_ns as i64)));
+        }
+        if let Some(us) = self.sim_us {
+            obj.push(("sim_us".into(), Value::Int(us as i64)));
+        }
+        if !self.fields.is_empty() {
+            let fields: Vec<(String, Value)> = self
+                .fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect();
+            obj.push(("fields".into(), Value::object(fields)));
+        }
+        Value::object(obj)
+    }
+}
+
+/// Where events go. Implementations must be cheap and thread-safe: sinks are
+/// called from the execution hot path whenever observability is enabled.
+pub trait Sink: Send + Sync {
+    /// Consumes one event.
+    fn record(&self, event: &Event);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+/// Discards everything. The installed default; with the global enabled flag
+/// off, instrumented code never even constructs events, so this sink only
+/// sees traffic if someone enables observability without configuring a sink.
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn record(&self, _event: &Event) {}
+}
+
+/// Keeps the most recent `capacity` events in a fixed ring.
+///
+/// Lock-free-ish: writers claim a slot with one atomic fetch-add and lock
+/// only that slot's mutex, so concurrent recorders contend only when they
+/// collide on the same slot (capacity-separated writes never do).
+pub struct RingSink {
+    slots: Vec<Mutex<Option<Event>>>,
+    next: AtomicUsize,
+}
+
+impl RingSink {
+    /// A ring holding the last `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever recorded (not capped by capacity).
+    pub fn recorded(&self) -> usize {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        let n = self.next.load(Ordering::Relaxed);
+        let cap = self.slots.len();
+        let start = n.saturating_sub(cap);
+        (start..n)
+            .filter_map(|i| self.slots[i % cap].lock().expect("ring slot").clone())
+            .collect()
+    }
+}
+
+impl Sink for RingSink {
+    fn record(&self, event: &Event) {
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        *self.slots[i].lock().expect("ring slot") = Some(event.clone());
+    }
+}
+
+/// Streams events as JSON lines to a file (the `MISO_TRACE=<path>` sink).
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) the trace file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: &Event) {
+        let line = to_json(&event.to_json_value());
+        let mut w = self.writer.lock().expect("jsonl writer");
+        let _ = writeln!(w, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl writer").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_data::json::parse_json;
+
+    fn ev(name: &'static str, span: u64) -> Event {
+        Event {
+            kind: EventKind::SpanEnd,
+            name,
+            span,
+            parent: 0,
+            t_mono_ns: 1_000,
+            dur_ns: 500,
+            sim_us: Some(42),
+            fields: vec![("rows", FieldValue::U64(7))],
+        }
+    }
+
+    #[test]
+    fn event_jsonl_round_trips_through_the_data_parser() {
+        let line = to_json(&ev("query", 3).to_json_value());
+        let v = parse_json(&line).unwrap();
+        assert_eq!(v.get_field("ev"), Some(&Value::str("span_end")));
+        assert_eq!(v.get_field("name"), Some(&Value::str("query")));
+        assert_eq!(v.get_field("dur_ns"), Some(&Value::Int(500)));
+        assert_eq!(v.get_field("sim_us"), Some(&Value::Int(42)));
+        assert_eq!(
+            v.get_field("fields").unwrap().get_field("rows"),
+            Some(&Value::Int(7))
+        );
+    }
+
+    #[test]
+    fn ring_wraparound_keeps_newest() {
+        let ring = RingSink::new(4);
+        for i in 0..10u64 {
+            let mut e = ev("tick", i);
+            e.t_mono_ns = i;
+            ring.record(&e);
+        }
+        let events = ring.events();
+        assert_eq!(ring.recorded(), 10);
+        assert_eq!(events.len(), 4);
+        let ts: Vec<u64> = events.iter().map(|e| e.t_mono_ns).collect();
+        assert_eq!(ts, vec![6, 7, 8, 9], "oldest-first, newest retained");
+    }
+
+    #[test]
+    fn ring_under_capacity_returns_all_in_order() {
+        let ring = RingSink::new(8);
+        for i in 0..3u64 {
+            ring.record(&ev("tick", i));
+        }
+        let events = ring.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].span, 0);
+        assert_eq!(events[2].span, 2);
+    }
+
+    #[test]
+    fn ring_concurrent_writes_preserve_count() {
+        let ring = std::sync::Arc::new(RingSink::new(64));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        ring.record(&ev("c", t * 1000 + i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ring.recorded(), 8000);
+        assert_eq!(ring.events().len(), 64);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("miso-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("sink-{}.jsonl", std::process::id()));
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&ev("a", 1));
+            sink.record(&ev("b", 2));
+        } // drop flushes
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for l in lines {
+            parse_json(l).expect("every line is valid JSON");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -31,7 +31,9 @@ impl Default for TransferModel {
 impl TransferModel {
     /// Calibrated alongside the store models (see `DESIGN.md` §5).
     pub fn paper_default() -> Self {
-        TransferModel { network_secs_per_byte: 0.6e-4 }
+        TransferModel {
+            network_secs_per_byte: 0.6e-4,
+        }
     }
 
     /// Wire time for `bytes`.
@@ -81,7 +83,10 @@ pub fn estimate_split_cost(
             let mut rows = 0.0f64;
             for &id in &stage.nodes {
                 let node = plan.node(id);
-                if matches!(node.op, Operator::ScanLog { .. } | Operator::ScanView { .. }) {
+                if matches!(
+                    node.op,
+                    Operator::ScanLog { .. } | Operator::ScanView { .. }
+                ) {
                     bytes_in += estimates[&id].bytes;
                 }
                 rows += estimates[&id].rows;
@@ -130,10 +135,7 @@ pub fn estimate_split_cost(
         dw_rows += estimates[&node.id].rows;
     }
     if any_dw {
-        breakdown.dw += dw.exec_cost(
-            ByteSize::from_bytes(dw_bytes_in as u64),
-            dw_rows as u64,
-        );
+        breakdown.dw += dw.exec_cost(ByteSize::from_bytes(dw_bytes_in as u64), dw_rows as u64);
     }
     breakdown
 }
@@ -147,7 +149,14 @@ mod tests {
 
     fn linear() -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
@@ -161,7 +170,9 @@ mod tests {
             .unwrap();
         let filt = b
             .add(
-                Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) },
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(1i64)),
+                },
                 vec![proj],
             )
             .unwrap();
@@ -212,8 +223,14 @@ mod tests {
         let late = Split::new([NodeId(0), NodeId(1), NodeId(2)].into_iter().collect());
         let c_early = estimate_split_cost(&plan, &early, &est, &hvm, &dwm, &tm);
         let c_late = estimate_split_cost(&plan, &late, &est, &hvm, &dwm, &tm);
-        assert!(c_early.transfer > c_late.transfer, "working set shrinks late");
-        assert!(c_early.total() > c_late.total(), "early ETL-style split loses");
+        assert!(
+            c_early.transfer > c_late.transfer,
+            "working set shrinks late"
+        );
+        assert!(
+            c_early.total() > c_late.total(),
+            "early ETL-style split loses"
+        );
     }
 
     #[test]
@@ -222,31 +239,53 @@ mod tests {
         // multi-stage tail: the best (late) split is modestly faster than
         // HV-only; the earliest split (ship raw data) is far worse.
         let mut b = PlanBuilder::new();
-        let s1 = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let s1 = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p1 = b
             .add(
                 Operator::Project {
                     exprs: vec![
-                        ("uid".into(), Expr::col(0).get("user_id").cast(DataType::Int)),
+                        (
+                            "uid".into(),
+                            Expr::col(0).get("user_id").cast(DataType::Int),
+                        ),
                         ("text".into(), Expr::col(0).get("text").cast(DataType::Str)),
                     ],
                 },
                 vec![s1],
             )
             .unwrap();
-        let s2 = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let s2 = b
+            .add(
+                Operator::ScanLog {
+                    log: "foursquare".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p2 = b
             .add(
                 Operator::Project {
                     exprs: vec![
-                        ("uid".into(), Expr::col(0).get("user_id").cast(DataType::Int)),
+                        (
+                            "uid".into(),
+                            Expr::col(0).get("user_id").cast(DataType::Int),
+                        ),
                         ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
                     ],
                 },
                 vec![s2],
             )
             .unwrap();
-        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2]).unwrap();
+        let j = b
+            .add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2])
+            .unwrap();
         let agg = b
             .add(
                 Operator::Aggregate {
@@ -256,7 +295,14 @@ mod tests {
                 vec![j],
             )
             .unwrap();
-        let sort = b.add(Operator::Sort { keys: vec![(1, true)] }, vec![agg]).unwrap();
+        let sort = b
+            .add(
+                Operator::Sort {
+                    keys: vec![(1, true)],
+                },
+                vec![agg],
+            )
+            .unwrap();
         let plan = b.finish(sort).unwrap();
 
         let mut stats = MapStats::new();
@@ -267,8 +313,7 @@ mod tests {
         let dwm = DwCostModel::paper_default();
         let tm = TransferModel::paper_default();
 
-        let hv_only =
-            estimate_split_cost(&plan, &Split::all_hv(&plan), &est, &hvm, &dwm, &tm);
+        let hv_only = estimate_split_cost(&plan, &Split::all_hv(&plan), &est, &hvm, &dwm, &tm);
         // Late split: after the join, once the working set has shrunk.
         let late = Split::new(
             [NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
@@ -281,8 +326,7 @@ mod tests {
         let c_early = estimate_split_cost(&plan, &early, &est, &hvm, &dwm, &tm);
 
         assert!(c_late.total() < hv_only.total(), "late split wins");
-        let improvement =
-            1.0 - c_late.total().as_secs_f64() / hv_only.total().as_secs_f64();
+        let improvement = 1.0 - c_late.total().as_secs_f64() / hv_only.total().as_secs_f64();
         assert!(
             (0.0..0.5).contains(&improvement),
             "single-query multistore gain must be modest, got {improvement}"

@@ -52,7 +52,11 @@ fn render_node(
 ) {
     let node = planned.plan.node(id);
     let store = if planned.split.in_hv(id) { "HV" } else { "DW" };
-    let cut_mark = if cuts.contains(&id) { "  <== working set ships to DW" } else { "" };
+    let cut_mark = if cuts.contains(&id) {
+        "  <== working set ships to DW"
+    } else {
+        ""
+    };
     let _ = writeln!(
         out,
         "  [{store}] {}{}{}",
@@ -120,7 +124,9 @@ mod tests {
             assert!(text.contains("[DW]"), "{text}");
         }
         // Every plan node appears exactly once.
-        let lines = text.lines().filter(|l| l.contains("[HV]") || l.contains("[DW]"));
+        let lines = text
+            .lines()
+            .filter(|l| l.contains("[HV]") || l.contains("[DW]"));
         assert_eq!(lines.count(), p.plan.len());
     }
 }

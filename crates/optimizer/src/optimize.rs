@@ -67,6 +67,8 @@ pub fn optimize(
     design: &Design,
     env: &OptimizerEnv<'_>,
 ) -> Result<PlannedQuery> {
+    let mut obs = miso_obs::span("optimizer.optimize");
+    miso_obs::count("optimizer.calls", 1);
     let variants: Vec<HashSet<String>> = {
         let mut v: Vec<HashSet<String>> = vec![HashSet::new()];
         for candidate in [
@@ -81,6 +83,9 @@ pub fn optimize(
         v
     };
 
+    let n_variants = variants.len() as u64;
+    let mut cost_evals = 0u64;
+    let mut splits_seen = 0u64;
     let mut best: Option<PlannedQuery> = None;
     for available in variants {
         let rewrite = match env.catalog {
@@ -89,9 +94,11 @@ pub fn optimize(
         };
         let estimates = estimate_plan(&rewrite.plan, env.stats);
         for split in enumerate_splits(&rewrite.plan) {
+            splits_seen += 1;
             if !split_feasible(&rewrite.plan, &split, design) {
                 continue;
             }
+            cost_evals += 1;
             let est = estimate_split_cost(
                 &rewrite.plan,
                 &split,
@@ -113,6 +120,23 @@ pub fn optimize(
                 });
             }
         }
+    }
+    miso_obs::count("optimizer.cost_evals", cost_evals);
+    if obs.is_active() {
+        obs.push_field("variants", miso_obs::FieldValue::U64(n_variants));
+        obs.push_field("splits", miso_obs::FieldValue::U64(splits_seen));
+        obs.push_field("cost_evals", miso_obs::FieldValue::U64(cost_evals));
+        if let Some(b) = &best {
+            obs.push_field(
+                "best_us",
+                miso_obs::FieldValue::U64(b.est.total().as_micros()),
+            );
+            obs.push_field(
+                "used_views",
+                miso_obs::FieldValue::U64(b.used_views.len() as u64),
+            );
+        }
+        miso_obs::observe("optimizer.splits_considered", splits_seen);
     }
     best.ok_or_else(|| {
         MisoError::Optimize(
@@ -148,6 +172,7 @@ pub fn what_if_cost(
     design: &Design,
     env: &OptimizerEnv<'_>,
 ) -> SimDuration {
+    miso_obs::count("optimizer.what_if_calls", 1);
     optimize(raw_plan, design, env)
         .map(|p| p.est.total())
         .unwrap_or(SimDuration::from_secs(u64::MAX / 2_000_000))
@@ -179,7 +204,13 @@ mod tests {
         dw: &'a DwCostModel,
         tm: &'a TransferModel,
     ) -> OptimizerEnv<'a> {
-        OptimizerEnv { stats, hv, dw, transfer: tm, catalog: None }
+        OptimizerEnv {
+            stats,
+            hv,
+            dw,
+            transfer: tm,
+            catalog: None,
+        }
     }
 
     #[test]
@@ -246,8 +277,7 @@ mod tests {
             .unwrap()
             .id;
         let vname = fingerprint_subtree(&p, filt).view_name();
-        let rewrite =
-            miso_views::rewrite_with_views(&p, &[vname.clone()].into_iter().collect());
+        let rewrite = miso_views::rewrite_with_views(&p, &[vname.clone()].into_iter().collect());
         let design_hv = Design {
             hv_views: [vname.clone()].into_iter().collect(),
             dw_views: HashSet::new(),

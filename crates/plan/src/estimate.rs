@@ -114,17 +114,20 @@ pub fn estimate_plan(plan: &LogicalPlan, stats: &dyn StatsSource) -> HashMap<Nod
                 rows: 1_000_000.0,
                 bytes: 1_000_000.0 * 200.0,
             }),
-            Operator::ScanView { view, schema } => {
-                stats.view_stats(view).unwrap_or_else(|| {
-                    let width: f64 =
-                        schema.fields().iter().map(|f| type_width(f.ty)).sum();
-                    SizeEstimate { rows: 10_000.0, bytes: 10_000.0 * width.max(8.0) }
-                })
-            }
+            Operator::ScanView { view, schema } => stats.view_stats(view).unwrap_or_else(|| {
+                let width: f64 = schema.fields().iter().map(|f| type_width(f.ty)).sum();
+                SizeEstimate {
+                    rows: 10_000.0,
+                    bytes: 10_000.0 * width.max(8.0),
+                }
+            }),
             Operator::Filter { predicate } => {
                 let input = out[&node.inputs[0]];
                 let s = predicate_selectivity(predicate);
-                SizeEstimate { rows: (input.rows * s).max(1.0), bytes: (input.bytes * s).max(8.0) }
+                SizeEstimate {
+                    rows: (input.rows * s).max(1.0),
+                    bytes: (input.bytes * s).max(8.0),
+                }
             }
             Operator::Project { exprs } => {
                 let input = out[&node.inputs[0]];
@@ -134,14 +137,20 @@ pub fn estimate_plan(plan: &LogicalPlan, stats: &dyn StatsSource) -> HashMap<Nod
                     .map(|(_, e)| type_width(e.infer_type(in_schema)))
                     .sum::<f64>()
                     .max(1.0);
-                SizeEstimate { rows: input.rows, bytes: input.rows * out_width }
+                SizeEstimate {
+                    rows: input.rows,
+                    bytes: input.rows * out_width,
+                }
             }
             Operator::Join { .. } => {
                 let l = out[&node.inputs[0]];
                 let r = out[&node.inputs[1]];
                 let rows = (l.rows.min(r.rows) * sel::JOIN_FANOUT).max(1.0);
                 let width = l.avg_row_bytes() + r.avg_row_bytes();
-                SizeEstimate { rows, bytes: rows * width.max(8.0) }
+                SizeEstimate {
+                    rows,
+                    bytes: rows * width.max(8.0),
+                }
             }
             Operator::Aggregate { group_by, aggs } => {
                 let input = out[&node.inputs[0]];
@@ -149,8 +158,8 @@ pub fn estimate_plan(plan: &LogicalPlan, stats: &dyn StatsSource) -> HashMap<Nod
                     1.0
                 } else {
                     // More group columns → more groups, capped at input rows.
-                    let exp = sel::GROUP_EXP.powi(1i32.max(group_by.len() as i32) - 1)
-                        * sel::GROUP_EXP;
+                    let exp =
+                        sel::GROUP_EXP.powi(1i32.max(group_by.len() as i32) - 1) * sel::GROUP_EXP;
                     input.rows.powf(exp.min(1.0)).min(input.rows).max(1.0)
                 };
                 let in_schema = &plan.node(node.inputs[0]).schema;
@@ -159,19 +168,28 @@ pub fn estimate_plan(plan: &LogicalPlan, stats: &dyn StatsSource) -> HashMap<Nod
                     .map(|&g| type_width(in_schema.field_at(g).ty))
                     .sum::<f64>()
                     + aggs.len() as f64 * 8.0;
-                SizeEstimate { rows, bytes: rows * width.max(8.0) }
+                SizeEstimate {
+                    rows,
+                    bytes: rows * width.max(8.0),
+                }
             }
             Operator::Udf { output, .. } => {
                 // UDFs are opaque; assume row-preserving with declared width.
                 let input = out[&node.inputs[0]];
                 let width: f64 = output.fields().iter().map(|f| type_width(f.ty)).sum();
-                SizeEstimate { rows: input.rows, bytes: input.rows * width.max(8.0) }
+                SizeEstimate {
+                    rows: input.rows,
+                    bytes: input.rows * width.max(8.0),
+                }
             }
             Operator::Sort { .. } => out[&node.inputs[0]],
             Operator::Limit { n } => {
                 let input = out[&node.inputs[0]];
                 let rows = input.rows.min(*n as f64);
-                SizeEstimate { rows, bytes: rows * input.avg_row_bytes().max(8.0) }
+                SizeEstimate {
+                    rows,
+                    bytes: rows * input.avg_row_bytes().max(8.0),
+                }
             }
         };
         out.insert(node.id, est);
@@ -236,12 +254,22 @@ mod tests {
 
     fn linear() -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
                     exprs: vec![
-                        ("uid".into(), Expr::col(0).get("user_id").cast(DataType::Int)),
+                        (
+                            "uid".into(),
+                            Expr::col(0).get("user_id").cast(DataType::Int),
+                        ),
                         ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
                     ],
                 },
@@ -250,7 +278,9 @@ mod tests {
             .unwrap();
         let filt = b
             .add(
-                Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) },
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(1i64)),
+                },
                 vec![proj],
             )
             .unwrap();
@@ -299,9 +329,25 @@ mod tests {
     #[test]
     fn join_estimate_is_fk_style() {
         let mut b = PlanBuilder::new();
-        let t = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
-        let f = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
-        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![t, f]).unwrap();
+        let t = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let f = b
+            .add(
+                Operator::ScanLog {
+                    log: "foursquare".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let j = b
+            .add(Operator::Join { on: vec![(0, 0)] }, vec![t, f])
+            .unwrap();
         let p = b.finish(j).unwrap();
         let est = estimate_plan(&p, &stats());
         assert!((est[&NodeId(2)].rows - 50_000.0 * 1.2).abs() < 1e-6);
@@ -310,7 +356,14 @@ mod tests {
     #[test]
     fn global_aggregate_is_one_row() {
         let mut b = PlanBuilder::new();
-        let t = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let t = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let a = b
             .add(
                 Operator::Aggregate {
@@ -328,7 +381,14 @@ mod tests {
     #[test]
     fn limit_caps_rows() {
         let mut b = PlanBuilder::new();
-        let t = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let t = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let l = b.add(Operator::Limit { n: 10 }, vec![t]).unwrap();
         let p = b.finish(l).unwrap();
         let est = estimate_plan(&p, &stats());
@@ -344,10 +404,7 @@ mod tests {
             .add(
                 Operator::ScanView {
                     view: "v_x".into(),
-                    schema: miso_data::Schema::new(vec![miso_data::Field::new(
-                        "a",
-                        DataType::Int,
-                    )]),
+                    schema: miso_data::Schema::new(vec![miso_data::Field::new("a", DataType::Int)]),
                 },
                 vec![],
             )
@@ -371,7 +428,10 @@ mod tests {
         };
         let expect = 0.08 + 0.08 - 0.08 * 0.08;
         assert!((predicate_selectivity(&or) - expect).abs() < 1e-12);
-        let not = Expr::Unary { op: UnaryOp::Not, input: Box::new(eq) };
+        let not = Expr::Unary {
+            op: UnaryOp::Not,
+            input: Box::new(eq),
+        };
         assert!((predicate_selectivity(&not) - 0.92).abs() < 1e-12);
     }
 

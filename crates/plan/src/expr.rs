@@ -43,7 +43,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether this operator is commutative (used by canonicalization).
     pub fn commutative(&self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::Ne | BinOp::And | BinOp::Or
+        )
     }
 
     /// Whether this operator yields a boolean.
@@ -181,22 +184,36 @@ impl Expr {
 
     /// `self = other`.
     pub fn eq(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::Eq, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::Eq,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// `self AND other`.
     pub fn and(self, other: Expr) -> Expr {
-        Expr::Binary { op: BinOp::And, left: Box::new(self), right: Box::new(other) }
+        Expr::Binary {
+            op: BinOp::And,
+            left: Box::new(self),
+            right: Box::new(other),
+        }
     }
 
     /// Field extraction shorthand.
     pub fn get(self, key: impl Into<String>) -> Expr {
-        Expr::FieldGet { input: Box::new(self), key: key.into() }
+        Expr::FieldGet {
+            input: Box::new(self),
+            key: key.into(),
+        }
     }
 
     /// Cast shorthand.
     pub fn cast(self, ty: DataType) -> Expr {
-        Expr::Cast { input: Box::new(self), ty }
+        Expr::Cast {
+            input: Box::new(self),
+            ty,
+        }
     }
 
     /// All column indexes referenced by this expression.
@@ -266,7 +283,12 @@ impl Expr {
     pub fn conjuncts(&self) -> Vec<&Expr> {
         let mut out = Vec::new();
         fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
-            if let Expr::Binary { op: BinOp::And, left, right } = e {
+            if let Expr::Binary {
+                op: BinOp::And,
+                left,
+                right,
+            } = e
+            {
                 walk(left, out);
                 walk(right, out);
             } else {
@@ -335,8 +357,14 @@ impl fmt::Display for Expr {
             Expr::Literal(v) => write!(f, "{v}"),
             Expr::FieldGet { input, key } => write!(f, "{input}->'{key}'"),
             Expr::Cast { input, ty } => write!(f, "CAST({input} AS {ty})"),
-            Expr::Unary { op: UnaryOp::IsNull, input } => write!(f, "({input} IS NULL)"),
-            Expr::Unary { op: UnaryOp::IsNotNull, input } => {
+            Expr::Unary {
+                op: UnaryOp::IsNull,
+                input,
+            } => write!(f, "({input} IS NULL)"),
+            Expr::Unary {
+                op: UnaryOp::IsNotNull,
+                input,
+            } => {
                 write!(f, "({input} IS NOT NULL)")
             }
             Expr::Unary { op, input } => write!(f, "({op} {input})"),
@@ -415,7 +443,11 @@ pub struct AggExpr {
 impl AggExpr {
     /// Constructs an aggregate.
     pub fn new(func: AggFunc, input: Option<Expr>, name: impl Into<String>) -> Self {
-        AggExpr { func, input, name: name.into() }
+        AggExpr {
+            func,
+            input,
+            name: name.into(),
+        }
     }
 }
 
@@ -435,9 +467,11 @@ mod tests {
 
     #[test]
     fn conjuncts_flatten_nested_ands() {
-        let e = Expr::col(0)
-            .eq(Expr::lit(1i64))
-            .and(Expr::col(1).eq(Expr::lit(2i64)).and(Expr::col(2).eq(Expr::lit(3i64))));
+        let e = Expr::col(0).eq(Expr::lit(1i64)).and(
+            Expr::col(1)
+                .eq(Expr::lit(2i64))
+                .and(Expr::col(2).eq(Expr::lit(3i64))),
+        );
         assert_eq!(e.conjuncts().len(), 3);
         let rebuilt = Expr::conjoin(e.conjuncts().into_iter().cloned().collect()).unwrap();
         assert_eq!(rebuilt.conjuncts().len(), 3);
@@ -446,7 +480,9 @@ mod tests {
 
     #[test]
     fn referenced_columns_dedup_and_sort() {
-        let e = Expr::col(3).eq(Expr::col(1)).and(Expr::col(3).eq(Expr::lit(0i64)));
+        let e = Expr::col(3)
+            .eq(Expr::col(1))
+            .and(Expr::col(3).eq(Expr::lit(0i64)));
         assert_eq!(e.referenced_columns(), vec![1, 3]);
     }
 
@@ -466,7 +502,10 @@ mod tests {
         assert_eq!(Expr::col(1).infer_type(&schema), DataType::Int);
         assert_eq!(Expr::col(0).get("x").infer_type(&schema), DataType::Json);
         assert_eq!(
-            Expr::col(0).get("x").cast(DataType::Str).infer_type(&schema),
+            Expr::col(0)
+                .get("x")
+                .cast(DataType::Str)
+                .infer_type(&schema),
             DataType::Str
         );
         assert_eq!(
@@ -489,7 +528,10 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let e = Expr::col(0).get("user_id").cast(DataType::Int).eq(Expr::lit(42i64));
+        let e = Expr::col(0)
+            .get("user_id")
+            .cast(DataType::Int)
+            .eq(Expr::lit(42i64));
         assert_eq!(e.to_string(), "(CAST($0->'user_id' AS INT) = 42)");
     }
 

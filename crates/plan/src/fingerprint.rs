@@ -136,8 +136,11 @@ fn fingerprint_op(op: &Operator, inputs: &[u64]) -> u64 {
         Operator::Filter { predicate } => {
             h.byte(3);
             // Order-insensitive conjunct multiset.
-            let mut factor_digests: Vec<u64> =
-                predicate.conjuncts().iter().map(|e| expr_digest(e)).collect();
+            let mut factor_digests: Vec<u64> = predicate
+                .conjuncts()
+                .iter()
+                .map(|e| expr_digest(e))
+                .collect();
             factor_digests.sort_unstable();
             h.u64(factor_digests.len() as u64);
             for d in factor_digests {
@@ -356,7 +359,14 @@ mod tests {
 
     fn scan_filter(pred: Expr) -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
@@ -368,7 +378,9 @@ mod tests {
                 vec![scan],
             )
             .unwrap();
-        let f = b.add(Operator::Filter { predicate: pred }, vec![proj]).unwrap();
+        let f = b
+            .add(Operator::Filter { predicate: pred }, vec![proj])
+            .unwrap();
         b.finish(f).unwrap()
     }
 
@@ -490,10 +502,7 @@ mod tests {
             .add(
                 Operator::ScanView {
                     view: "etl_twitter".into(),
-                    schema: miso_data::Schema::new(vec![miso_data::Field::new(
-                        "a",
-                        DataType::Int,
-                    )]),
+                    schema: miso_data::Schema::new(vec![miso_data::Field::new("a", DataType::Int)]),
                 },
                 vec![],
             )

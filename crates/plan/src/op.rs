@@ -98,9 +98,7 @@ impl Operator {
     pub fn derive_schema(&self, inputs: &[&Schema]) -> Schema {
         assert_eq!(inputs.len(), self.input_arity(), "operator arity mismatch");
         match self {
-            Operator::ScanLog { .. } => {
-                Schema::new(vec![Field::new("record", DataType::Json)])
-            }
+            Operator::ScanLog { .. } => Schema::new(vec![Field::new("record", DataType::Json)]),
             Operator::ScanView { schema, .. } => schema.clone(),
             Operator::Filter { .. } | Operator::Limit { .. } | Operator::Sort { .. } => {
                 inputs[0].clone()
@@ -142,8 +140,7 @@ impl Operator {
                 format!("Project({})", names.join(", "))
             }
             Operator::Join { on } => {
-                let conds: Vec<String> =
-                    on.iter().map(|(l, r)| format!("l{l}=r{r}")).collect();
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("l{l}=r{r}")).collect();
                 format!("Join({})", conds.join(" AND "))
             }
             Operator::Aggregate { group_by, aggs } => {
@@ -169,14 +166,23 @@ mod tests {
 
     #[test]
     fn arity_is_structural() {
-        assert_eq!(Operator::ScanLog { log: "twitter".into() }.input_arity(), 0);
+        assert_eq!(
+            Operator::ScanLog {
+                log: "twitter".into()
+            }
+            .input_arity(),
+            0
+        );
         assert_eq!(Operator::Join { on: vec![] }.input_arity(), 2);
         assert_eq!(Operator::Limit { n: 5 }.input_arity(), 1);
     }
 
     #[test]
     fn scan_log_schema_is_single_json_record() {
-        let s = Operator::ScanLog { log: "twitter".into() }.derive_schema(&[]);
+        let s = Operator::ScanLog {
+            log: "twitter".into(),
+        }
+        .derive_schema(&[]);
         assert_eq!(s.arity(), 1);
         assert_eq!(s.field_at(0).name, "record");
         assert_eq!(s.field_at(0).ty, DataType::Json);
@@ -187,7 +193,10 @@ mod tests {
         let input = Operator::ScanLog { log: "t".into() }.derive_schema(&[]);
         let op = Operator::Project {
             exprs: vec![
-                ("uid".into(), Expr::col(0).get("user_id").cast(DataType::Int)),
+                (
+                    "uid".into(),
+                    Expr::col(0).get("user_id").cast(DataType::Int),
+                ),
                 ("raw".into(), Expr::col(0).get("text")),
             ],
         };
@@ -230,7 +239,10 @@ mod tests {
             output: Schema::empty()
         }
         .hv_only());
-        assert!(!Operator::Filter { predicate: Expr::lit(true) }.hv_only());
+        assert!(!Operator::Filter {
+            predicate: Expr::lit(true)
+        }
+        .hv_only());
     }
 
     #[test]

@@ -133,8 +133,7 @@ impl LogicalPlan {
             if !keep.contains(&node.id) {
                 continue;
             }
-            let new_inputs: Vec<NodeId> =
-                node.inputs.iter().map(|i| mapping[i]).collect();
+            let new_inputs: Vec<NodeId> = node.inputs.iter().map(|i| mapping[i]).collect();
             let new_id = builder
                 .add(node.op.clone(), new_inputs)
                 .expect("subtree of a valid plan is valid");
@@ -236,18 +235,23 @@ impl PlanBuilder {
         }
         for input in &inputs {
             if input.raw() as usize >= self.nodes.len() {
-                return Err(MisoError::Plan(format!(
-                    "input {input} does not exist yet"
-                )));
+                return Err(MisoError::Plan(format!("input {input} does not exist yet")));
             }
         }
-        let input_schemas: Vec<&Schema> =
-            inputs.iter().map(|i| &self.nodes[i.raw() as usize].schema).collect();
+        let input_schemas: Vec<&Schema> = inputs
+            .iter()
+            .map(|i| &self.nodes[i.raw() as usize].schema)
+            .collect();
         // Validate expression column references against input schemas.
         Self::validate_columns(&op, &input_schemas)?;
         let schema = op.derive_schema(&input_schemas);
         let id = NodeId(self.nodes.len() as u64);
-        self.nodes.push(PlanNode { id, op, inputs, schema });
+        self.nodes.push(PlanNode {
+            id,
+            op,
+            inputs,
+            schema,
+        });
         Ok(id)
     }
 
@@ -289,9 +293,7 @@ impl PlanBuilder {
             Operator::Aggregate { group_by, aggs } => {
                 for &g in group_by {
                     if g >= inputs[0].arity() {
-                        return Err(MisoError::Plan(format!(
-                            "group-by column {g} out of range"
-                        )));
+                        return Err(MisoError::Plan(format!("group-by column {g} out of range")));
                     }
                 }
                 for agg in aggs {
@@ -304,9 +306,7 @@ impl PlanBuilder {
             Operator::Sort { keys } => {
                 for &(k, _) in keys {
                     if k >= inputs[0].arity() {
-                        return Err(MisoError::Plan(format!(
-                            "sort column {k} out of range"
-                        )));
+                        return Err(MisoError::Plan(format!("sort column {k} out of range")));
                     }
                 }
                 Ok(())
@@ -320,7 +320,10 @@ impl PlanBuilder {
         if root.raw() as usize >= self.nodes.len() {
             return Err(MisoError::Plan(format!("root {root} does not exist")));
         }
-        Ok(LogicalPlan { nodes: self.nodes, root })
+        Ok(LogicalPlan {
+            nodes: self.nodes,
+            root,
+        })
     }
 }
 
@@ -333,12 +336,22 @@ mod tests {
     /// scan(twitter) -> project(uid, city) -> filter(uid=1) -> agg
     fn sample() -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
                     exprs: vec![
-                        ("uid".into(), Expr::col(0).get("user_id").cast(DataType::Int)),
+                        (
+                            "uid".into(),
+                            Expr::col(0).get("user_id").cast(DataType::Int),
+                        ),
                         ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
                     ],
                 },
@@ -347,7 +360,9 @@ mod tests {
             .unwrap();
         let filt = b
             .add(
-                Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) },
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(1i64)),
+                },
                 vec![proj],
             )
             .unwrap();
@@ -375,10 +390,14 @@ mod tests {
     fn builder_rejects_bad_arity_and_refs() {
         let mut b = PlanBuilder::new();
         assert!(b.add(Operator::Limit { n: 1 }, vec![]).is_err());
-        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let scan = b
+            .add(Operator::ScanLog { log: "t".into() }, vec![])
+            .unwrap();
         assert!(b
             .add(
-                Operator::Filter { predicate: Expr::col(5).eq(Expr::lit(1i64)) },
+                Operator::Filter {
+                    predicate: Expr::col(5).eq(Expr::lit(1i64))
+                },
                 vec![scan]
             )
             .is_err());
@@ -401,7 +420,11 @@ mod tests {
         let p = sample();
         let filt_id = NodeId(2);
         let rewritten = p.replace_with_view(filt_id, "v_abc").unwrap();
-        assert_eq!(rewritten.len(), 2, "scan+project+filter collapse to ScanView");
+        assert_eq!(
+            rewritten.len(),
+            2,
+            "scan+project+filter collapse to ScanView"
+        );
         assert_eq!(rewritten.scanned_views(), vec!["v_abc"]);
         assert_eq!(rewritten.schema().names(), vec!["city", "n"]);
         assert!(rewritten.base_logs().is_empty());
@@ -410,15 +433,14 @@ mod tests {
     #[test]
     fn udf_detection() {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let scan = b
+            .add(Operator::ScanLog { log: "t".into() }, vec![])
+            .unwrap();
         let udf = b
             .add(
                 Operator::Udf {
                     name: "extract_sentiment".into(),
-                    output: Schema::new(vec![miso_data::Field::new(
-                        "s",
-                        DataType::Float,
-                    )]),
+                    output: Schema::new(vec![miso_data::Field::new("s", DataType::Float)]),
                 },
                 vec![scan],
             )
@@ -432,7 +454,14 @@ mod tests {
     #[test]
     fn join_plan_two_inputs() {
         let mut b = PlanBuilder::new();
-        let t = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let t = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let tp = b
             .add(
                 Operator::Project {
@@ -444,7 +473,14 @@ mod tests {
                 vec![t],
             )
             .unwrap();
-        let f = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let f = b
+            .add(
+                Operator::ScanLog {
+                    log: "foursquare".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let fp = b
             .add(
                 Operator::Project {
@@ -456,7 +492,9 @@ mod tests {
                 vec![f],
             )
             .unwrap();
-        let join = b.add(Operator::Join { on: vec![(0, 0)] }, vec![tp, fp]).unwrap();
+        let join = b
+            .add(Operator::Join { on: vec![(0, 0)] }, vec![tp, fp])
+            .unwrap();
         let p = b.finish(join).unwrap();
         assert_eq!(p.base_logs(), vec!["foursquare", "twitter"]);
         assert_eq!(p.schema().names(), vec!["uid", "r_uid"]);

@@ -40,13 +40,17 @@ impl Split {
 
     /// The split that executes everything in HV.
     pub fn all_hv(plan: &LogicalPlan) -> Self {
-        Split { hv_nodes: plan.nodes().iter().map(|n| n.id).collect() }
+        Split {
+            hv_nodes: plan.nodes().iter().map(|n| n.id).collect(),
+        }
     }
 
     /// The split that executes everything in DW (valid only for plans with
     /// no base-log scans or UDFs).
     pub fn all_dw() -> Self {
-        Split { hv_nodes: BTreeSet::new() }
+        Split {
+            hv_nodes: BTreeSet::new(),
+        }
     }
 
     /// Nodes executing in HV.
@@ -79,9 +83,7 @@ impl Split {
             if !self.in_hv(node.id) {
                 continue;
             }
-            let feeds_dw = consumers_of(plan, node.id)
-                .iter()
-                .any(|c| !self.in_hv(*c));
+            let feeds_dw = consumers_of(plan, node.id).iter().any(|c| !self.in_hv(*c));
             if feeds_dw {
                 cut.push(node.id);
             }
@@ -141,11 +143,14 @@ pub fn consumer_map(plan: &LogicalPlan) -> HashMap<NodeId, Vec<NodeId>> {
 /// "late-single-cut" splits that the paper observes winning in practice.
 pub fn enumerate_splits(plan: &LogicalPlan) -> Vec<Split> {
     const EXHAUSTIVE_LIMIT: usize = 14;
-    if plan.len() <= EXHAUSTIVE_LIMIT {
+    let splits = if plan.len() <= EXHAUSTIVE_LIMIT {
         enumerate_exhaustive(plan)
     } else {
         enumerate_prefixes(plan)
-    }
+    };
+    miso_obs::count("plan.split_enumerations", 1);
+    miso_obs::observe("plan.splits_per_plan", splits.len() as u64);
+    splits
 }
 
 fn enumerate_exhaustive(plan: &LogicalPlan) -> Vec<Split> {
@@ -230,7 +235,14 @@ mod tests {
     /// Linear plan: scan -> project -> filter -> aggregate.
     fn linear() -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
@@ -244,7 +256,9 @@ mod tests {
             .unwrap();
         let filt = b
             .add(
-                Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(1i64)) },
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(1i64)),
+                },
                 vec![proj],
             )
             .unwrap();
@@ -293,7 +307,9 @@ mod tests {
     #[test]
     fn udf_pins_subtree_to_hv() {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let scan = b
+            .add(Operator::ScanLog { log: "t".into() }, vec![])
+            .unwrap();
         let udf = b
             .add(
                 Operator::Udf {
@@ -334,7 +350,14 @@ mod tests {
     fn bushy_plan_enumerates_all_ideals() {
         // Two scan->project branches joined, then aggregated: 6 nodes.
         let mut b = PlanBuilder::new();
-        let s1 = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let s1 = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p1 = b
             .add(
                 Operator::Project {
@@ -346,7 +369,14 @@ mod tests {
                 vec![s1],
             )
             .unwrap();
-        let s2 = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let s2 = b
+            .add(
+                Operator::ScanLog {
+                    log: "foursquare".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p2 = b
             .add(
                 Operator::Project {
@@ -358,7 +388,9 @@ mod tests {
                 vec![s2],
             )
             .unwrap();
-        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2]).unwrap();
+        let j = b
+            .add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2])
+            .unwrap();
         let agg = b
             .add(
                 Operator::Aggregate {
@@ -382,7 +414,9 @@ mod tests {
         // A split cutting both branches transfers two working sets (the
         // paper's third panel in the §3.1 figure).
         let two_cut = Split::new(
-            [NodeId(0), NodeId(1), NodeId(2), NodeId(3)].into_iter().collect(),
+            [NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+                .into_iter()
+                .collect(),
         );
         assert_eq!(two_cut.cut_nodes(&plan).len(), 2);
     }
@@ -401,7 +435,9 @@ mod tests {
     fn prefix_fallback_used_for_large_plans() {
         // Build a 25-node chain to cross the exhaustive limit.
         let mut b = PlanBuilder::new();
-        let mut prev = b.add(Operator::ScanLog { log: "t".into() }, vec![]).unwrap();
+        let mut prev = b
+            .add(Operator::ScanLog { log: "t".into() }, vec![])
+            .unwrap();
         for i in 0..24 {
             prev = b.add(Operator::Limit { n: 1000 - i }, vec![prev]).unwrap();
         }

@@ -35,11 +35,7 @@ pub fn decay_weights(n: usize, epoch_len: usize, decay: f64) -> Vec<f64> {
 /// view (or view set) given its observed benefit on each history query.
 pub fn weighted_benefit(per_query: &[f64], weights: &[f64]) -> f64 {
     assert_eq!(per_query.len(), weights.len(), "history length mismatch");
-    per_query
-        .iter()
-        .zip(weights)
-        .map(|(b, w)| b * w)
-        .sum()
+    per_query.iter().zip(weights).map(|(b, w)| b * w).sum()
 }
 
 #[cfg(test)]

@@ -36,12 +36,21 @@ pub fn filter_views(catalog: &ViewCatalog, available: &HashSet<String>) -> Vec<F
             continue;
         }
         let root = def.plan.root_node();
-        let Operator::Filter { predicate } = &root.op else { continue };
+        let Operator::Filter { predicate } = &root.op else {
+            continue;
+        };
         let fps = fingerprint_all(&def.plan);
         let input_fp = fps[&root.inputs[0]].0;
-        let conjuncts: HashSet<u64> =
-            predicate.conjuncts().iter().map(|c| expr_digest(c)).collect();
-        out.push(FilterView { name: def.name.clone(), input_fp, conjuncts });
+        let conjuncts: HashSet<u64> = predicate
+            .conjuncts()
+            .iter()
+            .map(|c| expr_digest(c))
+            .collect();
+        out.push(FilterView {
+            name: def.name.clone(),
+            input_fp,
+            conjuncts,
+        });
     }
     out
 }
@@ -64,14 +73,13 @@ pub struct ContainmentMatch {
 
 /// Finds the best containment rewrite for each rewritable filter node of
 /// `plan` (deepest wins when nested; callers apply one at a time).
-pub fn find_containment_matches(
-    plan: &LogicalPlan,
-    views: &[FilterView],
-) -> Vec<ContainmentMatch> {
+pub fn find_containment_matches(plan: &LogicalPlan, views: &[FilterView]) -> Vec<ContainmentMatch> {
     let fps = fingerprint_all(plan);
     let mut out = Vec::new();
     for node in plan.nodes() {
-        let Operator::Filter { predicate } = &node.op else { continue };
+        let Operator::Filter { predicate } = &node.op else {
+            continue;
+        };
         let input_fp = fps[&node.inputs[0]].0;
         let query_conjuncts: HashMap<u64, &Expr> = predicate
             .conjuncts()
@@ -83,7 +91,11 @@ pub fn find_containment_matches(
             if view.input_fp != input_fp {
                 continue;
             }
-            if !view.conjuncts.iter().all(|d| query_conjuncts.contains_key(d)) {
+            if !view
+                .conjuncts
+                .iter()
+                .all(|d| query_conjuncts.contains_key(d))
+            {
                 continue; // the view filters *more* than the query: unusable
             }
             let residual: Vec<Expr> = query_conjuncts
@@ -92,9 +104,7 @@ pub fn find_containment_matches(
                 .map(|(_, e)| (*e).clone())
                 .collect();
             let subsumed = view.conjuncts.len();
-            let better = best
-                .as_ref()
-                .is_none_or(|b| subsumed > b.subsumed);
+            let better = best.as_ref().is_none_or(|b| subsumed > b.subsumed);
             if better {
                 out.retain(|m: &ContainmentMatch| m.node != node.id);
                 best = Some(ContainmentMatch {
@@ -120,7 +130,9 @@ pub fn apply_containment(
     // Replace the filter subtree with ScanView, then re-add the residual
     // filter above the scan if any.
     let replaced = plan.replace_with_view(m.node, &m.view)?;
-    let Some(residual) = &m.residual else { return Ok(replaced) };
+    let Some(residual) = &m.residual else {
+        return Ok(replaced);
+    };
     // The ScanView node that replaced the subtree: find it by name.
     let scan_id = replaced
         .nodes()
@@ -135,7 +147,12 @@ pub fn apply_containment(
         let inputs: Vec<NodeId> = node.inputs.iter().map(|i| mapping[i]).collect();
         let new_id = b.add(node.op.clone(), inputs)?;
         let new_id = if node.id == scan_id {
-            b.add(Operator::Filter { predicate: residual.clone() }, vec![new_id])?
+            b.add(
+                Operator::Filter {
+                    predicate: residual.clone(),
+                },
+                vec![new_id],
+            )?
         } else {
             new_id
         };
@@ -156,7 +173,14 @@ mod tests {
     /// scan → project(a,b) → filter(conjuncts) [→ limit]
     fn branch(conjunct_values: &[i64], with_limit: bool) -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
@@ -181,7 +205,9 @@ mod tests {
             })
             .reduce(|acc, e| acc.and(e))
             .unwrap();
-        let f = b.add(Operator::Filter { predicate: pred }, vec![proj]).unwrap();
+        let f = b
+            .add(Operator::Filter { predicate: pred }, vec![proj])
+            .unwrap();
         let root = if with_limit {
             b.add(Operator::Limit { n: 10 }, vec![f]).unwrap()
         } else {
@@ -243,14 +269,18 @@ mod tests {
         catalog.register(view);
         // Different extraction (field c instead of a/b).
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
-                    exprs: vec![(
-                        "c".into(),
-                        Expr::col(0).get("c").cast(DataType::Int),
-                    )],
+                    exprs: vec![("c".into(), Expr::col(0).get("c").cast(DataType::Int))],
                 },
                 vec![scan],
             )
@@ -278,8 +308,7 @@ mod tests {
         let v2 = view_of(&branch(&[5, 7], false), NodeId(2));
         let n2 = v2.name.clone();
         let mut catalog = ViewCatalog::new();
-        let available: HashSet<String> =
-            [v1.name.clone(), v2.name.clone()].into_iter().collect();
+        let available: HashSet<String> = [v1.name.clone(), v2.name.clone()].into_iter().collect();
         catalog.register(v1);
         catalog.register(v2);
         let query = branch(&[5, 7, 9], false);

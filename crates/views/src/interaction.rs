@@ -48,7 +48,10 @@ pub struct AnalysisConfig {
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
-        AnalysisConfig { doi_threshold: 1.0, max_part_size: Some(4) }
+        AnalysisConfig {
+            doi_threshold: 1.0,
+            max_part_size: Some(4),
+        }
     }
 }
 
@@ -76,6 +79,7 @@ impl<'a> CostCache<'a> {
         if let Some(&v) = self.cache.get(&key) {
             return v;
         }
+        miso_obs::count("views.cost_probes", 1);
         let v = (self.f)(q, views);
         self.cache.insert(key, v);
         v
@@ -95,7 +99,11 @@ pub fn analyze_candidates(
     cost_fn: &mut dyn FnMut(usize, &BTreeSet<String>) -> f64,
     config: &AnalysisConfig,
 ) -> Vec<KnapsackItem> {
-    let mut cache = CostCache { f: cost_fn, cache: HashMap::new() };
+    let mut obs = miso_obs::span("tuner.analyze");
+    let mut cache = CostCache {
+        f: cost_fn,
+        cache: HashMap::new(),
+    };
     let n_q = weights.len();
     let empty = BTreeSet::new();
     let base: Vec<f64> = (0..n_q).map(|q| cache.cost(q, &empty)).collect();
@@ -134,8 +142,9 @@ pub fn analyze_candidates(
         pairs.dedup();
         {
             for &(a, b) in &pairs {
-                let pair: BTreeSet<String> =
-                    [views[a].name.clone(), views[b].name.clone()].into_iter().collect();
+                let pair: BTreeSet<String> = [views[a].name.clone(), views[b].name.clone()]
+                    .into_iter()
+                    .collect();
                 let sa: BTreeSet<String> = [views[a].name.clone()].into_iter().collect();
                 let sb: BTreeSet<String> = [views[b].name.clone()].into_iter().collect();
                 let joint = (base[q] - cache.cost(q, &pair)).max(0.0);
@@ -170,7 +179,10 @@ pub fn analyze_candidates(
         let root = find(&mut parent, v);
         parts.entry(root).or_default().push(v);
     }
-    let config = &AnalysisConfig { doi_threshold: threshold, max_part_size: config.max_part_size };
+    let config = &AnalysisConfig {
+        doi_threshold: threshold,
+        max_part_size: config.max_part_size,
+    };
 
     // 4. Sparsify each part.
     let mut items = Vec::new();
@@ -178,17 +190,21 @@ pub fn analyze_candidates(
     part_roots.sort_unstable();
     for root in part_roots {
         let members = &parts[&root];
-        items.extend(sparsify_part(members, views, weights, &base, &doi, &mut cache, config));
+        items.extend(sparsify_part(
+            members, views, weights, &base, &doi, &mut cache, config,
+        ));
     }
     // Drop zero-benefit items: they can never help and only consume budget.
     items.retain(|item| item.benefit > 0.0);
     // Deterministic output order.
-    items.sort_by(|a, b| {
-        a.views
-            .iter()
-            .next()
-            .cmp(&b.views.iter().next())
-    });
+    items.sort_by(|a, b| a.views.iter().next().cmp(&b.views.iter().next()));
+    if obs.is_active() {
+        obs.push_field("candidates", miso_obs::FieldValue::U64(views.len() as u64));
+        obs.push_field("queries", miso_obs::FieldValue::U64(n_q as u64));
+        obs.push_field("items", miso_obs::FieldValue::U64(items.len() as u64));
+        let merged = items.iter().filter(|i| i.views.len() > 1).count();
+        obs.push_field("merged_items", miso_obs::FieldValue::U64(merged as u64));
+    }
     items
 }
 
@@ -234,14 +250,13 @@ fn sparsify_part(
         for i in 0..sets.len() {
             for j in (i + 1)..sets.len() {
                 let d = pair_doi(&sets[i], &sets[j], cache);
-                if d >= config.doi_threshold
-                    && best.is_none_or(|(_, _, bd)| d > bd)
-                {
+                if d >= config.doi_threshold && best.is_none_or(|(_, _, bd)| d > bd) {
                     best = Some((i, j, d));
                 }
             }
         }
         let Some((i, j, _)) = best else { break };
+        miso_obs::count("views.sparsify_merges", 1);
         let merged: BTreeSet<usize> = sets[i].union(&sets[j]).copied().collect();
         // Remove j first (j > i) to keep indexes valid.
         sets.remove(j);
@@ -271,9 +286,9 @@ fn sparsify_part(
     });
     let mut selected: Vec<usize> = Vec::new();
     for &k in &order {
-        let conflicts = selected.iter().any(|&s| {
-            pair_doi(&sets[s], &sets[k], cache) <= -config.doi_threshold
-        });
+        let conflicts = selected
+            .iter()
+            .any(|&s| pair_doi(&sets[s], &sets[k], cache) <= -config.doi_threshold);
         if !conflicts {
             selected.push(k);
         }
@@ -285,7 +300,11 @@ fn sparsify_part(
             let set = &sets[k];
             let benefit = weighted_benefit(set, cache);
             let size: ByteSize = set.iter().map(|&i| views[i].size).sum();
-            KnapsackItem { views: names_of(set), size, benefit }
+            KnapsackItem {
+                views: names_of(set),
+                size,
+                benefit,
+            }
         })
         .collect()
 }
@@ -349,7 +368,10 @@ mod tests {
     fn views(names_sizes: &[(&str, u64)]) -> Vec<ViewInfo> {
         names_sizes
             .iter()
-            .map(|(n, s)| ViewInfo { name: n.to_string(), size: ByteSize::from_kib(*s) })
+            .map(|(n, s)| ViewInfo {
+                name: n.to_string(),
+                size: ByteSize::from_kib(*s),
+            })
             .collect()
     }
 
@@ -436,7 +458,10 @@ mod tests {
             c
         };
         let v = views(&[("a", 1), ("b", 1)]);
-        let cfg = AnalysisConfig { doi_threshold: 1.0, max_part_size: Some(4) };
+        let cfg = AnalysisConfig {
+            doi_threshold: 1.0,
+            max_part_size: Some(4),
+        };
         let items = analyze_candidates(&v, &[1.0], &mut f, &cfg);
         assert_eq!(items.len(), 2, "below-threshold doi leaves views separate");
     }
@@ -512,8 +537,7 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let mut f = independent_cost;
-        assert!(analyze_candidates(&[], &[1.0], &mut f, &AnalysisConfig::default())
-            .is_empty());
+        assert!(analyze_candidates(&[], &[1.0], &mut f, &AnalysisConfig::default()).is_empty());
         let v = views(&[("a", 1)]);
         assert!(analyze_candidates(&v, &[], &mut f, &AnalysisConfig::default()).is_empty());
     }

@@ -51,7 +51,9 @@ pub fn rewrite_with_catalog(
         let Some(m) = matches.iter().find(|m| m.residual.is_some()) else {
             break;
         };
-        let Ok(applied) = apply_containment(&rewrite.plan, m) else { break };
+        let Ok(applied) = apply_containment(&rewrite.plan, m) else {
+            break;
+        };
         rewrite.plan = applied;
         rewrite.used.push(m.view.clone());
         // New exact opportunities may open above the spliced scan.
@@ -105,21 +107,31 @@ pub fn rewrite_with_views(plan: &LogicalPlan, available: &HashSet<String>) -> Re
             break;
         }
     }
-    Rewrite { plan: current, used }
+    Rewrite {
+        plan: current,
+        used,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use miso_common::ids::NodeId;
     use miso_data::DataType;
     use miso_plan::fingerprint::{fingerprint_plan, fingerprint_subtree};
-    use miso_common::ids::NodeId;
     use miso_plan::{AggExpr, AggFunc, Expr, PlanBuilder};
 
     /// scan → project(uid) → filter(uid = k) → aggregate(count)
     fn plan(k: i64) -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
@@ -133,7 +145,9 @@ mod tests {
             .unwrap();
         let filt = b
             .add(
-                Operator::Filter { predicate: Expr::col(0).eq(Expr::lit(k)) },
+                Operator::Filter {
+                    predicate: Expr::col(0).eq(Expr::lit(k)),
+                },
                 vec![proj],
             )
             .unwrap();
@@ -178,8 +192,7 @@ mod tests {
         let p = plan(1);
         let proj_view = name_of(&p, NodeId(1));
         let filt_view = name_of(&p, NodeId(2));
-        let available: HashSet<String> =
-            [proj_view, filt_view.clone()].into_iter().collect();
+        let available: HashSet<String> = [proj_view, filt_view.clone()].into_iter().collect();
         let rw = rewrite_with_views(&p, &available);
         assert_eq!(rw.used, vec![filt_view], "larger subtree preferred");
         assert_eq!(rw.plan.len(), 2);
@@ -201,10 +214,7 @@ mod tests {
         let available: HashSet<String> = [root_view.clone()].into_iter().collect();
         let rw = rewrite_with_views(&p, &available);
         assert_eq!(rw.plan.len(), 1);
-        assert!(matches!(
-            rw.plan.root_node().op,
-            Operator::ScanView { .. }
-        ));
+        assert!(matches!(rw.plan.root_node().op, Operator::ScanView { .. }));
         assert_eq!(rw.used, vec![root_view]);
     }
 
@@ -223,7 +233,14 @@ mod tests {
     fn multiple_branches_both_rewritten() {
         // join of two identical-shape branches over different logs
         let mut b = PlanBuilder::new();
-        let s1 = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let s1 = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p1 = b
             .add(
                 Operator::Project {
@@ -235,7 +252,14 @@ mod tests {
                 vec![s1],
             )
             .unwrap();
-        let s2 = b.add(Operator::ScanLog { log: "foursquare".into() }, vec![]).unwrap();
+        let s2 = b
+            .add(
+                Operator::ScanLog {
+                    log: "foursquare".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let p2 = b
             .add(
                 Operator::Project {
@@ -247,7 +271,9 @@ mod tests {
                 vec![s2],
             )
             .unwrap();
-        let j = b.add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2]).unwrap();
+        let j = b
+            .add(Operator::Join { on: vec![(0, 0)] }, vec![p1, p2])
+            .unwrap();
         let p = b.finish(j).unwrap();
         let v1 = name_of(&p, NodeId(1));
         let v2 = name_of(&p, NodeId(3));

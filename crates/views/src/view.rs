@@ -33,12 +33,7 @@ pub struct ViewDef {
 
 impl ViewDef {
     /// Builds a definition from a defining plan, deriving name/fingerprint.
-    pub fn from_plan(
-        plan: LogicalPlan,
-        size: ByteSize,
-        rows: u64,
-        created_by: QueryId,
-    ) -> Self {
+    pub fn from_plan(plan: LogicalPlan, size: ByteSize, rows: u64, created_by: QueryId) -> Self {
         let fingerprint = miso_plan::fingerprint::fingerprint_plan(&plan);
         let schema = plan.schema().clone();
         ViewDef {
@@ -140,7 +135,14 @@ mod tests {
 
     fn sample_plan(filter_value: i64) -> LogicalPlan {
         let mut b = PlanBuilder::new();
-        let scan = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         let proj = b
             .add(
                 Operator::Project {
@@ -198,10 +200,7 @@ mod tests {
         assert_eq!(names.len(), 2);
         assert!(names[0] < names[1]);
         assert_eq!(cat.total_size(&names), ByteSize::from_kib(20));
-        assert_eq!(
-            cat.total_size(&["missing".to_string()]),
-            ByteSize::ZERO
-        );
+        assert_eq!(cat.total_size(&["missing".to_string()]), ByteSize::ZERO);
     }
 
     #[test]

@@ -123,189 +123,285 @@ pub fn authored_queries() -> Vec<WorkloadQuerySpec> {
     // ---- A1: pizza buzz by city (Twitter). v2 refines the aggregate view;
     // v3 changes the aggregate set but reuses the filtered extraction;
     // v4 refines v3's aggregate view.
-    push(1, 1,
+    push(
+        1,
+        1,
         "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS avg_sent \
          FROM twitter t \
          WHERE array_contains(t.hashtags, 'pizza') AND t.followers > 1000 \
-         GROUP BY t.city");
-    push(1, 2,
+         GROUP BY t.city",
+    );
+    push(
+        1,
+        2,
         "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS avg_sent \
          FROM twitter t \
          WHERE array_contains(t.hashtags, 'pizza') AND t.followers > 1000 \
-         GROUP BY t.city HAVING COUNT(*) > 5 ORDER BY n DESC");
-    push(1, 3,
+         GROUP BY t.city HAVING COUNT(*) > 5 ORDER BY n DESC",
+    );
+    push(
+        1,
+        3,
         "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS avg_sent, \
                 MAX(t.followers) AS top_followers \
          FROM twitter t \
          WHERE array_contains(t.hashtags, 'pizza') AND t.followers > 1000 \
-         GROUP BY t.city");
-    push(1, 4,
+         GROUP BY t.city",
+    );
+    push(
+        1,
+        4,
         "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS avg_sent, \
                 MAX(t.followers) AS top_followers \
          FROM twitter t \
          WHERE array_contains(t.hashtags, 'pizza') AND t.followers > 1000 \
-         GROUP BY t.city ORDER BY top_followers DESC LIMIT 10");
+         GROUP BY t.city ORDER BY top_followers DESC LIMIT 10",
+    );
 
     // ---- A2: restaurant check-ins (Foursquare ⋈ Landmarks). v2 refines,
     // v3 swaps the aggregate set over the same join, v4 refines v3.
-    push(2, 1,
+    push(
+        2,
+        1,
         "SELECT l.city AS city, COUNT(*) AS checkins, AVG(l.rating) AS avg_rating \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE f.likes > 5 AND l.category = 'restaurant' \
-         GROUP BY l.city");
-    push(2, 2,
+         GROUP BY l.city",
+    );
+    push(
+        2,
+        2,
         "SELECT l.city AS city, COUNT(*) AS checkins, AVG(l.rating) AS avg_rating \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE f.likes > 5 AND l.category = 'restaurant' \
-         GROUP BY l.city HAVING COUNT(*) > 10 ORDER BY checkins DESC");
-    push(2, 3,
+         GROUP BY l.city HAVING COUNT(*) > 10 ORDER BY checkins DESC",
+    );
+    push(
+        2,
+        3,
         "SELECT l.city AS city, COUNT(*) AS checkins, MAX(l.rating) AS best \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE f.likes > 5 AND l.category = 'restaurant' \
-         GROUP BY l.city");
-    push(2, 4,
+         GROUP BY l.city",
+    );
+    push(
+        2,
+        4,
         "SELECT l.city AS city, COUNT(*) AS checkins, MAX(l.rating) AS best \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE f.likes > 5 AND l.category = 'restaurant' \
-         GROUP BY l.city HAVING MAX(l.rating) > 4.0 ORDER BY best DESC LIMIT 5");
+         GROUP BY l.city HAVING MAX(l.rating) > 4.0 ORDER BY best DESC LIMIT 5",
+    );
 
     // ---- A3: engagement scoring via the buzz_score UDF (HV-pinned).
-    push(3, 1,
+    push(
+        3,
+        1,
         "SELECT b.user_id AS uid, MAX(b.buzz) AS peak \
          FROM APPLY(buzz_score, twitter) b \
-         WHERE b.buzz > 0.5 GROUP BY b.user_id");
-    push(3, 2,
+         WHERE b.buzz > 0.5 GROUP BY b.user_id",
+    );
+    push(
+        3,
+        2,
         "SELECT b.user_id AS uid, MAX(b.buzz) AS peak \
          FROM APPLY(buzz_score, twitter) b \
          WHERE b.buzz > 0.5 GROUP BY b.user_id \
-         HAVING MAX(b.buzz) > 2.0 ORDER BY peak DESC");
-    push(3, 3,
+         HAVING MAX(b.buzz) > 2.0 ORDER BY peak DESC",
+    );
+    push(
+        3,
+        3,
         "SELECT b.user_id AS uid, MAX(b.buzz) AS peak, COUNT(*) AS checkins \
          FROM APPLY(buzz_score, twitter) b \
          JOIN foursquare f ON b.user_id = f.user_id \
          WHERE b.buzz > 0.5 AND f.likes > 2 \
-         GROUP BY b.user_id");
-    push(3, 4,
+         GROUP BY b.user_id",
+    );
+    push(
+        3,
+        4,
         "SELECT b.user_id AS uid, MAX(b.buzz) AS peak, COUNT(*) AS checkins \
          FROM APPLY(buzz_score, twitter) b \
          JOIN foursquare f ON b.user_id = f.user_id \
          WHERE b.buzz > 0.5 AND f.likes > 2 \
-         GROUP BY b.user_id ORDER BY peak DESC LIMIT 20");
+         GROUP BY b.user_id ORDER BY peak DESC LIMIT 20",
+    );
 
     // ---- A4: influencer activity (Twitter ⋈ Foursquare). v3 tightens the
     // Foursquare branch (drift), v4 refines v3.
-    push(4, 1,
+    push(
+        4,
+        1,
         "SELECT t.city AS city, COUNT(*) AS activity \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
          WHERE t.followers > 30000 AND f.likes > 10 \
-         GROUP BY t.city");
-    push(4, 2,
+         GROUP BY t.city",
+    );
+    push(
+        4,
+        2,
         "SELECT t.city AS city, COUNT(*) AS activity, COUNT(DISTINCT t.user_id) AS users \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
          WHERE t.followers > 30000 AND f.likes > 10 \
-         GROUP BY t.city");
-    push(4, 3,
+         GROUP BY t.city",
+    );
+    push(
+        4,
+        3,
         "SELECT t.city AS city, COUNT(*) AS activity, COUNT(DISTINCT t.user_id) AS users \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
          WHERE t.followers > 30000 AND f.likes > 10 AND f.with_friends = TRUE \
-         GROUP BY t.city");
-    push(4, 4,
+         GROUP BY t.city",
+    );
+    push(
+        4,
+        4,
         "SELECT t.city AS city, COUNT(*) AS activity, COUNT(DISTINCT t.user_id) AS users \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
          WHERE t.followers > 30000 AND f.likes > 10 AND f.with_friends = TRUE \
-         GROUP BY t.city HAVING COUNT(DISTINCT t.user_id) > 3 ORDER BY activity DESC");
+         GROUP BY t.city HAVING COUNT(DISTINCT t.user_id) > 3 ORDER BY activity DESC",
+    );
 
     // ---- A5: coffee-talk sentiment by language (Twitter text search).
-    push(5, 1,
+    push(
+        5,
+        1,
         "SELECT t.lang AS lang, COUNT(*) AS n, AVG(t.sentiment) AS mood, \
                 SUM(t.retweets) AS reach \
          FROM twitter t WHERE contains(t.text, 'coffee') \
-         GROUP BY t.lang");
-    push(5, 2,
+         GROUP BY t.lang",
+    );
+    push(
+        5,
+        2,
         "SELECT t.lang AS lang, COUNT(*) AS n, AVG(t.sentiment) AS mood, \
                 SUM(t.retweets) AS reach \
          FROM twitter t WHERE contains(t.text, 'coffee') \
-         GROUP BY t.lang HAVING COUNT(*) > 5 ORDER BY mood DESC");
-    push(5, 3,
+         GROUP BY t.lang HAVING COUNT(*) > 5 ORDER BY mood DESC",
+    );
+    push(
+        5,
+        3,
         "SELECT t.lang AS lang, COUNT(*) AS n, AVG(t.sentiment) AS mood, \
                 SUM(t.retweets) AS reach \
          FROM twitter t WHERE contains(t.text, 'coffee') AND t.retweets > 10 \
-         GROUP BY t.lang");
-    push(5, 4,
+         GROUP BY t.lang",
+    );
+    push(
+        5,
+        4,
         "SELECT t.lang AS lang, COUNT(*) AS n, AVG(t.sentiment) AS mood, \
                 SUM(t.retweets) AS reach \
          FROM twitter t WHERE contains(t.text, 'coffee') AND t.retweets > 10 \
-         GROUP BY t.lang ORDER BY reach DESC LIMIT 3");
+         GROUP BY t.lang ORDER BY reach DESC LIMIT 3",
+    );
 
     // ---- A6: when do friends check in (Foursquare temporal).
-    push(6, 1,
+    push(
+        6,
+        1,
         "SELECT day(f.ts) AS d, COUNT(*) AS n \
          FROM foursquare f WHERE f.with_friends = TRUE \
-         GROUP BY day(f.ts)");
-    push(6, 2,
+         GROUP BY day(f.ts)",
+    );
+    push(
+        6,
+        2,
         "SELECT day(f.ts) AS d, COUNT(*) AS n \
          FROM foursquare f WHERE f.with_friends = TRUE \
-         GROUP BY day(f.ts) HAVING COUNT(*) > 3 ORDER BY n DESC");
-    push(6, 3,
+         GROUP BY day(f.ts) HAVING COUNT(*) > 3 ORDER BY n DESC",
+    );
+    push(
+        6,
+        3,
         "SELECT hour(f.ts) AS h, COUNT(*) AS n \
          FROM foursquare f WHERE f.with_friends = TRUE \
-         GROUP BY hour(f.ts)");
-    push(6, 4,
+         GROUP BY hour(f.ts)",
+    );
+    push(
+        6,
+        4,
         "SELECT hour(f.ts) AS h, COUNT(*) AS n \
          FROM foursquare f WHERE f.with_friends = TRUE \
-         GROUP BY hour(f.ts) HAVING COUNT(*) > 10 ORDER BY n DESC");
+         GROUP BY hour(f.ts) HAVING COUNT(*) > 10 ORDER BY n DESC",
+    );
 
     // ---- A7: price-tier performance (Foursquare ⋈ Landmarks).
-    push(7, 1,
+    push(
+        7,
+        1,
         "SELECT l.price_tier AS tier, COUNT(*) AS visits, AVG(f.likes) AS avg_likes, \
                 MIN(l.category) AS sample_cat \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE l.rating > 3.0 AND l.category <> 'mall' \
-         GROUP BY l.price_tier");
-    push(7, 2,
+         GROUP BY l.price_tier",
+    );
+    push(
+        7,
+        2,
         "SELECT l.price_tier AS tier, COUNT(*) AS visits, AVG(f.likes) AS avg_likes, \
                 MIN(l.category) AS sample_cat \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE l.rating > 3.0 AND l.category <> 'mall' \
-         GROUP BY l.price_tier HAVING COUNT(*) > 10");
-    push(7, 3,
+         GROUP BY l.price_tier HAVING COUNT(*) > 10",
+    );
+    push(
+        7,
+        3,
         "SELECT l.category AS cat, COUNT(*) AS visits, AVG(f.likes) AS avg_likes, \
                 MIN(l.price_tier) AS cheapest \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE l.rating > 3.0 AND l.category <> 'mall' \
-         GROUP BY l.category");
-    push(7, 4,
+         GROUP BY l.category",
+    );
+    push(
+        7,
+        4,
         "SELECT l.category AS cat, COUNT(*) AS visits, AVG(f.likes) AS avg_likes, \
                 MIN(l.price_tier) AS cheapest \
          FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE l.rating > 3.0 AND l.category <> 'mall' \
-         GROUP BY l.category ORDER BY visits DESC LIMIT 5");
+         GROUP BY l.category ORDER BY visits DESC LIMIT 5",
+    );
 
     // ---- A8: where do influential users go (three-way join).
-    push(8, 1,
+    push(
+        8,
+        1,
         "SELECT l.category AS cat, COUNT(*) AS n \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
                         JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE t.followers > 30000 AND f.likes > 10 AND l.rating > 4.0 \
-         GROUP BY l.category");
-    push(8, 2,
+         GROUP BY l.category",
+    );
+    push(
+        8,
+        2,
         "SELECT l.category AS cat, COUNT(*) AS n, COUNT(DISTINCT t.user_id) AS users \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
                         JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE t.followers > 30000 AND f.likes > 10 AND l.rating > 4.0 \
-         GROUP BY l.category");
-    push(8, 3,
+         GROUP BY l.category",
+    );
+    push(
+        8,
+        3,
         "SELECT l.category AS cat, COUNT(*) AS n, COUNT(DISTINCT t.user_id) AS users \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
                         JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE t.followers > 30000 AND f.likes > 10 AND t.sentiment > 0.0 AND l.rating > 4.0 \
-         GROUP BY l.category");
-    push(8, 4,
+         GROUP BY l.category",
+    );
+    push(
+        8,
+        4,
         "SELECT l.category AS cat, COUNT(*) AS n, COUNT(DISTINCT t.user_id) AS users \
          FROM twitter t JOIN foursquare f ON t.user_id = f.user_id \
                         JOIN landmarks l ON f.venue_id = l.venue_id \
          WHERE t.followers > 30000 AND f.likes > 10 AND t.sentiment > 0.0 AND l.rating > 4.0 \
-         GROUP BY l.category HAVING COUNT(*) > 5 ORDER BY n DESC LIMIT 10");
+         GROUP BY l.category HAVING COUNT(*) > 5 ORDER BY n DESC LIMIT 10",
+    );
 
     out
 }
@@ -371,10 +467,8 @@ mod tests {
                 let (_, a) = &plans[analyst * 4 + version];
                 let (_, b) = &plans[analyst * 4 + version + 1];
                 total_pairs += 1;
-                let fps_a: HashSet<u64> =
-                    fingerprint_all(a).values().map(|f| f.0).collect();
-                let fps_b: HashSet<u64> =
-                    fingerprint_all(b).values().map(|f| f.0).collect();
+                let fps_a: HashSet<u64> = fingerprint_all(a).values().map(|f| f.0).collect();
+                let fps_b: HashSet<u64> = fingerprint_all(b).values().map(|f| f.0).collect();
                 // Shared non-leaf subexpression (leaves trivially collide).
                 let shared_nontrivial = fps_a.intersection(&fps_b).count() > 2;
                 if shared_nontrivial {

@@ -23,8 +23,7 @@ fn run(
 ) -> (miso::core::ExperimentResult, Option<f64>) {
     let mut config = SystemConfig::paper_default(budgets);
     config.background = background;
-    let mut system =
-        MultistoreSystem::new(corpus, workload_catalog(), standard_udfs(), config);
+    let mut system = MultistoreSystem::new(corpus, workload_catalog(), standard_udfs(), config);
     let result = system.run_workload(Variant::MsMiso, workload).unwrap();
     let bg_slowdown = system.background().map(|bg| bg.bg_slowdown_percent());
     (result, bg_slowdown)
@@ -37,14 +36,13 @@ fn main() {
     let base = corpus.total_size();
 
     println!("== storage-budget sweep (B_t fixed at 2% of base) ==");
-    println!("{:>8} {:>10} {:>12} {:>12}", "budget", "TTI (ks)", "views in DW", "reorg moves");
+    println!(
+        "{:>8} {:>10} {:>12} {:>12}",
+        "budget", "TTI (ks)", "views in DW", "reorg moves"
+    );
     for mult in [0.125, 0.5, 2.0] {
-        let budgets = Budgets::new(
-            base.scale(mult),
-            base.scale(0.1 * mult),
-            base.scale(0.02),
-        )
-        .with_discretization(miso::common::ByteSize::from_kib(8));
+        let budgets = Budgets::new(base.scale(mult), base.scale(0.1 * mult), base.scale(0.02))
+            .with_discretization(miso::common::ByteSize::from_kib(8));
         let (result, _) = run(&corpus, &workload, budgets, None);
         let moved: usize = result.reorgs.iter().map(|r| r.moved_to_dw.len()).sum();
         println!(
@@ -75,17 +73,18 @@ fn main() {
     }
 
     println!("\n== interference with a busy warehouse (storage 2x, B_t 2%) ==");
-    println!(
-        "{:>10} {:>14} {:>14}",
-        "spare", "bg slowdown", "TTI (ks)"
-    );
+    println!("{:>10} {:>14} {:>14}", "spare", "bg slowdown", "TTI (ks)");
     let budgets = Budgets::new(base.scale(2.0), base.scale(0.2), base.scale(0.02))
         .with_discretization(miso::common::ByteSize::from_kib(8));
     for (resource, spare) in [(Resource::Io, 40), (Resource::Io, 20), (Resource::Cpu, 20)] {
         let bg = BackgroundSim::paper_config(resource, spare);
         let label = format!(
             "{} {spare}%",
-            if resource == Resource::Io { "IO" } else { "CPU" }
+            if resource == Resource::Io {
+                "IO"
+            } else {
+                "CPU"
+            }
         );
         let (result, bg_slowdown) = run(&corpus, &workload, budgets, Some(bg));
         println!(

@@ -34,23 +34,34 @@ fn main() {
     .with_discretization(ByteSize::from_kib(16));
     let mut config = SystemConfig::paper_default(budgets);
     config.reorg_every = 2; // tune aggressively for this tiny demo
-    let mut system =
-        MultistoreSystem::new(&corpus, workload_catalog(), standard_udfs(), config);
+    let mut system = MultistoreSystem::new(&corpus, workload_catalog(), standard_udfs(), config);
 
     // 3. Pose an evolving sequence of HiveQL queries, the way an analyst
     //    iterates. Queries are declarative over the raw logs; the SerDe
     //    extraction, splitting, and view reuse all happen inside.
     let catalog = workload_catalog();
     let sqls = [
-        ("explore", "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
-                     WHERE t.followers > 100 GROUP BY t.city"),
-        ("refine", "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+        (
+            "explore",
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+                     WHERE t.followers > 100 GROUP BY t.city",
+        ),
+        (
+            "refine",
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
                     WHERE t.followers > 100 GROUP BY t.city \
-                    HAVING COUNT(*) > 5 ORDER BY n DESC"),
-        ("pivot", "SELECT t.lang AS lang, COUNT(*) AS n FROM twitter t \
-                   WHERE t.followers > 100 GROUP BY t.lang"),
-        ("zoom", "SELECT t.lang AS lang, COUNT(*) AS n FROM twitter t \
-                  WHERE t.followers > 100 GROUP BY t.lang ORDER BY n DESC LIMIT 3"),
+                    HAVING COUNT(*) > 5 ORDER BY n DESC",
+        ),
+        (
+            "pivot",
+            "SELECT t.lang AS lang, COUNT(*) AS n FROM twitter t \
+                   WHERE t.followers > 100 GROUP BY t.lang",
+        ),
+        (
+            "zoom",
+            "SELECT t.lang AS lang, COUNT(*) AS n FROM twitter t \
+                  WHERE t.followers > 100 GROUP BY t.lang ORDER BY n DESC LIMIT 3",
+        ),
     ];
     let queries: Vec<(String, _)> = sqls
         .iter()

@@ -145,6 +145,9 @@ fn main() {
         dw_views: HashSet::from([join_view]),
     };
     let chosen = optimize(&plan, &design, &env).unwrap();
-    println!("\nEXPLAIN (join view in DW):\n{}", miso::optimizer::explain(&chosen));
+    println!(
+        "\nEXPLAIN (join view in DW):\n{}",
+        miso::optimizer::explain(&chosen)
+    );
     let _ = NodeId(0); // silence unused-import lints on some toolchains
 }

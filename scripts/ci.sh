@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification entry point: formatting, lints, build, tests.
+# Run from the repository root; exits non-zero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci: all checks passed"

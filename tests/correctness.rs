@@ -72,10 +72,7 @@ fn view_rewrites_preserve_results_for_every_workload_query() {
             // Materialize this subtree's output as a view.
             let name = fps[&node.id].view_name();
             let mut view_src = mem_source(&corpus);
-            view_src.add_view(
-                name.clone(),
-                baseline.output(node.id).as_ref().clone(),
-            );
+            view_src.add_view(name.clone(), baseline.output(node.id).as_ref().clone());
             let available: HashSet<String> = [name.clone()].into_iter().collect();
             let rewrite = rewrite_with_views(&plan, &available);
             if rewrite.used.is_empty() {
@@ -131,8 +128,7 @@ fn aggregates_agree_with_manual_computation() {
     )
     .unwrap();
     let exec = execute(&plan, &src, &standard_udfs()).unwrap();
-    let mut expected: std::collections::HashMap<String, i64> =
-        std::collections::HashMap::new();
+    let mut expected: std::collections::HashMap<String, i64> = std::collections::HashMap::new();
     for line in &corpus.twitter.lines {
         let v = miso::data::json::parse_json(line).unwrap();
         let followers = v
@@ -185,8 +181,11 @@ fn join_agrees_with_manual_computation() {
             .and_then(miso::data::Value::as_f64)
             .unwrap();
         if rating > 3.0 {
-            good_venues
-                .insert(v.get_field("venue_id").and_then(miso::data::Value::as_i64).unwrap());
+            good_venues.insert(
+                v.get_field("venue_id")
+                    .and_then(miso::data::Value::as_i64)
+                    .unwrap(),
+            );
         }
     }
     let expected = corpus

@@ -88,7 +88,10 @@ fn tuned_variants_beat_untuned() {
     let hv_only = total(Variant::HvOnly);
     let ms_basic = total(Variant::MsBasic);
     let ms_miso = total(Variant::MsMiso);
-    assert!(ms_basic <= hv_only * 1.01, "multistore never loses to HV-only");
+    assert!(
+        ms_basic <= hv_only * 1.01,
+        "multistore never loses to HV-only"
+    );
     assert!(ms_miso < hv_only, "MISO accelerates the stream");
     assert!(ms_miso < ms_basic, "tuning beats per-query splitting alone");
 }
@@ -132,7 +135,10 @@ fn designs_stay_disjoint_and_catalog_consistent() {
     // Every resident view has catalog metadata; every catalog entry is
     // resident somewhere.
     for v in hv.iter().chain(dw.iter()) {
-        assert!(sys.catalog.contains(v), "resident view {v} missing from catalog");
+        assert!(
+            sys.catalog.contains(v),
+            "resident view {v} missing from catalog"
+        );
     }
     for name in sys.catalog.names() {
         assert!(
@@ -159,7 +165,10 @@ fn zero_transfer_budget_disables_dw_placement() {
         SystemConfig::paper_default(frozen),
     );
     let result = sys.run_workload(Variant::MsMiso, &queries).unwrap();
-    assert!(sys.dw.view_names().is_empty(), "nothing can move under B_t = 0");
+    assert!(
+        sys.dw.view_names().is_empty(),
+        "nothing can move under B_t = 0"
+    );
     assert!(result.reorgs.iter().all(|r| r.moved_to_dw.is_empty()));
 }
 

@@ -48,8 +48,11 @@ fn corrupted_log_lines_are_skipped_not_fatal() {
         standard_udfs(),
         SystemConfig::paper_default(budgets()),
     );
-    let q = compile("SELECT COUNT(*) AS n FROM twitter t WHERE t.tweet_id >= 0", &catalog)
-        .unwrap();
+    let q = compile(
+        "SELECT COUNT(*) AS n FROM twitter t WHERE t.tweet_id >= 0",
+        &catalog,
+    )
+    .unwrap();
     let result = sys
         .run_workload(Variant::HvOnly, &[("probe".into(), q)])
         .unwrap();
@@ -63,7 +66,11 @@ fn missing_log_is_a_store_error_not_a_panic() {
     let corpus = Corpus::generate(&LogsConfig::tiny());
     let mut catalog = workload_catalog();
     catalog.add_log("instagram", [("user_id", miso::data::DataType::Int)]);
-    let q = compile("SELECT i.user_id FROM instagram i WHERE i.user_id > 0", &catalog).unwrap();
+    let q = compile(
+        "SELECT i.user_id FROM instagram i WHERE i.user_id > 0",
+        &catalog,
+    )
+    .unwrap();
     let mut sys = MultistoreSystem::new(
         &corpus,
         catalog,
@@ -83,13 +90,13 @@ fn unknown_udf_at_execution_is_an_error() {
     let mut catalog = workload_catalog();
     catalog.add_udf(
         "phantom",
-        miso::data::Schema::new(vec![miso::data::Field::new(
-            "x",
-            miso::data::DataType::Int,
-        )]),
+        miso::data::Schema::new(vec![miso::data::Field::new("x", miso::data::DataType::Int)]),
     );
-    let q = compile("SELECT p.x FROM APPLY(phantom, twitter) p WHERE p.x > 0", &catalog)
-        .unwrap();
+    let q = compile(
+        "SELECT p.x FROM APPLY(phantom, twitter) p WHERE p.x > 0",
+        &catalog,
+    )
+    .unwrap();
     // Registry lacks `phantom`.
     let mut sys = MultistoreSystem::new(
         &corpus,
@@ -128,7 +135,11 @@ fn empty_workload_is_a_clean_no_op() {
 #[test]
 fn queries_over_empty_logs_work() {
     let empty = Corpus {
-        twitter: LogFile { kind: LogKind::Twitter, lines: vec![], size: ByteSize::ZERO },
+        twitter: LogFile {
+            kind: LogKind::Twitter,
+            lines: vec![],
+            size: ByteSize::ZERO,
+        },
         foursquare: LogFile {
             kind: LogKind::Foursquare,
             lines: vec![],
@@ -163,21 +174,20 @@ fn udf_errors_propagate_with_context() {
     use std::sync::Arc;
     let corpus = Corpus::generate(&LogsConfig::tiny());
     let mut catalog = workload_catalog();
-    let schema = miso::data::Schema::new(vec![miso::data::Field::new(
-        "x",
-        miso::data::DataType::Int,
-    )]);
+    let schema =
+        miso::data::Schema::new(vec![miso::data::Field::new("x", miso::data::DataType::Int)]);
     catalog.add_udf("exploder", schema.clone());
     let mut udfs = standard_udfs();
     udfs.register(miso::exec::Udf::new(
         "exploder",
         schema,
-        Arc::new(|_row: &miso::data::Row| {
-            Err(miso::common::MisoError::Execution("boom".into()))
-        }),
+        Arc::new(|_row: &miso::data::Row| Err(miso::common::MisoError::Execution("boom".into()))),
     ));
-    let q = compile("SELECT e.x FROM APPLY(exploder, twitter) e WHERE e.x > 0", &catalog)
-        .unwrap();
+    let q = compile(
+        "SELECT e.x FROM APPLY(exploder, twitter) e WHERE e.x > 0",
+        &catalog,
+    )
+    .unwrap();
     let mut src = MemSource::new();
     src.add_log("twitter", corpus.twitter.lines.clone());
     let err = execute(&q, &src, &udfs).unwrap_err();
@@ -218,12 +228,14 @@ fn degenerate_budgets_still_run() {
 fn reorg_with_no_views_and_no_history_is_harmless() {
     let corpus = Corpus::generate(&LogsConfig::tiny());
     let catalog = workload_catalog();
-    let q = compile("SELECT COUNT(*) AS n FROM landmarks l WHERE l.rating > 0.0", &catalog)
-        .unwrap();
+    let q = compile(
+        "SELECT COUNT(*) AS n FROM landmarks l WHERE l.rating > 0.0",
+        &catalog,
+    )
+    .unwrap();
     let mut cfg = SystemConfig::paper_default(budgets());
     cfg.reorg_every = 1; // reorganize between every pair of queries
-    let mut sys =
-        MultistoreSystem::new(&corpus, catalog, standard_udfs(), cfg);
+    let mut sys = MultistoreSystem::new(&corpus, catalog, standard_udfs(), cfg);
     let queries: Vec<_> = (0..3).map(|i| (format!("q{i}"), q.clone())).collect();
     let result = sys.run_workload(Variant::MsMiso, &queries).unwrap();
     assert_eq!(result.records.len(), 3);

@@ -1,5 +1,10 @@
 //! Property-based tests (proptest) over the core data structures and
 //! algorithmic invariants.
+//!
+//! These need the crates.io `proptest` crate, which the offline build cannot
+//! resolve; enable the `extern-deps` feature (and restore the dependency in
+//! Cargo.toml) to run them.
+#![cfg(feature = "extern-deps")]
 
 use miso::common::rng::DetRng;
 use miso::common::ByteSize;
@@ -26,9 +31,7 @@ fn arb_value() -> impl Strategy<Value = Value> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..5).prop_map(Value::Array),
             prop::collection::vec(("[a-z]{1,8}", inner), 0..5)
-                .prop_map(|fields| Value::object(
-                    fields.into_iter().collect()
-                )),
+                .prop_map(|fields| Value::object(fields.into_iter().collect())),
         ]
     })
 }
@@ -83,11 +86,7 @@ proptest! {
 // ---- Knapsack optimality vs brute force ---------------------------------
 
 fn arb_items() -> impl Strategy<Value = Vec<PackItem>> {
-    prop::collection::vec(
-        (0u64..6, 0u64..4, 0.0f64..100.0),
-        0..10,
-    )
-    .prop_map(|specs| {
+    prop::collection::vec((0u64..6, 0u64..4, 0.0f64..100.0), 0..10).prop_map(|specs| {
         specs
             .into_iter()
             .enumerate()
@@ -139,7 +138,14 @@ proptest! {
 fn arb_plan() -> impl Strategy<Value = LogicalPlan> {
     (1usize..4, 0usize..3, any::<bool>()).prop_map(|(left_len, right_len, join)| {
         let mut b = PlanBuilder::new();
-        let mut node = b.add(Operator::ScanLog { log: "twitter".into() }, vec![]).unwrap();
+        let mut node = b
+            .add(
+                Operator::ScanLog {
+                    log: "twitter".into(),
+                },
+                vec![],
+            )
+            .unwrap();
         for i in 0..left_len {
             node = b
                 .add(
@@ -152,7 +158,12 @@ fn arb_plan() -> impl Strategy<Value = LogicalPlan> {
         }
         if join {
             let mut right = b
-                .add(Operator::ScanLog { log: "foursquare".into() }, vec![])
+                .add(
+                    Operator::ScanLog {
+                        log: "foursquare".into(),
+                    },
+                    vec![],
+                )
                 .unwrap();
             for i in 0..right_len {
                 right = b
@@ -164,7 +175,9 @@ fn arb_plan() -> impl Strategy<Value = LogicalPlan> {
                     )
                     .unwrap();
             }
-            node = b.add(Operator::Join { on: vec![(0, 0)] }, vec![node, right]).unwrap();
+            node = b
+                .add(Operator::Join { on: vec![(0, 0)] }, vec![node, right])
+                .unwrap();
         }
         let agg = b
             .add(
