@@ -33,9 +33,40 @@ pub enum MisoError {
     Tuning(String),
     /// Experiment/driver-level configuration error.
     Config(String),
+    /// A store or channel call failed *transiently* (timeout, injected
+    /// outage, overload): the operation may succeed if retried. `source`
+    /// tags the failing component (`"hv"`, `"dw"`, `"transfer"`, `"etl"`).
+    Transient {
+        /// The failing store/channel.
+        source: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A simulated process crash injected at a named fail point (chaos
+    /// testing). Never retried: callers must run their crash-recovery path
+    /// (journal rollback/replay) instead.
+    Crash {
+        /// The component that "died".
+        source: &'static str,
+        /// The fail point that fired.
+        point: &'static str,
+    },
 }
 
 impl MisoError {
+    /// Builds a transient (retryable) failure tagged with its source store.
+    pub fn transient(source: &'static str, message: impl Into<String>) -> Self {
+        MisoError::Transient {
+            source,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a simulated-crash failure for the given fail point.
+    pub fn crash(source: &'static str, point: &'static str) -> Self {
+        MisoError::Crash { source, point }
+    }
+
     /// The failing layer, as a static label (useful in logs and tests).
     pub fn layer(&self) -> &'static str {
         match self {
@@ -47,6 +78,8 @@ impl MisoError {
             MisoError::Optimize(_) => "optimize",
             MisoError::Tuning(_) => "tuning",
             MisoError::Config(_) => "config",
+            MisoError::Transient { .. } => "transient",
+            MisoError::Crash { .. } => "crash",
         }
     }
 
@@ -61,13 +94,46 @@ impl MisoError {
             | MisoError::Optimize(m)
             | MisoError::Tuning(m)
             | MisoError::Config(m) => m,
+            MisoError::Transient { message, .. } => message,
+            MisoError::Crash { point, .. } => point,
+        }
+    }
+
+    /// Whether retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, MisoError::Transient { .. })
+    }
+
+    /// Whether this failure is permanent: neither retryable nor a crash.
+    pub fn is_permanent(&self) -> bool {
+        !matches!(self, MisoError::Transient { .. } | MisoError::Crash { .. })
+    }
+
+    /// Whether this is a simulated crash (recovery must run, never retry).
+    pub fn is_crash(&self) -> bool {
+        matches!(self, MisoError::Crash { .. })
+    }
+
+    /// The store/channel tag of a transient or crash failure.
+    pub fn source(&self) -> Option<&'static str> {
+        match self {
+            MisoError::Transient { source, .. } | MisoError::Crash { source, .. } => Some(source),
+            _ => None,
         }
     }
 }
 
 impl fmt::Display for MisoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error: {}", self.layer(), self.message())
+        match self {
+            MisoError::Transient { source, message } => {
+                write!(f, "transient error in {source}: {message}")
+            }
+            MisoError::Crash { source, point } => {
+                write!(f, "simulated crash in {source} at fail point `{point}`")
+            }
+            _ => write!(f, "{} error: {}", self.layer(), self.message()),
+        }
     }
 }
 
@@ -101,5 +167,28 @@ mod tests {
     fn error_is_std_error() {
         fn takes_err(_: &dyn std::error::Error) {}
         takes_err(&MisoError::Config("bad".into()));
+    }
+
+    #[test]
+    fn transient_classification_and_source_tag() {
+        let t = MisoError::transient("dw", "injected outage");
+        assert!(t.is_transient());
+        assert!(!t.is_permanent());
+        assert!(!t.is_crash());
+        assert_eq!(t.source(), Some("dw"));
+        assert_eq!(t.layer(), "transient");
+        assert_eq!(t.to_string(), "transient error in dw: injected outage");
+
+        let c = MisoError::crash("tuner", "reorg.step");
+        assert!(c.is_crash());
+        assert!(!c.is_transient());
+        assert!(!c.is_permanent());
+        assert_eq!(c.source(), Some("tuner"));
+        assert!(c.to_string().contains("reorg.step"));
+
+        let p = MisoError::Store("full".into());
+        assert!(p.is_permanent());
+        assert!(!p.is_transient());
+        assert_eq!(p.source(), None);
     }
 }

@@ -9,19 +9,24 @@
 //!   magnitudes.
 //! * [`bytesize`] — byte quantities (view sizes, budgets, working sets).
 //! * [`ids`] — strongly-typed identifiers.
-//! * [`error`] — the crate-spanning error type.
+//! * [`error`] — the crate-spanning error type, with transient/permanent
+//!   failure classification for the retry layer.
 //! * [`rng`] — seedable deterministic randomness.
 //! * [`budget`] — the tuner's storage/transfer budget types.
+//! * [`retry`] — exponential backoff + jitter and per-store circuit
+//!   breakers over simulated time.
 
 pub mod budget;
 pub mod bytesize;
 pub mod error;
 pub mod ids;
+pub mod retry;
 pub mod rng;
 pub mod time;
 
 pub use budget::{Budgets, DiscretizedBudget};
 pub use bytesize::ByteSize;
 pub use error::{MisoError, Result};
+pub use retry::{BreakerState, CircuitBreaker, RetryPolicy};
 pub use rng::{DetRng, RandomSource};
 pub use time::{SimClock, SimDuration, SimInstant};

@@ -17,11 +17,11 @@
 //! "the high cost of an ETL process"; QoX \[21\]) that our two-step
 //! extract+load does not otherwise model. See DESIGN.md §5.
 
-use miso_common::{MisoError, Result, SimDuration};
+use miso_common::{DetRng, MisoError, Result, RetryPolicy, SimDuration};
 use miso_data::DataType;
 use miso_dw::{DwStore, TableSpace};
 use miso_exec::UdfRegistry;
-use miso_hv::HvStore;
+use miso_hv::{HvRun, HvStore};
 use miso_lang::Catalog;
 use miso_plan::{Expr, LogicalPlan, Operator, PlanBuilder};
 
@@ -50,6 +50,12 @@ pub fn run_etl(
 ) -> Result<EtlManifest> {
     let mut manifest = EtlManifest::default();
     let mut raw_cost = SimDuration::ZERO;
+    // ETL jobs are long-running HV jobs: transient failures restart the
+    // failed extraction with backoff charged to ETL time. The RNG is only
+    // consulted when a fault actually fires, so fault-free runs are
+    // byte-identical.
+    let retry = RetryPolicy::standard();
+    let mut retry_rng = DetRng::new(0xE71_0001);
 
     // Which logs and (udf, log) pairs does the workload touch?
     let mut logs: Vec<String> = Vec::new();
@@ -78,7 +84,7 @@ pub fn run_etl(
     // Full-field extraction per log.
     for log in &logs {
         let plan = full_extraction_plan(log, lang_catalog)?;
-        let run = hv.execute(&plan, None, udfs)?;
+        let run = etl_job(hv, &plan, udfs, &retry, &mut retry_rng, &mut raw_cost)?;
         raw_cost += run.cost;
         let root = plan.root();
         let out = run
@@ -113,7 +119,7 @@ pub fn run_etl(
             vec![scan],
         )?;
         let plan = b.finish(u)?;
-        let run = hv.execute(&plan, None, udfs)?;
+        let run = etl_job(hv, &plan, udfs, &retry, &mut retry_rng, &mut raw_cost)?;
         raw_cost += run.cost;
         let root = plan.root();
         let out = run
@@ -134,6 +140,53 @@ pub fn run_etl(
 
     manifest.cost = raw_cost * overhead.max(1.0);
     Ok(manifest)
+}
+
+/// Runs one ETL extraction job in HV, polling the `etl.run` fail point and
+/// retrying transient failures (injected there or inside `hv.execute`) with
+/// exponential backoff charged to `raw_cost`. Crashes propagate so the
+/// caller's recovery path runs instead.
+fn etl_job(
+    hv: &HvStore,
+    plan: &LogicalPlan,
+    udfs: &UdfRegistry,
+    policy: &RetryPolicy,
+    rng: &mut DetRng,
+    raw_cost: &mut SimDuration,
+) -> Result<HvRun> {
+    let mut attempt = 0u32;
+    loop {
+        let mut slow = 1.0f64;
+        let injected = match miso_chaos::hit("etl.run") {
+            miso_chaos::Action::Proceed => None,
+            miso_chaos::Action::Fail => {
+                Some(MisoError::transient("etl", "injected ETL job failure"))
+            }
+            miso_chaos::Action::Crash => return Err(MisoError::crash("etl", "etl.run")),
+            miso_chaos::Action::Delay(f) => {
+                slow = f;
+                None
+            }
+        };
+        let result = match injected {
+            Some(e) => Err(e),
+            None => hv.execute(plan, None, udfs),
+        };
+        match result {
+            Ok(mut run) => {
+                if slow != 1.0 {
+                    run.cost = run.cost * slow;
+                }
+                return Ok(run);
+            }
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                attempt += 1;
+                *raw_cost += policy.backoff(attempt, rng);
+                miso_obs::count("store.retries", 1);
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// Builds `scan(log) → project(all cataloged fields)`.

@@ -21,6 +21,7 @@ pub mod etl;
 pub mod knapsack;
 pub mod maintenance;
 pub mod metrics;
+pub mod reorg;
 pub mod system;
 pub mod tuner;
 pub mod variants;
@@ -28,6 +29,7 @@ pub mod variants;
 pub use knapsack::{m_knapsack, PackItem, PackResult};
 pub use maintenance::{MaintenancePolicy, MaintenanceReport};
 pub use metrics::{ExperimentResult, QueryRecord, TtiBreakdown};
+pub use reorg::{JournalEntry, ReorgJournal, ReorgPlan};
 pub use system::{MultistoreSystem, SystemConfig};
 pub use tuner::{MisoTuner, NewDesign, TunerConfig};
 pub use variants::Variant;

@@ -92,6 +92,11 @@ pub struct ReorgRecord {
     pub dropped: Vec<String>,
     /// Bytes moved between the stores.
     pub bytes_moved: ByteSize,
+    /// Crash-recovery rounds this phase needed (0 in fault-free runs).
+    pub recoveries: u64,
+    /// Whether the phase rolled back (pre-commit crash): the old design
+    /// stands and no views moved.
+    pub rolled_back: bool,
 }
 
 /// Everything one experiment run produces.

@@ -1,0 +1,242 @@
+//! Crash-safe two-phase reorganization.
+//!
+//! The tuner's view movements are applied through a write-ahead journal:
+//!
+//! 1. **Intent** — the full movement plan is logged before anything moves.
+//! 2. **Stage** — each view is *copied* to its destination store. HV→DW
+//!    copies land in DW temp space (volatile); DW→HV copies are installed
+//!    in HV under the final name (durable). Sources stay in place, so a
+//!    crash during staging loses no view.
+//! 3. **Commit** — one record makes the new design authoritative.
+//! 4. **Apply** — staged copies are flipped into the design (DW temp
+//!    promoted to permanent, sources dropped), one atomic step per view.
+//! 5. **Done** — budget enforcement ran; the journal can be truncated.
+//!
+//! Recovery after a simulated crash (the `reorg.step` fail point): before
+//! the commit record the reorganization **rolls back** — staging copies are
+//! discarded and the old design is intact. At or after the commit record it
+//! **replays** — staging is re-done where volatile copies were lost, and
+//! the flip completes. Either way no view is lost and the stores converge
+//! to a design consistent with the budgets.
+//!
+//! Crash points sit *between* steps (each step is atomic at simulation
+//! granularity), which matches a process that can die between any two
+//! journaled operations but whose individual store calls are atomic.
+
+use std::collections::BTreeSet;
+
+/// Upper bound on crash-replay rounds before the driver finishes the
+/// reorganization with fault injection suppressed. This is a liveness
+/// backstop for pathological plans (e.g. crash probability 1.0 after
+/// commit), far above anything a realistic fault plan produces.
+pub const MAX_REORG_RECOVERIES: u64 = 64;
+
+/// The staging-copy name for a view being moved into DW temp space.
+pub fn stage_name(view: &str) -> String {
+    format!("reorg_stage_{view}")
+}
+
+/// One durable journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// The movement plan, logged before any data moves.
+    Intent {
+        /// Views to move HV → DW.
+        to_dw: Vec<String>,
+        /// Views to move DW → HV.
+        to_hv: Vec<String>,
+    },
+    /// `view` has a staged copy at its destination.
+    Staged {
+        /// The view with a staged copy.
+        view: String,
+        /// Direction: `true` = HV → DW.
+        to_dw: bool,
+    },
+    /// The point of no return: the new design is now authoritative.
+    Commit,
+    /// `view`'s flip completed (source dropped, copy in the design).
+    Applied {
+        /// The flipped view.
+        view: String,
+        /// Direction: `true` = HV → DW.
+        to_dw: bool,
+    },
+    /// The reorganization finished (enforcement ran).
+    Done,
+}
+
+/// An in-memory stand-in for the durable write-ahead log a real deployment
+/// would keep on shared storage. It survives simulated crashes (which only
+/// wipe DW temp space) and answers the recovery-time questions: committed?
+/// staged? applied?
+#[derive(Debug, Clone, Default)]
+pub struct ReorgJournal {
+    entries: Vec<JournalEntry>,
+}
+
+impl ReorgJournal {
+    /// An empty journal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record (durable immediately, like an fsync'd WAL write).
+    pub fn append(&mut self, entry: JournalEntry) {
+        self.entries.push(entry);
+    }
+
+    /// All records, oldest first.
+    pub fn entries(&self) -> &[JournalEntry] {
+        &self.entries
+    }
+
+    /// Whether any record exists (the intent was logged).
+    pub fn started(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    /// Whether the commit record was written.
+    pub fn committed(&self) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(e, JournalEntry::Commit))
+    }
+
+    /// Whether the reorganization completed.
+    pub fn done(&self) -> bool {
+        self.entries.iter().any(|e| matches!(e, JournalEntry::Done))
+    }
+
+    /// Whether `view` has a staged-copy record.
+    pub fn staged(&self, view: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(e, JournalEntry::Staged { view: v, .. } if v == view))
+    }
+
+    /// Whether `view`'s flip was applied.
+    pub fn applied(&self, view: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(e, JournalEntry::Applied { view: v, .. } if v == view))
+    }
+
+    /// Views with a `Staged` record in the given direction.
+    pub fn staged_views(&self, to_dw: bool) -> Vec<&str> {
+        self.entries
+            .iter()
+            .filter_map(|e| match e {
+                JournalEntry::Staged { view, to_dw: d } if *d == to_dw => Some(view.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// The movement plan derived from the design diff. Orders follow the
+/// tuner's sorted (`BTreeSet`) iteration so charged costs are reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReorgPlan {
+    /// Views to copy HV → DW (new in the DW design).
+    pub to_dw: Vec<String>,
+    /// Views to copy DW → HV (new in the HV design, currently DW-resident).
+    pub to_hv: Vec<String>,
+}
+
+impl ReorgPlan {
+    /// Diffs the current placement against the tuner's new design.
+    pub fn diff(
+        current_hv: &BTreeSet<String>,
+        current_dw: &BTreeSet<String>,
+        new_hv: &BTreeSet<String>,
+        new_dw: &BTreeSet<String>,
+    ) -> Self {
+        ReorgPlan {
+            to_dw: new_dw
+                .iter()
+                .filter(|n| !current_dw.contains(*n))
+                .cloned()
+                .collect(),
+            to_hv: new_hv
+                .iter()
+                .filter(|n| !current_hv.contains(*n) && current_dw.contains(*n))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Whether nothing moves.
+    pub fn is_empty(&self) -> bool {
+        self.to_dw.is_empty() && self.to_hv.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(names: &[&str]) -> BTreeSet<String> {
+        names.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn diff_orders_moves_and_skips_resident_views() {
+        let plan = ReorgPlan::diff(
+            &set(&["a", "b", "c"]),
+            &set(&["d"]),
+            &set(&["a", "d"]),
+            &set(&["b", "c"]),
+        );
+        assert_eq!(plan.to_dw, vec!["b".to_string(), "c".to_string()]);
+        assert_eq!(plan.to_hv, vec!["d".to_string()]);
+        assert!(!plan.is_empty());
+
+        let noop = ReorgPlan::diff(&set(&["a"]), &set(&["b"]), &set(&["a"]), &set(&["b"]));
+        assert!(noop.is_empty());
+    }
+
+    #[test]
+    fn to_hv_requires_a_dw_source() {
+        // A view the new design wants in HV but no store holds cannot be
+        // migrated; the diff ignores it (the tuner only packs known views).
+        let plan = ReorgPlan::diff(&set(&[]), &set(&[]), &set(&["ghost"]), &set(&[]));
+        assert!(plan.to_hv.is_empty());
+    }
+
+    #[test]
+    fn journal_answers_recovery_questions() {
+        let mut j = ReorgJournal::new();
+        assert!(!j.started());
+        j.append(JournalEntry::Intent {
+            to_dw: vec!["v1".into()],
+            to_hv: vec![],
+        });
+        assert!(j.started());
+        assert!(!j.committed());
+        j.append(JournalEntry::Staged {
+            view: "v1".into(),
+            to_dw: true,
+        });
+        assert!(j.staged("v1"));
+        assert!(!j.staged("v2"));
+        assert_eq!(j.staged_views(true), vec!["v1"]);
+        assert!(j.staged_views(false).is_empty());
+        j.append(JournalEntry::Commit);
+        assert!(j.committed());
+        assert!(!j.applied("v1"));
+        j.append(JournalEntry::Applied {
+            view: "v1".into(),
+            to_dw: true,
+        });
+        assert!(j.applied("v1"));
+        assert!(!j.done());
+        j.append(JournalEntry::Done);
+        assert!(j.done());
+    }
+
+    #[test]
+    fn stage_names_are_prefixed() {
+        assert_eq!(stage_name("v_abc"), "reorg_stage_v_abc");
+    }
+}

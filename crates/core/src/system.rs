@@ -13,10 +13,14 @@
 
 use crate::etl::{rewrite_for_dw, run_etl, DEFAULT_ETL_OVERHEAD};
 use crate::metrics::{ExperimentResult, QueryRecord, ReorgRecord, TtiBreakdown};
-use crate::tuner::{MisoTuner, TunerConfig};
+use crate::reorg::{stage_name, JournalEntry, ReorgJournal, ReorgPlan, MAX_REORG_RECOVERIES};
+use crate::tuner::{MisoTuner, NewDesign, TunerConfig};
 use crate::variants::Variant;
 use miso_common::ids::QueryId;
-use miso_common::{Budgets, ByteSize, MisoError, Result, SimClock, SimDuration};
+use miso_common::{
+    Budgets, ByteSize, CircuitBreaker, DetRng, MisoError, Result, RetryPolicy, SimClock,
+    SimDuration,
+};
 use miso_data::logs::Corpus;
 use miso_data::Row;
 use miso_dw::{BackgroundSim, DwActivity, DwStore, TableSpace};
@@ -52,6 +56,12 @@ pub struct SystemConfig {
     pub etl_overhead: f64,
     /// Optional DW background reporting workload (§5.4).
     pub background: Option<BackgroundSim>,
+    /// Retry policy wrapped around store calls and transfers.
+    pub retry: RetryPolicy,
+    /// Consecutive DW failures before the circuit breaker opens.
+    pub breaker_threshold: u32,
+    /// Cooldown before an open DW breaker lets a probe through.
+    pub breaker_cooldown: SimDuration,
 }
 
 impl SystemConfig {
@@ -67,6 +77,9 @@ impl SystemConfig {
             tune_compute: SimDuration::from_secs(5),
             etl_overhead: DEFAULT_ETL_OVERHEAD,
             background: None,
+            retry: RetryPolicy::standard(),
+            breaker_threshold: 3,
+            breaker_cooldown: SimDuration::from_secs(300),
         }
     }
 }
@@ -89,6 +102,11 @@ pub struct MultistoreSystem {
     transfer: TransferModel,
     /// LRU recency order (oldest first) for LRU-managed variants.
     lru: Vec<String>,
+    /// Circuit breaker guarding the DW store (graceful degradation).
+    dw_breaker: CircuitBreaker,
+    /// Jitter source for retry backoff. Only consulted when a fault
+    /// actually fires, so fault-free runs never draw from it.
+    retry_rng: DetRng,
 }
 
 impl MultistoreSystem {
@@ -104,6 +122,7 @@ impl MultistoreSystem {
         hv.add_log(corpus.foursquare.clone());
         hv.add_log(corpus.landmarks.clone());
         let background = config.background.clone();
+        let dw_breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown);
         MultistoreSystem {
             hv,
             dw: DwStore::new(),
@@ -114,7 +133,14 @@ impl MultistoreSystem {
             background,
             transfer: TransferModel::paper_default(),
             lru: Vec::new(),
+            dw_breaker,
+            retry_rng: DetRng::new(0x5245_5452),
         }
+    }
+
+    /// The DW circuit breaker's current state (for tests and reports).
+    pub fn dw_breaker_state(&self) -> miso_common::BreakerState {
+        self.dw_breaker.state()
     }
 
     /// The background simulator's recorded timeline, if §5.4 mode is on.
@@ -207,9 +233,15 @@ impl MultistoreSystem {
         clock.advance(manifest.cost);
         for (i, (label, raw)) in queries.iter().enumerate() {
             let dw_plan = rewrite_for_dw(raw, &self.lang_catalog, &self.dw)?;
-            let run = self
-                .dw
-                .execute(&dw_plan, None, HashMap::new(), &self.udfs)?;
+            // DW-ONLY has no other store to fall back to: retry is the only
+            // defense, and exhausted retries surface as errors.
+            let run = self.dw_execute_retry(
+                &dw_plan,
+                None,
+                &HashMap::new(),
+                clock,
+                &mut result.tti.dw_exe,
+            )?;
             let stretched = self.stretch(run.cost, DwActivity::QueryExec, clock);
             result.tti.dw_exe += stretched;
             clock.advance(stretched);
@@ -308,9 +340,18 @@ impl MultistoreSystem {
                         self.catalog.remove(&name);
                     }
                 } else if keep_dw.contains(&name) && !self.dw.has_view(&name) {
-                    let rows = self.hv.view_rows(&name).expect("present");
-                    let schema = self.hv.view_schema(&name).expect("present").clone();
-                    let size = self.hv.view_size(&name).expect("present");
+                    let (rows, schema, size) = match (
+                        self.hv.view_rows(&name),
+                        self.hv.view_schema(&name).cloned(),
+                        self.hv.view_size(&name),
+                    ) {
+                        (Some(r), Some(s), Some(z)) => (r, s, z),
+                        _ => {
+                            return Err(MisoError::Store(format!(
+                                "HV lost view `{name}` during MS-OFF retention"
+                            )))
+                        }
+                    };
                     let raw_cost = self.hv.dump_cost(size)
                         + self.transfer.transfer_cost(size)
                         + self.dw.load_cost(size);
@@ -435,7 +476,7 @@ impl MultistoreSystem {
             HashSet::new()
         };
         let rewrite = miso_views::rewrite_with_catalog(raw, &available, &self.catalog);
-        let run = self.hv.execute(&rewrite.plan, None, &self.udfs)?;
+        let run = self.hv_execute_retry(&rewrite.plan, None, clock, &mut tti.hv_exe)?;
         self.record_bg(DwActivity::Idle, run.cost, clock);
         tti.hv_exe += run.cost;
         clock.advance(run.cost);
@@ -479,7 +520,49 @@ impl MultistoreSystem {
 
     /// Executes a multistore query; with `retain_ws`, transferred working
     /// sets are kept as permanent DW views (MS-LRU's passive tuning).
+    ///
+    /// Graceful degradation: while the DW circuit breaker is open, split
+    /// planning is skipped and the query runs HV-only; when a split attempt
+    /// exhausts its DW/transfer retries, the failure is recorded against the
+    /// breaker, partial DW state is discarded, and the query re-runs
+    /// HV-only. Queries never error out because DW is unhealthy.
     fn execute_one_with_retention(
+        &mut self,
+        qid: QueryId,
+        label: &str,
+        raw: &LogicalPlan,
+        clock: &mut SimClock,
+        tti: &mut TtiBreakdown,
+        retain_ws: bool,
+    ) -> Result<QueryRecord> {
+        if !self.dw_breaker.allow(clock.now()) {
+            // DW is unhealthy and still cooling down: don't even plan a
+            // split. The first allowed call after the cooldown is the probe.
+            miso_obs::count("query.hv_fallback", 1);
+            return self.execute_hv_only(qid, label, raw, clock, tti, true);
+        }
+        match self.execute_split_attempt(qid, label, raw, clock, tti, retain_ws) {
+            Ok(record) => Ok(record),
+            Err(e) if e.is_transient() && matches!(e.source(), Some("dw") | Some("transfer")) => {
+                // DW-side retries exhausted: mark the store unhealthy,
+                // discard any partially staged working sets, and fall back
+                // to an HV-only run. Time already spent on the failed
+                // attempt stays charged — it really elapsed.
+                if self.dw_breaker.record_failure(clock.now()) {
+                    miso_obs::count("store.circuit_open", 1);
+                }
+                self.dw.clear_temp();
+                miso_obs::count("query.hv_fallback", 1);
+                self.execute_hv_only(qid, label, raw, clock, tti, true)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// One split-plan attempt (the pre-chaos execution path). DW-side
+    /// transient errors escape to [`Self::execute_one_with_retention`],
+    /// which degrades to HV-only.
+    fn execute_split_attempt(
         &mut self,
         qid: QueryId,
         label: &str,
@@ -523,7 +606,7 @@ impl MultistoreSystem {
 
         // HV side.
         if !hv_set.is_empty() {
-            let run = self.hv.execute(plan, Some(&hv_set), &self.udfs)?;
+            let run = self.hv_execute_retry(plan, Some(&hv_set), clock, &mut tti.hv_exe)?;
             hv_time = run.cost;
             self.record_bg(DwActivity::Idle, hv_time, clock);
             tti.hv_exe += hv_time;
@@ -542,9 +625,12 @@ impl MultistoreSystem {
                         ("bytes", miso_obs::FieldValue::U64(bytes.as_bytes())),
                     ],
                 );
-                let raw_cost = self.hv.dump_cost(bytes)
+                let base_cost = self.hv.dump_cost(bytes)
                     + self.transfer.transfer_cost(bytes)
                     + self.dw.load_cost(bytes);
+                let (raw_cost, waited) = self.ship_attempt(base_cost, clock)?;
+                transfer_time += waited;
+                tti.transfer += waited;
                 let stretched = self.stretch(raw_cost, DwActivity::WorkingSetTransfer, clock);
                 transfer_time += stretched;
                 tti.transfer += stretched;
@@ -571,12 +657,15 @@ impl MultistoreSystem {
 
         // DW side.
         if !dw_set.is_empty() {
-            let run = self.dw.execute(plan, Some(&dw_set), provided, &self.udfs)?;
+            let run =
+                self.dw_execute_retry(plan, Some(&dw_set), &provided, clock, &mut tti.dw_exe)?;
             let stretched = self.stretch(run.cost, DwActivity::QueryExec, clock);
             dw_time = stretched;
             tti.dw_exe += stretched;
             clock.advance(stretched);
             result_rows = run.execution.root_rows()?.len() as u64;
+            // DW answered: the store is healthy again.
+            self.dw_breaker.record_success();
         }
         self.dw.clear_temp();
 
@@ -642,89 +731,49 @@ impl MultistoreSystem {
             &self.dw.cost_model,
             &self.transfer,
         );
+        // Apply the design through the crash-safe two-phase journal (see
+        // the [`crate::reorg`] module docs). Fault-free runs take the same
+        // steps, in the same order, with the same charges as a direct
+        // apply would.
+        let plan = ReorgPlan::diff(&current_hv, &current_dw, &new_design.hv, &new_design.dw);
         let mut duration = self.config.tune_compute;
         let mut bytes_moved = ByteSize::ZERO;
-        let mut moved_to_dw = Vec::new();
-        let mut moved_to_hv = Vec::new();
-        let mut dropped = Vec::new();
-
-        // HV → DW migrations.
-        for name in new_design.dw.iter() {
-            if current_dw.contains(name) {
-                continue;
-            }
-            let Some(rows) = self.hv.view_rows(name) else {
-                return Err(MisoError::Tuning(format!(
-                    "tuner placed `{name}` in DW but no store holds it"
-                )));
-            };
-            let schema = self
-                .hv
-                .view_schema(name)
-                .expect("rows imply schema")
-                .clone();
-            let size = self.hv.view_size(name).expect("rows imply size");
-            let raw_cost = self.hv.dump_cost(size)
-                + self.transfer.transfer_cost(size)
-                + self.dw.load_cost(size);
-            let stretched = self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
-            duration += stretched;
-            clock.advance(stretched);
-            bytes_moved += size;
-            self.dw.load_view(name, schema, rows, TableSpace::Permanent);
-            self.hv.remove_view(name);
-            moved_to_dw.push(name.clone());
-        }
-
-        // DW → HV migrations (evicted views repacked into HV).
-        for name in new_design.hv.iter() {
-            if current_hv.contains(name) || !current_dw.contains(name) {
-                continue;
-            }
-            let Some((schema, rows, size)) = self.dw.evict_view(name) else {
-                continue;
-            };
-            let raw_cost = self.transfer.transfer_cost(size) + self.hv.dump_cost(size);
-            let stretched = self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
-            duration += stretched;
-            clock.advance(stretched);
-            bytes_moved += size;
-            self.hv.install_view(name, schema, rows);
-            moved_to_hv.push(name.clone());
-        }
-
-        // Enforce the new design. DW is tightly managed: exactly the packed
-        // set. HV "may have more spare capacity" (paper §3.1): non-design
-        // views survive as long as the HV storage budget holds, oldest
-        // evicted first beyond it.
-        let hv_budget = self.config.budgets.hv_storage;
-        let mut extras: Vec<String> = self
-            .hv
-            .view_names()
-            .into_iter()
-            .filter(|n| !new_design.hv.contains(n) && !new_design.dw.contains(n))
-            .collect();
-        // LRU order: least-recently-used extras go first.
-        extras.sort_by_key(|n| self.lru.iter().position(|x| x == n).unwrap_or(0));
-        let mut i = 0;
-        while self.hv.total_view_bytes() > hv_budget && i < extras.len() {
-            let name = &extras[i];
-            self.hv.remove_view(name);
-            if !self.dw.has_view(name) {
-                self.catalog.remove(name);
-                dropped.push(name.clone());
-            }
-            i += 1;
-        }
-        for name in self.dw.view_names() {
-            if !new_design.dw.contains(&name) {
-                self.dw.evict_view(&name);
-                if !self.hv.has_view(&name) {
-                    self.catalog.remove(&name);
-                    dropped.push(name);
+        let mut journal = ReorgJournal::new();
+        let mut recoveries = 0u64;
+        let mut rolled_back = false;
+        let (moved_to_dw, moved_to_hv, dropped) = loop {
+            let poll_chaos = recoveries <= MAX_REORG_RECOVERIES;
+            match self.reorg_pass(
+                &plan,
+                &new_design,
+                &mut journal,
+                clock,
+                &mut duration,
+                &mut bytes_moved,
+                poll_chaos,
+            ) {
+                Ok(lists) => break lists,
+                Err(e) if e.is_crash() => {
+                    // The reorg "process" died: volatile DW temp space is
+                    // gone; the journal, HV, and DW permanent space
+                    // survive.
+                    self.dw.clear_temp();
+                    recoveries += 1;
+                    miso_obs::count("tuner.reorg_recovered", 1);
+                    if !journal.committed() {
+                        // Pre-commit: roll back. Staging copies are
+                        // discarded and the old design stands.
+                        self.reorg_rollback(&journal);
+                        rolled_back = true;
+                        break (Vec::new(), Vec::new(), Vec::new());
+                    }
+                    // Post-commit: replay. The next pass resumes from the
+                    // journal; past the recovery cap it runs with fault
+                    // injection suppressed (liveness backstop).
                 }
+                Err(e) => return Err(e),
             }
-        }
+        };
         // The design-computation time itself.
         self.record_bg(DwActivity::Idle, self.config.tune_compute, clock);
         clock.advance(self.config.tune_compute);
@@ -760,7 +809,230 @@ impl MultistoreSystem {
             moved_to_hv,
             dropped,
             bytes_moved,
+            recoveries,
+            rolled_back,
         })
+    }
+
+    /// One resumable pass over the journaled reorganization. Steps already
+    /// recorded in the journal are skipped; volatile staging copies lost to
+    /// a crash are re-staged (and re-charged — recovery work is real work).
+    /// A `Crash` action escapes as [`MisoError::Crash`] for the recovery
+    /// loop in [`Self::apply_tuner`].
+    #[allow(clippy::too_many_arguments)]
+    fn reorg_pass(
+        &mut self,
+        plan: &ReorgPlan,
+        design: &NewDesign,
+        journal: &mut ReorgJournal,
+        clock: &mut SimClock,
+        duration: &mut SimDuration,
+        bytes_moved: &mut ByteSize,
+        poll_chaos: bool,
+    ) -> Result<(Vec<String>, Vec<String>, Vec<String>)> {
+        // Intent: log the full plan before anything moves.
+        if !journal.started() {
+            self.reorg_step_poll(poll_chaos, clock, duration)?;
+            journal.append(JournalEntry::Intent {
+                to_dw: plan.to_dw.clone(),
+                to_hv: plan.to_hv.clone(),
+            });
+        }
+
+        // Stage HV → DW: copy into DW temp space; the HV source stays.
+        for name in &plan.to_dw {
+            if journal.applied(name)
+                || (journal.staged(name) && self.dw.has_temp(&stage_name(name)))
+            {
+                continue;
+            }
+            let slow = self.reorg_step_poll(poll_chaos, clock, duration)?;
+            let Some(rows) = self.hv.view_rows(name) else {
+                return Err(MisoError::Tuning(format!(
+                    "tuner placed `{name}` in DW but no store holds it"
+                )));
+            };
+            let schema = self
+                .hv
+                .view_schema(name)
+                .expect("rows imply schema")
+                .clone();
+            let size = self.hv.view_size(name).expect("rows imply size");
+            let mut raw_cost = self.hv.dump_cost(size)
+                + self.transfer.transfer_cost(size)
+                + self.dw.load_cost(size);
+            if slow != 1.0 {
+                raw_cost = raw_cost * slow;
+            }
+            let stretched = self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
+            *duration += stretched;
+            clock.advance(stretched);
+            *bytes_moved += size;
+            self.dw
+                .load_view(&stage_name(name), schema, rows, TableSpace::Temporary);
+            if !journal.staged(name) {
+                journal.append(JournalEntry::Staged {
+                    view: name.clone(),
+                    to_dw: true,
+                });
+            }
+        }
+
+        // Stage DW → HV: install under the final name in (durable) HV; the
+        // DW source stays until the flip.
+        for name in &plan.to_hv {
+            if journal.applied(name) || (journal.staged(name) && self.hv.has_view(name)) {
+                continue;
+            }
+            let slow = self.reorg_step_poll(poll_chaos, clock, duration)?;
+            let (Some(schema), Some(rows), Some(size)) = (
+                self.dw.view_schema(name).cloned(),
+                self.dw.view_rows_arc(name),
+                self.dw.view_size(name),
+            ) else {
+                // The DW source vanished (dropped by an earlier design):
+                // nothing to migrate.
+                continue;
+            };
+            let mut raw_cost = self.transfer.transfer_cost(size) + self.hv.dump_cost(size);
+            if slow != 1.0 {
+                raw_cost = raw_cost * slow;
+            }
+            let stretched = self.stretch(raw_cost, DwActivity::ViewTransfer, clock);
+            *duration += stretched;
+            clock.advance(stretched);
+            *bytes_moved += size;
+            self.hv.install_view(name, schema, rows);
+            journal.append(JournalEntry::Staged {
+                view: name.clone(),
+                to_dw: false,
+            });
+        }
+
+        // Commit: the new design becomes authoritative.
+        if !journal.committed() {
+            self.reorg_step_poll(poll_chaos, clock, duration)?;
+            journal.append(JournalEntry::Commit);
+        }
+
+        // Apply: flip each staged copy into the design (atomic per view).
+        let mut moved_to_dw = Vec::new();
+        let mut moved_to_hv = Vec::new();
+        for name in &plan.to_dw {
+            if !journal.applied(name) {
+                self.reorg_step_poll(poll_chaos, clock, duration)?;
+                if self.dw.promote_temp(&stage_name(name), name).is_none() {
+                    return Err(MisoError::Tuning(format!(
+                        "reorg staging copy for `{name}` vanished before apply"
+                    )));
+                }
+                self.hv.remove_view(name);
+                journal.append(JournalEntry::Applied {
+                    view: name.clone(),
+                    to_dw: true,
+                });
+            }
+            moved_to_dw.push(name.clone());
+        }
+        for name in &plan.to_hv {
+            if !journal.applied(name) {
+                self.reorg_step_poll(poll_chaos, clock, duration)?;
+                // The copy already sits in HV under the final name; drop
+                // the DW source (a no-op when there was nothing to stage).
+                self.dw.evict_view(name);
+                journal.append(JournalEntry::Applied {
+                    view: name.clone(),
+                    to_dw: false,
+                });
+            }
+            if self.hv.has_view(name) {
+                moved_to_hv.push(name.clone());
+            }
+        }
+
+        // Enforce the new design. DW is tightly managed: exactly the packed
+        // set. HV "may have more spare capacity" (paper §3.1): non-design
+        // views survive as long as the HV storage budget holds, oldest
+        // evicted first beyond it.
+        let mut dropped = Vec::new();
+        if !journal.done() {
+            self.reorg_step_poll(poll_chaos, clock, duration)?;
+            let hv_budget = self.config.budgets.hv_storage;
+            let mut extras: Vec<String> = self
+                .hv
+                .view_names()
+                .into_iter()
+                .filter(|n| !design.hv.contains(n) && !design.dw.contains(n))
+                .collect();
+            // LRU order: least-recently-used extras go first.
+            extras.sort_by_key(|n| self.lru.iter().position(|x| x == n).unwrap_or(0));
+            let mut i = 0;
+            while self.hv.total_view_bytes() > hv_budget && i < extras.len() {
+                let name = &extras[i];
+                self.hv.remove_view(name);
+                if !self.dw.has_view(name) {
+                    self.catalog.remove(name);
+                    dropped.push(name.clone());
+                }
+                i += 1;
+            }
+            for name in self.dw.view_names() {
+                if !design.dw.contains(&name) {
+                    self.dw.evict_view(&name);
+                    if !self.hv.has_view(&name) {
+                        self.catalog.remove(&name);
+                        dropped.push(name);
+                    }
+                }
+            }
+            journal.append(JournalEntry::Done);
+        }
+        Ok((moved_to_dw, moved_to_hv, dropped))
+    }
+
+    /// Polls the `reorg.step` fail point between journal steps. `Fail` is
+    /// retried with backoff (charged to the phase duration); `Delay`
+    /// returns a cost factor for the next movement; `Crash` escapes to the
+    /// recovery loop.
+    fn reorg_step_poll(
+        &mut self,
+        poll: bool,
+        clock: &mut SimClock,
+        duration: &mut SimDuration,
+    ) -> Result<f64> {
+        if !poll {
+            return Ok(1.0);
+        }
+        let mut attempt = 0u32;
+        loop {
+            match miso_chaos::hit("reorg.step") {
+                miso_chaos::Action::Proceed => return Ok(1.0),
+                miso_chaos::Action::Delay(f) => return Ok(f),
+                miso_chaos::Action::Crash => return Err(MisoError::crash("tuner", "reorg.step")),
+                miso_chaos::Action::Fail if attempt < self.config.retry.max_retries => {
+                    attempt += 1;
+                    let backoff = self.config.retry.backoff(attempt, &mut self.retry_rng);
+                    *duration += backoff;
+                    clock.advance(backoff);
+                    miso_obs::count("store.retries", 1);
+                }
+                miso_chaos::Action::Fail => {
+                    return Err(MisoError::transient("tuner", "injected reorg step failure"))
+                }
+            }
+        }
+    }
+
+    /// Undoes a pre-commit reorganization: staged DW→HV copies are removed
+    /// from HV (their DW sources are intact); staged HV→DW copies lived in
+    /// volatile DW temp space and died with the crash. No view is lost —
+    /// every source is still in place.
+    fn reorg_rollback(&mut self, journal: &ReorgJournal) {
+        for view in journal.staged_views(false) {
+            if self.dw.has_view(view) {
+                self.hv.remove_view(view);
+            }
+        }
     }
 
     // ---- Shared plumbing ---------------------------------------------------
@@ -896,6 +1168,84 @@ impl MultistoreSystem {
         self.lru_touch(&name);
     }
 
+    // ---- Failure handling -------------------------------------------------
+
+    /// Runs an HV call under the retry policy; backoff waits are charged to
+    /// the clock and `bucket`.
+    fn hv_execute_retry(
+        &mut self,
+        plan: &LogicalPlan,
+        subset: Option<&HashSet<miso_common::ids::NodeId>>,
+        clock: &mut SimClock,
+        bucket: &mut SimDuration,
+    ) -> Result<miso_hv::HvRun> {
+        let hv = &self.hv;
+        let udfs = &self.udfs;
+        retry_loop(
+            &self.config.retry,
+            &mut self.retry_rng,
+            clock,
+            bucket,
+            || hv.execute(plan, subset, udfs),
+        )
+    }
+
+    /// Runs a DW call under the retry policy; backoff waits are charged to
+    /// the clock and `bucket`. Working sets are re-provided on each attempt
+    /// (cheap: `Arc` clones).
+    fn dw_execute_retry(
+        &mut self,
+        plan: &LogicalPlan,
+        subset: Option<&HashSet<miso_common::ids::NodeId>>,
+        provided: &HashMap<miso_common::ids::NodeId, Arc<Vec<Row>>>,
+        clock: &mut SimClock,
+        bucket: &mut SimDuration,
+    ) -> Result<miso_dw::DwRun> {
+        let dw = &self.dw;
+        let udfs = &self.udfs;
+        retry_loop(
+            &self.config.retry,
+            &mut self.retry_rng,
+            clock,
+            bucket,
+            || dw.execute(plan, subset, provided.clone(), udfs),
+        )
+    }
+
+    /// Polls the `transfer.ship` fail point, retrying injected transient
+    /// failures with backoff. Returns `(transfer cost to charge, backoff
+    /// time already waited)`; the caller charges both.
+    fn ship_attempt(
+        &mut self,
+        base: SimDuration,
+        clock: &mut SimClock,
+    ) -> Result<(SimDuration, SimDuration)> {
+        let mut attempt = 0u32;
+        let mut waited = SimDuration::ZERO;
+        loop {
+            match miso_chaos::hit("transfer.ship") {
+                miso_chaos::Action::Proceed => return Ok((base, waited)),
+                miso_chaos::Action::Delay(f) => return Ok((base * f, waited)),
+                miso_chaos::Action::Crash => {
+                    return Err(MisoError::crash("transfer", "transfer.ship"))
+                }
+                miso_chaos::Action::Fail if attempt < self.config.retry.max_retries => {
+                    attempt += 1;
+                    let backoff = self.config.retry.backoff(attempt, &mut self.retry_rng);
+                    waited += backoff;
+                    clock.advance(backoff);
+                    miso_obs::count("store.retries", 1);
+                }
+                miso_chaos::Action::Fail => {
+                    return Err(MisoError::transient(
+                        "transfer",
+                        "injected transfer failure",
+                    ))
+                }
+            }
+        }
+    }
+
     // ---- Background interference ------------------------------------------
 
     /// Stretches a DW-side duration under background contention and records
@@ -914,6 +1264,32 @@ impl MultistoreSystem {
     fn record_bg(&mut self, activity: DwActivity, duration: SimDuration, clock: &SimClock) {
         if let Some(bg) = &mut self.background {
             bg.record(clock.now(), duration, activity);
+        }
+    }
+}
+
+/// Runs `op` until it succeeds, a permanent error surfaces, or the retry
+/// budget is spent. Each backoff is simulated wait: it advances the clock
+/// and is charged to `bucket` so TTI accounting stays truthful.
+fn retry_loop<T>(
+    policy: &RetryPolicy,
+    rng: &mut DetRng,
+    clock: &mut SimClock,
+    bucket: &mut SimDuration,
+    mut op: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) if e.is_transient() && attempt < policy.max_retries => {
+                attempt += 1;
+                let backoff = policy.backoff(attempt, rng);
+                *bucket += backoff;
+                clock.advance(backoff);
+                miso_obs::count("store.retries", 1);
+            }
+            Err(e) => return Err(e),
         }
     }
 }

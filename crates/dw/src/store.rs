@@ -82,6 +82,24 @@ impl DwStore {
         self.temporary.clear();
     }
 
+    /// Promotes a staged temporary table into the permanent space under
+    /// `name`, returning its size. Crash-safe reorganization stages incoming
+    /// views into temp space and flips them to permanent only at commit; a
+    /// crash before the flip loses only the (volatile) staged copy. Returns
+    /// `None` when the staged table is missing (e.g. wiped by a crash).
+    pub fn promote_temp(&mut self, staged: &str, name: &str) -> Option<ByteSize> {
+        let v = self.temporary.remove(staged)?;
+        let size = v.size;
+        self.permanent.insert(name.to_string(), v);
+        Some(size)
+    }
+
+    /// Whether a temporary table is present (staged working set or reorg
+    /// staging copy).
+    pub fn has_temp(&self, name: &str) -> bool {
+        self.temporary.contains_key(name)
+    }
+
     /// Whether a *permanent* view is present (the physical design).
     pub fn has_view(&self, name: &str) -> bool {
         self.permanent.contains_key(name)
@@ -137,6 +155,16 @@ impl DwStore {
         udfs: &UdfRegistry,
     ) -> Result<DwRun> {
         let mut obs = miso_obs::span("dw.execute");
+        // Fault injection: one relaxed atomic load when chaos is disabled.
+        let mut chaos_slow = 1.0f64;
+        match miso_chaos::hit("dw.execute") {
+            miso_chaos::Action::Proceed => {}
+            miso_chaos::Action::Fail => {
+                return Err(MisoError::transient("dw", "injected DW outage"));
+            }
+            miso_chaos::Action::Crash => return Err(MisoError::crash("dw", "dw.execute")),
+            miso_chaos::Action::Delay(f) => chaos_slow = f,
+        }
         // DW cannot scan raw logs or run UDFs.
         for node in plan.nodes() {
             let in_subset = subset.is_none_or(|s| s.contains(&node.id));
@@ -185,7 +213,11 @@ impl DwStore {
                 .map(|r| r.len() as u64)
                 .unwrap_or(0);
         }
-        let cost = self.cost_model.exec_cost(bytes_in, rows_processed);
+        let mut cost = self.cost_model.exec_cost(bytes_in, rows_processed);
+        if chaos_slow != 1.0 {
+            // Injected contention spike: the whole statement runs slower.
+            cost = cost * chaos_slow;
+        }
         if obs.is_active() {
             obs.push_field("bytes_in", miso_obs::FieldValue::U64(bytes_in.as_bytes()));
             obs.push_field("rows", miso_obs::FieldValue::U64(rows_processed));
@@ -385,6 +417,23 @@ mod tests {
             .execute(&plan, Some(&subset), provided, &UdfRegistry::new())
             .unwrap();
         assert_eq!(run.execution.root_rows().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn promote_temp_flips_staged_table_into_design() {
+        let mut dw = DwStore::new();
+        dw.load_view("reorg_stage_v", schema(), rows(8), TableSpace::Temporary);
+        assert!(dw.has_temp("reorg_stage_v"));
+        assert!(!dw.has_view("v"));
+        let size = dw.promote_temp("reorg_stage_v", "v").unwrap();
+        assert!(size.as_bytes() > 0);
+        assert!(dw.has_view("v"), "promoted into the permanent design");
+        assert!(!dw.has_temp("reorg_stage_v"));
+        assert_eq!(dw.total_view_bytes(), size);
+        // A crash-wiped staging table promotes to nothing.
+        dw.clear_temp();
+        assert!(dw.promote_temp("missing", "w").is_none());
+        assert!(!dw.has_view("w"));
     }
 
     #[test]

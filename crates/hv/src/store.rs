@@ -172,6 +172,16 @@ impl HvStore {
         udfs: &UdfRegistry,
     ) -> Result<HvRun> {
         let mut obs = miso_obs::span("hv.execute");
+        // Fault injection: one relaxed atomic load when chaos is disabled.
+        let mut chaos_slow = 1.0f64;
+        match miso_chaos::hit("hv.execute") {
+            miso_chaos::Action::Proceed => {}
+            miso_chaos::Action::Fail => {
+                return Err(MisoError::transient("hv", "injected HV job failure"));
+            }
+            miso_chaos::Action::Crash => return Err(MisoError::crash("hv", "hv.execute")),
+            miso_chaos::Action::Delay(f) => chaos_slow = f,
+        }
         // Validate scans up-front for a clean store-level error.
         for node in plan.nodes() {
             let in_subset = subset.is_none_or(|s| s.contains(&node.id));
@@ -195,7 +205,11 @@ impl HvStore {
         let mut materialized = Vec::with_capacity(stages.len());
         let mut stage_outputs: HashSet<NodeId> = HashSet::new();
         for stage in &stages {
-            let c = self.charge_stage(plan, stage, &execution);
+            let mut c = self.charge_stage(plan, stage, &execution);
+            if chaos_slow != 1.0 {
+                // Injected straggler: every stage runs slower by the factor.
+                c = c * chaos_slow;
+            }
             stage_costs.push(c);
             cost += c;
             let node = plan.node(stage.output);

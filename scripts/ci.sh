@@ -16,4 +16,7 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> chaos smoke (seeded fault injection)"
+cargo run --release -q -p miso-bench --bin chaos
+
 echo "ci: all checks passed"

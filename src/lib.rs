@@ -12,6 +12,7 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
 
+pub use miso_chaos as chaos;
 pub use miso_common as common;
 pub use miso_core as core;
 pub use miso_data as data;

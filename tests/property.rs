@@ -255,6 +255,146 @@ proptest! {
     }
 }
 
+// ---- Retry backoff --------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn backoff_is_bounded_and_replayable(
+        seed in any::<u64>(),
+        base_ms in 1u64..10_000,
+        multiplier in 1.0f64..4.0,
+        cap_ms in 1u64..600_000,
+        jitter in 0.0f64..1.0,
+        attempt in 1u32..12
+    ) {
+        use miso::common::{RetryPolicy, SimDuration};
+        let policy = RetryPolicy {
+            max_retries: 4,
+            base_delay: SimDuration::from_millis(base_ms),
+            multiplier,
+            max_delay: SimDuration::from_millis(cap_ms),
+            jitter,
+        };
+        let a = policy.backoff(attempt, &mut DetRng::new(seed));
+        let b = policy.backoff(attempt, &mut DetRng::new(seed));
+        prop_assert_eq!(a, b, "same seed must replay the same backoff");
+        let ceiling = policy.max_delay.as_secs_f64() * (1.0 + jitter) + 1e-9;
+        prop_assert!(a.as_secs_f64() <= ceiling, "backoff exceeds jittered cap");
+    }
+}
+
+// ---- Chaos spec parsing ----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn chaos_spec_parser_never_panics(s in "\\PC{0,64}") {
+        let _ = miso::chaos::parse_spec(&s);
+    }
+
+    #[test]
+    fn chaos_spec_roundtrips_structured_rules(
+        seed in any::<u64>(),
+        p in 0.01f64..0.99,
+        n in 1u64..100
+    ) {
+        let spec = format!("seed={seed};dw.execute=error@p{p:.2};reorg.step=crash@n{n}");
+        let plan = miso::chaos::parse_spec(&spec).unwrap();
+        prop_assert_eq!(plan.seed, seed);
+        prop_assert_eq!(plan.rules.len(), 2);
+        prop_assert_eq!(plan.rules[1].trigger, miso::chaos::Trigger::OnHit(n));
+    }
+}
+
+// ---- Reorganization crash safety -------------------------------------------
+
+/// Crash injection at a random journal step must never lose a view, break
+/// the DW budget, or change query answers. The chaos registry is global, so
+/// cases serialize on a lock; the clean baseline is computed once.
+mod reorg_crash_safety {
+    use super::*;
+    use miso::chaos::{FaultKind, FaultPlan, FaultRule, Trigger};
+    use miso::common::Budgets;
+    use miso::core::{MultistoreSystem, SystemConfig, Variant};
+    use miso::data::logs::{Corpus, LogsConfig};
+    use miso::workload::{standard_udfs, workload_catalog};
+    use std::sync::{Mutex, OnceLock};
+
+    static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+    static BASELINE: OnceLock<(Corpus, Vec<(String, LogicalPlan)>, Vec<u64>)> = OnceLock::new();
+
+    fn budgets() -> Budgets {
+        Budgets::new(
+            ByteSize::from_mib(32),
+            ByteSize::from_mib(4),
+            ByteSize::from_mib(2),
+        )
+        .with_discretization(ByteSize::from_kib(16))
+    }
+
+    fn system(corpus: &Corpus) -> MultistoreSystem {
+        MultistoreSystem::new(
+            corpus,
+            workload_catalog(),
+            standard_udfs(),
+            SystemConfig::paper_default(budgets()),
+        )
+    }
+
+    fn baseline() -> &'static (Corpus, Vec<(String, LogicalPlan)>, Vec<u64>) {
+        BASELINE.get_or_init(|| {
+            let corpus = Corpus::generate(&LogsConfig::tiny());
+            let catalog = workload_catalog();
+            let queries: Vec<(String, LogicalPlan)> = [
+                "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS mood \
+                 FROM twitter t WHERE t.followers > 50 GROUP BY t.city",
+                "SELECT l.category AS cat, COUNT(*) AS n \
+                 FROM foursquare f JOIN landmarks l ON f.venue_id = l.venue_id \
+                 WHERE f.likes > 1 GROUP BY l.category",
+                "SELECT b.city AS city, MAX(b.buzz) AS peak \
+                 FROM APPLY(buzz_score, twitter) b WHERE b.buzz > 0.1 GROUP BY b.city",
+                "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS mood \
+                 FROM twitter t WHERE t.followers > 50 GROUP BY t.city \
+                 ORDER BY mood DESC LIMIT 3",
+            ]
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| (format!("q{i}"), miso::lang::compile(sql, &catalog).unwrap()))
+            .collect();
+            let mut sys = system(&corpus);
+            let clean = sys.run_workload(Variant::MsMiso, &queries).unwrap();
+            let rows = clean.records.iter().map(|r| r.result_rows).collect();
+            (corpus, queries, rows)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn any_crash_point_recovers(seed in any::<u64>(), step in 1u64..48) {
+            let _lock = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let (corpus, queries, clean_rows) = baseline();
+            miso::chaos::install(FaultPlan::seeded(seed).with_rule(FaultRule::new(
+                "reorg.step",
+                FaultKind::Crash,
+                Trigger::OnHit(step),
+            )));
+            let mut sys = system(corpus);
+            let result = sys.run_workload(Variant::MsMiso, queries);
+            miso::chaos::disable();
+            let faulted = result.expect("crash mid-reorg leaked to the caller");
+            let rows: Vec<u64> = faulted.records.iter().map(|r| r.result_rows).collect();
+            prop_assert_eq!(&rows, clean_rows, "crash at step {} changed answers", step);
+            for name in sys.catalog.names() {
+                prop_assert!(
+                    sys.hv.has_view(&name) || sys.dw.has_view(&name),
+                    "view `{}` lost from both stores", name
+                );
+            }
+            prop_assert!(sys.dw.total_view_bytes() <= budgets().dw_storage);
+        }
+    }
+}
+
 // ---- Deterministic RNG -----------------------------------------------------
 
 proptest! {
