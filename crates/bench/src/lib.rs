@@ -66,6 +66,13 @@ impl Harness {
         MultistoreSystem::new(&self.corpus, workload_catalog(), standard_udfs(), config)
     }
 
+    /// A fresh system from a fully custom [`SystemConfig`] (budgets
+    /// included) — for benches that need non-default robustness or
+    /// integrity settings.
+    pub fn system_with(&self, config: SystemConfig) -> MultistoreSystem {
+        MultistoreSystem::new(&self.corpus, workload_catalog(), standard_udfs(), config)
+    }
+
     /// Runs one variant at the given storage multiple, no background load.
     pub fn run(&self, variant: Variant, storage_multiple: f64) -> ExperimentResult {
         let mut sys = self.system(self.budgets(storage_multiple), None);
@@ -74,10 +81,12 @@ impl Harness {
     }
 }
 
-/// Initializes observability from `MISO_TRACE` / `MISO_OBS`; every bench
+/// Initializes observability from `MISO_TRACE` / `MISO_OBS` and the
+/// integrity layer's read-verification from `MISO_INTEGRITY`; every bench
 /// binary calls this first thing in `main`. Returns whether tracing or
 /// metrics ended up enabled.
 pub fn obs_init() -> bool {
+    miso_common::integrity::init_from_env();
     miso_obs::init_from_env()
 }
 

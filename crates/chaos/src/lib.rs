@@ -14,17 +14,22 @@
 //!
 //! # Fail points
 //!
-//! | point           | location                              | meaningful kinds    |
-//! |-----------------|---------------------------------------|---------------------|
-//! | `hv.execute`    | HV store execution entry              | error, delay        |
-//! | `dw.execute`    | DW store execution entry              | error, delay        |
-//! | `transfer.ship` | each working-set cut shipment (HV→DW) | error, delay        |
-//! | `etl.run`       | each DW-ONLY ETL extraction           | error, delay        |
-//! | `reorg.step`    | before every reorg journal step       | crash               |
+//! | point           | location                              | meaningful kinds      |
+//! |-----------------|---------------------------------------|-----------------------|
+//! | `hv.execute`    | HV store execution entry              | error, delay          |
+//! | `dw.execute`    | DW store execution entry              | error, delay          |
+//! | `hv.view_read`  | each HV view consulted by a rewrite   | corrupt               |
+//! | `dw.view_read`  | each DW view consulted by a rewrite   | corrupt               |
+//! | `transfer.ship` | each working-set cut shipment (HV→DW) | error, delay, corrupt |
+//! | `etl.run`       | each DW-ONLY ETL extraction           | error, delay          |
+//! | `reorg.step`    | before every reorg journal step       | crash, corrupt        |
 //!
 //! `reorg.step` is hit once per journal step (stage / commit / apply /
 //! enforce), so an `OnHit(n)` trigger lands a crash before or after the
-//! commit record at will.
+//! commit record at will. A `corrupt` action at `reorg.step` silently
+//! flips rows in the staging copy the step just wrote (a torn transfer);
+//! at the `*.view_read` points it flips rows in the resident copy being
+//! read — detection relies entirely on the integrity layer's checksums.
 //!
 //! # Enabling
 //!
@@ -38,7 +43,7 @@
 //!
 //! * `seed=<u64>` — RNG seed (default 0);
 //! * `<point>=<kind>[@<trigger>]` where
-//!   * kind: `error` | `delay:<factor>` | `crash`;
+//!   * kind: `error` | `delay:<factor>` | `crash` | `corrupt`;
 //!   * trigger: `p<float>` (probability per hit), `n<int>` (exactly the
 //!     n-th hit, 1-based), `u<int>` (every hit up to and including the
 //!     n-th), or omitted (every hit).
@@ -59,6 +64,9 @@ pub enum Action {
     Delay(f64),
     /// Simulated process crash: volatile state is lost and recovery runs.
     Crash,
+    /// Silent data corruption: the caller flips rows in the affected copy
+    /// and continues as if nothing happened. Only checksums can tell.
+    Corrupt,
 }
 
 /// The kind of fault a rule injects.
@@ -70,6 +78,8 @@ pub enum FaultKind {
     Delay(f64),
     /// Simulated crash.
     Crash,
+    /// Silent row corruption.
+    Corrupt,
 }
 
 /// When a rule fires.
@@ -255,6 +265,10 @@ fn hit_slow(point: &'static str) -> Action {
             miso_obs::count("chaos.crashes_injected", 1);
             Action::Crash
         }
+        FaultKind::Corrupt => {
+            miso_obs::count("chaos.corruptions_injected", 1);
+            Action::Corrupt
+        }
     }
 }
 
@@ -310,6 +324,7 @@ fn parse_kind(s: &str) -> Result<FaultKind, String> {
             "error" => Ok(FaultKind::Error),
             "crash" => Ok(FaultKind::Crash),
             "delay" => Ok(FaultKind::Delay(2.0)),
+            "corrupt" => Ok(FaultKind::Corrupt),
             other => Err(format!("unknown fault kind `{other}`")),
         },
         Some(("delay", f)) => {
@@ -449,6 +464,25 @@ mod tests {
         assert_eq!(plan.rules[0].trigger, Trigger::UpTo(5));
         assert_eq!(plan.rules[1].kind, FaultKind::Delay(2.0));
         assert_eq!(plan.rules[2].trigger, Trigger::Always);
+    }
+
+    #[test]
+    fn corrupt_kind_parses_and_fires() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let plan = parse_spec("dw.view_read=corrupt@p0.5;transfer.ship=corrupt").unwrap();
+        assert_eq!(plan.rules[0].kind, FaultKind::Corrupt);
+        assert_eq!(plan.rules[0].trigger, Trigger::Prob(0.5));
+        assert_eq!(plan.rules[1].trigger, Trigger::Always);
+
+        install(FaultPlan::seeded(3).with_rule(FaultRule::new(
+            "dw.view_read",
+            FaultKind::Corrupt,
+            Trigger::OnHit(2),
+        )));
+        assert_eq!(hit("dw.view_read"), Action::Proceed);
+        assert_eq!(hit("dw.view_read"), Action::Corrupt);
+        assert_eq!(hit("dw.view_read"), Action::Proceed);
+        disable();
     }
 
     #[test]

@@ -51,6 +51,17 @@ pub enum MisoError {
         /// The fail point that fired.
         point: &'static str,
     },
+    /// Data-integrity violation: a materialized view's stored content no
+    /// longer matches its recorded checksum, or the catalog and the stores
+    /// disagree about where a view lives. Raised by read-time verification
+    /// and by the between-epoch auditor; permanent (the copy must be
+    /// quarantined and recomputed, not retried).
+    Integrity {
+        /// The affected view (or invariant label for catalog-level drift).
+        view: String,
+        /// Human-readable description of the violation.
+        message: String,
+    },
 }
 
 impl MisoError {
@@ -67,6 +78,15 @@ impl MisoError {
         MisoError::Crash { source, point }
     }
 
+    /// Builds a data-integrity violation for the given view (or invariant
+    /// label, for catalog↔store drift not tied to a single view).
+    pub fn integrity(view: impl Into<String>, message: impl Into<String>) -> Self {
+        MisoError::Integrity {
+            view: view.into(),
+            message: message.into(),
+        }
+    }
+
     /// The failing layer, as a static label (useful in logs and tests).
     pub fn layer(&self) -> &'static str {
         match self {
@@ -80,6 +100,7 @@ impl MisoError {
             MisoError::Config(_) => "config",
             MisoError::Transient { .. } => "transient",
             MisoError::Crash { .. } => "crash",
+            MisoError::Integrity { .. } => "integrity",
         }
     }
 
@@ -96,6 +117,7 @@ impl MisoError {
             | MisoError::Config(m) => m,
             MisoError::Transient { message, .. } => message,
             MisoError::Crash { point, .. } => point,
+            MisoError::Integrity { message, .. } => message,
         }
     }
 
@@ -131,6 +153,9 @@ impl fmt::Display for MisoError {
             }
             MisoError::Crash { source, point } => {
                 write!(f, "simulated crash in {source} at fail point `{point}`")
+            }
+            MisoError::Integrity { view, message } => {
+                write!(f, "integrity error for view `{view}`: {message}")
             }
             _ => write!(f, "{} error: {}", self.layer(), self.message()),
         }
@@ -190,5 +215,19 @@ mod tests {
         assert!(p.is_permanent());
         assert!(!p.is_transient());
         assert_eq!(p.source(), None);
+    }
+
+    #[test]
+    fn integrity_errors_are_permanent_and_name_the_view() {
+        let e = MisoError::integrity("v_00ff", "checksum mismatch");
+        assert!(e.is_permanent());
+        assert!(!e.is_transient());
+        assert!(!e.is_crash());
+        assert_eq!(e.layer(), "integrity");
+        assert_eq!(e.message(), "checksum mismatch");
+        assert_eq!(
+            e.to_string(),
+            "integrity error for view `v_00ff`: checksum mismatch"
+        );
     }
 }

@@ -1,0 +1,52 @@
+//! Global verify-on-read toggle for the data-integrity layer.
+//!
+//! Checksums are always *computed* at materialization and transfer time
+//! (that cost is part of writing data). Re-*verifying* them on every view
+//! read is an opt-in defense: off by default, one relaxed atomic load on
+//! the disabled path — the same discipline `miso-chaos` uses for its fail
+//! points, so fault-free benchmark output stays byte-identical.
+//!
+//! Enable programmatically via [`set_verify_on_read`] or from the
+//! environment with `MISO_INTEGRITY=1` (any value other than empty or `0`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static VERIFY_ON_READ: AtomicBool = AtomicBool::new(false);
+
+/// Whether view reads re-verify content checksums. One relaxed atomic load.
+#[inline]
+pub fn verify_on_read() -> bool {
+    VERIFY_ON_READ.load(Ordering::Relaxed)
+}
+
+/// Switches read-time checksum verification on or off.
+pub fn set_verify_on_read(on: bool) {
+    VERIFY_ON_READ.store(on, Ordering::Relaxed);
+}
+
+/// Reads `MISO_INTEGRITY` and enables verification unless it is unset,
+/// empty, or `0`. Returns the resulting state.
+pub fn init_from_env() -> bool {
+    if let Some(v) = std::env::var_os("MISO_INTEGRITY") {
+        let v = v.to_string_lossy();
+        if !v.is_empty() && v != "0" {
+            set_verify_on_read(true);
+        }
+    }
+    verify_on_read()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_round_trips() {
+        let before = verify_on_read();
+        set_verify_on_read(true);
+        assert!(verify_on_read());
+        set_verify_on_read(false);
+        assert!(!verify_on_read());
+        set_verify_on_read(before);
+    }
+}

@@ -15,11 +15,14 @@
 //! * [`budget`] — the tuner's storage/transfer budget types.
 //! * [`retry`] — exponential backoff + jitter and per-store circuit
 //!   breakers over simulated time.
+//! * [`integrity`] — the global verify-on-read toggle for view content
+//!   checksums (`MISO_INTEGRITY`).
 
 pub mod budget;
 pub mod bytesize;
 pub mod error;
 pub mod ids;
+pub mod integrity;
 pub mod retry;
 pub mod rng;
 pub mod time;

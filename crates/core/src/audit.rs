@@ -1,0 +1,327 @@
+//! Between-epoch integrity auditing: invariants plus checksum scrubbing.
+//!
+//! The auditor runs after each reorganization phase (when enabled via
+//! [`crate::SystemConfig::audit`]) and does two things:
+//!
+//! 1. **Invariant audit** — cheap catalog↔store consistency checks: every
+//!    non-quarantined catalog view is resident in at least one store,
+//!    quarantined views are resident in none, every permanent store view
+//!    is registered in the catalog, both storage budgets hold, no DW temp
+//!    tables leak across epochs, and the last reorganization journal
+//!    drained (done, or never committed — i.e. rolled back).
+//! 2. **Checksum scrub** — a budget-bounded background sweep that
+//!    recomputes stored content checksums against each view's
+//!    materialization-time checksum, rotating a cursor through the
+//!    catalog so successive epochs eventually cover everything. Mismatches
+//!    are quarantined exactly like read-time failures and repaired by the
+//!    next tuner phase.
+//!
+//! Invariant breaches are *bugs* (or operator interference), so
+//! [`AuditMode::Strict`] turns them into an error — tests unwrap and
+//! panic. Production-shaped runs use [`AuditMode::Count`], which ticks
+//! `audit.violations` and keeps serving queries. Checksum mismatches are
+//! *expected* faults with a recovery path; they never trip strict mode.
+
+use crate::reorg::stage_name;
+use crate::system::MultistoreSystem;
+use miso_common::{ByteSize, MisoError, Result, SimDuration};
+
+/// What to do when an invariant is violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditMode {
+    /// Return an error (tests unwrap → panic): invariants are bugs.
+    Strict,
+    /// Count `audit.violations` and keep going: production keeps serving.
+    Count,
+}
+
+/// Configuration for the between-epoch auditor.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Maximum bytes of view content re-checksummed per audit pass. The
+    /// scrub cursor rotates, so a small budget still covers the whole
+    /// catalog over enough epochs. Zero disables scrubbing (invariants
+    /// only).
+    pub scrub_budget: ByteSize,
+    /// Invariant violation handling.
+    pub mode: AuditMode,
+}
+
+impl AuditConfig {
+    /// Strict invariants (error out) with the given scrub budget.
+    pub fn strict(scrub_budget: ByteSize) -> Self {
+        AuditConfig {
+            scrub_budget,
+            mode: AuditMode::Strict,
+        }
+    }
+
+    /// Counting invariants (tick `audit.violations`) with the given budget.
+    pub fn counting(scrub_budget: ByteSize) -> Self {
+        AuditConfig {
+            scrub_budget,
+            mode: AuditMode::Count,
+        }
+    }
+}
+
+/// What one audit pass found and cost.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Human-readable invariant violations (empty on a healthy system).
+    pub violations: Vec<String>,
+    /// Views whose checksums were re-verified this pass.
+    pub scrubbed_views: u64,
+    /// Bytes of view content re-checksummed this pass.
+    pub scrubbed_bytes: ByteSize,
+    /// Views quarantined by this pass's scrub.
+    pub quarantined: Vec<String>,
+    /// Simulated time the scrub cost (charged like tuner work).
+    pub cost: SimDuration,
+}
+
+impl MultistoreSystem {
+    /// Runs one audit pass: invariant checks, then a budget-bounded
+    /// checksum scrub resuming from where the previous pass stopped.
+    ///
+    /// In [`AuditMode::Strict`] any invariant violation comes back as
+    /// [`MisoError::Integrity`]; in [`AuditMode::Count`] violations are
+    /// counted and returned in the report.
+    pub fn audit_pass(&mut self, cfg: &AuditConfig) -> Result<AuditReport> {
+        miso_obs::count("audit.passes", 1);
+        let mut report = AuditReport::default();
+        self.check_invariants(&mut report.violations);
+        self.scrub(cfg.scrub_budget, &mut report);
+        if !report.violations.is_empty() {
+            miso_obs::count("audit.violations", report.violations.len() as u64);
+            if cfg.mode == AuditMode::Strict {
+                return Err(MisoError::integrity(
+                    "<audit>",
+                    report.violations.join("; "),
+                ));
+            }
+        }
+        Ok(report)
+    }
+
+    /// Catalog↔store consistency invariants. Cheap: name/size lookups
+    /// only, no row content is touched.
+    fn check_invariants(&self, violations: &mut Vec<String>) {
+        for name in self.catalog.names() {
+            let resident = self.hv.has_view(&name) || self.dw.has_view(&name);
+            if self.catalog.is_quarantined(&name) {
+                if resident {
+                    violations.push(format!(
+                        "quarantined view `{name}` is still resident in a store"
+                    ));
+                }
+            } else if !resident {
+                violations.push(format!("catalog view `{name}` is resident in no store"));
+            }
+        }
+        for name in self.hv.view_names() {
+            if !self.catalog.contains(&name) {
+                violations.push(format!("HV holds unregistered view `{name}`"));
+            }
+        }
+        for name in self.dw.view_names() {
+            if !self.catalog.contains(&name) {
+                violations.push(format!("DW holds unregistered view `{name}`"));
+            }
+        }
+        let budgets = self.config.budgets;
+        if self.hv.total_view_bytes() > budgets.hv_storage {
+            violations.push(format!(
+                "HV views exceed B_h: {} > {}",
+                self.hv.total_view_bytes(),
+                budgets.hv_storage
+            ));
+        }
+        if self.dw.total_view_bytes() > budgets.dw_storage {
+            violations.push(format!(
+                "DW views exceed B_d: {} > {}",
+                self.dw.total_view_bytes(),
+                budgets.dw_storage
+            ));
+        }
+        for name in self.dw.temp_names() {
+            violations.push(format!(
+                "DW temp table `{name}` leaked across an epoch boundary"
+            ));
+        }
+        if let Some(journal) = &self.last_reorg_journal {
+            // Drained = the reorg ran to Done, or never committed (it was
+            // rolled back and the old design stands).
+            if !journal.done() && journal.committed() {
+                violations.push("last reorg journal committed but never drained".into());
+            }
+            for view in journal.staged_views(true) {
+                if !journal.done() && self.dw.has_temp(&stage_name(view)) {
+                    violations.push(format!(
+                        "reorg staging copy `{}` left behind",
+                        stage_name(view)
+                    ));
+                }
+            }
+        }
+    }
+
+    /// Budget-bounded checksum scrub over the catalog, resuming from the
+    /// rotating cursor. Corrupt copies are quarantined exactly like
+    /// read-time verification failures; the cost of re-reading the
+    /// scrubbed bytes is modeled with HV's dump cost (the scrubber's I/O
+    /// is sequential re-reads).
+    fn scrub(&mut self, budget: ByteSize, report: &mut AuditReport) {
+        if budget == ByteSize::ZERO {
+            return;
+        }
+        let names = self.catalog.names();
+        if names.is_empty() {
+            return;
+        }
+        let mut inspected = 0usize;
+        while inspected < names.len() && report.scrubbed_bytes < budget {
+            let name = &names[self.scrub_cursor % names.len()];
+            self.scrub_cursor = (self.scrub_cursor + 1) % names.len();
+            inspected += 1;
+            if self.catalog.is_quarantined(name) {
+                continue;
+            }
+            let Some(expected) = self.catalog.get(name).and_then(|d| d.checksum) else {
+                continue;
+            };
+            let size = self
+                .hv
+                .view_size(name)
+                .or_else(|| self.dw.view_size(name))
+                .unwrap_or(ByteSize::ZERO);
+            report.scrubbed_views += 1;
+            report.scrubbed_bytes += size;
+            miso_obs::count("audit.views_scrubbed", 1);
+            let bad = self.hv.verify_view(name, expected) == Some(false)
+                || self.dw.verify_view(name, expected) == Some(false);
+            if bad {
+                self.quarantine_view(name);
+                report.quarantined.push(name.clone());
+            }
+        }
+        report.cost = self.hv.dump_cost(report.scrubbed_bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SystemConfig, Variant};
+    use miso_common::Budgets;
+    use miso_data::logs::{Corpus, LogsConfig};
+    use miso_exec::UdfRegistry;
+
+    fn audited_system(mode: AuditMode) -> MultistoreSystem {
+        let corpus = Corpus::generate(&LogsConfig::tiny());
+        let kib = ByteSize::from_kib(100_000);
+        let budgets = Budgets::new(kib, kib, kib).with_discretization(ByteSize::from_kib(16));
+        let mut config = SystemConfig::paper_default(budgets);
+        config.audit = Some(AuditConfig {
+            scrub_budget: ByteSize::from_kib(1_000_000),
+            mode,
+        });
+        MultistoreSystem::new(
+            &corpus,
+            miso_lang::Catalog::standard(),
+            UdfRegistry::new(),
+            config,
+        )
+    }
+
+    fn queries() -> Vec<(String, miso_plan::LogicalPlan)> {
+        let c = miso_lang::Catalog::standard();
+        [
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 100 GROUP BY t.city",
+            "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS s FROM twitter t \
+             WHERE t.followers > 100 GROUP BY t.city",
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > 100 GROUP BY t.city ORDER BY n DESC LIMIT 5",
+            "SELECT f.city AS city, COUNT(*) AS n FROM foursquare f \
+             WHERE f.likes > 2 GROUP BY f.city",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, sql)| (format!("q{i}"), miso_lang::compile(sql, &c).unwrap()))
+        .collect()
+    }
+
+    #[test]
+    fn clean_run_passes_strict_audit() {
+        let mut sys = audited_system(AuditMode::Strict);
+        // Strict audit runs inside the stream after each reorg; a clean
+        // run must not trip it.
+        sys.run_workload(Variant::MsMiso, &queries()).unwrap();
+        let report = sys
+            .audit_pass(&AuditConfig::strict(ByteSize::from_kib(1_000_000)))
+            .unwrap();
+        assert!(report.violations.is_empty());
+        assert!(report.scrubbed_views > 0, "scrub must cover the catalog");
+        assert!(report.quarantined.is_empty());
+        assert!(report.cost > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scrub_detects_corruption_and_quarantines() {
+        let mut sys = audited_system(AuditMode::Strict);
+        sys.run_workload(Variant::HvOp, &queries()).unwrap();
+        let victim = sys.hv.view_names().pop().expect("HV-OP retains views");
+        assert!(sys.hv.corrupt_view(&victim));
+        let report = sys
+            .audit_pass(&AuditConfig::strict(ByteSize::from_kib(1_000_000)))
+            .unwrap();
+        assert_eq!(report.quarantined, vec![victim.clone()]);
+        assert!(sys.catalog.is_quarantined(&victim));
+        assert!(!sys.hv.has_view(&victim), "corrupt copy must be dropped");
+        // A second pass sees a consistent (quarantined) state.
+        let again = sys
+            .audit_pass(&AuditConfig::strict(ByteSize::from_kib(1_000_000)))
+            .unwrap();
+        assert!(again.violations.is_empty());
+        assert!(again.quarantined.is_empty());
+    }
+
+    #[test]
+    fn dangling_catalog_entry_trips_strict_and_counts_in_prod() {
+        let mut sys = audited_system(AuditMode::Strict);
+        sys.run_workload(Variant::HvOp, &queries()).unwrap();
+        let victim = sys.hv.view_names().pop().expect("HV-OP retains views");
+        // Simulate an operator dropping the store copy behind the
+        // catalog's back (not a modeled fault — an invariant breach).
+        sys.hv.remove_view(&victim);
+        let err = sys
+            .audit_pass(&AuditConfig::strict(ByteSize::ZERO))
+            .unwrap_err();
+        assert_eq!(err.layer(), "integrity");
+        assert!(err.message().contains(&victim));
+        let report = sys
+            .audit_pass(&AuditConfig::counting(ByteSize::ZERO))
+            .unwrap();
+        assert_eq!(report.violations.len(), 1);
+    }
+
+    #[test]
+    fn scrub_budget_bounds_work_and_cursor_rotates() {
+        let mut sys = audited_system(AuditMode::Strict);
+        sys.run_workload(Variant::HvOp, &queries()).unwrap();
+        let total = sys.catalog.len() as u64;
+        assert!(total > 1, "need several views to rotate over");
+        // A tiny budget scrubs at least one view per pass but not all.
+        let cfg = AuditConfig::strict(ByteSize::from_bytes(1));
+        let first = sys.audit_pass(&cfg).unwrap();
+        assert!(first.scrubbed_views >= 1);
+        assert!(first.scrubbed_views < total);
+        // Enough passes cover every view despite the tiny budget.
+        let mut covered = first.scrubbed_views;
+        for _ in 0..total {
+            covered += sys.audit_pass(&cfg).unwrap().scrubbed_views;
+        }
+        assert!(covered >= total, "rotation must reach the whole catalog");
+    }
+}

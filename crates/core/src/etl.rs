@@ -167,6 +167,13 @@ fn etl_job(
                 slow = f;
                 None
             }
+            // ETL re-reads the source log on every run, so a corrupt
+            // extraction is indistinguishable from a transient failure:
+            // treat it as one and let the retry loop re-run the job.
+            miso_chaos::Action::Corrupt => Some(MisoError::transient(
+                "etl",
+                "injected ETL output corruption",
+            )),
         };
         let result = match injected {
             Some(e) => Err(e),

@@ -16,7 +16,12 @@
 //! (HV-ONLY, DW-ONLY, MS-BASIC, HV-OP, MS-LRU, MS-OFF, MS-MISO, MS-ORA);
 //! [`metrics`] records the TTI breakdown (HV-EXE / DW-EXE / TRANSFER /
 //! TUNE / ETL) and per-query store utilization behind every figure.
+//!
+//! [`audit`] adds the between-epoch integrity auditor: catalog↔store
+//! invariants plus a budget-bounded checksum scrub feeding the
+//! quarantine/repair loop in [`system`].
 
+pub mod audit;
 pub mod etl;
 pub mod knapsack;
 pub mod maintenance;
@@ -26,6 +31,7 @@ pub mod system;
 pub mod tuner;
 pub mod variants;
 
+pub use audit::{AuditConfig, AuditMode, AuditReport};
 pub use knapsack::{m_knapsack, PackItem, PackResult};
 pub use maintenance::{MaintenancePolicy, MaintenanceReport};
 pub use metrics::{ExperimentResult, QueryRecord, TtiBreakdown};

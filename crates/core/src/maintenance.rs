@@ -222,10 +222,9 @@ impl MultistoreSystem {
                     .stage_cost(scan_bytes, delta_bytes, new_rows.len() as u64);
             // Union into the resident copy.
             if in_dw {
-                let (schema, rows, _) = self
-                    .dw
-                    .evict_view(&def.name)
-                    .ok_or_else(|| MisoError::Store("view vanished".into()))?;
+                let (schema, rows, _) = self.dw.evict_view(&def.name).ok_or_else(|| {
+                    MisoError::integrity(&def.name, "DW copy vanished during refresh")
+                })?;
                 let mut all = rows.as_ref().clone();
                 all.extend(new_rows);
                 let move_cost = self.transfer_model().transfer_cost(delta_bytes)
@@ -239,10 +238,10 @@ impl MultistoreSystem {
                 self.hv
                     .install_view(&def.name, def.schema.clone(), Arc::new(all));
             } else {
-                return Err(MisoError::Store(format!(
-                    "view {} resident nowhere",
-                    def.name
-                )));
+                return Err(MisoError::integrity(
+                    &def.name,
+                    "view resident nowhere at refresh time",
+                ));
             }
             self.bump_view_stats(&def.name)?;
             clock.advance(cost);
@@ -280,25 +279,25 @@ impl MultistoreSystem {
         }
     }
 
-    /// Updates catalog size/rowcount metadata after a refresh.
+    /// Updates catalog size/rowcount metadata — and the authoritative
+    /// content checksum — after a refresh: the refreshed rows are the new
+    /// materialization-time truth (without the re-stamp, the scrubber and
+    /// read-time verification would falsely quarantine every refreshed
+    /// view).
     fn bump_view_stats(&mut self, name: &str) -> Result<()> {
-        let (size, rows) = if let Some(sz) = self.hv.view_size(name) {
-            (
-                sz,
-                self.hv.view_rows(name).map(|r| r.len() as u64).unwrap_or(0),
-            )
-        } else if let Some(sz) = self.dw.view_size(name) {
-            (
-                sz,
-                self.dw
-                    .view_rows_arc(name)
-                    .map(|r| r.len() as u64)
-                    .unwrap_or(0),
-            )
-        } else {
-            return Err(MisoError::Store(format!("view {name} resident nowhere")));
-        };
-        self.catalog.update_stats(name, size, rows);
+        let rows = self
+            .hv
+            .view_rows(name)
+            .or_else(|| self.dw.view_rows_arc(name))
+            .ok_or_else(|| MisoError::integrity(name, "refreshed view resident nowhere"))?;
+        let size = self
+            .hv
+            .view_size(name)
+            .or_else(|| self.dw.view_size(name))
+            .unwrap_or(ByteSize::ZERO);
+        self.catalog.update_stats(name, size, rows.len() as u64);
+        self.catalog
+            .set_checksum(name, miso_data::checksum_rows(&rows));
         Ok(())
     }
 

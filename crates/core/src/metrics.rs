@@ -90,6 +90,8 @@ pub struct ReorgRecord {
     pub moved_to_hv: Vec<String>,
     /// Views dropped from the design entirely.
     pub dropped: Vec<String>,
+    /// Quarantined views recomputed (self-healed) by this phase.
+    pub repaired: Vec<String>,
     /// Bytes moved between the stores.
     pub bytes_moved: ByteSize,
     /// Crash-recovery rounds this phase needed (0 in fault-free runs).

@@ -11,6 +11,7 @@
 //! the [`crate::variants::Variant`] flags select the retention, splitting,
 //! and tuning policies.
 
+use crate::audit::AuditConfig;
 use crate::etl::{rewrite_for_dw, run_etl, DEFAULT_ETL_OVERHEAD};
 use crate::metrics::{ExperimentResult, QueryRecord, ReorgRecord, TtiBreakdown};
 use crate::reorg::{stage_name, JournalEntry, ReorgJournal, ReorgPlan, MAX_REORG_RECOVERIES};
@@ -21,6 +22,7 @@ use miso_common::{
     Budgets, ByteSize, CircuitBreaker, DetRng, MisoError, Result, RetryPolicy, SimClock,
     SimDuration,
 };
+use miso_data::checksum::checksum_rows;
 use miso_data::logs::Corpus;
 use miso_data::Row;
 use miso_dw::{BackgroundSim, DwActivity, DwStore, TableSpace};
@@ -62,6 +64,10 @@ pub struct SystemConfig {
     pub breaker_threshold: u32,
     /// Cooldown before an open DW breaker lets a probe through.
     pub breaker_cooldown: SimDuration,
+    /// Optional between-epoch integrity audit (checksum scrubbing +
+    /// catalog↔store invariants). `None` (the default) skips the auditor
+    /// entirely, keeping fault-free runs byte-identical.
+    pub audit: Option<AuditConfig>,
 }
 
 impl SystemConfig {
@@ -80,6 +86,7 @@ impl SystemConfig {
             retry: RetryPolicy::standard(),
             breaker_threshold: 3,
             breaker_cooldown: SimDuration::from_secs(300),
+            audit: None,
         }
     }
 }
@@ -97,7 +104,7 @@ pub struct MultistoreSystem {
     pub catalog: ViewCatalog,
     udfs: UdfRegistry,
     lang_catalog: miso_lang::Catalog,
-    config: SystemConfig,
+    pub(crate) config: SystemConfig,
     background: Option<BackgroundSim>,
     transfer: TransferModel,
     /// LRU recency order (oldest first) for LRU-managed variants.
@@ -107,6 +114,12 @@ pub struct MultistoreSystem {
     /// Jitter source for retry backoff. Only consulted when a fault
     /// actually fires, so fault-free runs never draw from it.
     retry_rng: DetRng,
+    /// The journal of the most recent reorganization (the auditor checks
+    /// it drained).
+    pub(crate) last_reorg_journal: Option<ReorgJournal>,
+    /// Rotating scrub position over the sorted catalog (the auditor
+    /// resumes where the previous epoch's scrub budget ran out).
+    pub(crate) scrub_cursor: usize,
 }
 
 impl MultistoreSystem {
@@ -135,6 +148,8 @@ impl MultistoreSystem {
             lru: Vec::new(),
             dw_breaker,
             retry_rng: DetRng::new(0x5245_5452),
+            last_reorg_journal: None,
+            scrub_cursor: 0,
         }
     }
 
@@ -410,6 +425,13 @@ impl MultistoreSystem {
                 let reorg = self.apply_tuner(&tuner, &window, clock)?;
                 result.tti.tune += reorg.duration;
                 result.reorgs.push(reorg);
+                // Between-epoch integrity audit: invariants plus a
+                // budget-bounded checksum scrub, charged like tuner work.
+                if let Some(audit_cfg) = self.config.audit.clone() {
+                    let report = self.audit_pass(&audit_cfg)?;
+                    result.tti.tune += report.cost;
+                    clock.advance(report.cost);
+                }
             }
 
             let qid = QueryId(i as u64);
@@ -470,12 +492,21 @@ impl MultistoreSystem {
             obs.push_field("label", miso_obs::FieldValue::Str(label.to_string()));
             obs.push_field("qid", miso_obs::FieldValue::U64(qid.raw()));
         }
-        let available: HashSet<String> = if with_views {
-            self.hv.view_names().into_iter().collect()
-        } else {
-            HashSet::new()
+        let rewrite = loop {
+            let available: HashSet<String> = if with_views {
+                self.hv.view_names().into_iter().collect()
+            } else {
+                HashSet::new()
+            };
+            let rewrite = miso_views::rewrite_with_catalog(raw, &available, &self.catalog);
+            if self.verify_used_views(&rewrite.used).is_empty() {
+                break rewrite;
+            }
+            // A used view failed verification and was quarantined: re-plan
+            // without it. Each pass removes at least one view from the
+            // store, so this terminates.
+            miso_obs::count("query.view_fallback", 1);
         };
-        let rewrite = miso_views::rewrite_with_catalog(raw, &available, &self.catalog);
         let run = self.hv_execute_retry(&rewrite.plan, None, clock, &mut tti.hv_exe)?;
         self.record_bg(DwActivity::Idle, run.cost, clock);
         tti.hv_exe += run.cost;
@@ -576,17 +607,25 @@ impl MultistoreSystem {
             obs.push_field("label", miso_obs::FieldValue::Str(label.to_string()));
             obs.push_field("qid", miso_obs::FieldValue::U64(qid.raw()));
         }
-        let design = self.current_design();
-        let stats = self.build_stats();
-        let planned: PlannedQuery = {
-            let env = OptimizerEnv {
-                stats: &stats,
-                hv: &self.hv.cost_model,
-                dw: &self.dw.cost_model,
-                transfer: &self.transfer,
-                catalog: Some(&self.catalog),
+        let planned: PlannedQuery = loop {
+            let design = self.current_design();
+            let stats = self.build_stats();
+            let planned = {
+                let env = OptimizerEnv {
+                    stats: &stats,
+                    hv: &self.hv.cost_model,
+                    dw: &self.dw.cost_model,
+                    transfer: &self.transfer,
+                    catalog: Some(&self.catalog),
+                };
+                optimize(raw, &design, &env)?
             };
-            optimize(raw, &design, &env)?
+            if self.verify_used_views(&planned.used_views).is_empty() {
+                break planned;
+            }
+            // A planned view failed verification and was quarantined:
+            // re-plan against the shrunken design.
+            miso_obs::count("query.view_fallback", 1);
         };
         let plan = &planned.plan;
         let hv_set: HashSet<_> = planned.split.hv_nodes().iter().copied().collect();
@@ -628,21 +667,46 @@ impl MultistoreSystem {
                 let base_cost = self.hv.dump_cost(bytes)
                     + self.transfer.transfer_cost(bytes)
                     + self.dw.load_cost(bytes);
-                let (raw_cost, waited) = self.ship_attempt(base_cost, clock)?;
-                transfer_time += waited;
-                tti.transfer += waited;
-                let stretched = self.stretch(raw_cost, DwActivity::WorkingSetTransfer, clock);
-                transfer_time += stretched;
-                tti.transfer += stretched;
-                clock.advance(stretched);
-                // Working sets live in temp table space for the query only.
                 let node = plan.node(cut);
-                self.dw.load_view(
-                    &format!("ws_{qid}_{cut}"),
-                    node.schema.clone(),
-                    rows.clone(),
-                    TableSpace::Temporary,
-                );
+                let ws_name = format!("ws_{qid}_{cut}");
+                // The shipment checksum comes free with materialization;
+                // the DW copy is verified after every (re-)load so a
+                // corrupted wire transfer is re-shipped — and re-charged —
+                // rather than silently computed on.
+                let expected = checksum_rows(&rows);
+                let mut ship_tries = 0u32;
+                loop {
+                    let (raw_cost, waited, corrupted) = self.ship_attempt(base_cost, clock)?;
+                    transfer_time += waited;
+                    tti.transfer += waited;
+                    let stretched = self.stretch(raw_cost, DwActivity::WorkingSetTransfer, clock);
+                    transfer_time += stretched;
+                    tti.transfer += stretched;
+                    clock.advance(stretched);
+                    // Working sets live in temp table space for the query
+                    // only.
+                    self.dw.load_view(
+                        &ws_name,
+                        node.schema.clone(),
+                        rows.clone(),
+                        TableSpace::Temporary,
+                    );
+                    if corrupted {
+                        self.dw.corrupt_temp(&ws_name);
+                    }
+                    if self.dw.verify_temp(&ws_name, expected) != Some(false) {
+                        break;
+                    }
+                    miso_obs::count("integrity.checksum_failures", 1);
+                    if ship_tries >= self.config.retry.max_retries {
+                        return Err(MisoError::transient(
+                            "transfer",
+                            "working set corrupted after retries",
+                        ));
+                    }
+                    ship_tries += 1;
+                    miso_obs::count("transfer.reshipped", 1);
+                }
                 if retain_ws {
                     self.retain_working_set(plan, cut, rows.clone(), qid);
                 }
@@ -718,11 +782,17 @@ impl MultistoreSystem {
         let mut obs = miso_obs::span("tuner.reorg");
         miso_obs::count("tuner.reorgs", 1);
         let start = clock.now();
-        let current_hv: BTreeSet<String> = self.hv.view_names().into_iter().collect();
+        let mut current_hv: BTreeSet<String> = self.hv.view_names().into_iter().collect();
         let current_dw: BTreeSet<String> = self.dw.view_names().into_iter().collect();
+        // Self-healing: quarantined views are offered to the tuner as if
+        // they were still HV-resident, so M-KNAPSACK decides whether each
+        // one earns its recompute cost in the new design.
+        let quarantined = self.catalog.quarantined_names();
+        let mut tune_hv = current_hv.clone();
+        tune_hv.extend(quarantined.iter().cloned());
         let stats = self.build_stats();
-        let new_design = tuner.tune(
-            &current_hv,
+        let mut new_design = tuner.tune(
+            &tune_hv,
             &current_dw,
             &self.catalog,
             window,
@@ -731,17 +801,44 @@ impl MultistoreSystem {
             &self.dw.cost_model,
             &self.transfer,
         );
+        let mut duration = self.config.tune_compute;
+        let mut repaired = Vec::new();
+        let mut dropped_pre = Vec::new();
+        for name in &quarantined {
+            if new_design.hv.contains(name) || new_design.dw.contains(name) {
+                // Worth keeping: recompute from base data in HV, charged
+                // to this phase like any other tuner work.
+                match self.recompute_quarantined(name, clock, &mut duration) {
+                    Ok(()) => {
+                        current_hv.insert(name.clone());
+                        repaired.push(name.clone());
+                    }
+                    Err(_) => {
+                        // Recompute failed (e.g. HV unhealthy or the
+                        // defining plan reads a view that is gone): give
+                        // the view up rather than fail the reorg.
+                        new_design.hv.remove(name);
+                        new_design.dw.remove(name);
+                        self.catalog.remove(name);
+                        dropped_pre.push(name.clone());
+                    }
+                }
+            } else {
+                // Not worth its recompute cost: drop it from the catalog.
+                self.catalog.remove(name);
+                dropped_pre.push(name.clone());
+            }
+        }
         // Apply the design through the crash-safe two-phase journal (see
         // the [`crate::reorg`] module docs). Fault-free runs take the same
         // steps, in the same order, with the same charges as a direct
         // apply would.
         let plan = ReorgPlan::diff(&current_hv, &current_dw, &new_design.hv, &new_design.dw);
-        let mut duration = self.config.tune_compute;
         let mut bytes_moved = ByteSize::ZERO;
         let mut journal = ReorgJournal::new();
         let mut recoveries = 0u64;
         let mut rolled_back = false;
-        let (moved_to_dw, moved_to_hv, dropped) = loop {
+        let (moved_to_dw, moved_to_hv, mut dropped) = loop {
             let poll_chaos = recoveries <= MAX_REORG_RECOVERIES;
             match self.reorg_pass(
                 &plan,
@@ -777,6 +874,7 @@ impl MultistoreSystem {
         // The design-computation time itself.
         self.record_bg(DwActivity::Idle, self.config.tune_compute, clock);
         clock.advance(self.config.tune_compute);
+        dropped.extend(dropped_pre);
         miso_obs::count(
             "tuner.views_moved",
             (moved_to_dw.len() + moved_to_hv.len()) as u64,
@@ -801,13 +899,16 @@ impl MultistoreSystem {
                 "duration_us",
                 miso_obs::FieldValue::U64(duration.as_micros()),
             );
+            obs.push_field("repaired", miso_obs::FieldValue::U64(repaired.len() as u64));
         }
+        self.last_reorg_journal = Some(journal);
         Ok(ReorgRecord {
             at: start,
             duration,
             moved_to_dw,
             moved_to_hv,
             dropped,
+            repaired,
             bytes_moved,
             recoveries,
             rolled_back,
@@ -846,18 +947,23 @@ impl MultistoreSystem {
             {
                 continue;
             }
-            let slow = self.reorg_step_poll(poll_chaos, clock, duration)?;
+            let (slow, corrupted) = self.reorg_step_poll(poll_chaos, clock, duration)?;
             let Some(rows) = self.hv.view_rows(name) else {
                 return Err(MisoError::Tuning(format!(
                     "tuner placed `{name}` in DW but no store holds it"
                 )));
             };
-            let schema = self
-                .hv
-                .view_schema(name)
-                .expect("rows imply schema")
-                .clone();
-            let size = self.hv.view_size(name).expect("rows imply size");
+            // Rows resident imply schema/size metadata; if the store lost
+            // one of them mid-reorg that is an integrity violation, not a
+            // panic.
+            let (Some(schema), Some(size)) =
+                (self.hv.view_schema(name).cloned(), self.hv.view_size(name))
+            else {
+                return Err(MisoError::integrity(
+                    name.as_str(),
+                    "HV holds rows for the view but lost its schema/size metadata",
+                ));
+            };
             let mut raw_cost = self.hv.dump_cost(size)
                 + self.transfer.transfer_cost(size)
                 + self.dw.load_cost(size);
@@ -870,6 +976,9 @@ impl MultistoreSystem {
             *bytes_moved += size;
             self.dw
                 .load_view(&stage_name(name), schema, rows, TableSpace::Temporary);
+            if corrupted {
+                self.dw.corrupt_temp(&stage_name(name));
+            }
             if !journal.staged(name) {
                 journal.append(JournalEntry::Staged {
                     view: name.clone(),
@@ -884,7 +993,7 @@ impl MultistoreSystem {
             if journal.applied(name) || (journal.staged(name) && self.hv.has_view(name)) {
                 continue;
             }
-            let slow = self.reorg_step_poll(poll_chaos, clock, duration)?;
+            let (slow, corrupted) = self.reorg_step_poll(poll_chaos, clock, duration)?;
             let (Some(schema), Some(rows), Some(size)) = (
                 self.dw.view_schema(name).cloned(),
                 self.dw.view_rows_arc(name),
@@ -903,6 +1012,9 @@ impl MultistoreSystem {
             clock.advance(stretched);
             *bytes_moved += size;
             self.hv.install_view(name, schema, rows);
+            if corrupted {
+                self.hv.corrupt_view(name);
+            }
             journal.append(JournalEntry::Staged {
                 view: name.clone(),
                 to_dw: false,
@@ -922,24 +1034,35 @@ impl MultistoreSystem {
             if !journal.applied(name) {
                 self.reorg_step_poll(poll_chaos, clock, duration)?;
                 if self.dw.promote_temp(&stage_name(name), name).is_none() {
-                    return Err(MisoError::Tuning(format!(
-                        "reorg staging copy for `{name}` vanished before apply"
-                    )));
+                    return Err(MisoError::integrity(
+                        name.as_str(),
+                        "reorg staging copy vanished before apply",
+                    ));
                 }
-                self.hv.remove_view(name);
+                // Verify the promoted copy against its materialization-time
+                // checksum before dropping the HV source; a torn copy is
+                // evicted and the view simply does not move this phase.
+                if self.verify_moved_copy(name, true) {
+                    self.hv.remove_view(name);
+                }
                 journal.append(JournalEntry::Applied {
                     view: name.clone(),
                     to_dw: true,
                 });
             }
-            moved_to_dw.push(name.clone());
+            if self.dw.has_view(name) {
+                moved_to_dw.push(name.clone());
+            }
         }
         for name in &plan.to_hv {
             if !journal.applied(name) {
                 self.reorg_step_poll(poll_chaos, clock, duration)?;
-                // The copy already sits in HV under the final name; drop
-                // the DW source (a no-op when there was nothing to stage).
-                self.dw.evict_view(name);
+                // The copy already sits in HV under the final name; verify
+                // it survived the wire before dropping the DW source (a
+                // no-op when there was nothing to stage).
+                if self.verify_moved_copy(name, false) {
+                    self.dw.evict_view(name);
+                }
                 journal.append(JournalEntry::Applied {
                     view: name.clone(),
                     to_dw: false,
@@ -992,22 +1115,24 @@ impl MultistoreSystem {
 
     /// Polls the `reorg.step` fail point between journal steps. `Fail` is
     /// retried with backoff (charged to the phase duration); `Delay`
-    /// returns a cost factor for the next movement; `Crash` escapes to the
-    /// recovery loop.
+    /// returns a cost factor for the next movement; `Corrupt` sets the
+    /// flag so the caller corrupts the copy it is about to stage; `Crash`
+    /// escapes to the recovery loop.
     fn reorg_step_poll(
         &mut self,
         poll: bool,
         clock: &mut SimClock,
         duration: &mut SimDuration,
-    ) -> Result<f64> {
+    ) -> Result<(f64, bool)> {
         if !poll {
-            return Ok(1.0);
+            return Ok((1.0, false));
         }
         let mut attempt = 0u32;
         loop {
             match miso_chaos::hit("reorg.step") {
-                miso_chaos::Action::Proceed => return Ok(1.0),
-                miso_chaos::Action::Delay(f) => return Ok(f),
+                miso_chaos::Action::Proceed => return Ok((1.0, false)),
+                miso_chaos::Action::Delay(f) => return Ok((f, false)),
+                miso_chaos::Action::Corrupt => return Ok((1.0, true)),
                 miso_chaos::Action::Crash => return Err(MisoError::crash("tuner", "reorg.step")),
                 miso_chaos::Action::Fail if attempt < self.config.retry.max_retries => {
                     attempt += 1;
@@ -1033,6 +1158,117 @@ impl MultistoreSystem {
                 self.hv.remove_view(view);
             }
         }
+    }
+
+    // ---- Integrity ---------------------------------------------------------
+
+    /// Polls the per-store `*.view_read` corruption points for every view a
+    /// plan is about to serve and — when verify-on-read is enabled — checks
+    /// each stored copy against its materialization-time checksum. Corrupt
+    /// copies are dropped from their store and the view is quarantined in
+    /// the catalog, never to be served again until repaired. Returns the
+    /// quarantined names; an empty list means the plan is safe to run.
+    ///
+    /// With chaos disabled and verify-on-read off this is a store probe
+    /// plus one relaxed atomic load per view — no checksum is recomputed
+    /// on the query path.
+    fn verify_used_views(&mut self, used: &[String]) -> Vec<String> {
+        let mut quarantined = Vec::new();
+        for name in used {
+            let in_dw = self.dw.has_view(name);
+            let point = if in_dw {
+                "dw.view_read"
+            } else {
+                "hv.view_read"
+            };
+            if let miso_chaos::Action::Corrupt = miso_chaos::hit(point) {
+                if in_dw {
+                    self.dw.corrupt_view(name);
+                } else {
+                    self.hv.corrupt_view(name);
+                }
+            }
+            if !miso_common::integrity::verify_on_read() {
+                continue;
+            }
+            let Some(expected) = self.catalog.get(name).and_then(|d| d.checksum) else {
+                continue;
+            };
+            let bad = self.hv.verify_view(name, expected) == Some(false)
+                || self.dw.verify_view(name, expected) == Some(false);
+            if bad {
+                self.quarantine_view(name);
+                quarantined.push(name.clone());
+            }
+        }
+        quarantined
+    }
+
+    /// Drops every stored copy of a corrupt view and quarantines it in the
+    /// catalog (shared by read-time verification and the scrubber).
+    pub(crate) fn quarantine_view(&mut self, name: &str) {
+        miso_obs::count("integrity.checksum_failures", 1);
+        self.hv.remove_view(name);
+        self.dw.evict_view(name);
+        if self.catalog.quarantine(name) {
+            miso_obs::count("integrity.quarantined", 1);
+        }
+    }
+
+    /// Verifies a view copy that just crossed a store boundary against its
+    /// materialization-time checksum. On mismatch the torn copy is dropped
+    /// (the counter ticks) and `false` comes back so the caller keeps the
+    /// surviving source in place. Views without a recorded checksum pass.
+    fn verify_moved_copy(&mut self, name: &str, in_dw: bool) -> bool {
+        let Some(expected) = self.catalog.get(name).and_then(|d| d.checksum) else {
+            return true;
+        };
+        let ok = if in_dw {
+            self.dw.verify_view(name, expected)
+        } else {
+            self.hv.verify_view(name, expected)
+        };
+        if ok == Some(false) {
+            miso_obs::count("integrity.checksum_failures", 1);
+            if in_dw {
+                self.dw.evict_view(name);
+            } else {
+                self.hv.remove_view(name);
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Recomputes a quarantined view from its defining plan in HV,
+    /// reinstalls the fresh copy with a fresh checksum, and lifts the
+    /// quarantine. The HV compute cost is charged to the reorganization
+    /// phase (`duration`) and the simulated clock.
+    fn recompute_quarantined(
+        &mut self,
+        name: &str,
+        clock: &mut SimClock,
+        duration: &mut SimDuration,
+    ) -> Result<()> {
+        let def =
+            self.catalog.get(name).cloned().ok_or_else(|| {
+                MisoError::integrity(name, "quarantined view missing from catalog")
+            })?;
+        let run = self.hv.execute(&def.plan, None, &self.udfs)?;
+        let rows: Arc<Vec<Row>> = Arc::new(run.execution.root_rows()?.to_vec());
+        self.record_bg(DwActivity::Idle, run.cost, clock);
+        *duration += run.cost;
+        clock.advance(run.cost);
+        let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
+        let checksum = checksum_rows(&rows);
+        let row_count = rows.len() as u64;
+        self.hv.install_view(name, def.schema.clone(), rows);
+        self.catalog.set_checksum(name, checksum);
+        self.catalog.update_stats(name, size, row_count);
+        self.catalog.clear_quarantine(name);
+        miso_obs::count("integrity.repaired", 1);
+        self.lru_touch(name);
+        Ok(())
     }
 
     // ---- Shared plumbing ---------------------------------------------------
@@ -1080,16 +1316,25 @@ impl MultistoreSystem {
             let name = fps[&m.node].view_name();
             if self.catalog.contains(&name) {
                 // Same semantics already known; refresh HV residency if the
-                // contents were dropped from both stores (can't happen: the
-                // catalog only keeps resident views).
+                // contents were dropped from both stores — which happens
+                // exactly when the view was quarantined (or lost) and this
+                // query just recomputed it as a by-product: the free
+                // self-healing path.
                 if !self.hv.has_view(&name) && !self.dw.has_view(&name) {
                     self.hv
                         .install_view(&name, m.schema.clone(), m.rows.clone());
+                    self.catalog.set_checksum(&name, checksum_rows(&m.rows));
+                    self.catalog
+                        .update_stats(&name, m.size, m.rows.len() as u64);
+                    if self.catalog.clear_quarantine(&name) {
+                        miso_obs::count("integrity.repaired", 1);
+                    }
                     self.lru_touch(&name);
                 }
                 continue;
             }
-            let def = ViewDef::from_plan(plan.subplan(m.node), m.size, m.rows.len() as u64, qid);
+            let def = ViewDef::from_plan(plan.subplan(m.node), m.size, m.rows.len() as u64, qid)
+                .with_checksum(checksum_rows(&m.rows));
             debug_assert_eq!(def.name, name, "fingerprint consistency");
             self.catalog.register(def);
             self.hv
@@ -1160,7 +1405,8 @@ impl MultistoreSystem {
         let schema = plan.node(node).schema.clone();
         let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
         if !self.catalog.contains(&name) {
-            let def = ViewDef::from_plan(plan.subplan(node), size, rows.len() as u64, qid);
+            let def = ViewDef::from_plan(plan.subplan(node), size, rows.len() as u64, qid)
+                .with_checksum(checksum_rows(&rows));
             self.catalog.register(def);
         }
         self.dw
@@ -1214,18 +1460,20 @@ impl MultistoreSystem {
 
     /// Polls the `transfer.ship` fail point, retrying injected transient
     /// failures with backoff. Returns `(transfer cost to charge, backoff
-    /// time already waited)`; the caller charges both.
+    /// time already waited, corrupted-in-flight flag)`; the caller charges
+    /// the first two and verifies/re-ships when the flag is set.
     fn ship_attempt(
         &mut self,
         base: SimDuration,
         clock: &mut SimClock,
-    ) -> Result<(SimDuration, SimDuration)> {
+    ) -> Result<(SimDuration, SimDuration, bool)> {
         let mut attempt = 0u32;
         let mut waited = SimDuration::ZERO;
         loop {
             match miso_chaos::hit("transfer.ship") {
-                miso_chaos::Action::Proceed => return Ok((base, waited)),
-                miso_chaos::Action::Delay(f) => return Ok((base * f, waited)),
+                miso_chaos::Action::Proceed => return Ok((base, waited, false)),
+                miso_chaos::Action::Delay(f) => return Ok((base * f, waited, false)),
+                miso_chaos::Action::Corrupt => return Ok((base, waited, true)),
                 miso_chaos::Action::Crash => {
                     return Err(MisoError::crash("transfer", "transfer.ship"))
                 }

@@ -1,0 +1,269 @@
+//! Content checksums for materialized row sets.
+//!
+//! A [`Checksum`] digests the *multiset* of rows in a materialized view —
+//! order-insensitive, because a recomputed view is semantically the same
+//! set of tuples even when the execution engine emits them in a different
+//! order. Each row is digested with the same FNV-1a/64 tagged pre-order
+//! encoding the plan fingerprints use (stable across processes and
+//! platforms), and the per-row digests are combined with a commutative
+//! wrapping sum before a final mix that binds the row count.
+//!
+//! The checksum is computed once at materialization time, carried next to
+//! the stored rows, and re-verified on demand (view reads, post-transfer,
+//! post-promote, scrubbing). A mismatch means the stored bytes no longer
+//! agree with what was materialized — silent corruption.
+
+use crate::value::{Row, Value};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+/// Incremental FNV-1a/64 (same constants as the plan fingerprints).
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 ^= b as u64;
+        self.0 = self.0.wrapping_mul(FNV_PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.bytes(s.as_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// A 64-bit content digest of a row multiset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Checksum(pub u64);
+
+impl std::fmt::Display for Checksum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Digest of one row: FNV-1a over a tagged pre-order value encoding.
+pub fn checksum_row(row: &Row) -> u64 {
+    let mut h = Fnv::new();
+    h.u64(row.arity() as u64);
+    for v in row.values() {
+        digest_value(v, &mut h);
+    }
+    h.finish()
+}
+
+/// Content checksum of a row multiset: order-insensitive (wrapping sum of
+/// per-row digests), row-count-binding (the count is mixed into the final
+/// digest, so dropped duplicates are detected).
+pub fn checksum_rows(rows: &[Row]) -> Checksum {
+    let mut acc: u64 = 0;
+    for row in rows {
+        acc = acc.wrapping_add(checksum_row(row));
+    }
+    let mut h = Fnv::new();
+    h.u64(acc);
+    h.u64(rows.len() as u64);
+    Checksum(h.finish())
+}
+
+/// Silently flips one value in the first non-empty row (simulated bit
+/// rot for chaos testing). The mutation is chosen so the multiset
+/// checksum is guaranteed to change: booleans invert, ints flip their low
+/// bit, strings grow a byte, and every other type degrades to a different
+/// type tag. Returns whether anything changed (no non-empty row → `false`).
+///
+/// Takes the shared `Arc` the stores keep rows behind; copy-on-write via
+/// [`Arc::make_mut`] mirrors a corrupted replica diverging from the copy a
+/// transfer already shipped.
+pub fn corrupt_first_row(rows: &mut std::sync::Arc<Vec<Row>>) -> bool {
+    let Some(idx) = rows.iter().position(|r| r.arity() > 0) else {
+        return false;
+    };
+    let mut values = rows[idx].values().to_vec();
+    values[0] = flip_value(&values[0]);
+    std::sync::Arc::make_mut(rows)[idx] = Row::new(values);
+    true
+}
+
+fn flip_value(v: &Value) -> Value {
+    match v {
+        Value::Null => Value::Int(1),
+        Value::Bool(b) => Value::Bool(!b),
+        Value::Int(i) => Value::Int(i ^ 1),
+        Value::Float(f) => Value::Int(f.to_bits() as i64),
+        Value::Str(s) => Value::Str(format!("{s}\u{1a}")),
+        Value::Array(_) | Value::Object(_) => Value::Null,
+    }
+}
+
+fn digest_value(v: &Value, h: &mut Fnv) {
+    match v {
+        Value::Null => h.byte(0),
+        Value::Bool(b) => {
+            h.byte(1);
+            h.byte(*b as u8);
+        }
+        Value::Int(i) => {
+            h.byte(2);
+            h.u64(*i as u64);
+        }
+        Value::Float(f) => {
+            h.byte(3);
+            // Normalize like Value's Hash: signed zero collapses, and NaN
+            // (which equals itself under the total order) gets one bit
+            // pattern.
+            let bits = if *f == 0.0 {
+                0
+            } else if f.is_nan() {
+                f64::NAN.to_bits()
+            } else {
+                f.to_bits()
+            };
+            h.u64(bits);
+        }
+        Value::Str(s) => {
+            h.byte(4);
+            h.str(s);
+        }
+        Value::Array(items) => {
+            h.byte(5);
+            h.u64(items.len() as u64);
+            for item in items {
+                digest_value(item, h);
+            }
+        }
+        Value::Object(fields) => {
+            h.byte(6);
+            h.u64(fields.len() as u64);
+            for (k, val) in fields {
+                h.str(k);
+                digest_value(val, h);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(vals: Vec<Value>) -> Row {
+        Row::new(vals)
+    }
+
+    #[test]
+    fn empty_and_nonempty_differ() {
+        let a = checksum_rows(&[]);
+        let b = checksum_rows(&[row(vec![Value::Int(1)])]);
+        assert_ne!(a, b);
+        assert_eq!(a, checksum_rows(&[]));
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let r1 = row(vec![Value::Int(1), Value::str("a")]);
+        let r2 = row(vec![Value::Int(2), Value::str("b")]);
+        let r3 = row(vec![Value::Null, Value::Float(0.5)]);
+        let fwd = checksum_rows(&[r1.clone(), r2.clone(), r3.clone()]);
+        let rev = checksum_rows(&[r3, r1, r2]);
+        assert_eq!(fwd, rev, "row order must not change the checksum");
+    }
+
+    #[test]
+    fn single_value_flip_is_detected() {
+        let clean = vec![
+            row(vec![Value::str("city"), Value::Int(10)]),
+            row(vec![Value::str("town"), Value::Int(20)]),
+        ];
+        let mut bad = clean.clone();
+        bad[0] = row(vec![Value::str("city"), Value::Int(11)]);
+        assert_ne!(checksum_rows(&clean), checksum_rows(&bad));
+    }
+
+    #[test]
+    fn multiplicity_matters() {
+        let r = row(vec![Value::Int(7)]);
+        let once = checksum_rows(&[r.clone()]);
+        let twice = checksum_rows(&[r.clone(), r]);
+        assert_ne!(once, twice, "dropped duplicates must be detected");
+    }
+
+    #[test]
+    fn float_normalization_matches_value_equality() {
+        let pos = row(vec![Value::Float(0.0)]);
+        let neg = row(vec![Value::Float(-0.0)]);
+        assert_eq!(checksum_rows(&[pos]), checksum_rows(&[neg]));
+        let nan1 = row(vec![Value::Float(f64::NAN)]);
+        let nan2 = row(vec![Value::Float(-f64::NAN)]);
+        assert_eq!(checksum_rows(&[nan1]), checksum_rows(&[nan2]));
+    }
+
+    #[test]
+    fn corrupt_first_row_always_changes_the_checksum() {
+        use std::sync::Arc;
+        let cases: Vec<Vec<Row>> = vec![
+            vec![row(vec![Value::Null])],
+            vec![row(vec![Value::Bool(false)])],
+            vec![row(vec![Value::Int(0)])],
+            vec![row(vec![Value::Float(2.5)])],
+            vec![row(vec![Value::str("abc")])],
+            vec![row(vec![Value::Array(vec![Value::Int(1)])])],
+            vec![row(vec![]), row(vec![Value::Int(9), Value::str("x")])],
+        ];
+        for rows in cases {
+            let before = checksum_rows(&rows);
+            let mut arc = Arc::new(rows);
+            let shared = arc.clone();
+            assert!(corrupt_first_row(&mut arc));
+            assert_ne!(checksum_rows(&arc), before, "flip went undetected: {arc:?}");
+            assert_eq!(
+                checksum_rows(&shared),
+                before,
+                "copy-on-write must not touch prior readers"
+            );
+        }
+        let mut empty: Arc<Vec<Row>> = Arc::new(vec![]);
+        assert!(!corrupt_first_row(&mut empty));
+        let mut zero_arity = Arc::new(vec![row(vec![])]);
+        assert!(!corrupt_first_row(&mut zero_arity));
+    }
+
+    #[test]
+    fn stable_literal_digest() {
+        // Pin the digest of a fixed multiset: this value must never change
+        // across processes, platforms, or refactors, or persisted checksums
+        // would all report corruption after an upgrade.
+        let rows = vec![
+            row(vec![
+                Value::str("austin"),
+                Value::Int(42),
+                Value::Float(0.25),
+            ]),
+            row(vec![Value::Null, Value::Bool(true), Value::str("x")]),
+        ];
+        let c = checksum_rows(&rows);
+        assert_eq!(c, checksum_rows(&rows.clone()));
+        assert_eq!(format!("{c}").len(), 16);
+        assert_eq!(c.0, 0xf73e_b8cd_f37b_530a, "checksum encoding changed");
+    }
+}

@@ -16,11 +16,13 @@
 //! * [`stats`] — lightweight column statistics feeding cardinality
 //!   estimation in `miso-plan`.
 
+pub mod checksum;
 pub mod json;
 pub mod logs;
 pub mod schema;
 pub mod stats;
 pub mod value;
 
+pub use checksum::{checksum_rows, Checksum};
 pub use schema::{DataType, Field, Schema};
 pub use value::{Row, Value};

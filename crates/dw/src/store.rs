@@ -3,6 +3,7 @@
 use crate::cost::DwCostModel;
 use miso_common::ids::NodeId;
 use miso_common::{ByteSize, MisoError, Result, SimDuration};
+use miso_data::checksum::{checksum_rows, corrupt_first_row, Checksum};
 use miso_data::{Row, Schema};
 use miso_exec::engine::{execute_subset, DataSource, Execution};
 use miso_exec::UdfRegistry;
@@ -25,6 +26,10 @@ struct StoredView {
     schema: Schema,
     rows: Arc<Vec<Row>>,
     size: ByteSize,
+    /// Content checksum recorded at load time. Never updated by
+    /// [`DwStore::corrupt_view`]/[`DwStore::corrupt_temp`] — verification
+    /// compares the stored bytes against this load-time truth.
+    checksum: Checksum,
 }
 
 /// The result of executing a (partial) plan in DW.
@@ -62,7 +67,13 @@ impl DwStore {
     ) -> (ByteSize, SimDuration) {
         let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
         let cost = self.cost_model.load_cost(size);
-        let stored = StoredView { schema, rows, size };
+        let checksum = checksum_rows(&rows);
+        let stored = StoredView {
+            schema,
+            rows,
+            size,
+            checksum,
+        };
         match space {
             TableSpace::Permanent => self.permanent.insert(name.to_string(), stored),
             TableSpace::Temporary => self.temporary.insert(name.to_string(), stored),
@@ -120,6 +131,56 @@ impl DwStore {
         self.permanent.get(name).map(|v| &v.schema)
     }
 
+    /// A permanent view's load-time content checksum.
+    pub fn view_checksum(&self, name: &str) -> Option<Checksum> {
+        self.permanent.get(name).map(|v| v.checksum)
+    }
+
+    /// Recomputes a permanent view's checksum and compares it to
+    /// `expected`; `None` when absent. Reads every row — callers charge
+    /// scrub/verify cost accordingly.
+    pub fn verify_view(&self, name: &str, expected: Checksum) -> Option<bool> {
+        self.permanent
+            .get(name)
+            .map(|v| checksum_rows(&v.rows) == expected)
+    }
+
+    /// Recomputes a temporary table's checksum (staged working set or
+    /// reorg staging copy) and compares it to `expected`; `None` when
+    /// absent.
+    pub fn verify_temp(&self, name: &str, expected: Checksum) -> Option<bool> {
+        self.temporary
+            .get(name)
+            .map(|v| checksum_rows(&v.rows) == expected)
+    }
+
+    /// Silently flips a value in a permanent view's first row (chaos
+    /// corruption); the recorded checksum is left untouched. Returns
+    /// whether anything changed.
+    pub fn corrupt_view(&mut self, name: &str) -> bool {
+        let Some(view) = self.permanent.get_mut(name) else {
+            return false;
+        };
+        corrupt_first_row(&mut view.rows)
+    }
+
+    /// Silently flips a value in a temporary table's first row (a torn
+    /// transfer of a working set or staging copy).
+    pub fn corrupt_temp(&mut self, name: &str) -> bool {
+        let Some(view) = self.temporary.get_mut(name) else {
+            return false;
+        };
+        corrupt_first_row(&mut view.rows)
+    }
+
+    /// Temporary table names (sorted) — must be empty between queries and
+    /// outside reorganizations; the auditor checks for dangling entries.
+    pub fn temp_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.temporary.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     /// Total permanent view bytes (checked against `B_d` by the tuner).
     pub fn total_view_bytes(&self) -> ByteSize {
         self.permanent.values().map(|v| v.size).sum()
@@ -164,6 +225,9 @@ impl DwStore {
             }
             miso_chaos::Action::Crash => return Err(MisoError::crash("dw", "dw.execute")),
             miso_chaos::Action::Delay(f) => chaos_slow = f,
+            // Corruption targets stored copies (view_read points), not
+            // execution: a corrupt action here is a no-op.
+            miso_chaos::Action::Corrupt => {}
         }
         // DW cannot scan raw logs or run UDFs.
         for node in plan.nodes() {
@@ -434,6 +498,34 @@ mod tests {
         dw.clear_temp();
         assert!(dw.promote_temp("missing", "w").is_none());
         assert!(!dw.has_view("w"));
+    }
+
+    #[test]
+    fn checksums_survive_promotion_and_catch_corruption() {
+        let mut dw = DwStore::new();
+        dw.load_view("reorg_stage_v", schema(), rows(8), TableSpace::Temporary);
+        let expected = checksum_rows(&rows(8));
+        assert_eq!(dw.verify_temp("reorg_stage_v", expected), Some(true));
+        dw.promote_temp("reorg_stage_v", "v").unwrap();
+        assert_eq!(dw.view_checksum("v"), Some(expected));
+        assert_eq!(dw.verify_view("v", expected), Some(true));
+
+        assert!(dw.corrupt_view("v"));
+        assert_eq!(
+            dw.view_checksum("v"),
+            Some(expected),
+            "corruption is silent"
+        );
+        assert_eq!(dw.verify_view("v", expected), Some(false));
+        assert_eq!(dw.verify_view("missing", expected), None);
+
+        dw.load_view("ws", schema(), rows(3), TableSpace::Temporary);
+        assert_eq!(dw.temp_names(), vec!["ws".to_string()]);
+        assert!(dw.corrupt_temp("ws"));
+        assert_eq!(dw.verify_temp("ws", checksum_rows(&rows(3))), Some(false));
+        assert!(!dw.corrupt_temp("missing"));
+        dw.clear_temp();
+        assert!(dw.temp_names().is_empty());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::cost::HvCostModel;
 use crate::stages::{compile_stages, Stage};
 use miso_common::ids::NodeId;
 use miso_common::{ByteSize, MisoError, Result, SimDuration};
+use miso_data::checksum::{checksum_rows, corrupt_first_row, Checksum};
 use miso_data::logs::LogFile;
 use miso_data::{Row, Schema};
 use miso_exec::engine::{execute_subset, DataSource, Execution};
@@ -19,6 +20,10 @@ struct StoredView {
     schema: Schema,
     rows: Arc<Vec<Row>>,
     size: ByteSize,
+    /// Content checksum recorded when the view was installed. Deliberately
+    /// *not* updated by [`HvStore::corrupt_view`]: it is the install-time
+    /// truth that verification compares the bytes against.
+    checksum: Checksum,
 }
 
 /// One stage output captured during execution — an opportunistic view
@@ -95,11 +100,20 @@ impl HvStore {
         self.logs.values().map(|l| l.size).sum()
     }
 
-    /// Installs (or replaces) a materialized view.
+    /// Installs (or replaces) a materialized view, recording its content
+    /// checksum (part of the write cost, like any storage-level CRC).
     pub fn install_view(&mut self, name: &str, schema: Schema, rows: Arc<Vec<Row>>) -> ByteSize {
         let size = ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum());
-        self.views
-            .insert(name.to_string(), StoredView { schema, rows, size });
+        let checksum = checksum_rows(&rows);
+        self.views.insert(
+            name.to_string(),
+            StoredView {
+                schema,
+                rows,
+                size,
+                checksum,
+            },
+        );
         size
     }
 
@@ -134,6 +148,31 @@ impl HvStore {
             .get(name)
             .map(|v| v.rows.as_slice())
             .ok_or_else(|| MisoError::Store(format!("HV has no view `{name}`")))
+    }
+
+    /// A view's install-time content checksum.
+    pub fn view_checksum(&self, name: &str) -> Option<Checksum> {
+        self.views.get(name).map(|v| v.checksum)
+    }
+
+    /// Recomputes the stored rows' checksum and compares it to `expected`.
+    /// `None` when the view is absent. This reads every row — callers
+    /// charge scrub/verify cost accordingly.
+    pub fn verify_view(&self, name: &str, expected: Checksum) -> Option<bool> {
+        self.views
+            .get(name)
+            .map(|v| checksum_rows(&v.rows) == expected)
+    }
+
+    /// Silently flips a value in the view's first row (chaos corruption).
+    /// The recorded install-time checksum is left untouched — that is the
+    /// point: only re-verification can notice. Returns whether anything
+    /// changed (empty or absent views cannot be corrupted).
+    pub fn corrupt_view(&mut self, name: &str) -> bool {
+        let Some(view) = self.views.get_mut(name) else {
+            return false;
+        };
+        corrupt_first_row(&mut view.rows)
     }
 
     /// Total bytes of stored views.
@@ -181,6 +220,9 @@ impl HvStore {
             }
             miso_chaos::Action::Crash => return Err(MisoError::crash("hv", "hv.execute")),
             miso_chaos::Action::Delay(f) => chaos_slow = f,
+            // Corruption targets stored copies (view_read points), not
+            // execution: a corrupt action here is a no-op.
+            miso_chaos::Action::Corrupt => {}
         }
         // Validate scans up-front for a clean store-level error.
         for node in plan.nodes() {
@@ -364,6 +406,25 @@ mod tests {
         assert_eq!(s.remove_view("v_test"), Some(size));
         assert!(!s.has_view("v_test"));
         assert_eq!(s.total_view_bytes(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn checksum_recorded_and_corruption_detected() {
+        let mut s = store();
+        let rows = Arc::new(vec![Row::new(vec![miso_data::Value::Int(1)])]);
+        let schema = Schema::new(vec![miso_data::Field::new("x", miso_data::DataType::Int)]);
+        s.install_view("v_test", schema, rows);
+        let recorded = s.view_checksum("v_test").unwrap();
+        assert_eq!(s.verify_view("v_test", recorded), Some(true));
+        assert!(s.corrupt_view("v_test"));
+        assert_eq!(
+            s.view_checksum("v_test"),
+            Some(recorded),
+            "corruption is silent: the recorded checksum must not move"
+        );
+        assert_eq!(s.verify_view("v_test", recorded), Some(false));
+        assert_eq!(s.verify_view("v_missing", recorded), None);
+        assert!(!s.corrupt_view("v_missing"));
     }
 
     #[test]

@@ -8,9 +8,9 @@
 
 use miso_common::ids::QueryId;
 use miso_common::ByteSize;
-use miso_data::Schema;
+use miso_data::{Checksum, Schema};
 use miso_plan::{Fingerprint, LogicalPlan};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Metadata for one opportunistic view.
 #[derive(Debug, Clone)]
@@ -29,6 +29,10 @@ pub struct ViewDef {
     pub rows: u64,
     /// The query whose execution produced this view.
     pub created_by: QueryId,
+    /// Content checksum of the materialized rows at creation time (the
+    /// authoritative value every stored copy must verify against). `None`
+    /// for definitions built before materialization finished.
+    pub checksum: Option<Checksum>,
 }
 
 impl ViewDef {
@@ -44,14 +48,26 @@ impl ViewDef {
             size,
             rows,
             created_by,
+            checksum: None,
         }
+    }
+
+    /// Attaches the materialization-time content checksum (builder style).
+    pub fn with_checksum(mut self, checksum: Checksum) -> Self {
+        self.checksum = Some(checksum);
+        self
     }
 }
 
 /// All views known to the tuner, keyed by canonical name.
+///
+/// Views whose stored content failed checksum verification are
+/// **quarantined**: they stay registered (so the tuner can weigh
+/// recomputing them) but must never be served to a query until repaired.
 #[derive(Debug, Clone, Default)]
 pub struct ViewCatalog {
     views: HashMap<String, ViewDef>,
+    quarantined: BTreeSet<String>,
 }
 
 impl ViewCatalog {
@@ -72,7 +88,44 @@ impl ViewCatalog {
 
     /// Removes a view (it no longer exists in any store).
     pub fn remove(&mut self, name: &str) -> Option<ViewDef> {
+        self.quarantined.remove(name);
         self.views.remove(name)
+    }
+
+    /// Marks a registered view as quarantined: its stored content failed
+    /// verification and it must not be served until repaired. Returns
+    /// whether the view was known (unknown names are not tracked).
+    pub fn quarantine(&mut self, name: &str) -> bool {
+        if self.views.contains_key(name) {
+            self.quarantined.insert(name.to_string());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether `name` is quarantined.
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.quarantined.contains(name)
+    }
+
+    /// Lifts a quarantine after the view was repaired (recomputed and
+    /// re-verified). Returns whether the view had been quarantined.
+    pub fn clear_quarantine(&mut self, name: &str) -> bool {
+        self.quarantined.remove(name)
+    }
+
+    /// All quarantined names, sorted.
+    pub fn quarantined_names(&self) -> Vec<String> {
+        self.quarantined.iter().cloned().collect()
+    }
+
+    /// Records the authoritative content checksum for a view; no-op when
+    /// the view is unknown.
+    pub fn set_checksum(&mut self, name: &str, checksum: Checksum) {
+        if let Some(def) = self.views.get_mut(name) {
+            def.checksum = Some(checksum);
+        }
     }
 
     /// Look up a view by name.
@@ -201,6 +254,42 @@ mod tests {
         assert!(names[0] < names[1]);
         assert_eq!(cat.total_size(&names), ByteSize::from_kib(20));
         assert_eq!(cat.total_size(&["missing".to_string()]), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn quarantine_lifecycle() {
+        let mut cat = ViewCatalog::new();
+        let d = def(3);
+        let name = d.name.clone();
+        cat.register(d);
+        assert!(!cat.is_quarantined(&name));
+        assert!(!cat.quarantine("unknown"), "unknown views are not tracked");
+        assert!(cat.quarantine(&name));
+        assert!(cat.is_quarantined(&name));
+        assert_eq!(cat.quarantined_names(), vec![name.clone()]);
+        assert!(cat.clear_quarantine(&name));
+        assert!(!cat.is_quarantined(&name));
+        cat.quarantine(&name);
+        cat.remove(&name);
+        assert!(
+            cat.quarantined_names().is_empty(),
+            "removal clears quarantine"
+        );
+    }
+
+    #[test]
+    fn checksum_attach_and_update() {
+        use miso_data::checksum::checksum_rows;
+        let mut cat = ViewCatalog::new();
+        let d = def(4);
+        let name = d.name.clone();
+        assert!(d.checksum.is_none());
+        cat.register(d);
+        let c = checksum_rows(&[]);
+        cat.set_checksum(&name, c);
+        assert_eq!(cat.get(&name).unwrap().checksum, Some(c));
+        let d2 = def(5).with_checksum(c);
+        assert_eq!(d2.checksum, Some(c));
     }
 
     #[test]

@@ -19,4 +19,7 @@ cargo test -q
 echo "==> chaos smoke (seeded fault injection)"
 cargo run --release -q -p miso-bench --bin chaos
 
+echo "==> integrity smoke (seeded silent corruption)"
+cargo run --release -q -p miso-bench --bin integrity
+
 echo "ci: all checks passed"

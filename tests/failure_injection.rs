@@ -1,6 +1,13 @@
 //! Failure-injection and edge-condition tests: the system must degrade
 //! gracefully, never corrupt results, and report precise errors.
+//!
+//! Faults with a registry fail point are injected through `miso::chaos`;
+//! the remaining tests hand-shape conditions the registry cannot express
+//! (malformed input data, missing logs, misconfigured UDFs).
 
+use std::sync::Mutex;
+
+use miso::chaos::{FaultKind, FaultPlan, FaultRule, Trigger};
 use miso::common::{Budgets, ByteSize};
 use miso::core::{MultistoreSystem, SystemConfig, Variant};
 use miso::data::logs::{Corpus, LogFile, LogKind, LogsConfig};
@@ -8,6 +15,20 @@ use miso::exec::engine::execute;
 use miso::exec::MemSource;
 use miso::lang::compile;
 use miso::workload::{standard_udfs, workload_catalog};
+
+/// The chaos registry and verify-on-read switch are process-global, so
+/// the injection tests below serialize on this lock and restore both via
+/// `ChaosGuard` (including on panic).
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+struct ChaosGuard;
+
+impl Drop for ChaosGuard {
+    fn drop(&mut self) {
+        miso::chaos::disable();
+        miso::common::integrity::set_verify_on_read(false);
+    }
+}
 
 fn budgets() -> Budgets {
     Budgets::new(
@@ -222,6 +243,114 @@ fn degenerate_budgets_still_run() {
     for reorg in &result.reorgs {
         assert!(reorg.moved_to_dw.is_empty());
     }
+}
+
+/// The registry-driven sibling of `missing_log_is_a_store_error_not_a_panic`:
+/// where a fail point exists (`hv.execute`), faults are injected through
+/// the chaos registry instead of being hand-shaped, and still surface as
+/// a precise layered error once retries are exhausted — never a panic.
+#[test]
+fn injected_hv_outage_is_a_transient_error_not_a_panic() {
+    let _lock = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = ChaosGuard;
+    miso::chaos::disable();
+
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let catalog = workload_catalog();
+    let q = compile(
+        "SELECT COUNT(*) AS n FROM twitter t WHERE t.tweet_id >= 0",
+        &catalog,
+    )
+    .unwrap();
+    miso::chaos::install(FaultPlan::seeded(11).with_rule(FaultRule::new(
+        "hv.execute",
+        FaultKind::Error,
+        Trigger::Always,
+    )));
+    let mut sys = MultistoreSystem::new(
+        &corpus,
+        catalog,
+        standard_udfs(),
+        SystemConfig::paper_default(budgets()),
+    );
+    let err = sys
+        .run_workload(Variant::HvOnly, &[("q".into(), q)])
+        .unwrap_err();
+    let attempts = miso::chaos::hit_count("hv.execute");
+    assert_eq!(err.layer(), "transient");
+    assert!(err.to_string().contains("HV"), "{err}");
+    assert!(
+        attempts > 1,
+        "a hard outage must be retried before surfacing ({attempts} attempts)"
+    );
+}
+
+/// The registry-driven sibling of `corrupted_log_lines_are_skipped_not_fatal`:
+/// mangled *input* lines are skipped at parse time, while silent corruption
+/// of a *stored view* (injected via the `corrupt` chaos kind) is caught by
+/// read-time verification, quarantined, and recomputed — either way every
+/// served answer stays correct.
+#[test]
+fn injected_view_corruption_is_quarantined_and_answers_stay_correct() {
+    let _lock = CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let _guard = ChaosGuard;
+    miso::chaos::disable();
+    miso_obs::init(miso_obs::ObsConfig::ring(4096));
+    miso_obs::reset_metrics();
+
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let catalog = workload_catalog();
+    let q = compile(
+        "SELECT t.city AS c, COUNT(*) AS n FROM twitter t WHERE t.followers > 1 GROUP BY t.city",
+        &catalog,
+    )
+    .unwrap();
+    let queries: Vec<_> = (0..3).map(|i| (format!("q{i}"), q.clone())).collect();
+    let system = || {
+        MultistoreSystem::new(
+            &corpus,
+            workload_catalog(),
+            standard_udfs(),
+            SystemConfig::paper_default(budgets()),
+        )
+    };
+    let clean = system().run_workload(Variant::HvOp, &queries).unwrap();
+
+    // Corrupt the first stored-view read; q0 harvests the view, q1 trips
+    // verification and must fall back to recomputing from the raw logs.
+    miso::common::integrity::set_verify_on_read(true);
+    miso::chaos::install(FaultPlan::seeded(5).with_rule(FaultRule::new(
+        "hv.view_read",
+        FaultKind::Corrupt,
+        Trigger::UpTo(1),
+    )));
+    let mut sys = system();
+    let faulted = sys
+        .run_workload(Variant::HvOp, &queries)
+        .expect("corruption must be quarantined, not fatal");
+
+    let rows = |r: &miso::core::ExperimentResult| -> Vec<u64> {
+        r.records.iter().map(|rec| rec.result_rows).collect()
+    };
+    assert_eq!(
+        rows(&clean),
+        rows(&faulted),
+        "a corrupted stored view leaked into an answer"
+    );
+    let snap = miso_obs::snapshot();
+    let counter = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+    assert!(
+        counter("integrity.checksum_failures") >= 1,
+        "the injected corruption went undetected"
+    );
+    assert_eq!(
+        counter("integrity.checksum_failures"),
+        counter("integrity.quarantined")
+    );
+    assert!(
+        sys.catalog.quarantined_names().is_empty(),
+        "re-running the query must repair or drop the quarantined view"
+    );
 }
 
 #[test]

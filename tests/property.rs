@@ -305,6 +305,100 @@ proptest! {
     }
 }
 
+// ---- Content checksums ------------------------------------------------------
+
+mod checksum_stability {
+    use super::*;
+    use miso::data::checksum::{checksum_row, checksum_rows, corrupt_first_row};
+    use miso::data::Row;
+    use std::sync::Arc;
+
+    fn arb_row() -> impl Strategy<Value = Row> {
+        prop::collection::vec(
+            prop_oneof![
+                Just(Value::Null),
+                any::<bool>().prop_map(Value::Bool),
+                any::<i64>().prop_map(Value::Int),
+                (-1e12f64..1e12f64).prop_map(Value::Float),
+                "[a-z0-9 ]{0,12}".prop_map(Value::str),
+            ],
+            0..5,
+        )
+        .prop_map(Row::new)
+    }
+
+    fn arb_rows() -> impl Strategy<Value = Vec<Row>> {
+        prop::collection::vec(arb_row(), 0..12)
+    }
+
+    proptest! {
+        /// The digest covers the row *multiset*: any emission order (a
+        /// recomputed view, a different engine) produces the same checksum.
+        #[test]
+        fn checksum_is_order_insensitive(rows in arb_rows(), seed in any::<u64>()) {
+            let expected = checksum_rows(&rows);
+            let mut shuffled = rows.clone();
+            let mut rng = DetRng::new(seed);
+            for i in (1..shuffled.len()).rev() {
+                shuffled.swap(i, rng.below(i as u64 + 1) as usize);
+            }
+            prop_assert_eq!(checksum_rows(&shuffled), expected);
+            let mut reversed = rows;
+            reversed.reverse();
+            prop_assert_eq!(checksum_rows(&reversed), expected);
+        }
+
+        /// The digest depends only on row *content* — rebuilding every row
+        /// from fresh allocations (as a store in another process would)
+        /// replays it exactly. Together with the pinned reference digest in
+        /// the unit tests this is what makes a materialization-time
+        /// checksum comparable after a transfer between stores.
+        #[test]
+        fn checksum_is_content_only(rows in arb_rows()) {
+            let rebuilt: Vec<Row> = rows
+                .iter()
+                .map(|r| Row::new(r.values().to_vec()))
+                .collect();
+            prop_assert_eq!(checksum_rows(&rebuilt), checksum_rows(&rows));
+            for (a, b) in rows.iter().zip(&rebuilt) {
+                prop_assert_eq!(checksum_row(a), checksum_row(b));
+            }
+        }
+
+        /// The simulated bit-rot helper always changes the multiset digest
+        /// (that is its contract: undetectable corruption injection would
+        /// silently weaken every integrity test built on it), and it must
+        /// not touch other handles to the same shared rows.
+        #[test]
+        fn injected_corruption_always_changes_the_checksum(
+            first in any::<i64>(),
+            rest in arb_rows()
+        ) {
+            let mut rows = vec![Row::new(vec![Value::Int(first)])];
+            rows.extend(rest);
+            let clean = checksum_rows(&rows);
+            let shipped = Arc::new(rows);
+            let mut replica = Arc::clone(&shipped);
+            prop_assert!(corrupt_first_row(&mut replica));
+            prop_assert_ne!(checksum_rows(&replica), clean);
+            // Copy-on-write: the already-shipped copy stays pristine.
+            prop_assert_eq!(checksum_rows(&shipped), clean);
+        }
+
+        /// Dropped duplicates are detected: the final mix binds the row
+        /// count, so losing one copy of a repeated row changes the digest
+        /// even though a plain XOR/sum of row digests could cancel.
+        #[test]
+        fn checksum_binds_the_row_count(row in arb_row(), copies in 1usize..6) {
+            let rows: Vec<Row> = std::iter::repeat_with(|| row.clone())
+                .take(copies)
+                .collect();
+            let full = checksum_rows(&rows);
+            prop_assert_ne!(checksum_rows(&rows[..copies - 1]), full);
+        }
+    }
+}
+
 // ---- Reorganization crash safety -------------------------------------------
 
 /// Crash injection at a random journal step must never lose a view, break
