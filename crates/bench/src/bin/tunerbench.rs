@@ -1,0 +1,313 @@
+//! Tuner hot-path benchmark: serial baseline vs the miso-par engine.
+//!
+//! Scales a synthetic candidate universe (V distinct views, each defined by
+//! the filter subtree of its own query) and history window (Q queries
+//! cycling the V bases), then tunes the same workload for E consecutive
+//! epochs twice per configuration:
+//!
+//! * **serial** — one worker thread, cross-epoch what-if cache disabled:
+//!   the pre-miso-par behaviour, re-probing everything every epoch;
+//! * **engine** — the resolved `MISO_THREADS` worker count with the
+//!   cross-epoch memo on: epoch 1 fills the cache in parallel, epochs 2..E
+//!   are served almost entirely from it.
+//!
+//! Both runs must produce byte-identical designs every epoch (the probes
+//! are pure, so threading and memoization may change only *when* a probe
+//! runs, never its value); any divergence exits non-zero. The full run
+//! writes `BENCH_tuner.json` at the repo root plus
+//! `results/tunerbench.report.json`; `--smoke` runs one small
+//! configuration, writes the run report only, and leaves the committed
+//! baseline untouched (the CI record-only step).
+
+use miso_bench::row;
+use miso_common::ids::QueryId;
+use miso_common::{pool, Budgets, ByteSize};
+use miso_core::{MisoTuner, NewDesign, TunerConfig};
+use miso_data::json::{parse_json, to_json};
+use miso_data::Value;
+use miso_dw::DwCostModel;
+use miso_hv::HvCostModel;
+use miso_lang::{compile, Catalog};
+use miso_optimizer::cost::TransferModel;
+use miso_plan::estimate::MapStats;
+use miso_plan::{LogicalPlan, Operator};
+use miso_views::{ViewCatalog, ViewDef};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// One synthetic candidate universe: V base queries, one view per query.
+struct Universe {
+    plans: Vec<LogicalPlan>,
+    catalog: ViewCatalog,
+    stats: MapStats,
+    /// All candidate views start in HV (the opportunistic pool).
+    hv: BTreeSet<String>,
+}
+
+/// Builds V distinct query/view pairs over the standard log catalog.
+/// Predicate constants vary per index so every view has its own
+/// fingerprint; tables rotate so relevance stays sparse (a view only ever
+/// matches queries over its own log).
+fn universe(v: usize) -> Universe {
+    let lang = Catalog::standard();
+    let mut catalog = ViewCatalog::new();
+    let mut stats = MapStats::new();
+    stats.set_log("twitter", 40_000.0, 40_000.0 * 280.0);
+    stats.set_log("foursquare", 24_000.0, 24_000.0 * 160.0);
+    stats.set_log("landmarks", 900.0, 900.0 * 190.0);
+
+    let mut plans = Vec::with_capacity(v);
+    let mut hv = BTreeSet::new();
+    for i in 0..v {
+        let sql = match i % 3 {
+            0 => format!(
+                "SELECT t.city AS c, COUNT(*) AS n FROM twitter t \
+                 WHERE t.followers > {} GROUP BY t.city",
+                1000 + 17 * i
+            ),
+            1 => format!(
+                "SELECT f.city AS c, COUNT(*) AS n FROM foursquare f \
+                 WHERE f.likes > {} GROUP BY f.city",
+                10 + 3 * i
+            ),
+            _ => format!(
+                "SELECT t.lang AS l, COUNT(*) AS n FROM twitter t \
+                 WHERE t.retweets > {} GROUP BY t.lang",
+                5 + 2 * i
+            ),
+        };
+        let plan = compile(&sql, &lang).expect("bench query compiles");
+        let filt = plan
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.op, Operator::Filter { .. }))
+            .expect("bench query has a filter")
+            .id;
+        let size = ByteSize::from_kib(96 + 16 * i as u64);
+        let rows = 800 + 40 * i as u64;
+        let def = ViewDef::from_plan(plan.subplan(filt), size, rows, QueryId(i as u64));
+        stats.set_view(def.name.clone(), rows as f64, size.as_bytes() as f64);
+        hv.insert(def.name.clone());
+        catalog.register(def);
+        plans.push(plan);
+    }
+    Universe {
+        plans,
+        catalog,
+        stats,
+        hv,
+    }
+}
+
+/// Wall-clock and probe counters for one multi-epoch tuning run.
+struct RunStats {
+    epoch_s: Vec<f64>,
+    whatif_calls: Vec<u64>,
+    cache_hits: Vec<u64>,
+    designs: Vec<NewDesign>,
+}
+
+impl RunStats {
+    fn total_s(&self) -> f64 {
+        self.epoch_s.iter().sum()
+    }
+
+    fn value(&self) -> Value {
+        let floats = |xs: &[f64]| Value::Array(xs.iter().map(|&x| Value::Float(x)).collect());
+        let ints = |xs: &[u64]| Value::Array(xs.iter().map(|&x| Value::Int(x as i64)).collect());
+        Value::object(vec![
+            ("total_s".into(), Value::Float(self.total_s())),
+            ("epoch_s".into(), floats(&self.epoch_s)),
+            ("whatif_calls".into(), ints(&self.whatif_calls)),
+            ("whatif_cache_hits".into(), ints(&self.cache_hits)),
+        ])
+    }
+}
+
+/// Tunes the same (unchanged) workload for `epochs` consecutive epochs,
+/// timing each and diffing the what-if counters around it.
+fn run_epochs(tuner: &MisoTuner, u: &Universe, history: &[LogicalPlan], epochs: usize) -> RunStats {
+    let hv_cost = HvCostModel::paper_default();
+    let dw_cost = DwCostModel::paper_default();
+    let transfer = TransferModel::paper_default();
+    let counter = |name: &str| {
+        miso_obs::snapshot()
+            .counters
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    };
+    let mut stats = RunStats {
+        epoch_s: Vec::with_capacity(epochs),
+        whatif_calls: Vec::with_capacity(epochs),
+        cache_hits: Vec::with_capacity(epochs),
+        designs: Vec::with_capacity(epochs),
+    };
+    for _ in 0..epochs {
+        let calls0 = counter("tuner.whatif_calls");
+        let hits0 = counter("tuner.whatif_cache_hits");
+        let t0 = Instant::now();
+        let design = tuner.tune(
+            &u.hv,
+            &BTreeSet::new(),
+            &u.catalog,
+            history,
+            &u.stats,
+            &hv_cost,
+            &dw_cost,
+            &transfer,
+        );
+        stats.epoch_s.push(t0.elapsed().as_secs_f64());
+        stats
+            .whatif_calls
+            .push(counter("tuner.whatif_calls") - calls0);
+        stats
+            .cache_hits
+            .push(counter("tuner.whatif_cache_hits") - hits0);
+        stats.designs.push(design);
+    }
+    stats
+}
+
+fn bench_budgets() -> Budgets {
+    Budgets::new(
+        ByteSize::from_gib(1),
+        ByteSize::from_gib(1),
+        ByteSize::from_gib(1),
+    )
+    .with_discretization(ByteSize::from_kib(64))
+}
+
+fn main() {
+    if !miso_bench::obs_init() {
+        // The speedup accounting below reads the what-if counters, so
+        // metrics must flow even when MISO_OBS is unset.
+        miso_obs::init(miso_obs::ObsConfig::ring(4096));
+    }
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // Resolve MISO_THREADS / core count once, before the serial baseline
+    // pins the pool to one worker.
+    let engine_threads = pool::threads();
+    let epochs = if smoke { 2 } else { 3 };
+    let configs: &[(usize, usize)] = if smoke {
+        &[(16, 32)]
+    } else {
+        &[
+            (16, 32),
+            (16, 128),
+            (32, 32),
+            (32, 128),
+            (64, 32),
+            (64, 128),
+        ]
+    };
+
+    let widths = [5usize, 5, 12, 12, 9, 9, 11];
+    println!(
+        "=== Tuner hot path: serial (1 thread, cache off) vs engine ({engine_threads} threads, cache on), {epochs} epochs ==="
+    );
+    println!(
+        "{}",
+        row(
+            &["V", "Q", "serial_s", "engine_s", "speedup", "probes", "e2 hits"].map(String::from),
+            &widths,
+        )
+    );
+
+    let mut failures = 0usize;
+    let mut cfg_values = Vec::new();
+    for &(v, q) in configs {
+        let u = universe(v);
+        let history: Vec<LogicalPlan> = (0..q).map(|i| u.plans[i % v].clone()).collect();
+        let tcfg = TunerConfig {
+            budgets: bench_budgets(),
+            history_len: q,
+            epoch_len: 3,
+            decay: 0.5,
+            doi_threshold: 1.0,
+        };
+
+        pool::set_threads(1);
+        let serial = run_epochs(
+            &MisoTuner::new(tcfg.clone()).with_whatif_cache(false),
+            &u,
+            &history,
+            epochs,
+        );
+
+        pool::set_threads(engine_threads);
+        let engine_tuner = MisoTuner::new(tcfg);
+        let engine = run_epochs(&engine_tuner, &u, &history, epochs);
+
+        if serial.designs != engine.designs {
+            eprintln!("tunerbench: V={v} Q={q}: engine designs diverge from serial baseline");
+            failures += 1;
+        }
+        let e2_hits = engine.cache_hits.get(1).copied().unwrap_or(0);
+        if e2_hits == 0 {
+            eprintln!("tunerbench: V={v} Q={q}: no cross-epoch cache hits on epoch 2");
+            failures += 1;
+        }
+        let speedup = serial.total_s() / engine.total_s().max(1e-12);
+        println!(
+            "{}",
+            row(
+                &[
+                    v.to_string(),
+                    q.to_string(),
+                    format!("{:.4}", serial.total_s()),
+                    format!("{:.4}", engine.total_s()),
+                    format!("{speedup:.2}x"),
+                    serial.whatif_calls.iter().sum::<u64>().to_string(),
+                    e2_hits.to_string(),
+                ],
+                &widths,
+            )
+        );
+        cfg_values.push(Value::object(vec![
+            ("views".into(), Value::Int(v as i64)),
+            ("queries".into(), Value::Int(q as i64)),
+            ("serial".into(), serial.value()),
+            ("engine".into(), engine.value()),
+            ("speedup".into(), Value::Float(speedup)),
+            (
+                "designs_match".into(),
+                Value::Bool(serial.designs == engine.designs),
+            ),
+            (
+                "engine_cached_probes".into(),
+                Value::Int(engine_tuner.whatif_cache_len() as i64),
+            ),
+        ]));
+    }
+    // Leave the pool as the environment configured it.
+    pool::set_threads(engine_threads);
+
+    let report = Value::object(vec![
+        ("bench".into(), Value::str("tunerbench")),
+        (
+            "mode".into(),
+            Value::str(if smoke { "smoke" } else { "full" }),
+        ),
+        ("threads".into(), Value::Int(engine_threads as i64)),
+        ("epochs".into(), Value::Int(epochs as i64)),
+        ("configs".into(), Value::Array(cfg_values)),
+    ]);
+    let text = to_json(&report);
+    if let Err(e) = parse_json(&text) {
+        eprintln!("tunerbench: emitted JSON does not round-trip: {e}");
+        failures += 1;
+    }
+    if !smoke {
+        if let Err(e) = std::fs::write("BENCH_tuner.json", format!("{text}\n")) {
+            eprintln!("tunerbench: cannot write BENCH_tuner.json: {e}");
+            failures += 1;
+        }
+    }
+    miso_bench::write_report("tunerbench", report);
+
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("tunerbench: designs identical across threading and caching");
+}

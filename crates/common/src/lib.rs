@@ -17,12 +17,15 @@
 //!   breakers over simulated time.
 //! * [`integrity`] — the global verify-on-read toggle for view content
 //!   checksums (`MISO_INTEGRITY`).
+//! * [`pool`] — the miso-par scoped worker pool (`MISO_THREADS`) with a
+//!   deterministic-ordering batch primitive for the tuner's what-if probes.
 
 pub mod budget;
 pub mod bytesize;
 pub mod error;
 pub mod ids;
 pub mod integrity;
+pub mod pool;
 pub mod retry;
 pub mod rng;
 pub mod time;

@@ -1,0 +1,166 @@
+//! miso-par: a zero-dependency scoped worker pool for batch fan-out.
+//!
+//! The tuner's what-if probes are embarrassingly parallel — each probe is a
+//! pure re-optimization of one history query under one hypothetical design —
+//! but the system must stay byte-deterministic: every figure and table is
+//! diffed across runs. This module therefore offers exactly one primitive,
+//! [`run_batch`], with a hard ordering contract: the result vector is indexed
+//! by task, never by completion order, so `run_batch(n, f)` returns the same
+//! value as `(0..n).map(f)` regardless of thread count or scheduling.
+//!
+//! Worker count resolution, cheapest first:
+//!
+//! 1. a programmatic [`set_threads`] override (tests, benches);
+//! 2. the `MISO_THREADS` environment variable (read once per process);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! The pool is *scoped* (`std::thread::scope`): threads are spawned per
+//! batch and joined before `run_batch` returns, so borrowed task closures
+//! need no `'static` bound and no threads outlive their data. Batches on
+//! the tuner hot path are hundreds-to-thousands of optimizer probes, each
+//! orders of magnitude more expensive than a thread spawn.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads (a safety clamp for absurd `MISO_THREADS`).
+const MAX_THREADS: usize = 256;
+
+/// Resolved worker count; 0 means "not resolved yet".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+fn resolve_from_env() -> usize {
+    if let Some(v) = std::env::var_os("MISO_THREADS") {
+        if let Ok(n) = v.to_string_lossy().trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+        eprintln!("miso-par: ignoring malformed MISO_THREADS ({v:?})");
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_THREADS)
+}
+
+/// The worker count batches run with. One relaxed atomic load after the
+/// first call, matching the chaos/integrity gate convention.
+#[inline]
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let n = resolve_from_env().max(1);
+    // First resolver wins; racing resolvers computed the same value anyway.
+    let _ = THREADS.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
+    THREADS.load(Ordering::Relaxed)
+}
+
+/// Overrides the worker count (clamped to `1..=256`). Benches use this to
+/// compare serial and parallel runs inside one process; the equivalence
+/// tests use it to prove thread count cannot change results.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Runs `f(0), f(1), …, f(n-1)` across the pool and returns the results in
+/// task order — byte-identical to the serial `(0..n).map(f).collect()`.
+///
+/// Tasks are pulled from a shared atomic counter (dynamic load balancing:
+/// probe costs vary wildly between a cached rewrite and a full split
+/// enumeration). A panicking task propagates its panic to the caller after
+/// the scope joins.
+pub fn run_batch<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Deterministic ordering: place every result by its task index.
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, v) in bucket {
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter()
+        .map(|v| v.expect("every batch index is claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_matches_serial_map() {
+        let before = threads();
+        for t in [1, 2, 8] {
+            set_threads(t);
+            let got = run_batch(100, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={t}");
+        }
+        set_threads(before);
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        let before = threads();
+        set_threads(4);
+        assert_eq!(run_batch(0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_batch(1, |i| i + 7), vec![7]);
+        set_threads(before);
+    }
+
+    #[test]
+    fn set_threads_clamps() {
+        let before = threads();
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(1_000_000);
+        assert_eq!(threads(), MAX_THREADS);
+        set_threads(before);
+    }
+
+    #[test]
+    fn borrowed_data_is_usable() {
+        let before = threads();
+        set_threads(3);
+        let data: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
+        let lens = run_batch(data.len(), |i| data[i].len());
+        assert_eq!(lens.len(), 20);
+        assert_eq!(lens[0], 6);
+        assert_eq!(lens[10], 7);
+        set_threads(before);
+    }
+}

@@ -25,9 +25,11 @@ use miso_hv::HvCostModel;
 use miso_optimizer::cost::TransferModel;
 use miso_optimizer::optimize::{what_if_cost, Design, OptimizerEnv};
 use miso_plan::estimate::MapStats;
+use miso_plan::fingerprint::{fingerprint_plan, fnv1a_str, fnv1a_words, parse_view_fingerprint};
 use miso_plan::LogicalPlan;
 use miso_views::{analyze_candidates, decay_weights, AnalysisConfig, ViewCatalog, ViewInfo};
-use std::collections::{BTreeSet, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Tuner parameters.
 #[derive(Debug, Clone)]
@@ -77,17 +79,69 @@ fn effective_unit(base: ByteSize, budget: ByteSize) -> ByteSize {
     }
 }
 
+/// Whether `MISO_TUNER_DEBUG` is set — read once per process (one
+/// `OnceLock` load per `tune()` call, matching the chaos/integrity gates).
+fn tuner_debug() -> bool {
+    static DEBUG: OnceLock<bool> = OnceLock::new();
+    *DEBUG.get_or_init(|| std::env::var_os("MISO_TUNER_DEBUG").is_some())
+}
+
+/// Cross-epoch memo of what-if probe results.
+///
+/// Keys are `(plan fingerprint, view-set digest)` — both stable semantic
+/// identities (`miso_plan::fingerprint`), so a probe cached in one epoch
+/// serves every later epoch whose sliding window still contains the same
+/// query, regardless of how the candidate universe was renumbered. The
+/// `stamp` folds every input a probe's value depends on (stats, catalog,
+/// cost models, transfer model); when any of them changes the whole memo is
+/// flushed before use, so a stale cost can never be served.
+#[derive(Debug, Default)]
+struct WhatIfCache {
+    /// Digest of the probe-relevant tuner inputs the memo was filled under.
+    stamp: u64,
+    /// `(plan fingerprint, view-set digest) → what-if cost (secs)`.
+    costs: HashMap<(u64, u64), f64>,
+}
+
 /// The MISO tuner.
+///
+/// Cloning shares the cross-epoch what-if cache (it is a memo of pure
+/// probe results, so sharing is always sound).
 #[derive(Debug, Clone)]
 pub struct MisoTuner {
     /// Configuration.
     pub config: TunerConfig,
+    /// Cross-epoch what-if memo, shared across clones.
+    whatif: Arc<Mutex<WhatIfCache>>,
+    /// Master switch for the cross-epoch memo (the per-epoch memo inside
+    /// `analyze_candidates` is always on).
+    cache_enabled: bool,
 }
 
 impl MisoTuner {
-    /// Creates a tuner.
+    /// Creates a tuner (cross-epoch what-if caching on).
     pub fn new(config: TunerConfig) -> Self {
-        MisoTuner { config }
+        MisoTuner {
+            config,
+            whatif: Arc::new(Mutex::new(WhatIfCache::default())),
+            cache_enabled: true,
+        }
+    }
+
+    /// Enables or disables the cross-epoch what-if cache (builder style).
+    /// The serial baseline of `tunerbench` and the equivalence tests use
+    /// this to compare cached and uncached tuning.
+    pub fn with_whatif_cache(mut self, enabled: bool) -> Self {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.whatif.lock().unwrap().costs.clear();
+        }
+        self
+    }
+
+    /// Number of cross-epoch cached probe results (for tests and benches).
+    pub fn whatif_cache_len(&self) -> usize {
+        self.whatif.lock().unwrap().costs.len()
     }
 
     /// Computes a new multistore design.
@@ -156,19 +210,45 @@ impl MisoTuner {
             transfer,
             catalog: Some(catalog),
         };
-        let mut cost_fn = |q: usize, set: &BTreeSet<String>| -> f64 {
+        // Cross-epoch memo: flush if any probe-relevant input changed, then
+        // serve repeat probes (the sliding window advances by a few queries
+        // per epoch, so most of it was already probed last epoch).
+        let cache_enabled = self.cache_enabled;
+        if cache_enabled {
+            let stamp = inputs_stamp(stats, catalog, hv_cost, dw_cost, transfer);
+            let mut cache = self.whatif.lock().unwrap();
+            if cache.stamp != stamp {
+                cache.costs.clear();
+                cache.stamp = stamp;
+            }
+        }
+        let plan_fps: Vec<u64> = window.iter().map(|p| fingerprint_plan(p).0).collect();
+        let whatif = &self.whatif;
+        let cost_fn = |q: usize, set: &BTreeSet<String>| -> f64 {
+            miso_obs::count("tuner.whatif_calls", 1);
+            let key = (plan_fps[q], view_set_digest(set));
+            if cache_enabled {
+                if let Some(&v) = whatif.lock().unwrap().costs.get(&key) {
+                    miso_obs::count("tuner.whatif_cache_hits", 1);
+                    return v;
+                }
+            }
             let design = Design {
                 hv_views: set.iter().cloned().collect(),
                 dw_views: set.iter().cloned().collect(),
             };
-            what_if_cost(window[q], &design, &env).as_secs_f64()
+            let v = what_if_cost(window[q], &design, &env).as_secs_f64();
+            if cache_enabled {
+                whatif.lock().unwrap().costs.insert(key, v);
+            }
+            v
         };
         let analysis_cfg = AnalysisConfig {
             doi_threshold: self.config.doi_threshold,
             max_part_size: Some(4),
         };
-        let items = analyze_candidates(&infos, &weights, &mut cost_fn, &analysis_cfg);
-        if std::env::var_os("MISO_TUNER_DEBUG").is_some() {
+        let items = analyze_candidates(&infos, &weights, &cost_fn, &analysis_cfg);
+        if tuner_debug() {
             eprintln!(
                 "[tuner] candidates={} -> items={}",
                 infos.len(),
@@ -271,6 +351,56 @@ impl MisoTuner {
             dw: dw_new,
         }
     }
+}
+
+/// Stable identity of one view for cache keys: canonical `v_<fp>` names
+/// carry their defining fingerprint; anything else (ETL tables, tests)
+/// digests by name.
+fn view_identity(name: &str) -> u64 {
+    parse_view_fingerprint(name).unwrap_or_else(|| fnv1a_str(name))
+}
+
+/// Digest of a hypothetical view set (sorted names → sorted identities).
+fn view_set_digest(set: &BTreeSet<String>) -> u64 {
+    fnv1a_words(std::iter::once(set.len() as u64).chain(set.iter().map(|name| view_identity(name))))
+}
+
+/// Digest of every input a what-if probe's value depends on. The window
+/// itself is *not* part of the stamp — each probe is keyed by its query's
+/// plan fingerprint, so a sliding window reuses overlapping entries.
+fn inputs_stamp(
+    stats: &MapStats,
+    catalog: &ViewCatalog,
+    hv: &HvCostModel,
+    dw: &DwCostModel,
+    transfer: &TransferModel,
+) -> u64 {
+    let mut words: Vec<u64> = Vec::new();
+    words.push(stats.digest());
+    // Catalog: definitions drive containment rewriting; sizes drive
+    // knapsack weights and estimates; quarantine changes which views are
+    // offered at all.
+    words.push(catalog.len() as u64);
+    for def in catalog.defs() {
+        words.push(def.fingerprint.0);
+        words.push(def.size.as_bytes());
+        words.push(def.rows);
+        words.push(u64::from(catalog.is_quarantined(&def.name)));
+    }
+    // Cost and transfer models.
+    words.push(hv.nodes as u64);
+    words.push(hv.job_startup.as_secs_f64().to_bits());
+    words.push(hv.read_secs_per_byte.to_bits());
+    words.push(hv.write_secs_per_byte.to_bits());
+    words.push(hv.cpu_secs_per_row.to_bits());
+    words.push(hv.dump_secs_per_byte.to_bits());
+    words.push(dw.nodes as u64);
+    words.push(dw.query_startup.as_secs_f64().to_bits());
+    words.push(dw.read_secs_per_byte.to_bits());
+    words.push(dw.cpu_secs_per_row.to_bits());
+    words.push(dw.load_secs_per_byte.to_bits());
+    words.push(transfer.network_secs_per_byte.to_bits());
+    fnv1a_words(words)
 }
 
 #[cfg(test)]

@@ -38,7 +38,11 @@ impl SizeEstimate {
 }
 
 /// Supplies true statistics for leaves: base logs and materialized views.
-pub trait StatsSource {
+///
+/// `Sync` is part of the contract: the tuner's what-if probes fan out
+/// across the miso-par worker pool, and every probe reads stats through a
+/// shared reference.
+pub trait StatsSource: Sync {
     /// Rows and bytes for base log `log`, if known.
     fn log_stats(&self, log: &str) -> Option<SizeEstimate>;
     /// Rows and bytes for view `view`, if known.
@@ -67,6 +71,27 @@ impl MapStats {
     /// Registers a view's true size.
     pub fn set_view(&mut self, view: impl Into<String>, rows: f64, bytes: f64) {
         self.views.insert(view.into(), SizeEstimate { rows, bytes });
+    }
+
+    /// Stable FNV-1a/64 digest of every registered statistic, in sorted
+    /// name order. The tuner's cross-epoch what-if cache folds this into
+    /// its invalidation stamp: any stats change — new view, refreshed
+    /// size, grown log — produces a new digest and flushes cached probes.
+    pub fn digest(&self) -> u64 {
+        let mut words: Vec<u64> = Vec::with_capacity(2 + 3 * (self.logs.len() + self.views.len()));
+        for (tag, map) in [(1u64, &self.logs), (2u64, &self.views)] {
+            let mut names: Vec<&String> = map.keys().collect();
+            names.sort();
+            words.push(tag);
+            words.push(names.len() as u64);
+            for name in names {
+                let est = &map[name];
+                words.push(crate::fingerprint::fnv1a_str(name));
+                words.push(est.rows.to_bits());
+                words.push(est.bytes.to_bits());
+            }
+        }
+        crate::fingerprint::fnv1a_words(words)
     }
 }
 

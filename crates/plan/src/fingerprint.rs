@@ -57,6 +57,24 @@ pub fn parse_view_fingerprint(name: &str) -> Option<u64> {
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
 
+/// FNV-1a/64 over a stream of `u64` words — the workspace's standard cheap
+/// stable digest, exposed so caches can build composite keys from
+/// fingerprints (e.g. the tuner's `(plan, view-set)` what-if cache).
+pub fn fnv1a_words(words: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h = Fnv::new();
+    for w in words {
+        h.u64(w);
+    }
+    h.finish()
+}
+
+/// FNV-1a/64 of a string (length-prefixed, like every other digest here).
+pub fn fnv1a_str(s: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.str(s);
+    h.finish()
+}
+
 /// Incremental FNV-1a/64.
 #[derive(Clone, Copy)]
 struct Fnv(u64);

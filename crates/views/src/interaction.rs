@@ -18,10 +18,18 @@
 //! The result is a list of independent [`KnapsackItem`]s for M-KNAPSACK.
 //!
 //! All benefits are probed through a caller-supplied what-if cost function
-//! `cost(query_index, view_subset)`, memoized internally — the tuner wires
-//! this to the multistore optimizer's what-if mode.
+//! `cost(query_index, view_subset)` — the tuner wires this to the multistore
+//! optimizer's what-if mode. Probes are the analysis' scaling wall
+//! (O(Q·V + Q·V²) full re-optimizations per epoch), so the [`ProbeEngine`]
+//! below (a) memoizes by interned [`ViewSet`] bitset instead of cloned name
+//! vectors, and (b) *batches* every independent probe front and fans it out
+//! across the miso-par worker pool (`miso_common::pool`, `MISO_THREADS`).
+//! Probes are pure, results land keyed by task index, and all selection
+//! logic runs serially over the filled memo — so the output is byte-equal
+//! for every thread count.
 
-use miso_common::ByteSize;
+use crate::viewset::ViewSet;
+use miso_common::{pool, ByteSize};
 use std::collections::{BTreeSet, HashMap};
 
 /// A view the tuner is considering, with current placement.
@@ -67,21 +75,77 @@ pub struct KnapsackItem {
     pub benefit: f64,
 }
 
-/// Memoizing wrapper over the what-if cost probe.
-struct CostCache<'a> {
-    f: &'a mut dyn FnMut(usize, &BTreeSet<String>) -> f64,
-    cache: HashMap<(usize, Vec<String>), f64>,
+/// The what-if probe signature: cost of history query `q` under a
+/// hypothetical design holding exactly the given views. Must be pure
+/// (same inputs ⇒ same cost) and `Sync` so batches can fan out.
+pub type CostFn<'c> = dyn Fn(usize, &BTreeSet<String>) -> f64 + Sync + 'c;
+
+/// Batched, memoized front-end over the what-if cost probe.
+///
+/// Lookups are by `(query, ViewSet)` with no allocation on a hit. Misses
+/// are collected with [`ProbeEngine::ensure`] and evaluated across the
+/// worker pool; [`ProbeEngine::cost`] serves the (by then) warm memo, with
+/// a serial fallback so partial prefetches stay correct.
+struct ProbeEngine<'a> {
+    /// Candidate universe: `names[i]` is view `i`.
+    names: Vec<&'a str>,
+    f: &'a CostFn<'a>,
+    /// Per-query memo, keyed by interned subset.
+    memo: Vec<HashMap<ViewSet, f64>>,
 }
 
-impl<'a> CostCache<'a> {
-    fn cost(&mut self, q: usize, views: &BTreeSet<String>) -> f64 {
-        let key = (q, views.iter().cloned().collect::<Vec<_>>());
-        if let Some(&v) = self.cache.get(&key) {
+impl<'a> ProbeEngine<'a> {
+    fn new(views: &'a [ViewInfo], n_q: usize, f: &'a CostFn<'a>) -> Self {
+        ProbeEngine {
+            names: views.iter().map(|v| v.name.as_str()).collect(),
+            f,
+            memo: (0..n_q).map(|_| HashMap::new()).collect(),
+        }
+    }
+
+    /// Materializes a subset's view names for the probe closure.
+    fn names_of(&self, set: &ViewSet) -> BTreeSet<String> {
+        set.iter().map(|i| self.names[i].to_string()).collect()
+    }
+
+    /// Ensures every `(q, set)` task is memoized, evaluating the misses in
+    /// one parallel batch. Duplicate and already-cached tasks are skipped;
+    /// results are inserted in task order (pure probes make insertion order
+    /// irrelevant to values, task order keeps it reproducible anyway).
+    fn ensure(&mut self, tasks: &[(usize, ViewSet)]) {
+        let mut misses: Vec<(usize, ViewSet)> = Vec::new();
+        {
+            let mut queued: Vec<std::collections::HashSet<&ViewSet>> =
+                (0..self.memo.len()).map(|_| Default::default()).collect();
+            for (q, set) in tasks {
+                if !self.memo[*q].contains_key(set) && queued[*q].insert(set) {
+                    misses.push((*q, set.clone()));
+                }
+            }
+        }
+        if misses.is_empty() {
+            return;
+        }
+        miso_obs::count("views.cost_probes", misses.len() as u64);
+        let (f, names) = (self.f, &self.names);
+        let costs = pool::run_batch(misses.len(), |k| {
+            let (q, set) = &misses[k];
+            let names: BTreeSet<String> = set.iter().map(|i| names[i].to_string()).collect();
+            f(*q, &names)
+        });
+        for ((q, set), c) in misses.into_iter().zip(costs) {
+            self.memo[q].insert(set, c);
+        }
+    }
+
+    /// Memoized probe; computes serially on a (rare) miss.
+    fn cost(&mut self, q: usize, set: &ViewSet) -> f64 {
+        if let Some(&v) = self.memo[q].get(set) {
             return v;
         }
         miso_obs::count("views.cost_probes", 1);
-        let v = (self.f)(q, views);
-        self.cache.insert(key, v);
+        let v = (self.f)(q, &self.names_of(set));
+        self.memo[q].insert(set.clone(), v);
         v
     }
 }
@@ -92,73 +156,80 @@ impl<'a> CostCache<'a> {
 /// * `weights` — decay weight per history query (`weights[i]` for query `i`;
 ///   see [`crate::benefit::decay_weights`]);
 /// * `cost_fn` — what-if cost of history query `i` under a hypothetical
-///   design containing exactly the given views.
+///   design containing exactly the given views. Must be pure and `Sync`:
+///   independent probes are batched across the miso-par pool. The returned
+///   items are identical for every `MISO_THREADS` setting.
 pub fn analyze_candidates(
     views: &[ViewInfo],
     weights: &[f64],
-    cost_fn: &mut dyn FnMut(usize, &BTreeSet<String>) -> f64,
+    cost_fn: &CostFn<'_>,
     config: &AnalysisConfig,
 ) -> Vec<KnapsackItem> {
     let mut obs = miso_obs::span("tuner.analyze");
-    let mut cache = CostCache {
-        f: cost_fn,
-        cache: HashMap::new(),
-    };
+    let n_v = views.len();
     let n_q = weights.len();
-    let empty = BTreeSet::new();
-    let base: Vec<f64> = (0..n_q).map(|q| cache.cost(q, &empty)).collect();
+    let mut engine = ProbeEngine::new(views, n_q, cost_fn);
 
-    // 1. Per-query relevance: which views individually reduce each query's
-    // cost (their decay-weighted benefits are recomputed during
-    // sparsification, so only relevance is kept here).
-    let mut relevant_per_query: Vec<Vec<usize>> = vec![Vec::new(); n_q];
-    for (vi, view) in views.iter().enumerate() {
-        let single: BTreeSet<String> = [view.name.clone()].into_iter().collect();
+    // Stage 0 — base costs: one empty-design probe per history query.
+    let empty = ViewSet::empty(n_v);
+    let base_tasks: Vec<(usize, ViewSet)> = (0..n_q).map(|q| (q, empty.clone())).collect();
+    engine.ensure(&base_tasks);
+    let base: Vec<f64> = (0..n_q).map(|q| engine.cost(q, &empty)).collect();
+
+    // Stage 1 — per-query relevance: which views individually reduce each
+    // query's cost (their decay-weighted benefits are recomputed during
+    // sparsification, so only relevance is kept here). All V·Q singleton
+    // probes are independent: one batch.
+    let singles: Vec<ViewSet> = (0..n_v).map(|v| ViewSet::singleton(n_v, v)).collect();
+    let single_tasks: Vec<(usize, ViewSet)> = (0..n_v)
+        .flat_map(|v| (0..n_q).map(move |q| (q, ViewSet::singleton(n_v, v))))
+        .collect();
+    engine.ensure(&single_tasks);
+    let mut relevant: Vec<Vec<bool>> = vec![vec![false; n_v]; n_q];
+    for (vi, single) in singles.iter().enumerate() {
         for q in 0..n_q {
-            let b = (base[q] - cache.cost(q, &single)).max(0.0);
-            if b > 0.0 {
-                relevant_per_query[q].push(vi);
+            if base[q] - engine.cost(q, single) > 0.0 {
+                relevant[q][vi] = true;
             }
         }
     }
 
-    // 2. Signed doi for pairs where at least one member is relevant to the
-    // query. (A view with no individual benefit on any query never interacts
-    // under exact-match rewriting: each replacement reduces cost on its own;
-    // interactions only modulate — super- or sub-additively — benefits that
-    // already exist.)
+    // Stage 2 — signed doi for pairs where at least one member is relevant
+    // to the query. (A view with no individual benefit on any query never
+    // interacts under exact-match rewriting: each replacement reduces cost
+    // on its own; interactions only modulate — super- or sub-additively —
+    // benefits that already exist.) Each unordered pair is visited exactly
+    // once per query, and the joint probes form one batch.
+    let pair_tasks: Vec<(usize, ViewSet)> = (0..n_q)
+        .flat_map(|q| {
+            let rel = &relevant[q];
+            (0..n_v).flat_map(move |a| {
+                ((a + 1)..n_v)
+                    .filter(move |&b| rel[a] || rel[b])
+                    .map(move |b| (q, ViewSet::pair(n_v, a, b)))
+            })
+        })
+        .collect();
+    engine.ensure(&pair_tasks);
     let mut doi: HashMap<(usize, usize), f64> = HashMap::new();
     for q in 0..n_q {
-        let rel = &relevant_per_query[q];
-        let mut pairs: Vec<(usize, usize)> = Vec::new();
-        for &a in rel {
-            for b in 0..views.len() {
-                if a != b {
-                    pairs.push((a.min(b), a.max(b)));
+        for a in 0..n_v {
+            for b in (a + 1)..n_v {
+                if !(relevant[q][a] || relevant[q][b]) {
+                    continue;
                 }
-            }
-        }
-        pairs.sort_unstable();
-        pairs.dedup();
-        {
-            for &(a, b) in &pairs {
-                let pair: BTreeSet<String> = [views[a].name.clone(), views[b].name.clone()]
-                    .into_iter()
-                    .collect();
-                let sa: BTreeSet<String> = [views[a].name.clone()].into_iter().collect();
-                let sb: BTreeSet<String> = [views[b].name.clone()].into_iter().collect();
-                let joint = (base[q] - cache.cost(q, &pair)).max(0.0);
-                let ba = (base[q] - cache.cost(q, &sa)).max(0.0);
-                let bb = (base[q] - cache.cost(q, &sb)).max(0.0);
+                let joint = (base[q] - engine.cost(q, &ViewSet::pair(n_v, a, b))).max(0.0);
+                let ba = (base[q] - engine.cost(q, &singles[a])).max(0.0);
+                let bb = (base[q] - engine.cost(q, &singles[b])).max(0.0);
                 *doi.entry((a, b)).or_insert(0.0) += weights[q] * (joint - ba - bb);
             }
         }
     }
 
-    // 3. Stable partition: union-find over |doi| >= threshold edges. The
-    // threshold adapts upward until every part is small (paper §4.3).
-    let threshold = adaptive_threshold(&doi, views.len(), config);
-    let mut parent: Vec<usize> = (0..views.len()).collect();
+    // Stage 3 — stable partition: union-find over |doi| >= threshold edges.
+    // The threshold adapts upward until every part is small (paper §4.3).
+    let threshold = adaptive_threshold(&doi, n_v, config);
+    let mut parent: Vec<usize> = (0..n_v).collect();
     fn find(parent: &mut Vec<usize>, x: usize) -> usize {
         if parent[x] != x {
             let root = find(parent, parent[x]);
@@ -175,7 +246,7 @@ pub fn analyze_candidates(
         }
     }
     let mut parts: HashMap<usize, Vec<usize>> = HashMap::new();
-    for v in 0..views.len() {
+    for v in 0..n_v {
         let root = find(&mut parent, v);
         parts.entry(root).or_default().push(v);
     }
@@ -184,14 +255,20 @@ pub fn analyze_candidates(
         max_part_size: config.max_part_size,
     };
 
-    // 4. Sparsify each part.
+    // Stage 4 — sparsify each part.
     let mut items = Vec::new();
     let mut part_roots: Vec<usize> = parts.keys().copied().collect();
     part_roots.sort_unstable();
     for root in part_roots {
         let members = &parts[&root];
         items.extend(sparsify_part(
-            members, views, weights, &base, &doi, &mut cache, config,
+            members,
+            views,
+            weights,
+            &base,
+            &doi,
+            &mut engine,
+            config,
         ));
     }
     // Drop zero-benefit items: they can never help and only consume budget.
@@ -199,7 +276,7 @@ pub fn analyze_candidates(
     // Deterministic output order.
     items.sort_by(|a, b| a.views.iter().next().cmp(&b.views.iter().next()));
     if obs.is_active() {
-        obs.push_field("candidates", miso_obs::FieldValue::U64(views.len() as u64));
+        obs.push_field("candidates", miso_obs::FieldValue::U64(n_v as u64));
         obs.push_field("queries", miso_obs::FieldValue::U64(n_q as u64));
         obs.push_field("items", miso_obs::FieldValue::U64(items.len() as u64));
         let merged = items.iter().filter(|i| i.views.len() > 1).count();
@@ -215,41 +292,59 @@ fn sparsify_part(
     weights: &[f64],
     base: &[f64],
     doi: &HashMap<(usize, usize), f64>,
-    cache: &mut CostCache<'_>,
+    engine: &mut ProbeEngine<'_>,
     config: &AnalysisConfig,
 ) -> Vec<KnapsackItem> {
-    // Current items: sets of member indexes.
-    let mut sets: Vec<BTreeSet<usize>> =
-        members.iter().map(|&m| [m].into_iter().collect()).collect();
+    let n_v = views.len();
+    let n_q = weights.len();
+    // Current items: interned member subsets.
+    let mut sets: Vec<ViewSet> = members
+        .iter()
+        .map(|&m| ViewSet::singleton(n_v, m))
+        .collect();
 
-    let names_of = |set: &BTreeSet<usize>| -> BTreeSet<String> {
-        set.iter().map(|&i| views[i].name.clone()).collect()
-    };
-    let weighted_benefit = |set: &BTreeSet<usize>, cache: &mut CostCache<'_>| -> f64 {
-        let names = names_of(set);
-        (0..weights.len())
-            .map(|q| weights[q] * (base[q] - cache.cost(q, &names)).max(0.0))
+    let weighted_benefit = |set: &ViewSet, engine: &mut ProbeEngine<'_>| -> f64 {
+        (0..n_q)
+            .map(|q| weights[q] * (base[q] - engine.cost(q, set)).max(0.0))
             .sum()
     };
     // doi between two current items: recompute from joint benefits when the
     // items are composite; seed from the pairwise table when singleton.
-    let pair_doi = |a: &BTreeSet<usize>, b: &BTreeSet<usize>, cache: &mut CostCache<'_>| -> f64 {
+    let pair_doi = |a: &ViewSet, b: &ViewSet, engine: &mut ProbeEngine<'_>| -> f64 {
         if a.len() == 1 && b.len() == 1 {
-            let (&x, &y) = (a.iter().next().unwrap(), b.iter().next().unwrap());
+            let (x, y) = (a.iter().next().unwrap(), b.iter().next().unwrap());
             return *doi.get(&(x.min(y), x.max(y))).unwrap_or(&0.0);
         }
-        let ba = weighted_benefit(a, cache);
-        let bb = weighted_benefit(b, cache);
-        let union: BTreeSet<usize> = a.union(b).copied().collect();
-        weighted_benefit(&union, cache) - ba - bb
+        let ba = weighted_benefit(a, engine);
+        let bb = weighted_benefit(b, engine);
+        weighted_benefit(&a.union(b), engine) - ba - bb
+    };
+    // Batches every probe the next round of pair_doi/benefit evaluations
+    // will need (composite pairs only — singleton pairs read the doi table).
+    let prefetch_pairs = |sets: &[ViewSet], engine: &mut ProbeEngine<'_>| {
+        let mut tasks: Vec<(usize, ViewSet)> = Vec::new();
+        for (i, a) in sets.iter().enumerate() {
+            for b in &sets[(i + 1)..] {
+                if a.len() == 1 && b.len() == 1 {
+                    continue;
+                }
+                for q in 0..n_q {
+                    tasks.push((q, a.clone()));
+                    tasks.push((q, b.clone()));
+                    tasks.push((q, a.union(b)));
+                }
+            }
+        }
+        engine.ensure(&tasks);
     };
 
     // Recursively merge the strongest positive edge.
     loop {
+        prefetch_pairs(&sets, engine);
         let mut best: Option<(usize, usize, f64)> = None;
         for i in 0..sets.len() {
             for j in (i + 1)..sets.len() {
-                let d = pair_doi(&sets[i], &sets[j], cache);
+                let d = pair_doi(&sets[i], &sets[j], engine);
                 if d >= config.doi_threshold && best.is_none_or(|(_, _, bd)| d > bd) {
                     best = Some((i, j, d));
                 }
@@ -257,7 +352,7 @@ fn sparsify_part(
         }
         let Some((i, j, _)) = best else { break };
         miso_obs::count("views.sparsify_merges", 1);
-        let merged: BTreeSet<usize> = sets[i].union(&sets[j]).copied().collect();
+        let merged = sets[i].union(&sets[j]);
         // Remove j first (j > i) to keep indexes valid.
         sets.remove(j);
         sets.remove(i);
@@ -270,12 +365,17 @@ fn sparsify_part(
     // the paper's representative rule, generalized beyond two-view parts
     // (a part may chain A–hub–B where A and B don't interact; both should
     // survive, only the dominated hub is dropped).
+    let density_tasks: Vec<(usize, ViewSet)> = sets
+        .iter()
+        .flat_map(|set| (0..n_q).map(move |q| (q, set.clone())))
+        .collect();
+    engine.ensure(&density_tasks);
     let mut order: Vec<usize> = (0..sets.len()).collect();
     let densities: Vec<f64> = sets
         .iter()
         .map(|set| {
-            let b = weighted_benefit(set, cache);
-            let size: ByteSize = set.iter().map(|&i| views[i].size).sum();
+            let b = weighted_benefit(set, engine);
+            let size: ByteSize = set.iter().map(|i| views[i].size).sum();
             b / (size.as_bytes().max(1) as f64)
         })
         .collect();
@@ -288,7 +388,7 @@ fn sparsify_part(
     for &k in &order {
         let conflicts = selected
             .iter()
-            .any(|&s| pair_doi(&sets[s], &sets[k], cache) <= -config.doi_threshold);
+            .any(|&s| pair_doi(&sets[s], &sets[k], engine) <= -config.doi_threshold);
         if !conflicts {
             selected.push(k);
         }
@@ -298,10 +398,10 @@ fn sparsify_part(
         .iter()
         .map(|&k| {
             let set = &sets[k];
-            let benefit = weighted_benefit(set, cache);
-            let size: ByteSize = set.iter().map(|&i| views[i].size).sum();
+            let benefit = weighted_benefit(set, engine);
+            let size: ByteSize = set.iter().map(|i| views[i].size).sum();
             KnapsackItem {
-                views: names_of(set),
+                views: engine.names_of(set),
                 size,
                 benefit,
             }
@@ -392,8 +492,7 @@ mod tests {
     fn independent_views_become_separate_items() {
         let v = views(&[("a", 1), ("b", 1)]);
         let weights = vec![1.0];
-        let mut f = independent_cost;
-        let items = analyze_candidates(&v, &weights, &mut f, &AnalysisConfig::default());
+        let items = analyze_candidates(&v, &weights, &independent_cost, &AnalysisConfig::default());
         assert_eq!(items.len(), 2);
         let by_name: HashMap<String, f64> = items
             .iter()
@@ -407,7 +506,7 @@ mod tests {
     fn positive_interaction_merges() {
         // Super-additive pair (two join inputs): each alone saves 10, both
         // together let the whole join collapse, saving 50.
-        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+        let f = |_q: usize, set: &BTreeSet<String>| -> f64 {
             match (set.contains("a"), set.contains("b")) {
                 (true, true) => 50.0,
                 (true, false) | (false, true) => 90.0,
@@ -415,7 +514,7 @@ mod tests {
             }
         };
         let v = views(&[("a", 1), ("b", 2)]);
-        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        let items = analyze_candidates(&v, &[1.0], &f, &AnalysisConfig::default());
         assert_eq!(items.len(), 1);
         let item = &items[0];
         assert_eq!(item.views.len(), 2);
@@ -426,7 +525,7 @@ mod tests {
     #[test]
     fn negative_interaction_keeps_representative() {
         // Either view alone answers the query (saves 30); both adds nothing.
-        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+        let f = |_q: usize, set: &BTreeSet<String>| -> f64 {
             if set.contains("a") || set.contains("b") {
                 70.0
             } else {
@@ -435,7 +534,7 @@ mod tests {
         };
         // b is smaller → better benefit/weight → representative.
         let v = views(&[("a", 10), ("b", 2)]);
-        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        let items = analyze_candidates(&v, &[1.0], &f, &AnalysisConfig::default());
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].views.iter().next().unwrap(), "b");
         assert_eq!(items[0].benefit, 30.0);
@@ -444,7 +543,7 @@ mod tests {
     #[test]
     fn weak_interactions_are_ignored() {
         // Tiny sub-threshold interaction: treated as independent.
-        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+        let f = |_q: usize, set: &BTreeSet<String>| -> f64 {
             let mut c = 100.0;
             if set.contains("a") {
                 c -= 10.0;
@@ -462,22 +561,22 @@ mod tests {
             doi_threshold: 1.0,
             max_part_size: Some(4),
         };
-        let items = analyze_candidates(&v, &[1.0], &mut f, &cfg);
+        let items = analyze_candidates(&v, &[1.0], &f, &cfg);
         assert_eq!(items.len(), 2, "below-threshold doi leaves views separate");
     }
 
     #[test]
     fn zero_benefit_views_are_dropped() {
-        let mut f = |_q: usize, _set: &BTreeSet<String>| -> f64 { 100.0 };
+        let f = |_q: usize, _set: &BTreeSet<String>| -> f64 { 100.0 };
         let v = views(&[("a", 1), ("b", 1)]);
-        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        let items = analyze_candidates(&v, &[1.0], &f, &AnalysisConfig::default());
         assert!(items.is_empty());
     }
 
     #[test]
     fn decay_weights_discount_old_benefits() {
         // View a helps only the old query, b only the new one.
-        let mut f = |q: usize, set: &BTreeSet<String>| -> f64 {
+        let f = |q: usize, set: &BTreeSet<String>| -> f64 {
             let mut c = 100.0;
             if q == 0 && set.contains("a") {
                 c -= 10.0;
@@ -489,7 +588,7 @@ mod tests {
         };
         let v = views(&[("a", 1), ("b", 1)]);
         let weights = vec![0.5, 1.0];
-        let items = analyze_candidates(&v, &weights, &mut f, &AnalysisConfig::default());
+        let items = analyze_candidates(&v, &weights, &f, &AnalysisConfig::default());
         let by_name: HashMap<String, f64> = items
             .iter()
             .map(|i| (i.views.iter().next().unwrap().clone(), i.benefit))
@@ -502,7 +601,7 @@ mod tests {
     fn three_way_positive_chain_merges_all() {
         // a+b strongly positive; the merged pair then interacts positively
         // with c: recursive merging unites all three.
-        let mut f = |_q: usize, set: &BTreeSet<String>| -> f64 {
+        let f = |_q: usize, set: &BTreeSet<String>| -> f64 {
             let a = set.contains("a");
             let b = set.contains("b");
             let c = set.contains("c");
@@ -528,7 +627,7 @@ mod tests {
             cost
         };
         let v = views(&[("a", 1), ("b", 1), ("c", 1)]);
-        let items = analyze_candidates(&v, &[1.0], &mut f, &AnalysisConfig::default());
+        let items = analyze_candidates(&v, &[1.0], &f, &AnalysisConfig::default());
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].views.len(), 3);
         assert_eq!(items[0].benefit, 100.0);
@@ -536,9 +635,44 @@ mod tests {
 
     #[test]
     fn empty_inputs() {
-        let mut f = independent_cost;
-        assert!(analyze_candidates(&[], &[1.0], &mut f, &AnalysisConfig::default()).is_empty());
+        assert!(
+            analyze_candidates(&[], &[1.0], &independent_cost, &AnalysisConfig::default())
+                .is_empty()
+        );
         let v = views(&[("a", 1)]);
-        assert!(analyze_candidates(&v, &[], &mut f, &AnalysisConfig::default()).is_empty());
+        assert!(
+            analyze_candidates(&v, &[], &independent_cost, &AnalysisConfig::default()).is_empty()
+        );
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        // The same analysis, serial and fanned out, must produce identical
+        // items (the miso-par determinism contract).
+        let f = |q: usize, set: &BTreeSet<String>| -> f64 {
+            let mut c = 500.0 + q as f64;
+            for (i, name) in ["a", "b", "c", "d", "e"].iter().enumerate() {
+                if set.contains(*name) {
+                    c -= 10.0 + (i as f64) * (1.0 + q as f64 * 0.3);
+                }
+            }
+            if set.contains("a") && set.contains("b") {
+                c -= 25.0;
+            }
+            if set.contains("c") && set.contains("d") {
+                c += 8.0;
+            }
+            c
+        };
+        let v = views(&[("a", 1), ("b", 2), ("c", 3), ("d", 4), ("e", 5)]);
+        let weights = vec![1.0, 0.5, 0.25];
+        let before = pool::threads();
+        pool::set_threads(1);
+        let serial = analyze_candidates(&v, &weights, &f, &AnalysisConfig::default());
+        pool::set_threads(8);
+        let parallel = analyze_candidates(&v, &weights, &f, &AnalysisConfig::default());
+        pool::set_threads(before);
+        assert_eq!(serial, parallel);
+        assert!(!serial.is_empty());
     }
 }

@@ -12,15 +12,20 @@
 //!   with per-epoch decay over the sliding workload history (\[18\]);
 //! * [`interaction`] — signed degree-of-interaction (\[20\]), the stable
 //!   partition into interacting sets (\[19\]), and sparsification into
-//!   independent knapsack items (paper §4.3).
+//!   independent knapsack items (paper §4.3), probed through the batched
+//!   parallel what-if engine (miso-par);
+//! * [`viewset`] — interned view subsets as bitsets over the candidate
+//!   universe, the memo key of every what-if probe.
 
 pub mod benefit;
 pub mod containment;
 pub mod interaction;
 pub mod rewrite;
 pub mod view;
+pub mod viewset;
 
 pub use benefit::decay_weights;
-pub use interaction::{analyze_candidates, AnalysisConfig, KnapsackItem, ViewInfo};
+pub use interaction::{analyze_candidates, AnalysisConfig, CostFn, KnapsackItem, ViewInfo};
 pub use rewrite::{rewrite_with_catalog, rewrite_with_views};
 pub use view::{ViewCatalog, ViewDef};
+pub use viewset::ViewSet;

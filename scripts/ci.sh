@@ -22,4 +22,7 @@ cargo run --release -q -p miso-bench --bin chaos
 echo "==> integrity smoke (seeded silent corruption)"
 cargo run --release -q -p miso-bench --bin integrity
 
+echo "==> tunerbench perf smoke (record-only)"
+cargo run --release -q -p miso-bench --bin tunerbench -- --smoke
+
 echo "ci: all checks passed"

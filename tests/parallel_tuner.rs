@@ -1,0 +1,211 @@
+//! Equivalence and invalidation tests for the miso-par what-if engine.
+//!
+//! The contract under test: threading and memoization are pure performance
+//! levers — the tuner's output must be *identical* for any `MISO_THREADS`
+//! value and with the cross-epoch cache on or off, and a cached tuner must
+//! never serve a probe computed under different inputs.
+
+use miso::common::ids::QueryId;
+use miso::common::{pool, Budgets, ByteSize};
+use miso::core::{MisoTuner, NewDesign, TunerConfig};
+use miso::dw::DwCostModel;
+use miso::hv::HvCostModel;
+use miso::lang::{compile, Catalog};
+use miso::optimizer::cost::TransferModel;
+use miso::plan::estimate::MapStats;
+use miso::plan::{LogicalPlan, Operator};
+use miso::views::{ViewCatalog, ViewDef};
+use std::collections::BTreeSet;
+
+fn budgets(gib: u64) -> Budgets {
+    Budgets::new(
+        ByteSize::from_gib(gib),
+        ByteSize::from_gib(gib),
+        ByteSize::from_gib(gib),
+    )
+    .with_discretization(ByteSize::from_kib(64))
+}
+
+fn stats() -> MapStats {
+    let mut s = MapStats::new();
+    s.set_log("twitter", 40_000.0, 40_000.0 * 280.0);
+    s.set_log("foursquare", 24_000.0, 24_000.0 * 160.0);
+    s.set_log("landmarks", 900.0, 900.0 * 190.0);
+    s
+}
+
+/// Builds a query plan plus a view over its filter subtree.
+fn plan_and_view(sql: &str, size: ByteSize) -> (LogicalPlan, ViewDef) {
+    let plan = compile(sql, &Catalog::standard()).unwrap();
+    let filt = plan
+        .nodes()
+        .iter()
+        .find(|n| matches!(n.op, Operator::Filter { .. }))
+        .unwrap()
+        .id;
+    let sub = plan.subplan(filt);
+    let def = ViewDef::from_plan(sub, size, 1_000, QueryId(0));
+    (plan, def)
+}
+
+/// A small mixed universe: several beneficial views over two logs.
+fn universe() -> (Vec<LogicalPlan>, ViewCatalog, MapStats, BTreeSet<String>) {
+    let sqls = [
+        "SELECT t.city AS c, COUNT(*) AS n FROM twitter t \
+         WHERE t.followers > 1000 GROUP BY t.city",
+        "SELECT t.lang AS l, COUNT(*) AS n FROM twitter t \
+         WHERE t.retweets > 50 GROUP BY t.lang",
+        "SELECT f.city AS c, COUNT(*) AS n FROM foursquare f \
+         WHERE f.likes > 10 GROUP BY f.city",
+        "SELECT f.city AS c, COUNT(*) AS n FROM foursquare f \
+         WHERE f.likes > 200 GROUP BY f.city",
+    ];
+    let mut catalog = ViewCatalog::new();
+    let mut s = stats();
+    let mut hv = BTreeSet::new();
+    let mut plans = Vec::new();
+    for (i, sql) in sqls.iter().enumerate() {
+        let (plan, view) = plan_and_view(sql, ByteSize::from_kib(150 + 40 * i as u64));
+        s.set_view(view.name.clone(), 1_000.0, view.size.as_bytes() as f64);
+        hv.insert(view.name.clone());
+        catalog.register(view);
+        plans.push(plan);
+    }
+    (plans, catalog, s, hv)
+}
+
+fn tune_once(
+    tuner: &MisoTuner,
+    hv: &BTreeSet<String>,
+    catalog: &ViewCatalog,
+    history: &[LogicalPlan],
+    s: &MapStats,
+) -> NewDesign {
+    tuner.tune(
+        hv,
+        &BTreeSet::new(),
+        catalog,
+        history,
+        s,
+        &HvCostModel::paper_default(),
+        &DwCostModel::paper_default(),
+        &TransferModel::paper_default(),
+    )
+}
+
+/// The same workload tuned under every (thread count, cache) combination
+/// must yield one design. The sweep runs inside a single test function so
+/// the process-global pool setting is only changed here; thread count can
+/// never affect any other test's *outcome* — that is the property.
+#[test]
+fn designs_identical_across_threads_and_caching() {
+    let (plans, catalog, s, hv) = universe();
+    let history: Vec<LogicalPlan> = (0..8).map(|i| plans[i % plans.len()].clone()).collect();
+    let config = TunerConfig {
+        budgets: budgets(1),
+        history_len: history.len(),
+        epoch_len: 3,
+        decay: 0.5,
+        doi_threshold: 1.0,
+    };
+
+    let mut designs = Vec::new();
+    for threads in [1usize, 4] {
+        for cache in [false, true] {
+            pool::set_threads(threads);
+            let tuner = MisoTuner::new(config.clone()).with_whatif_cache(cache);
+            designs.push(tune_once(&tuner, &hv, &catalog, &history, &s));
+            if cache {
+                assert!(
+                    tuner.whatif_cache_len() > 0,
+                    "cache-enabled tuning should memoize probes"
+                );
+            } else {
+                assert_eq!(tuner.whatif_cache_len(), 0);
+            }
+        }
+    }
+    pool::set_threads(1);
+    assert!(
+        !designs[0].hv.is_empty() || !designs[0].dw.is_empty(),
+        "universe should produce a non-trivial design"
+    );
+    for d in &designs[1..] {
+        assert_eq!(*d, designs[0], "threading/caching changed the design");
+    }
+}
+
+/// A second epoch over an unchanged workload is served from the memo: the
+/// design repeats and the cache gains no new entries (every probe hit).
+#[test]
+fn unchanged_workload_reuses_the_cache() {
+    let (plans, catalog, s, hv) = universe();
+    let history: Vec<LogicalPlan> = (0..6).map(|i| plans[i % plans.len()].clone()).collect();
+    let config = TunerConfig {
+        budgets: budgets(1),
+        history_len: history.len(),
+        epoch_len: 3,
+        decay: 0.5,
+        doi_threshold: 1.0,
+    };
+    let tuner = MisoTuner::new(config);
+    let first = tune_once(&tuner, &hv, &catalog, &history, &s);
+    let filled = tuner.whatif_cache_len();
+    assert!(filled > 0);
+    let second = tune_once(&tuner, &hv, &catalog, &history, &s);
+    assert_eq!(first, second, "unchanged inputs must repeat the design");
+    assert_eq!(
+        tuner.whatif_cache_len(),
+        filled,
+        "second epoch should add no probes — everything hits the memo"
+    );
+}
+
+/// Changing a probe-relevant input (view statistics) between epochs must
+/// flush the memo: the cached tuner's new design matches what a fresh,
+/// cache-free tuner computes on the new stats — a stale cache would keep
+/// serving the old costs and the old design.
+#[test]
+fn stats_change_invalidates_the_cache() {
+    let (plan, view) = plan_and_view(
+        "SELECT t.city AS c, COUNT(*) AS n FROM twitter t \
+         WHERE t.followers > 1000 GROUP BY t.city",
+        ByteSize::from_kib(200),
+    );
+    let mut catalog = ViewCatalog::new();
+    let name = view.name.clone();
+    catalog.register(view);
+    let mut s = stats();
+    s.set_view(name.clone(), 1_000.0, 200.0 * 1024.0);
+
+    let config = TunerConfig::paper_default(budgets(1));
+    let hv: BTreeSet<String> = [name.clone()].into_iter().collect();
+    let history = [plan];
+
+    let tuner = MisoTuner::new(config.clone());
+    let before = tune_once(&tuner, &hv, &catalog, &history, &s);
+    assert!(
+        before.dw.contains(&name),
+        "small view over a big log starts out beneficial"
+    );
+
+    // The view's true size balloons past the log itself: the optimizer's
+    // no-views variant wins every probe, so the view stops being relevant.
+    s.set_view(name.clone(), 40_000_000.0, 40_000_000.0 * 280.0);
+    let after = tune_once(&tuner, &hv, &catalog, &history, &s);
+    let fresh = tune_once(
+        &MisoTuner::new(config).with_whatif_cache(false),
+        &hv,
+        &catalog,
+        &history,
+        &s,
+    );
+    assert_eq!(
+        after, fresh,
+        "cached tuner must recompute under the new stats, not serve stale costs"
+    );
+    assert_ne!(
+        before, after,
+        "the stats change is drastic enough to flip the design"
+    );
+}
