@@ -28,6 +28,22 @@ const MAX_THREADS: usize = 256;
 /// Resolved worker count; 0 means "not resolved yet".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Cached physical parallelism; 0 means "not resolved yet".
+static CORES: AtomicUsize = AtomicUsize::new(0);
+
+/// The machine's available parallelism (cached after the first call).
+fn cores() -> usize {
+    let c = CORES.load(Ordering::Relaxed);
+    if c != 0 {
+        return c;
+    }
+    let n = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let _ = CORES.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed);
+    CORES.load(Ordering::Relaxed)
+}
+
 fn resolve_from_env() -> usize {
     if let Some(v) = std::env::var_os("MISO_THREADS") {
         if let Ok(n) = v.to_string_lossy().trim().parse::<usize>() {
@@ -76,7 +92,11 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = threads().min(n);
+    // `threads()` is the configured concurrency ceiling; actually spawning
+    // more workers than the machine has cores only adds context-switch and
+    // cache-thrash overhead (results are position-keyed, so the worker
+    // count can never change the output anyway).
+    let workers = threads().min(n).min(cores());
     if workers <= 1 {
         return (0..n).map(f).collect();
     }
@@ -117,6 +137,32 @@ where
         .collect()
 }
 
+/// Runs `f` over fixed-size chunks of a borrowed slice and returns the
+/// per-chunk results in chunk order — the morsel dispatch primitive of the
+/// execution engine. `f(i, chunk)` receives the chunk index and the items
+/// `[i*chunk_size .. (i+1)*chunk_size)` (the last chunk may be short).
+///
+/// Chunk boundaries depend only on `chunk_size`, never on the worker count,
+/// so any per-chunk computation reassembled in chunk order is byte-identical
+/// for every `MISO_THREADS` value.
+pub fn run_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let n = items.len().div_ceil(chunk_size);
+    run_batch(n, |i| {
+        let start = i * chunk_size;
+        let end = (start + chunk_size).min(items.len());
+        f(i, &items[start..end])
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -149,6 +195,36 @@ mod tests {
         assert_eq!(threads(), 1);
         set_threads(1_000_000);
         assert_eq!(threads(), MAX_THREADS);
+        set_threads(before);
+    }
+
+    #[test]
+    fn chunks_cover_slice_in_order() {
+        let before = threads();
+        let items: Vec<u64> = (0..1000).collect();
+        for t in [1, 2, 8] {
+            set_threads(t);
+            // Sum + span per chunk; reassembled order must be chunk order.
+            let parts = run_chunks(&items, 64, |i, chunk| {
+                (i, chunk[0], chunk.iter().copied().sum::<u64>())
+            });
+            assert_eq!(parts.len(), 1000usize.div_ceil(64), "threads={t}");
+            for (idx, &(i, first, _)) in parts.iter().enumerate() {
+                assert_eq!(i, idx);
+                assert_eq!(first, (idx * 64) as u64);
+            }
+            let total: u64 = parts.iter().map(|&(_, _, s)| s).sum();
+            assert_eq!(total, items.iter().sum::<u64>());
+        }
+        set_threads(before);
+    }
+
+    #[test]
+    fn chunks_on_empty_and_short_inputs() {
+        let before = threads();
+        set_threads(4);
+        assert_eq!(run_chunks(&[] as &[u8], 16, |_, c| c.len()), Vec::new());
+        assert_eq!(run_chunks(&[1u8, 2, 3], 16, |_, c| c.len()), vec![3]);
         set_threads(before);
     }
 

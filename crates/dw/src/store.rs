@@ -5,7 +5,7 @@ use miso_common::ids::NodeId;
 use miso_common::{ByteSize, MisoError, Result, SimDuration};
 use miso_data::checksum::{checksum_rows, corrupt_first_row, Checksum};
 use miso_data::{Row, Schema};
-use miso_exec::engine::{execute_subset, DataSource, Execution};
+use miso_exec::engine::{execute_subset_opts, DataSource, ExecOptions, Execution};
 use miso_exec::UdfRegistry;
 use miso_plan::estimate::MapStats;
 use miso_plan::{LogicalPlan, Operator};
@@ -256,7 +256,19 @@ impl DwStore {
             .map(|rows| ByteSize::from_bytes(rows.iter().map(Row::approx_bytes).sum()))
             .sum();
         let provided_ids: HashSet<NodeId> = provided.keys().copied().collect();
-        let execution = execute_subset(plan, subset, provided, self, udfs)?;
+        // DW only ever reads the root rows and per-node row counts, so let
+        // the engine release intermediate outputs eagerly (and steal
+        // uniquely-owned inputs) instead of retaining every materialization.
+        let execution = execute_subset_opts(
+            plan,
+            subset,
+            provided,
+            self,
+            udfs,
+            ExecOptions {
+                retain_root_only: true,
+            },
+        )?;
         let mut rows_processed = 0u64;
         for node in plan.nodes() {
             let in_subset = subset.is_none_or(|s| s.contains(&node.id));
@@ -272,10 +284,7 @@ impl DwStore {
                     .unwrap_or(ByteSize::ZERO);
                 bytes_in += size;
             }
-            rows_processed += execution
-                .try_output(node.id)
-                .map(|r| r.len() as u64)
-                .unwrap_or(0);
+            rows_processed += execution.rows_out(node.id).unwrap_or(0);
         }
         let mut cost = self.cost_model.exec_cost(bytes_in, rows_processed);
         if chaos_slow != 1.0 {
@@ -337,6 +346,13 @@ impl DataSource for DwStore {
             .or_else(|| self.temporary.get(view))
             .map(|v| v.rows.as_slice())
             .ok_or_else(|| MisoError::Store(format!("DW has no view `{view}`")))
+    }
+
+    fn view_rows_shared(&self, view: &str) -> Option<Arc<Vec<Row>>> {
+        self.permanent
+            .get(view)
+            .or_else(|| self.temporary.get(view))
+            .map(|v| v.rows.clone())
     }
 }
 

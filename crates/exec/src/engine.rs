@@ -1,4 +1,4 @@
-//! The operator interpreter.
+//! The operator interpreter (miso-vex: morsel-parallel, allocation-lean).
 //!
 //! Executes a [`LogicalPlan`] bottom-up over a [`DataSource`], materializing
 //! every node's output as an in-memory row vector. Full materialization is a
@@ -10,16 +10,41 @@
 //! [`execute_subset`] supports split execution: the HV side runs the nodes
 //! below the cut, the working sets cross the wire, and the DW side resumes
 //! with those outputs injected as `provided` inputs.
+//!
+//! # Parallelism and determinism
+//!
+//! Row-at-a-time operator bodies run **morsel-parallel** on the
+//! `miso_common::pool` scoped worker pool (Leis et al., SIGMOD 2014): inputs
+//! are chunked into fixed [`MORSEL_SIZE`] morsels, morsels fan out across
+//! `MISO_THREADS` workers, and per-morsel results are reassembled in morsel
+//! index order. Morsel boundaries depend only on the constant, never on the
+//! worker count, so every operator's output — including `skipped_lines`
+//! accounting and the first error surfaced — is byte-identical for any
+//! thread count. Aggregations fold per-morsel partial accumulators and merge
+//! them serially in morsel order ([`Acc::merge`]), which pins even
+//! float-summation grouping to the morsel structure rather than the
+//! schedule. Join keys and group keys are hashed once per row to a `u64`
+//! (FNV-1a via `miso_plan::fingerprint`, collision-checked by real key
+//! equality at every probe), replacing the per-row `Vec` key allocations of
+//! the row-at-a-time interpreter preserved in [`crate::serial`].
 
 use crate::eval::{eval, eval_predicate};
 use crate::udf::UdfRegistry;
 use miso_common::ids::NodeId;
-use miso_common::{ByteSize, MisoError, Result};
+use miso_common::{pool, ByteSize, MisoError, Result};
 use miso_data::json::parse_json;
 use miso_data::{Row, Value};
+use miso_plan::fingerprint::{fnv1a_hash_one, FnvHasher};
 use miso_plan::{AggFunc, LogicalPlan, Operator};
 use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Rows per morsel. Fixed — never derived from the worker count — so the
+/// morsel structure (and with it every reassembled output, partial-sum
+/// grouping, and error choice) is identical for any `MISO_THREADS` value.
+pub const MORSEL_SIZE: usize = 4096;
 
 /// Supplies leaf data: raw log lines and materialized view rows.
 pub trait DataSource {
@@ -27,13 +52,20 @@ pub trait DataSource {
     fn log_lines(&self, log: &str) -> Result<&[String]>;
     /// The rows of materialized view `view`.
     fn view_rows(&self, view: &str) -> Result<&[Row]>;
+    /// Shared-ownership variant of [`DataSource::view_rows`]: sources that
+    /// keep view rows in an `Arc<Vec<Row>>` can hand the engine a zero-copy
+    /// handle, turning `ScanView` into a refcount bump instead of a
+    /// full-table deep clone. `None` (the default) falls back to copying.
+    fn view_rows_shared(&self, _view: &str) -> Option<Arc<Vec<Row>>> {
+        None
+    }
 }
 
 /// An in-memory [`DataSource`].
 #[derive(Debug, Clone, Default)]
 pub struct MemSource {
     logs: HashMap<String, Vec<String>>,
-    views: HashMap<String, Vec<Row>>,
+    views: HashMap<String, Arc<Vec<Row>>>,
 }
 
 impl MemSource {
@@ -49,7 +81,7 @@ impl MemSource {
 
     /// Registers a view's rows.
     pub fn add_view(&mut self, name: impl Into<String>, rows: Vec<Row>) {
-        self.views.insert(name.into(), rows);
+        self.views.insert(name.into(), Arc::new(rows));
     }
 }
 
@@ -64,29 +96,70 @@ impl DataSource for MemSource {
     fn view_rows(&self, view: &str) -> Result<&[Row]> {
         self.views
             .get(view)
-            .map(Vec::as_slice)
+            .map(|rows| rows.as_slice())
             .ok_or_else(|| MisoError::Store(format!("unknown view `{view}`")))
     }
+
+    fn view_rows_shared(&self, view: &str) -> Option<Arc<Vec<Row>>> {
+        self.views.get(view).cloned()
+    }
+}
+
+/// Execution knobs orthogonal to *what* is computed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecOptions {
+    /// Release each node's output as soon as its last in-subset consumer has
+    /// run, keeping only the root (plus never-consumed outputs). This frees
+    /// memory early and lets single-consumer `Filter`/`Limit`/`Sort` *steal*
+    /// uniquely-owned input rows instead of deep-cloning them. The HV store
+    /// must NOT set this: it harvests every materialized node output as an
+    /// opportunistic view candidate. Row counts stay queryable for all
+    /// executed nodes via [`Execution::rows_out`].
+    pub retain_root_only: bool,
 }
 
 /// The result of executing (part of) a plan.
 #[derive(Debug, Clone)]
 pub struct Execution {
     outputs: HashMap<NodeId, Arc<Vec<Row>>>,
+    /// Output row count of every executed or provided node — recorded even
+    /// for outputs released early under `retain_root_only`.
+    rows_out: HashMap<NodeId, u64>,
     /// Malformed log lines skipped by scans (Hive-style lenience).
     pub skipped_lines: u64,
     root: NodeId,
 }
 
 impl Execution {
-    /// The output of node `id`; panics if that node was not executed.
+    /// Assembles an execution result (shared with [`crate::serial`]).
+    pub(crate) fn from_parts(
+        outputs: HashMap<NodeId, Arc<Vec<Row>>>,
+        rows_out: HashMap<NodeId, u64>,
+        skipped_lines: u64,
+        root: NodeId,
+    ) -> Execution {
+        Execution {
+            outputs,
+            rows_out,
+            skipped_lines,
+            root,
+        }
+    }
+
+    /// The output of node `id`; panics if that node was not executed (or its
+    /// rows were released under [`ExecOptions::retain_root_only`]).
     pub fn output(&self, id: NodeId) -> &Arc<Vec<Row>> {
         &self.outputs[&id]
     }
 
-    /// The output of node `id`, if executed.
+    /// The output of node `id`, if executed and retained.
     pub fn try_output(&self, id: NodeId) -> Option<&Arc<Vec<Row>>> {
         self.outputs.get(&id)
+    }
+
+    /// Output row count of node `id`, if executed — survives early release.
+    pub fn rows_out(&self, id: NodeId) -> Option<u64> {
+        self.rows_out.get(&id).copied()
     }
 
     /// The root output rows; errors if the root was outside the executed
@@ -108,9 +181,10 @@ impl Execution {
         )
     }
 
-    /// Ids of all executed (or provided) nodes.
+    /// Ids of all executed (or provided) nodes, including any whose rows
+    /// were released early.
     pub fn executed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.outputs.keys().copied()
+        self.rows_out.keys().copied()
     }
 }
 
@@ -123,7 +197,7 @@ pub fn execute(
     execute_subset(plan, None, HashMap::new(), source, udfs)
 }
 
-/// Executes a subset of the plan's nodes.
+/// Executes a subset of the plan's nodes, retaining every node's output.
 ///
 /// * `subset` — nodes to execute (`None` = all). Each executed node's inputs
 ///   must be in the subset or in `provided`.
@@ -136,10 +210,44 @@ pub fn execute_subset(
     source: &dyn DataSource,
     udfs: &UdfRegistry,
 ) -> Result<Execution> {
-    let mut outputs: HashMap<NodeId, Arc<Vec<Row>>> = provided;
+    execute_subset_opts(plan, subset, provided, source, udfs, ExecOptions::default())
+}
+
+/// [`execute_subset`] with explicit [`ExecOptions`].
+pub fn execute_subset_opts(
+    plan: &LogicalPlan,
+    subset: Option<&HashSet<NodeId>>,
+    provided: HashMap<NodeId, Arc<Vec<Row>>>,
+    source: &dyn DataSource,
+    udfs: &UdfRegistry,
+    opts: ExecOptions,
+) -> Result<Execution> {
+    let root = plan.root();
+    let mut outputs: HashMap<NodeId, Arc<Vec<Row>>> = HashMap::with_capacity(plan.len());
+    let mut rows_out: HashMap<NodeId, u64> = HashMap::with_capacity(plan.len());
+    for (id, rows) in provided {
+        rows_out.insert(id, rows.len() as u64);
+        outputs.insert(id, rows);
+    }
+    // Remaining in-subset consumer edges per node. Once a node's count hits
+    // zero its output can be released (retain_root_only); a count of exactly
+    // one at consumption time means the consumer may steal the rows.
+    let mut pending: HashMap<NodeId, usize> = HashMap::new();
+    if opts.retain_root_only {
+        for node in plan.nodes() {
+            let executes =
+                subset.is_none_or(|s| s.contains(&node.id)) && !rows_out.contains_key(&node.id);
+            if !executes {
+                continue;
+            }
+            for input in &node.inputs {
+                *pending.entry(*input).or_insert(0) += 1;
+            }
+        }
+    }
     let mut skipped_lines = 0u64;
     for node in plan.nodes() {
-        if outputs.contains_key(&node.id) {
+        if rows_out.contains_key(&node.id) {
             continue; // provided
         }
         if let Some(set) = subset {
@@ -152,136 +260,408 @@ pub fn execute_subset(
             op_span.push_field("op", miso_obs::FieldValue::Str(node.op.label()));
             op_span.push_field("node", miso_obs::FieldValue::U64(node.id.raw()));
         }
-        let get_input = |idx: usize| -> Result<&Arc<Vec<Row>>> {
-            outputs.get(&node.inputs[idx]).ok_or_else(|| {
-                MisoError::Execution(format!(
-                    "node {} input {} neither executed nor provided",
-                    node.id, node.inputs[idx]
-                ))
-            })
-        };
+        let t0 = Instant::now();
+        // ScanView is special-cased outside the Vec-producing match: a
+        // shared source hands over its Arc and the scan costs one refcount
+        // bump, no row copies at all.
+        if let Operator::ScanView { view, .. } = &node.op {
+            if let Some(shared) = source.view_rows_shared(view) {
+                miso_obs::observe("exec.op_ns", t0.elapsed().as_nanos() as u64);
+                if op_span.is_active() {
+                    op_span.push_field("rows_out", miso_obs::FieldValue::U64(shared.len() as u64));
+                    miso_obs::observe("exec.op_rows_out", shared.len() as u64);
+                }
+                miso_obs::count("exec.ops_executed", 1);
+                miso_obs::count("exec.zero_copy_scans", 1);
+                rows_out.insert(node.id, shared.len() as u64);
+                outputs.insert(node.id, shared);
+                continue;
+            }
+        }
         let rows: Vec<Row> = match &node.op {
             Operator::ScanLog { log } => {
-                let mut rows = Vec::new();
-                for line in source.log_lines(log)? {
-                    match parse_json(line) {
-                        Ok(v) => rows.push(Row::new(vec![v])),
-                        Err(_) => skipped_lines += 1,
+                let lines = source.log_lines(log)?;
+                let parts = par_chunks(lines, |_, chunk| {
+                    let mut rows = Vec::with_capacity(chunk.len());
+                    let mut skipped = 0u64;
+                    for line in chunk {
+                        match parse_json(line) {
+                            Ok(v) => rows.push(Row::new(vec![v])),
+                            Err(_) => skipped += 1,
+                        }
                     }
+                    (rows, skipped)
+                });
+                let mut rows = Vec::with_capacity(lines.len());
+                for (part, skipped) in parts {
+                    rows.extend(part);
+                    skipped_lines += skipped;
                 }
                 rows
             }
-            Operator::ScanView { view, .. } => source.view_rows(view)?.to_vec(),
+            Operator::ScanView { view, .. } => {
+                let src_rows = source.view_rows(view)?;
+                concat_rows(
+                    src_rows.len(),
+                    par_chunks(src_rows, |_, chunk| chunk.to_vec()),
+                )
+            }
             Operator::Filter { predicate } => {
-                let input = get_input(0)?;
-                let mut rows = Vec::new();
-                for row in input.iter() {
-                    if eval_predicate(predicate, row)? {
-                        rows.push(row.clone());
+                match take_input(&mut outputs, &pending, node, 0, opts, root)? {
+                    TakenInput::Owned(mut vec) => {
+                        // Uniquely owned: evaluate in parallel, then move the
+                        // surviving rows out instead of deep-cloning them.
+                        let parts = par_chunks(&vec, |i, chunk| -> Result<Vec<usize>> {
+                            let base = i * MORSEL_SIZE;
+                            let mut keep = Vec::new();
+                            for (j, row) in chunk.iter().enumerate() {
+                                if eval_predicate(predicate, row)? {
+                                    keep.push(base + j);
+                                }
+                            }
+                            Ok(keep)
+                        });
+                        let keep = collect_ok(parts)?;
+                        let mut out = Vec::with_capacity(keep.iter().map(Vec::len).sum());
+                        for idx in keep.into_iter().flatten() {
+                            out.push(std::mem::take(&mut vec[idx]));
+                        }
+                        out
+                    }
+                    TakenInput::Shared(arc) => {
+                        let parts = par_chunks(&arc, |_, chunk| -> Result<Vec<Row>> {
+                            let mut keep = Vec::new();
+                            for row in chunk {
+                                if eval_predicate(predicate, row)? {
+                                    keep.push(row.clone());
+                                }
+                            }
+                            Ok(keep)
+                        });
+                        flatten_ok(parts)?
                     }
                 }
-                rows
             }
             Operator::Project { exprs } => {
-                let input = get_input(0)?;
-                let mut rows = Vec::with_capacity(input.len());
-                for row in input.iter() {
-                    let values: Vec<Value> = exprs
-                        .iter()
-                        .map(|(_, e)| eval(e, row))
-                        .collect::<Result<_>>()?;
-                    rows.push(Row::new(values));
-                }
-                rows
+                let input = input_of(&outputs, plan, node.id, 0)?;
+                let parts = par_chunks(input, |_, chunk| -> Result<Vec<Row>> {
+                    let mut rows = Vec::with_capacity(chunk.len());
+                    for row in chunk {
+                        let values: Vec<Value> = exprs
+                            .iter()
+                            .map(|(_, e)| eval(e, row))
+                            .collect::<Result<_>>()?;
+                        rows.push(Row::new(values));
+                    }
+                    Ok(rows)
+                });
+                flatten_ok(parts)?
             }
             Operator::Join { on } => {
-                let left = get_input(0)?.clone();
-                let right = get_input(1)?;
-                hash_join(&left, right, on)
+                let left = input_of(&outputs, plan, node.id, 0)?;
+                let right = input_of(&outputs, plan, node.id, 1)?;
+                hash_join(left, right, on)
             }
             Operator::Aggregate { group_by, aggs } => {
-                let input = get_input(0)?;
+                let input = input_of(&outputs, plan, node.id, 0)?;
                 aggregate(input, group_by, aggs)?
             }
             Operator::Udf { name, .. } => {
                 let udf = udfs.require(name)?;
-                let input = get_input(0)?;
-                let mut rows = Vec::new();
-                for row in input.iter() {
-                    rows.extend(udf.apply(row)?);
-                }
-                rows
+                let input = input_of(&outputs, plan, node.id, 0)?;
+                let parts = par_chunks(input, |_, chunk| -> Result<Vec<Row>> {
+                    let mut rows = Vec::new();
+                    for row in chunk {
+                        rows.extend(udf.apply(row)?);
+                    }
+                    Ok(rows)
+                });
+                flatten_ok(parts)?
             }
             Operator::Sort { keys } => {
-                let input = get_input(0)?;
-                let mut rows = input.as_ref().clone();
-                rows.sort_by(|a, b| {
-                    for &(col, desc) in keys {
-                        let ord = a.get(col).cmp(b.get(col));
+                let input = take_input(&mut outputs, &pending, node, 0, opts, root)?;
+                let rows = input.rows();
+                // Extract each row's key values exactly once (in parallel),
+                // then sort (key, index) pairs; the index tiebreak makes the
+                // unstable sort reproduce stable-sort output.
+                let keyed: Vec<Vec<Value>> = concat_rows(
+                    rows.len(),
+                    par_chunks(rows, |_, chunk| {
+                        chunk
+                            .iter()
+                            .map(|row| keys.iter().map(|&(col, _)| row.get(col).clone()).collect())
+                            .collect::<Vec<Vec<Value>>>()
+                    }),
+                );
+                let mut order: Vec<usize> = (0..rows.len()).collect();
+                order.sort_unstable_by(|&a, &b| {
+                    for (j, &(_, desc)) in keys.iter().enumerate() {
+                        let ord = keyed[a][j].cmp(&keyed[b][j]);
                         let ord = if desc { ord.reverse() } else { ord };
                         if !ord.is_eq() {
                             return ord;
                         }
                     }
-                    std::cmp::Ordering::Equal
+                    a.cmp(&b)
                 });
-                rows
+                match input {
+                    TakenInput::Owned(mut vec) => order
+                        .into_iter()
+                        .map(|i| std::mem::take(&mut vec[i]))
+                        .collect(),
+                    TakenInput::Shared(arc) => order.into_iter().map(|i| arc[i].clone()).collect(),
+                }
             }
             Operator::Limit { n } => {
-                let input = get_input(0)?;
-                input.iter().take(*n as usize).cloned().collect()
+                match take_input(&mut outputs, &pending, node, 0, opts, root)? {
+                    TakenInput::Owned(mut vec) => {
+                        vec.truncate(*n as usize);
+                        vec
+                    }
+                    TakenInput::Shared(arc) => arc.iter().take(*n as usize).cloned().collect(),
+                }
             }
         };
+        miso_obs::observe("exec.op_ns", t0.elapsed().as_nanos() as u64);
         if op_span.is_active() {
             op_span.push_field("rows_out", miso_obs::FieldValue::U64(rows.len() as u64));
             miso_obs::observe("exec.op_rows_out", rows.len() as u64);
         }
         miso_obs::count("exec.ops_executed", 1);
+        rows_out.insert(node.id, rows.len() as u64);
         outputs.insert(node.id, Arc::new(rows));
+        if opts.retain_root_only {
+            for input in &node.inputs {
+                if let Some(p) = pending.get_mut(input) {
+                    *p = p.saturating_sub(1);
+                    if *p == 0 && *input != root {
+                        outputs.remove(input);
+                    }
+                }
+            }
+        }
     }
     Ok(Execution {
         outputs,
+        rows_out,
         skipped_lines,
-        root: plan.root(),
+        root,
     })
 }
 
-/// Inner hash equijoin; NULL keys never match (SQL semantics).
-fn hash_join(left: &[Row], right: &[Row], on: &[(usize, usize)]) -> Vec<Row> {
-    // Build on the right side.
-    let mut table: HashMap<Vec<&Value>, Vec<&Row>> = HashMap::new();
-    'right: for row in right {
-        let mut key = Vec::with_capacity(on.len());
-        for &(_, r) in on {
-            let v = row.get(r);
-            if v.is_null() {
-                continue 'right;
-            }
-            key.push(v);
+/// A single-consumer operator's input: owned when the rows could be stolen,
+/// shared otherwise.
+enum TakenInput {
+    Owned(Vec<Row>),
+    Shared(Arc<Vec<Row>>),
+}
+
+impl TakenInput {
+    fn rows(&self) -> &[Row] {
+        match self {
+            TakenInput::Owned(v) => v,
+            TakenInput::Shared(a) => a,
         }
-        table.entry(key).or_default().push(row);
     }
-    let mut out = Vec::new();
-    'left: for row in left {
-        let mut key = Vec::with_capacity(on.len());
-        for &(l, _) in on {
-            let v = row.get(l);
-            if v.is_null() {
-                continue 'left;
-            }
-            key.push(v);
-        }
-        if let Some(matches) = table.get(&key) {
-            for m in matches {
-                out.push(row.concat(m));
-            }
-        }
+}
+
+/// Fetches input `idx` of `node` for row-consuming operators. When the
+/// executing subset retains only the root and this node is the input's last
+/// consumer, the entry leaves the output map here — and if the `Arc` is
+/// uniquely owned (nobody `provided` it and holds a copy), the rows
+/// themselves are taken, enabling clone-free `Filter`/`Sort`/`Limit`.
+fn take_input(
+    outputs: &mut HashMap<NodeId, Arc<Vec<Row>>>,
+    pending: &HashMap<NodeId, usize>,
+    node: &miso_plan::PlanNode,
+    idx: usize,
+    opts: ExecOptions,
+    root: NodeId,
+) -> Result<TakenInput> {
+    let id = node.inputs[idx];
+    let missing = || {
+        MisoError::Execution(format!(
+            "node {} input {} neither executed nor provided",
+            node.id, id
+        ))
+    };
+    let consumable = opts.retain_root_only && id != root && pending.get(&id).copied() == Some(1);
+    if consumable {
+        let arc = outputs.remove(&id).ok_or_else(missing)?;
+        Ok(match Arc::try_unwrap(arc) {
+            Ok(vec) => TakenInput::Owned(vec),
+            Err(arc) => TakenInput::Shared(arc),
+        })
+    } else {
+        outputs
+            .get(&id)
+            .cloned()
+            .map(TakenInput::Shared)
+            .ok_or_else(missing)
+    }
+}
+
+/// Borrows input `idx` of the node owning `id` from the output map.
+fn input_of<'a>(
+    outputs: &'a HashMap<NodeId, Arc<Vec<Row>>>,
+    plan: &LogicalPlan,
+    id: NodeId,
+    idx: usize,
+) -> Result<&'a Arc<Vec<Row>>> {
+    let input = plan.node(id).inputs[idx];
+    outputs.get(&input).ok_or_else(|| {
+        MisoError::Execution(format!(
+            "node {id} input {input} neither executed nor provided"
+        ))
+    })
+}
+
+/// Morsel dispatch: runs `f` over fixed-size chunks of `items` on the worker
+/// pool and returns per-morsel results in morsel order.
+fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    miso_obs::count("exec.morsels", items.len().div_ceil(MORSEL_SIZE) as u64);
+    miso_obs::count("exec.par_rows", items.len() as u64);
+    pool::run_chunks(items, MORSEL_SIZE, f)
+}
+
+/// Sequences per-morsel results, surfacing the error of the lowest-indexed
+/// failing morsel — the same error a serial left-to-right pass would hit.
+fn collect_ok<R>(parts: Vec<Result<R>>) -> Result<Vec<R>> {
+    let mut ok = Vec::with_capacity(parts.len());
+    for part in parts {
+        ok.push(part?);
+    }
+    Ok(ok)
+}
+
+/// [`collect_ok`] + concatenation in morsel order.
+fn flatten_ok(parts: Vec<Result<Vec<Row>>>) -> Result<Vec<Row>> {
+    let parts = collect_ok(parts)?;
+    Ok(concat_rows(parts.iter().map(Vec::len).sum(), parts))
+}
+
+fn concat_rows<T>(capacity: usize, parts: Vec<Vec<T>>) -> Vec<T> {
+    let mut out = Vec::with_capacity(capacity);
+    for part in parts {
+        out.extend(part);
     }
     out
 }
 
+/// Pass-through hasher for keys that are already well-mixed u64 hashes; a
+/// splitmix64 finalizer spreads FNV's weaker low bits across the table.
+#[derive(Clone, Copy, Default)]
+struct PrehashedU64(u64);
+
+impl Hasher for PrehashedU64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("prehashed maps are keyed by u64 only");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+type PrehashedMap<V> = HashMap<u64, V, BuildHasherDefault<PrehashedU64>>;
+
+fn prehashed_map<V>(capacity: usize) -> PrehashedMap<V> {
+    HashMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default())
+}
+
+/// FNV-1a hash of a row's join-key columns; `None` if any key is NULL (NULL
+/// never joins). `right` selects which side of each `on` pair to read. The
+/// single-column fast path skips the hasher-state plumbing entirely.
+#[inline]
+fn join_key_hash(row: &Row, on: &[(usize, usize)], right: bool) -> Option<u64> {
+    if let [(l, r)] = on {
+        let v = row.get(if right { *r } else { *l });
+        if v.is_null() {
+            return None;
+        }
+        return Some(fnv1a_hash_one(v));
+    }
+    let mut h = FnvHasher::default();
+    for &(l, r) in on {
+        let v = row.get(if right { r } else { l });
+        if v.is_null() {
+            return None;
+        }
+        v.hash(&mut h);
+    }
+    Some(h.finish())
+}
+
+/// Inner hash equijoin; NULL keys never match (SQL semantics).
+///
+/// Keys are hashed once per row to a `u64` (no per-row key `Vec`); the build
+/// side is partitioned by hash so partitions build in parallel, and probes
+/// run morsel-parallel over the left side, emitting matches in left-row ×
+/// right-insertion order — exactly the serial interpreter's output order.
+/// Hash collisions are disambiguated by comparing the actual key columns.
+pub fn hash_join(left: &[Row], right: &[Row], on: &[(usize, usize)]) -> Vec<Row> {
+    assert!(
+        right.len() <= u32::MAX as usize,
+        "build side exceeds u32 rows"
+    );
+    let rhash: Vec<Option<u64>> = concat_rows(
+        right.len(),
+        par_chunks(right, |_, chunk| {
+            chunk
+                .iter()
+                .map(|row| join_key_hash(row, on, true))
+                .collect::<Vec<_>>()
+        }),
+    );
+    // Partitioned build: table layout is internal, so the partition count
+    // may track the worker count without affecting any output.
+    let partitions = pool::threads().next_power_of_two().min(64);
+    let mask = (partitions - 1) as u64;
+    let tables: Vec<PrehashedMap<Vec<u32>>> = pool::run_batch(partitions, |p| {
+        let mut table: PrehashedMap<Vec<u32>> = prehashed_map(rhash.len() / partitions + 1);
+        for (i, h) in rhash.iter().enumerate() {
+            if let Some(h) = h {
+                if (h & mask) as usize == p {
+                    table.entry(*h).or_default().push(i as u32);
+                }
+            }
+        }
+        table
+    });
+    let parts = par_chunks(left, |_, chunk| {
+        let mut out = Vec::new();
+        for lrow in chunk {
+            let Some(h) = join_key_hash(lrow, on, false) else {
+                continue;
+            };
+            if let Some(candidates) = tables[(h & mask) as usize].get(&h) {
+                for &ri in candidates {
+                    let rrow = &right[ri as usize];
+                    if on.iter().all(|&(l, r)| lrow.get(l) == rrow.get(r)) {
+                        out.push(lrow.concat(rrow));
+                    }
+                }
+            }
+        }
+        out
+    });
+    concat_rows(parts.iter().map(Vec::len).sum(), parts)
+}
+
 /// Streaming accumulator per aggregate function.
-enum Acc {
+pub(crate) enum Acc {
     Count(i64),
     CountDistinct(HashSet<Value>),
     SumInt(i64, bool),
@@ -292,7 +672,7 @@ enum Acc {
 }
 
 impl Acc {
-    fn new(func: AggFunc, float_sum: bool) -> Acc {
+    pub(crate) fn new(func: AggFunc, float_sum: bool) -> Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
             AggFunc::CountDistinct => Acc::CountDistinct(HashSet::new()),
@@ -304,7 +684,7 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) {
+    pub(crate) fn update(&mut self, v: Option<&Value>) {
         match self {
             Acc::Count(n) => {
                 // COUNT(*) gets None (count all); COUNT(expr) skips NULLs.
@@ -363,7 +743,53 @@ impl Acc {
         }
     }
 
-    fn finish(self) -> Value {
+    /// Folds another accumulator of the *same variant* into this one — the
+    /// morsel-partial merge. Merging happens serially in morsel index order,
+    /// so the result (float summation grouping included) depends only on the
+    /// fixed morsel structure, never on scheduling.
+    pub(crate) fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::CountDistinct(a), Acc::CountDistinct(b)) => a.extend(b),
+            (Acc::SumInt(a, sa), Acc::SumInt(b, sb)) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (Acc::SumFloat(a, sa), Acc::SumFloat(b, sb)) => {
+                // Only fold seen partials so an all-NULL morsel cannot turn
+                // a -0.0 sum into +0.0.
+                if sb {
+                    *a += b;
+                    *sa = true;
+                }
+            }
+            (Acc::Min(a), Acc::Min(b)) => {
+                if let Some(v) = b {
+                    // Strict `<` keeps the earlier morsel's value on ties,
+                    // matching serial first-seen semantics.
+                    if a.as_ref().is_none_or(|c| v < *c) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (Acc::Max(a), Acc::Max(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().is_none_or(|c| v > *c) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (Acc::Avg { sum, n }, Acc::Avg { sum: s2, n: n2 }) => {
+                if n2 > 0 {
+                    *sum += s2;
+                    *n += n2;
+                }
+            }
+            _ => unreachable!("merging mismatched accumulator variants"),
+        }
+    }
+
+    pub(crate) fn finish(self) -> Value {
         match self {
             Acc::Count(n) => Value::Int(n),
             Acc::CountDistinct(set) => Value::Int(set.len() as i64),
@@ -393,10 +819,10 @@ impl Acc {
     }
 }
 
-fn aggregate(input: &[Row], group_by: &[usize], aggs: &[miso_plan::AggExpr]) -> Result<Vec<Row>> {
-    // Decide int-vs-float SUM from the first non-null input per aggregate.
-    let float_sum: Vec<bool> = aggs
-        .iter()
+/// Decides int-vs-float SUM from the first non-null input per aggregate —
+/// shared with the serial reference interpreter so both agree.
+pub(crate) fn float_sum_flags(input: &[Row], aggs: &[miso_plan::AggExpr]) -> Vec<bool> {
+    aggs.iter()
         .map(|agg| {
             if agg.func != AggFunc::Sum {
                 return false;
@@ -413,37 +839,139 @@ fn aggregate(input: &[Row], group_by: &[usize], aggs: &[miso_plan::AggExpr]) -> 
             }
             false
         })
-        .collect();
+        .collect()
+}
 
-    let mut groups: HashMap<Vec<Value>, Vec<Acc>> = HashMap::new();
-    // Deterministic output: remember first-seen order of groups.
-    let mut order: Vec<Vec<Value>> = Vec::new();
-    for row in input {
-        let key: Vec<Value> = group_by.iter().map(|&g| row.get(g).clone()).collect();
-        let accs = match groups.get_mut(&key) {
-            Some(a) => a,
+/// FNV-1a hash of a row's group-by columns (equal key tuples collide by the
+/// `Hash`/`Eq` contract; unequal tuples are verified at the slot).
+#[inline]
+fn group_hash(row: &Row, group_by: &[usize]) -> u64 {
+    if let [g] = group_by {
+        return fnv1a_hash_one(row.get(*g));
+    }
+    let mut h = FnvHasher::default();
+    for &g in group_by {
+        row.get(g).hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Group slots in first-seen order plus a prehashed index over them. Keys
+/// are only cloned when a *new* group is created; existing groups are found
+/// by hash + in-place column comparison, so steady-state rows allocate
+/// nothing for keying.
+struct GroupTable {
+    /// `(key hash, key values, accumulators)` in first-seen order.
+    slots: Vec<(u64, Vec<Value>, Vec<Acc>)>,
+    index: PrehashedMap<Vec<u32>>,
+}
+
+impl GroupTable {
+    fn with_capacity(capacity: usize) -> GroupTable {
+        GroupTable {
+            slots: Vec::with_capacity(capacity),
+            index: prehashed_map(capacity),
+        }
+    }
+
+    /// Finds the slot whose key satisfies `eq`, if any.
+    fn find(&self, hash: u64, eq: impl Fn(&[Value]) -> bool) -> Option<usize> {
+        self.index
+            .get(&hash)?
+            .iter()
+            .map(|&s| s as usize)
+            .find(|&s| eq(&self.slots[s].1))
+    }
+
+    fn insert(&mut self, hash: u64, key: Vec<Value>, accs: Vec<Acc>) -> usize {
+        let slot = self.slots.len();
+        assert!(slot <= u32::MAX as usize, "group count exceeds u32 slots");
+        self.slots.push((hash, key, accs));
+        self.index.entry(hash).or_default().push(slot as u32);
+        slot
+    }
+}
+
+/// An aggregate's input, pre-classified so the per-row hot loop can borrow
+/// plain column references instead of paying an owned `eval` clone.
+enum AggSrc<'a> {
+    /// `COUNT(*)` — no input expression.
+    CountAll,
+    /// A bare column reference: borrow the value in place.
+    Col(usize),
+    /// A general expression: evaluate per row.
+    Expr(&'a miso_plan::Expr),
+}
+
+fn classify_aggs(aggs: &[miso_plan::AggExpr]) -> Vec<AggSrc<'_>> {
+    aggs.iter()
+        .map(|a| match &a.input {
+            None => AggSrc::CountAll,
+            Some(miso_plan::Expr::Column(c)) => AggSrc::Col(*c),
+            Some(e) => AggSrc::Expr(e),
+        })
+        .collect()
+}
+
+/// Accumulates one morsel into a fresh partial [`GroupTable`].
+fn aggregate_morsel(
+    chunk: &[Row],
+    group_by: &[usize],
+    aggs: &[miso_plan::AggExpr],
+    srcs: &[AggSrc<'_>],
+    float_sum: &[bool],
+) -> Result<GroupTable> {
+    let mut table = GroupTable::with_capacity(chunk.len().min(1024));
+    for row in chunk {
+        let hash = group_hash(row, group_by);
+        let slot = match table.find(hash, |key| {
+            group_by.iter().zip(key).all(|(&g, k)| row.get(g) == k)
+        }) {
+            Some(slot) => slot,
             None => {
-                order.push(key.clone());
-                groups.entry(key.clone()).or_insert_with(|| {
-                    aggs.iter()
-                        .zip(&float_sum)
-                        .map(|(a, &fs)| Acc::new(a.func, fs))
-                        .collect()
-                })
+                let key: Vec<Value> = group_by.iter().map(|&g| row.get(g).clone()).collect();
+                let accs: Vec<Acc> = aggs
+                    .iter()
+                    .zip(float_sum)
+                    .map(|(a, &fs)| Acc::new(a.func, fs))
+                    .collect();
+                table.insert(hash, key, accs)
             }
         };
-        for (acc, agg) in accs.iter_mut().zip(aggs) {
-            match &agg.input {
-                Some(e) => {
+        let accs = &mut table.slots[slot].2;
+        for (acc, src) in accs.iter_mut().zip(srcs) {
+            match src {
+                AggSrc::CountAll => acc.update(None),
+                AggSrc::Col(c) if *c < row.arity() => acc.update(Some(row.get(*c))),
+                // Out-of-range column: route through eval so the error text
+                // matches the serial interpreter exactly.
+                AggSrc::Col(c) => {
+                    let v = eval(&miso_plan::Expr::Column(*c), row)?;
+                    acc.update(Some(&v));
+                }
+                AggSrc::Expr(e) => {
                     let v = eval(e, row)?;
                     acc.update(Some(&v));
                 }
-                None => acc.update(None),
             }
         }
     }
+    Ok(table)
+}
+
+/// Morsel-parallel grouped aggregation: each morsel folds into a partial
+/// table, partials merge serially in morsel order. The global first-seen
+/// group order equals the serial row-order first-seen order because earlier
+/// morsels cover earlier rows.
+fn aggregate(input: &[Row], group_by: &[usize], aggs: &[miso_plan::AggExpr]) -> Result<Vec<Row>> {
+    let float_sum = float_sum_flags(input, aggs);
+    let srcs = classify_aggs(aggs);
+    let parts = par_chunks(input, |_, chunk| {
+        aggregate_morsel(chunk, group_by, aggs, &srcs, &float_sum)
+    });
+    let parts = collect_ok(parts)?;
     // Global aggregate over empty input still yields one row.
-    if group_by.is_empty() && groups.is_empty() {
+    if group_by.is_empty() && input.is_empty() {
         let accs: Vec<Acc> = aggs
             .iter()
             .zip(&float_sum)
@@ -452,9 +980,24 @@ fn aggregate(input: &[Row], group_by: &[usize], aggs: &[miso_plan::AggExpr]) -> 
         let values: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
         return Ok(vec![Row::new(values)]);
     }
-    let mut out = Vec::with_capacity(order.len());
-    for key in order {
-        let accs = groups.remove(&key).expect("group exists");
+    let total: usize = parts.iter().map(|t| t.slots.len()).sum();
+    let mut global = GroupTable::with_capacity(total);
+    for part in parts {
+        for (hash, key, accs) in part.slots {
+            match global.find(hash, |k| k == key.as_slice()) {
+                Some(slot) => {
+                    for (acc, partial) in global.slots[slot].2.iter_mut().zip(accs) {
+                        acc.merge(partial);
+                    }
+                }
+                None => {
+                    global.insert(hash, key, accs);
+                }
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(global.slots.len());
+    for (_, key, accs) in global.slots {
         let mut values = key;
         values.extend(accs.into_iter().map(Acc::finish));
         out.push(Row::new(values));
@@ -676,6 +1219,21 @@ mod tests {
     }
 
     #[test]
+    fn hash_join_multi_column_and_cross_type_keys() {
+        // Int/Float keys that compare equal must join (hash consistency).
+        let left = vec![
+            Row::new(vec![Value::Int(1), Value::str("a"), Value::Int(7)]),
+            Row::new(vec![Value::Float(1.0), Value::str("a"), Value::Int(8)]),
+            Row::new(vec![Value::Int(1), Value::str("b"), Value::Int(9)]),
+        ];
+        let right = vec![Row::new(vec![Value::Int(1), Value::str("a")])];
+        let out = hash_join(&left, &right, &[(0, 0), (1, 1)]);
+        assert_eq!(out.len(), 2, "both (1,a) variants match; (1,b) does not");
+        assert_eq!(out[0].get(2), &Value::Int(7));
+        assert_eq!(out[1].get(2), &Value::Int(8));
+    }
+
+    #[test]
     fn sort_and_limit() {
         let mut b = PlanBuilder::new();
         let scan = b
@@ -715,6 +1273,49 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].get(1), &Value::Int(30));
         assert_eq!(rows[1].get(1), &Value::Int(20));
+    }
+
+    #[test]
+    fn sort_ties_keep_input_order() {
+        // The (key, index) unstable sort must reproduce stable-sort output.
+        let mut src = MemSource::new();
+        src.add_view(
+            "v",
+            (0..3000)
+                .map(|i| Row::new(vec![Value::Int(i % 7), Value::Int(i)]))
+                .collect(),
+        );
+        let mut b = PlanBuilder::new();
+        let sv = b
+            .add(
+                Operator::ScanView {
+                    view: "v".into(),
+                    schema: Schema::new(vec![
+                        Field::new("k", DataType::Int),
+                        Field::new("seq", DataType::Int),
+                    ]),
+                },
+                vec![],
+            )
+            .unwrap();
+        let sort = b
+            .add(
+                Operator::Sort {
+                    keys: vec![(0, false)],
+                },
+                vec![sv],
+            )
+            .unwrap();
+        let plan = b.finish(sort).unwrap();
+        let exec = execute(&plan, &src, &UdfRegistry::new()).unwrap();
+        let rows = exec.root_rows().unwrap();
+        let mut last = (i64::MIN, i64::MIN);
+        for row in rows {
+            let k = row.get(0).as_i64().unwrap();
+            let seq = row.get(1).as_i64().unwrap();
+            assert!((k, seq) > last, "equal keys must keep input order");
+            last = (k, seq);
+        }
     }
 
     #[test]
@@ -795,5 +1396,97 @@ mod tests {
         assert!(exec.output_bytes(NodeId(1)).as_bytes() > 0);
         assert!(exec.output_bytes(NodeId(0)) > exec.output_bytes(NodeId(1)));
         assert_eq!(exec.output_bytes(NodeId(42)), ByteSize::ZERO);
+    }
+
+    /// A scan → filter → sort → limit pipeline over enough rows to span
+    /// several morsels, used by the retention/steal and threading tests.
+    fn steal_pipeline() -> (LogicalPlan, MemSource) {
+        let mut src = MemSource::new();
+        src.add_view(
+            "big",
+            (0..10_000)
+                .map(|i| Row::new(vec![Value::Int(i), Value::Int((i * 37) % 1000)]))
+                .collect(),
+        );
+        let mut b = PlanBuilder::new();
+        let sv = b
+            .add(
+                Operator::ScanView {
+                    view: "big".into(),
+                    schema: Schema::new(vec![
+                        Field::new("id", DataType::Int),
+                        Field::new("x", DataType::Int),
+                    ]),
+                },
+                vec![],
+            )
+            .unwrap();
+        let filt = b
+            .add(
+                Operator::Filter {
+                    predicate: Expr::Binary {
+                        op: miso_plan::BinOp::Lt,
+                        left: Box::new(Expr::col(1)),
+                        right: Box::new(Expr::lit(500i64)),
+                    },
+                },
+                vec![sv],
+            )
+            .unwrap();
+        let sort = b
+            .add(
+                Operator::Sort {
+                    keys: vec![(1, false)],
+                },
+                vec![filt],
+            )
+            .unwrap();
+        let limit = b.add(Operator::Limit { n: 100 }, vec![sort]).unwrap();
+        (b.finish(limit).unwrap(), src)
+    }
+
+    #[test]
+    fn retain_root_only_matches_full_retention_at_the_root() {
+        let (plan, src) = steal_pipeline();
+        let udfs = UdfRegistry::new();
+        let full = execute(&plan, &src, &udfs).unwrap();
+        let lean = execute_subset_opts(
+            &plan,
+            None,
+            HashMap::new(),
+            &src,
+            &udfs,
+            ExecOptions {
+                retain_root_only: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(lean.root_rows().unwrap(), full.root_rows().unwrap());
+        // Intermediates were released but their row counts survive.
+        assert!(lean.try_output(NodeId(0)).is_none());
+        assert!(lean.try_output(NodeId(1)).is_none());
+        assert_eq!(lean.rows_out(NodeId(0)), full.rows_out(NodeId(0)));
+        assert_eq!(lean.rows_out(NodeId(1)), full.rows_out(NodeId(1)));
+        assert_eq!(lean.executed_nodes().count(), full.executed_nodes().count());
+        // Full retention keeps everything observable (harvest contract).
+        assert!(full.try_output(NodeId(0)).is_some());
+    }
+
+    #[test]
+    fn outputs_are_thread_count_invariant() {
+        let (plan, src) = steal_pipeline();
+        let udfs = UdfRegistry::new();
+        let before = pool::threads();
+        let mut reference: Option<Vec<Row>> = None;
+        for t in [1, 2, 8] {
+            pool::set_threads(t);
+            let exec = execute(&plan, &src, &udfs).unwrap();
+            let rows = exec.root_rows().unwrap().to_vec();
+            match &reference {
+                None => reference = Some(rows),
+                Some(want) => assert_eq!(&rows, want, "threads={t}"),
+            }
+        }
+        pool::set_threads(before);
     }
 }

@@ -10,13 +10,26 @@
 //!   NULL-tolerant operators, scalar builtins);
 //! * [`udf`] — the user-defined-function registry (UDFs are the operators
 //!   that pin plan subtrees to HV);
-//! * [`engine`] — the operator interpreter: executes a plan DAG over a
-//!   [`engine::DataSource`], materializing every node's output (the
-//!   materialization behaviour that yields opportunistic views).
+//! * [`engine`] — the morsel-parallel operator interpreter (miso-vex):
+//!   executes a plan DAG over a [`engine::DataSource`], materializing every
+//!   node's output (the materialization behaviour that yields opportunistic
+//!   views) unless the caller opts into root-only retention;
+//! * [`serial`] — the original row-at-a-time interpreter, preserved as the
+//!   differential-testing oracle and benchmark baseline.
 
 pub mod engine;
 pub mod eval;
+pub mod serial;
 pub mod udf;
 
-pub use engine::{DataSource, Execution, MemSource};
+pub use engine::{DataSource, ExecOptions, Execution, MemSource, MORSEL_SIZE};
+pub use serial::execute_serial;
 pub use udf::{Udf, UdfRegistry};
+
+/// Operator internals exposed for the in-repo micro-benchmarks only; not a
+/// stable API.
+#[doc(hidden)]
+pub mod bench_hooks {
+    pub use crate::engine::hash_join as hash_join_vex;
+    pub use crate::serial::hash_join_serial;
+}

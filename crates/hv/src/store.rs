@@ -7,7 +7,7 @@ use miso_common::{ByteSize, MisoError, Result, SimDuration};
 use miso_data::checksum::{checksum_rows, corrupt_first_row, Checksum};
 use miso_data::logs::LogFile;
 use miso_data::{Row, Schema};
-use miso_exec::engine::{execute_subset, DataSource, Execution};
+use miso_exec::engine::{execute_subset_opts, DataSource, ExecOptions, Execution};
 use miso_exec::UdfRegistry;
 use miso_plan::estimate::MapStats;
 use miso_plan::{LogicalPlan, Operator};
@@ -241,7 +241,19 @@ impl HvStore {
             }
         }
         let stages = compile_stages(plan, subset, &HashSet::new());
-        let execution = execute_subset(plan, subset, HashMap::new(), self, udfs)?;
+        // Full retention is load-bearing here: every stage boundary below is
+        // both charged by size and harvested as an opportunistic view, so HV
+        // must keep all node outputs (never `retain_root_only`).
+        let execution = execute_subset_opts(
+            plan,
+            subset,
+            HashMap::new(),
+            self,
+            udfs,
+            ExecOptions {
+                retain_root_only: false,
+            },
+        )?;
         let mut cost = SimDuration::ZERO;
         let mut stage_costs = Vec::with_capacity(stages.len());
         let mut materialized = Vec::with_capacity(stages.len());
@@ -350,6 +362,10 @@ impl DataSource for HvStore {
             .get(view)
             .map(|v| v.rows.as_slice())
             .ok_or_else(|| MisoError::Store(format!("HV has no view `{view}`")))
+    }
+
+    fn view_rows_shared(&self, view: &str) -> Option<Arc<Vec<Row>>> {
+        self.views.get(view).map(|v| v.rows.clone())
     }
 }
 

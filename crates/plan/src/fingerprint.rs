@@ -75,6 +75,45 @@ pub fn fnv1a_str(s: &str) -> u64 {
     h.finish()
 }
 
+/// An FNV-1a/64 [`std::hash::Hasher`].
+///
+/// Feeding a type's `Hash` impl through this hasher yields a digest that is
+/// *consistent with its `Eq`* (the `Hash` contract) yet — unlike
+/// `RandomState` — deterministic across processes and free of per-map seed
+/// state. The execution engine hashes join and group-by keys
+/// (`miso_data::Value` tuples) this way: equal keys always collide, unequal
+/// keys are disambiguated by an explicit equality check at the probe site,
+/// so the u64 can be precomputed once per row and reused.
+#[derive(Clone, Copy)]
+pub struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl std::hash::Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// FNV-1a/64 digest of any `Hash` value via [`FnvHasher`] — equal values
+/// hash equal, and the result is stable within a build of the workspace.
+pub fn fnv1a_hash_one<T: std::hash::Hash + ?Sized>(v: &T) -> u64 {
+    let mut h = FnvHasher::default();
+    v.hash(&mut h);
+    std::hash::Hasher::finish(&h)
+}
+
 /// Incremental FNV-1a/64.
 #[derive(Clone, Copy)]
 struct Fnv(u64);
@@ -400,6 +439,34 @@ mod tests {
             .add(Operator::Filter { predicate: pred }, vec![proj])
             .unwrap();
         b.finish(f).unwrap()
+    }
+
+    #[test]
+    fn fnv_hasher_is_eq_consistent_and_stable() {
+        use miso_data::Value;
+        // Int/Float that compare equal must hash equal (Value's contract,
+        // preserved through any Hasher).
+        assert_eq!(
+            fnv1a_hash_one(&Value::Int(3)),
+            fnv1a_hash_one(&Value::Float(3.0))
+        );
+        assert_eq!(
+            fnv1a_hash_one(&Value::Float(0.0)),
+            fnv1a_hash_one(&Value::Float(-0.0))
+        );
+        assert_ne!(
+            fnv1a_hash_one(&Value::str("a")),
+            fnv1a_hash_one(&Value::str("b"))
+        );
+        // Deterministic: two hashers agree (no per-instance seed).
+        assert_eq!(fnv1a_hash_one("key"), fnv1a_hash_one("key"));
+        // Raw byte stream matches the module's own FNV fold.
+        use std::hash::Hasher as _;
+        let mut h = FnvHasher::default();
+        h.write(b"abc");
+        let mut f = Fnv::new();
+        f.bytes(b"abc");
+        assert_eq!(h.finish(), f.finish());
     }
 
     #[test]

@@ -25,4 +25,7 @@ cargo run --release -q -p miso-bench --bin integrity
 echo "==> tunerbench perf smoke (record-only)"
 cargo run --release -q -p miso-bench --bin tunerbench -- --smoke
 
+echo "==> execbench perf smoke (record-only)"
+cargo run --release -q -p miso-bench --bin execbench -- --smoke
+
 echo "ci: all checks passed"
