@@ -1,0 +1,157 @@
+//! Perf-regression guard: compares the freshly-written smoke reports
+//! (`results/execbench.report.json`, `results/tunerbench.report.json`)
+//! against the committed full-mode baselines (`BENCH_exec.json`,
+//! `BENCH_tuner.json`).
+//!
+//! Smoke and full runs use different data sizes, so absolute times are not
+//! comparable; the guard compares the dimensionless **speedup** (serial /
+//! engine) per matched configuration instead, within a generous tolerance
+//! band: a smoke speedup may fall to `MISO_BENCH_TOL` (default 0.35) of the
+//! committed baseline before it counts as a regression — smoke inputs are
+//! small, so parallel speedups are structurally lower there.
+//!
+//! By default violations only warn (CI stays green on noisy machines);
+//! `MISO_BENCH_STRICT=1` turns them into a non-zero exit.
+
+use miso_data::json::parse_json;
+use miso_data::Value;
+
+fn load(path: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(path).ok()?;
+    match parse_json(text.trim()) {
+        Ok(v) => Some(v),
+        Err(e) => {
+            eprintln!("benchguard: cannot parse {path}: {e}");
+            None
+        }
+    }
+}
+
+/// The `configs` array of a report: baselines keep it at the top level,
+/// smoke reports nest it under `extra`.
+fn configs(doc: &Value) -> Vec<&Value> {
+    let root = doc.get_field("extra").unwrap_or(doc);
+    match root.get_field("configs") {
+        Some(Value::Array(items)) => items.iter().collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn num(v: &Value, field: &str) -> Option<f64> {
+    v.get_field(field).and_then(Value::as_f64)
+}
+
+fn main() {
+    let tol = std::env::var("MISO_BENCH_TOL")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.35);
+    let strict = std::env::var("MISO_BENCH_STRICT").is_ok_and(|v| v == "1");
+    let mut violations = 0u32;
+    let mut compared = 0u32;
+
+    // --- execbench: match configs by pipeline name; the baseline entry
+    // with the smallest row count is the closest shape to the smoke run.
+    match (
+        load("results/execbench.report.json"),
+        load("BENCH_exec.json"),
+    ) {
+        (Some(smoke), Some(base)) => {
+            let base_cfgs = configs(&base);
+            for cfg in configs(&smoke) {
+                let Some(pipeline) = cfg.get_field("pipeline").and_then(Value::as_str) else {
+                    continue;
+                };
+                let Some(speedup) = num(cfg, "speedup") else {
+                    continue;
+                };
+                let baseline = base_cfgs
+                    .iter()
+                    .filter(|b| b.get_field("pipeline").and_then(Value::as_str) == Some(pipeline))
+                    .min_by(|a, b| {
+                        num(a, "rows")
+                            .unwrap_or(f64::MAX)
+                            .total_cmp(&num(b, "rows").unwrap_or(f64::MAX))
+                    })
+                    .and_then(|b| num(b, "speedup"));
+                let Some(baseline) = baseline else {
+                    eprintln!("benchguard: no BENCH_exec.json baseline for `{pipeline}`");
+                    continue;
+                };
+                compared += 1;
+                let floor = baseline * tol;
+                let ok = speedup >= floor;
+                println!(
+                    "benchguard: exec {pipeline}: smoke {speedup:.2}x vs baseline \
+                     {baseline:.2}x (floor {floor:.2}x) {}",
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+                if !ok {
+                    violations += 1;
+                }
+            }
+        }
+        _ => eprintln!("benchguard: execbench smoke report or BENCH_exec.json missing; skipping"),
+    }
+
+    // --- tunerbench: match configs by (views, queries).
+    match (
+        load("results/tunerbench.report.json"),
+        load("BENCH_tuner.json"),
+    ) {
+        (Some(smoke), Some(base)) => {
+            let base_cfgs = configs(&base);
+            for cfg in configs(&smoke) {
+                let (Some(views), Some(queries)) = (num(cfg, "views"), num(cfg, "queries")) else {
+                    continue;
+                };
+                let Some(speedup) = num(cfg, "speedup") else {
+                    continue;
+                };
+                if cfg.get_field("designs_match") == Some(&Value::Bool(false)) {
+                    eprintln!("benchguard: tuner v{views} q{queries}: designs diverged");
+                    violations += 1;
+                }
+                let baseline = base_cfgs
+                    .iter()
+                    .find(|b| num(b, "views") == Some(views) && num(b, "queries") == Some(queries))
+                    .and_then(|b| num(b, "speedup"));
+                let Some(baseline) = baseline else {
+                    println!(
+                        "benchguard: tuner v{views} q{queries}: no matching baseline config; \
+                         skipping"
+                    );
+                    continue;
+                };
+                compared += 1;
+                let floor = baseline * tol;
+                let ok = speedup >= floor;
+                println!(
+                    "benchguard: tuner v{views} q{queries}: smoke {speedup:.2}x vs baseline \
+                     {baseline:.2}x (floor {floor:.2}x) {}",
+                    if ok { "ok" } else { "REGRESSION" }
+                );
+                if !ok {
+                    violations += 1;
+                }
+            }
+        }
+        _ => eprintln!("benchguard: tunerbench smoke report or BENCH_tuner.json missing; skipping"),
+    }
+
+    if violations > 0 {
+        eprintln!(
+            "benchguard: {violations} regression(s) across {compared} comparison(s){}",
+            if strict {
+                ""
+            } else {
+                " (warn-only; set MISO_BENCH_STRICT=1 to fail)"
+            }
+        );
+        if strict {
+            std::process::exit(1);
+        }
+    } else {
+        println!("benchguard: {compared} comparison(s), no perf regressions beyond tolerance");
+    }
+}

@@ -155,9 +155,43 @@ fn main() {
     // → transfer) and the tuner epochs, and the run report carries the
     // optimizer/knapsack/tuner counters.
     let stream = harness.run(Variant::MsMiso, 2.0);
+
+    // EXPLAIN ANALYZE: re-run the two profiled queries through a fresh
+    // MS-MISO system with per-operator profiling forced on. The annotated
+    // trees print only under MISO_XRAY=1 — the default figure output above
+    // is byte-identical with profiling off — but the JSON artifacts always
+    // land in the run report.
+    let xray_queries: Vec<_> = harness
+        .workload
+        .iter()
+        .filter(|(l, _)| l == "A1v1" || l == "A8v1")
+        .cloned()
+        .collect();
+    let was_profiling = miso_exec::profile::enabled();
+    miso_exec::profile::set_enabled(true);
+    let mut sys = harness.system(harness.budgets(2.0), None);
+    sys.run_workload(Variant::MsMiso, &xray_queries)
+        .expect("xray mini-run");
+    miso_exec::profile::set_enabled(was_profiling);
+    let xrays = sys.take_xrays();
+    if std::env::var_os("MISO_XRAY").is_some() {
+        let snap = miso_obs::snapshot();
+        for x in &xrays {
+            println!("{}", miso_xray::explain_analyze_with_metrics(x, &snap));
+        }
+    }
+
     let extra = Value::object(vec![
         ("profiles".into(), Value::Array(profiles)),
         ("ms_miso_stream".into(), miso_bench::tti_value(&stream)),
+        (
+            "explain_analyze".into(),
+            Value::Array(xrays.iter().map(|x| x.to_value()).collect()),
+        ),
+        (
+            "calibration".into(),
+            Value::Array(stream.calibrations.iter().map(|c| c.to_value()).collect()),
+        ),
     ]);
     miso_bench::write_report("fig3", extra);
 }

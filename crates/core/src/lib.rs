@@ -22,6 +22,7 @@
 //! quarantine/repair loop in [`system`].
 
 pub mod audit;
+pub mod calibration;
 pub mod etl;
 pub mod knapsack;
 pub mod maintenance;
@@ -32,6 +33,7 @@ pub mod tuner;
 pub mod variants;
 
 pub use audit::{AuditConfig, AuditMode, AuditReport};
+pub use calibration::{CalibrationAccumulator, CalibrationReport};
 pub use knapsack::{m_knapsack, PackItem, PackResult};
 pub use maintenance::{MaintenancePolicy, MaintenanceReport};
 pub use metrics::{ExperimentResult, QueryRecord, TtiBreakdown};

@@ -112,6 +112,10 @@ pub struct ExperimentResult {
     pub reorgs: Vec<ReorgRecord>,
     /// Accumulated TTI breakdown.
     pub tti: TtiBreakdown,
+    /// Per-epoch predicted-vs-actual calibration reports (one per
+    /// reorganization boundary plus one for the tail of the stream; empty
+    /// for variants that never execute split plans).
+    pub calibrations: Vec<crate::calibration::CalibrationReport>,
 }
 
 impl ExperimentResult {
@@ -224,6 +228,7 @@ mod tests {
             ],
             reorgs: vec![],
             tti: TtiBreakdown::default(),
+            calibrations: vec![],
         };
         let ranked = result.by_dw_utilization();
         assert_eq!(ranked[0].label, "b");
@@ -242,6 +247,7 @@ mod tests {
             ],
             reorgs: vec![],
             tti: TtiBreakdown::default(),
+            calibrations: vec![],
         };
         let cdf = result.exec_time_cdf(&[10.0, 100.0, 1000.0]);
         assert_eq!(cdf, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
@@ -270,6 +276,7 @@ mod tests {
             records: vec![rec("a", 55, 1, 0, 56), rec("b", 55, 1, 0, 112)],
             reorgs: vec![],
             tti: TtiBreakdown::default(),
+            calibrations: vec![],
         };
         assert_eq!(result.hv_per_dw_second(2), 55.0);
         let none = ExperimentResult {
@@ -277,6 +284,7 @@ mod tests {
             records: vec![rec("a", 5, 0, 0, 5)],
             reorgs: vec![],
             tti: TtiBreakdown::default(),
+            calibrations: vec![],
         };
         assert!(none.hv_per_dw_second(1).is_infinite());
     }
@@ -288,6 +296,7 @@ mod tests {
             records: vec![rec("a", 1, 0, 0, 10), rec("b", 1, 0, 0, 25)],
             reorgs: vec![],
             tti: TtiBreakdown::default(),
+            calibrations: vec![],
         };
         let c = result.cumulative_tti();
         assert_eq!(c[0].as_secs(), 10);

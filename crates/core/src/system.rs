@@ -12,6 +12,7 @@
 //! and tuning policies.
 
 use crate::audit::AuditConfig;
+use crate::calibration::{op_class, CalibrationAccumulator, CalibrationReport};
 use crate::etl::{rewrite_for_dw, run_etl, DEFAULT_ETL_OVERHEAD};
 use crate::metrics::{ExperimentResult, QueryRecord, ReorgRecord, TtiBreakdown};
 use crate::reorg::{stage_name, JournalEntry, ReorgJournal, ReorgPlan, MAX_REORG_RECOVERIES};
@@ -28,12 +29,13 @@ use miso_data::Row;
 use miso_dw::{BackgroundSim, DwActivity, DwStore, TableSpace};
 use miso_exec::UdfRegistry;
 use miso_hv::HvStore;
-use miso_optimizer::cost::TransferModel;
+use miso_optimizer::cost::{CostBreakdown, TransferModel};
 use miso_optimizer::optimize::{optimize, Design, OptimizerEnv, PlannedQuery};
-use miso_plan::estimate::MapStats;
+use miso_plan::estimate::{estimate_plan, MapStats};
 use miso_plan::fingerprint::fingerprint_all;
 use miso_plan::LogicalPlan;
 use miso_views::{ViewCatalog, ViewDef};
+use miso_xray::QueryXray;
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
@@ -68,6 +70,11 @@ pub struct SystemConfig {
     /// catalog↔store invariants). `None` (the default) skips the auditor
     /// entirely, keeping fault-free runs byte-identical.
     pub audit: Option<AuditConfig>,
+    /// Feed each epoch's fitted predicted-vs-actual scale factors back into
+    /// the store cost models (see [`crate::calibration`]). Default **off**:
+    /// drift is then only *observed* (gauges + reports) and the models —
+    /// and therefore every plan and tuner design — are untouched.
+    pub calibrate_costs: bool,
 }
 
 impl SystemConfig {
@@ -87,6 +94,7 @@ impl SystemConfig {
             breaker_threshold: 3,
             breaker_cooldown: SimDuration::from_secs(300),
             audit: None,
+            calibrate_costs: false,
         }
     }
 }
@@ -120,6 +128,10 @@ pub struct MultistoreSystem {
     /// Rotating scrub position over the sorted catalog (the auditor
     /// resumes where the previous epoch's scrub budget ran out).
     pub(crate) scrub_cursor: usize,
+    /// Predicted-vs-actual drift accumulated since the last epoch boundary.
+    calibration: CalibrationAccumulator,
+    /// EXPLAIN ANALYZE artifacts collected while exec profiling is on.
+    xrays: Vec<QueryXray>,
 }
 
 impl MultistoreSystem {
@@ -150,6 +162,8 @@ impl MultistoreSystem {
             retry_rng: DetRng::new(0x5245_5452),
             last_reorg_journal: None,
             scrub_cursor: 0,
+            calibration: CalibrationAccumulator::new(),
+            xrays: Vec::new(),
         }
     }
 
@@ -171,6 +185,23 @@ impl MultistoreSystem {
     /// The inter-store transfer model.
     pub fn transfer_model(&self) -> &TransferModel {
         &self.transfer
+    }
+
+    /// The live predicted-vs-actual drift accumulator (since the last
+    /// epoch boundary).
+    pub fn calibration(&self) -> &CalibrationAccumulator {
+        &self.calibration
+    }
+
+    /// EXPLAIN ANALYZE artifacts collected so far. Empty unless
+    /// `miso_exec::profile` was enabled while queries ran.
+    pub fn xrays(&self) -> &[QueryXray] {
+        &self.xrays
+    }
+
+    /// Takes ownership of the collected EXPLAIN ANALYZE artifacts.
+    pub fn take_xrays(&mut self) -> Vec<QueryXray> {
+        std::mem::take(&mut self.xrays)
     }
 
     /// Public wrapper over background-contention stretching (used by the
@@ -422,6 +453,13 @@ impl MultistoreSystem {
                         .cloned()
                         .collect()
                 };
+                // Close the epoch's calibration window first: the tuner
+                // below should see calibrated models when feedback is on.
+                let calib = self.calibration.epoch_report(i / self.config.reorg_every);
+                if self.config.calibrate_costs {
+                    self.apply_calibration(&calib);
+                }
+                result.calibrations.push(calib);
                 let reorg = self.apply_tuner(&tuner, &window, clock)?;
                 result.tti.tune += reorg.duration;
                 result.reorgs.push(reorg);
@@ -472,7 +510,53 @@ impl MultistoreSystem {
             history.push(raw.clone());
             result.records.push(record);
         }
+        // Drain the tail-of-stream window (also the only window for
+        // variants that never reorganize).
+        let tail = self
+            .calibration
+            .epoch_report(queries.len().div_ceil(self.config.reorg_every.max(1)));
+        if tail.hv.samples > 0 || tail.transfer.samples > 0 || tail.dw.samples > 0 {
+            result.calibrations.push(tail);
+        }
         Ok(())
+    }
+
+    /// Scales the store cost models by `report`'s fitted per-store drift
+    /// ratios (clamped in [`CalibrationReport::scale`]). Mutating the model
+    /// constants changes the tuner's what-if `inputs_stamp`, so memoized
+    /// probe results from the stale models are naturally invalidated.
+    fn apply_calibration(&mut self, report: &CalibrationReport) {
+        let s_hv = report.scale(&report.hv);
+        if s_hv != 1.0 {
+            let m = &mut self.hv.cost_model;
+            m.job_startup = m.job_startup * s_hv;
+            m.read_secs_per_byte *= s_hv;
+            m.write_secs_per_byte *= s_hv;
+            m.cpu_secs_per_row *= s_hv;
+        }
+        let s_tr = report.scale(&report.transfer);
+        if s_tr != 1.0 {
+            self.hv.cost_model.dump_secs_per_byte *= s_tr;
+            self.transfer.network_secs_per_byte *= s_tr;
+            self.dw.cost_model.load_secs_per_byte *= s_tr;
+        }
+        let s_dw = report.scale(&report.dw);
+        if s_dw != 1.0 {
+            let m = &mut self.dw.cost_model;
+            m.query_startup = m.query_startup * s_dw;
+            m.read_secs_per_byte *= s_dw;
+            m.cpu_secs_per_row *= s_dw;
+        }
+        miso_obs::count("xray.calibrations_applied", 1);
+        miso_obs::instant(
+            "xray.calibration",
+            vec![
+                ("epoch", miso_obs::FieldValue::U64(report.epoch as u64)),
+                ("hv_pct", miso_obs::FieldValue::U64((s_hv * 100.0) as u64)),
+                ("tr_pct", miso_obs::FieldValue::U64((s_tr * 100.0) as u64)),
+                ("dw_pct", miso_obs::FieldValue::U64((s_dw * 100.0) as u64)),
+            ],
+        );
     }
 
     // ---- Execution paths -------------------------------------------------
@@ -607,7 +691,7 @@ impl MultistoreSystem {
             obs.push_field("label", miso_obs::FieldValue::Str(label.to_string()));
             obs.push_field("qid", miso_obs::FieldValue::U64(qid.raw()));
         }
-        let planned: PlannedQuery = loop {
+        let (planned, stats): (PlannedQuery, MapStats) = loop {
             let design = self.current_design();
             let stats = self.build_stats();
             let planned = {
@@ -621,7 +705,7 @@ impl MultistoreSystem {
                 optimize(raw, &design, &env)?
             };
             if self.verify_used_views(&planned.used_views).is_empty() {
-                break planned;
+                break (planned, stats);
             }
             // A planned view failed verification and was quarantined:
             // re-plan against the shrunken design.
@@ -642,6 +726,10 @@ impl MultistoreSystem {
         let mut bytes_transferred = ByteSize::ZERO;
         let mut provided: HashMap<miso_common::ids::NodeId, Arc<Vec<Row>>> = HashMap::new();
         let mut result_rows = 0u64;
+        let profiling = miso_exec::profile::enabled();
+        let mut node_profiles: HashMap<miso_common::ids::NodeId, miso_exec::OpProfile> =
+            HashMap::new();
+        let mut actual_rows: HashMap<miso_common::ids::NodeId, u64> = HashMap::new();
 
         // HV side.
         if !hv_set.is_empty() {
@@ -717,6 +805,14 @@ impl MultistoreSystem {
                 result_rows = run.execution.root_rows()?.len() as u64;
             }
             self.harvest_views(plan, &run, qid, usize::MAX);
+            for id in run.execution.executed_nodes() {
+                if let Some(rows) = run.execution.rows_out(id) {
+                    actual_rows.insert(id, rows);
+                }
+            }
+            if profiling {
+                node_profiles.extend(run.execution.profiles().iter().map(|(&k, &v)| (k, v)));
+            }
         }
 
         // DW side.
@@ -730,8 +826,49 @@ impl MultistoreSystem {
             result_rows = run.execution.root_rows()?.len() as u64;
             // DW answered: the store is healthy again.
             self.dw_breaker.record_success();
+            for id in run.execution.executed_nodes() {
+                if !provided.contains_key(&id) {
+                    if let Some(rows) = run.execution.rows_out(id) {
+                        actual_rows.insert(id, rows);
+                    }
+                }
+            }
+            if profiling {
+                node_profiles.extend(run.execution.profiles().iter().map(|(&k, &v)| (k, v)));
+            }
         }
         self.dw.clear_temp();
+
+        // Predicted-vs-actual drift. "Actual" store times are the simulated
+        // costs charged over real executed sizes, so this comparison
+        // isolates estimation error and stays deterministic.
+        let actual_cost = CostBreakdown {
+            hv: hv_time,
+            transfer: transfer_time,
+            dw: dw_time,
+        };
+        self.calibration.record_query(&planned.est, &actual_cost);
+        let estimates = estimate_plan(plan, &stats);
+        for node in plan.nodes() {
+            if let (Some(&act), Some(est)) = (actual_rows.get(&node.id), estimates.get(&node.id)) {
+                self.calibration
+                    .record_rows(op_class(&node.op), est.rows, act);
+            }
+        }
+        if profiling {
+            self.xrays.push(miso_xray::analyze(
+                label,
+                &planned,
+                &estimates,
+                &node_profiles,
+                &actual_rows,
+                &miso_xray::CostModels {
+                    hv: &self.hv.cost_model,
+                    dw: &self.dw.cost_model,
+                    transfer: &self.transfer,
+                },
+            ));
+        }
 
         for v in &planned.used_views {
             self.lru_touch(v);

@@ -29,6 +29,7 @@
 //! the row-at-a-time interpreter preserved in [`crate::serial`].
 
 use crate::eval::{eval, eval_predicate};
+use crate::profile::{self, OpProfile};
 use crate::udf::UdfRegistry;
 use miso_common::ids::NodeId;
 use miso_common::{pool, ByteSize, MisoError, Result};
@@ -127,6 +128,9 @@ pub struct Execution {
     rows_out: HashMap<NodeId, u64>,
     /// Malformed log lines skipped by scans (Hive-style lenience).
     pub skipped_lines: u64,
+    /// Per-node [`OpProfile`]s — empty unless [`crate::profile::enabled`]
+    /// was on when the plan ran (the serial oracle never collects them).
+    profiles: HashMap<NodeId, OpProfile>,
     root: NodeId,
 }
 
@@ -142,6 +146,7 @@ impl Execution {
             outputs,
             rows_out,
             skipped_lines,
+            profiles: HashMap::new(),
             root,
         }
     }
@@ -185,6 +190,16 @@ impl Execution {
     /// were released early.
     pub fn executed_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.rows_out.keys().copied()
+    }
+
+    /// The profile of node `id`, if profiling was enabled when it executed.
+    pub fn profile(&self, id: NodeId) -> Option<&OpProfile> {
+        self.profiles.get(&id)
+    }
+
+    /// All collected per-node profiles (empty when profiling is off).
+    pub fn profiles(&self) -> &HashMap<NodeId, OpProfile> {
+        &self.profiles
     }
 }
 
@@ -246,6 +261,14 @@ pub fn execute_subset_opts(
         }
     }
     let mut skipped_lines = 0u64;
+    // One relaxed load per plan; everything profile-related below is behind
+    // this flag so the off path does no extra work.
+    let profiling = profile::enabled();
+    let mut profiles: HashMap<NodeId, OpProfile> = HashMap::new();
+    if profiling {
+        profiles.reserve(plan.len());
+        profile::take_dispatch();
+    }
     for node in plan.nodes() {
         if rows_out.contains_key(&node.id) {
             continue; // provided
@@ -273,6 +296,19 @@ pub fn execute_subset_opts(
                 }
                 miso_obs::count("exec.ops_executed", 1);
                 miso_obs::count("exec.zero_copy_scans", 1);
+                if profiling {
+                    profiles.insert(
+                        node.id,
+                        OpProfile {
+                            wall_ns: t0.elapsed().as_nanos() as u64,
+                            rows_in: 0,
+                            rows_out: shared.len() as u64,
+                            bytes_out: shared.iter().map(Row::approx_bytes).sum(),
+                            morsels: 0,
+                            par_rows: 0,
+                        },
+                    );
+                }
                 rows_out.insert(node.id, shared.len() as u64);
                 outputs.insert(node.id, shared);
                 continue;
@@ -428,6 +464,28 @@ pub fn execute_subset_opts(
             miso_obs::observe("exec.op_rows_out", rows.len() as u64);
         }
         miso_obs::count("exec.ops_executed", 1);
+        if profiling {
+            let (morsels, par_rows) = profile::take_dispatch();
+            // Inputs ran (or were provided) before this node, so their row
+            // counts are already in `rows_out` even if the rows themselves
+            // were stolen or released.
+            let rows_in = node
+                .inputs
+                .iter()
+                .filter_map(|i| rows_out.get(i))
+                .sum::<u64>();
+            profiles.insert(
+                node.id,
+                OpProfile {
+                    wall_ns: t0.elapsed().as_nanos() as u64,
+                    rows_in,
+                    rows_out: rows.len() as u64,
+                    bytes_out: rows.iter().map(Row::approx_bytes).sum(),
+                    morsels,
+                    par_rows,
+                },
+            );
+        }
         rows_out.insert(node.id, rows.len() as u64);
         outputs.insert(node.id, Arc::new(rows));
         if opts.retain_root_only {
@@ -445,6 +503,7 @@ pub fn execute_subset_opts(
         outputs,
         rows_out,
         skipped_lines,
+        profiles,
         root,
     })
 }
@@ -526,6 +585,9 @@ where
 {
     miso_obs::count("exec.morsels", items.len().div_ceil(MORSEL_SIZE) as u64);
     miso_obs::count("exec.par_rows", items.len() as u64);
+    if profile::enabled() {
+        profile::note_dispatch(items.len().div_ceil(MORSEL_SIZE) as u64, items.len() as u64);
+    }
     pool::run_chunks(items, MORSEL_SIZE, f)
 }
 

@@ -19,10 +19,12 @@
 
 pub mod engine;
 pub mod eval;
+pub mod profile;
 pub mod serial;
 pub mod udf;
 
 pub use engine::{DataSource, ExecOptions, Execution, MemSource, MORSEL_SIZE};
+pub use profile::OpProfile;
 pub use serial::execute_serial;
 pub use udf::{Udf, UdfRegistry};
 

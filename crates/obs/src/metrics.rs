@@ -122,6 +122,7 @@ impl Histogram {
             max: self.max(),
             p50: self.quantile(0.50),
             p90: self.quantile(0.90),
+            p95: self.quantile(0.95),
             p99: self.quantile(0.99),
         }
     }
@@ -146,8 +147,17 @@ pub struct HistogramSummary {
     pub p50: u64,
     /// 90th percentile (bucket midpoint).
     pub p90: u64,
+    /// 95th percentile (bucket midpoint).
+    pub p95: u64,
     /// 99th percentile (bucket midpoint).
     pub p99: u64,
+}
+
+impl HistogramSummary {
+    /// The (p50, p95, p99) tail triple — what latency renderers print.
+    pub fn tail(&self) -> (u64, u64, u64) {
+        (self.p50, self.p95, self.p99)
+    }
 }
 
 /// The metric registry: name → atomic cell, implicit registration.
@@ -249,6 +259,14 @@ pub struct MetricsSnapshot {
     pub histograms: BTreeMap<&'static str, HistogramSummary>,
 }
 
+impl MetricsSnapshot {
+    /// The (p50, p95, p99) triple of histogram `name`, if it recorded
+    /// anything (empty histograms are omitted from snapshots).
+    pub fn tail(&self, name: &str) -> Option<(u64, u64, u64)> {
+        self.histograms.get(name).map(HistogramSummary::tail)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +341,48 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), 0);
         assert_eq!(h.summary().count, 0);
+        assert_eq!(h.summary().tail(), (0, 0, 0));
+    }
+
+    #[test]
+    fn single_sample_dominates_every_percentile() {
+        let h = Histogram::new();
+        h.record(42);
+        let s = h.summary();
+        // 42 lands in a log-linear bucket; every percentile reports that
+        // bucket's midpoint, and all three tail percentiles agree.
+        assert_eq!(bucket_index(s.p50 as u64), bucket_index(42));
+        assert_eq!(s.tail(), (s.p50, s.p50, s.p50));
+        assert_eq!(s.max, 42);
+    }
+
+    #[test]
+    fn percentiles_at_bucket_boundaries() {
+        // Values below the linear cutoff (16) are exact: recording 0..=15
+        // once each puts p50 at rank 8 → value 7 and p95 at rank 16 → 15.
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.p50, 7);
+        assert_eq!(s.p95, 15);
+        assert_eq!(s.p99, 15);
+        // 16 is the first value that crosses into a shared log-linear
+        // bucket; its reported quantile is that bucket's midpoint and must
+        // map back to the same bucket.
+        let hb = Histogram::new();
+        hb.record(16);
+        assert_eq!(bucket_index(hb.quantile(1.0)), bucket_index(16));
+    }
+
+    #[test]
+    fn snapshot_tail_helper_resolves_histograms() {
+        let r = Registry::new();
+        r.histogram("lat").record(8);
+        let snap = r.snapshot();
+        assert_eq!(snap.tail("lat"), Some((8, 8, 8)));
+        assert_eq!(snap.tail("missing"), None);
     }
 
     #[test]

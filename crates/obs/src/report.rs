@@ -39,6 +39,7 @@ fn snapshot_to_value(snap: &MetricsSnapshot) -> Vec<(String, Value)> {
                     ("max".into(), Value::Int(s.max as i64)),
                     ("p50".into(), Value::Int(s.p50 as i64)),
                     ("p90".into(), Value::Int(s.p90 as i64)),
+                    ("p95".into(), Value::Int(s.p95 as i64)),
                     ("p99".into(), Value::Int(s.p99 as i64)),
                 ]),
             )
@@ -67,13 +68,36 @@ pub fn build_report(bench: &str, extra: Value) -> Value {
 
 /// Serializes `report` as pretty-enough JSON (compact, single line) into
 /// `dir/<bench>.report.json`, creating `dir` on demand. Returns the path.
+///
+/// The write is atomic: the document lands in a same-directory temp file
+/// first and is `rename`d into place, so a crash mid-write can truncate the
+/// temp file but never leave a torn `.report.json` behind.
 pub fn write_report(dir: impl AsRef<Path>, bench: &str, extra: Value) -> io::Result<PathBuf> {
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{bench}.report.json"));
     let report = build_report(bench, extra);
-    std::fs::write(&path, to_json(&report) + "\n")?;
+    write_atomic(dir, &path, to_json(&report) + "\n")?;
     Ok(path)
+}
+
+/// Writes `contents` to `path` via a temp file in `dir` plus an atomic
+/// rename. The temp name embeds the pid so concurrent writers (e.g. two
+/// bench bins sharing `results/`) never clobber each other's staging file.
+fn write_atomic(dir: &Path, path: &Path, contents: String) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("report");
+    let tmp = dir.join(format!(".{file_name}.{}.tmp", std::process::id()));
+    std::fs::write(&tmp, contents)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            std::fs::remove_file(&tmp).ok();
+            Err(e)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +153,39 @@ mod tests {
         let v = parse_json(text.trim()).unwrap();
         assert_eq!(v.get_field("schema_version"), Some(&Value::Int(1)));
         assert!(v.get_field("extra").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+        init(ObsConfig::disabled());
+    }
+
+    #[test]
+    fn write_report_is_atomic_and_leaves_no_temp_files() {
+        let _g = crate::tests::GLOBAL_TEST_LOCK.lock().unwrap();
+        init(ObsConfig::ring(16));
+        reset_metrics();
+        let dir = std::env::temp_dir().join(format!("miso-obs-atomic-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        // Overwrite an existing report: the rename must replace it whole.
+        let path = write_report(&dir, "atomic", Value::Null).unwrap();
+        count("report.atomic_counter", 9);
+        let path2 = write_report(&dir, "atomic", Value::Null).unwrap();
+        assert_eq!(path, path2);
+        let v = parse_json(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        assert_eq!(
+            v.get_field("counters")
+                .unwrap()
+                .get_field("report.atomic_counter"),
+            Some(&Value::Int(9))
+        );
+        // No staging files survive a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         std::fs::remove_dir_all(&dir).ok();
         init(ObsConfig::disabled());
     }

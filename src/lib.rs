@@ -24,6 +24,7 @@ pub use miso_optimizer as optimizer;
 pub use miso_plan as plan;
 pub use miso_views as views;
 pub use miso_workload as workload;
+pub use miso_xray as xray;
 
 /// One-stop imports for the common workflow: generate a corpus, compile
 /// queries, drive a system variant, read its TTI breakdown.
