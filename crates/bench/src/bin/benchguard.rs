@@ -27,6 +27,27 @@ fn load(path: &str) -> Option<Value> {
     }
 }
 
+/// Loads one smoke-report/baseline pair. A report with no committed
+/// baseline is **silently** ignored — a bench opts into guarding by
+/// committing a baseline, so un-guarded reports (soakbench, chaos, the
+/// figures) never produce noise here. A missing smoke report when a
+/// baseline *is* committed still warns: the smoke step should have
+/// produced it.
+fn pair(report: &str, baseline: &str) -> Option<(Value, Value)> {
+    if !std::path::Path::new(baseline).exists() {
+        return None;
+    }
+    match (load(report), load(baseline)) {
+        (Some(smoke), Some(base)) => Some((smoke, base)),
+        (None, _) => {
+            eprintln!("benchguard: {baseline} committed but {report} missing; skipping");
+            None
+        }
+        // Baseline present but unparseable: load() already warned.
+        _ => None,
+    }
+}
+
 /// The `configs` array of a report: baselines keep it at the top level,
 /// smoke reports nest it under `extra`.
 fn configs(doc: &Value) -> Vec<&Value> {
@@ -52,91 +73,79 @@ fn main() {
 
     // --- execbench: match configs by pipeline name; the baseline entry
     // with the smallest row count is the closest shape to the smoke run.
-    match (
-        load("results/execbench.report.json"),
-        load("BENCH_exec.json"),
-    ) {
-        (Some(smoke), Some(base)) => {
-            let base_cfgs = configs(&base);
-            for cfg in configs(&smoke) {
-                let Some(pipeline) = cfg.get_field("pipeline").and_then(Value::as_str) else {
-                    continue;
-                };
-                let Some(speedup) = num(cfg, "speedup") else {
-                    continue;
-                };
-                let baseline = base_cfgs
-                    .iter()
-                    .filter(|b| b.get_field("pipeline").and_then(Value::as_str) == Some(pipeline))
-                    .min_by(|a, b| {
-                        num(a, "rows")
-                            .unwrap_or(f64::MAX)
-                            .total_cmp(&num(b, "rows").unwrap_or(f64::MAX))
-                    })
-                    .and_then(|b| num(b, "speedup"));
-                let Some(baseline) = baseline else {
-                    eprintln!("benchguard: no BENCH_exec.json baseline for `{pipeline}`");
-                    continue;
-                };
-                compared += 1;
-                let floor = baseline * tol;
-                let ok = speedup >= floor;
-                println!(
-                    "benchguard: exec {pipeline}: smoke {speedup:.2}x vs baseline \
+    if let Some((smoke, base)) = pair("results/execbench.report.json", "BENCH_exec.json") {
+        let base_cfgs = configs(&base);
+        for cfg in configs(&smoke) {
+            let Some(pipeline) = cfg.get_field("pipeline").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(speedup) = num(cfg, "speedup") else {
+                continue;
+            };
+            let baseline = base_cfgs
+                .iter()
+                .filter(|b| b.get_field("pipeline").and_then(Value::as_str) == Some(pipeline))
+                .min_by(|a, b| {
+                    num(a, "rows")
+                        .unwrap_or(f64::MAX)
+                        .total_cmp(&num(b, "rows").unwrap_or(f64::MAX))
+                })
+                .and_then(|b| num(b, "speedup"));
+            let Some(baseline) = baseline else {
+                eprintln!("benchguard: no BENCH_exec.json baseline for `{pipeline}`");
+                continue;
+            };
+            compared += 1;
+            let floor = baseline * tol;
+            let ok = speedup >= floor;
+            println!(
+                "benchguard: exec {pipeline}: smoke {speedup:.2}x vs baseline \
                      {baseline:.2}x (floor {floor:.2}x) {}",
-                    if ok { "ok" } else { "REGRESSION" }
-                );
-                if !ok {
-                    violations += 1;
-                }
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                violations += 1;
             }
         }
-        _ => eprintln!("benchguard: execbench smoke report or BENCH_exec.json missing; skipping"),
     }
 
     // --- tunerbench: match configs by (views, queries).
-    match (
-        load("results/tunerbench.report.json"),
-        load("BENCH_tuner.json"),
-    ) {
-        (Some(smoke), Some(base)) => {
-            let base_cfgs = configs(&base);
-            for cfg in configs(&smoke) {
-                let (Some(views), Some(queries)) = (num(cfg, "views"), num(cfg, "queries")) else {
-                    continue;
-                };
-                let Some(speedup) = num(cfg, "speedup") else {
-                    continue;
-                };
-                if cfg.get_field("designs_match") == Some(&Value::Bool(false)) {
-                    eprintln!("benchguard: tuner v{views} q{queries}: designs diverged");
-                    violations += 1;
-                }
-                let baseline = base_cfgs
-                    .iter()
-                    .find(|b| num(b, "views") == Some(views) && num(b, "queries") == Some(queries))
-                    .and_then(|b| num(b, "speedup"));
-                let Some(baseline) = baseline else {
-                    println!(
-                        "benchguard: tuner v{views} q{queries}: no matching baseline config; \
-                         skipping"
-                    );
-                    continue;
-                };
-                compared += 1;
-                let floor = baseline * tol;
-                let ok = speedup >= floor;
+    if let Some((smoke, base)) = pair("results/tunerbench.report.json", "BENCH_tuner.json") {
+        let base_cfgs = configs(&base);
+        for cfg in configs(&smoke) {
+            let (Some(views), Some(queries)) = (num(cfg, "views"), num(cfg, "queries")) else {
+                continue;
+            };
+            let Some(speedup) = num(cfg, "speedup") else {
+                continue;
+            };
+            if cfg.get_field("designs_match") == Some(&Value::Bool(false)) {
+                eprintln!("benchguard: tuner v{views} q{queries}: designs diverged");
+                violations += 1;
+            }
+            let baseline = base_cfgs
+                .iter()
+                .find(|b| num(b, "views") == Some(views) && num(b, "queries") == Some(queries))
+                .and_then(|b| num(b, "speedup"));
+            let Some(baseline) = baseline else {
                 println!(
-                    "benchguard: tuner v{views} q{queries}: smoke {speedup:.2}x vs baseline \
-                     {baseline:.2}x (floor {floor:.2}x) {}",
-                    if ok { "ok" } else { "REGRESSION" }
+                    "benchguard: tuner v{views} q{queries}: no matching baseline config; \
+                         skipping"
                 );
-                if !ok {
-                    violations += 1;
-                }
+                continue;
+            };
+            compared += 1;
+            let floor = baseline * tol;
+            let ok = speedup >= floor;
+            println!(
+                "benchguard: tuner v{views} q{queries}: smoke {speedup:.2}x vs baseline \
+                     {baseline:.2}x (floor {floor:.2}x) {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                violations += 1;
             }
         }
-        _ => eprintln!("benchguard: tunerbench smoke report or BENCH_tuner.json missing; skipping"),
     }
 
     if violations > 0 {

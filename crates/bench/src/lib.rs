@@ -88,6 +88,7 @@ impl Harness {
 /// enabled.
 pub fn obs_init() -> bool {
     miso_common::integrity::init_from_env();
+    miso_common::guard::init_from_env();
     miso_exec::profile::init_from_env();
     miso_obs::init_from_env()
 }

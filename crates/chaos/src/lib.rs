@@ -14,15 +14,15 @@
 //!
 //! # Fail points
 //!
-//! | point           | location                              | meaningful kinds      |
-//! |-----------------|---------------------------------------|-----------------------|
-//! | `hv.execute`    | HV store execution entry              | error, delay          |
-//! | `dw.execute`    | DW store execution entry              | error, delay          |
-//! | `hv.view_read`  | each HV view consulted by a rewrite   | corrupt               |
-//! | `dw.view_read`  | each DW view consulted by a rewrite   | corrupt               |
-//! | `transfer.ship` | each working-set cut shipment (HV→DW) | error, delay, corrupt |
-//! | `etl.run`       | each DW-ONLY ETL extraction           | error, delay          |
-//! | `reorg.step`    | before every reorg journal step       | crash, corrupt        |
+//! | point           | location                              | meaningful kinds             |
+//! |-----------------|---------------------------------------|------------------------------|
+//! | `hv.execute`    | HV store execution entry              | error, delay, stall, hog     |
+//! | `dw.execute`    | DW store execution entry              | error, delay, stall, hog     |
+//! | `hv.view_read`  | each HV view consulted by a rewrite   | corrupt                      |
+//! | `dw.view_read`  | each DW view consulted by a rewrite   | corrupt                      |
+//! | `transfer.ship` | each working-set cut shipment (HV→DW) | error, delay, stall, corrupt |
+//! | `etl.run`       | each DW-ONLY ETL extraction           | error, delay                 |
+//! | `reorg.step`    | before every reorg journal step       | crash, corrupt               |
 //!
 //! `reorg.step` is hit once per journal step (stage / commit / apply /
 //! enforce), so an `OnHit(n)` trigger lands a crash before or after the
@@ -43,10 +43,18 @@
 //!
 //! * `seed=<u64>` — RNG seed (default 0);
 //! * `<point>=<kind>[@<trigger>]` where
-//!   * kind: `error` | `delay:<factor>` | `crash` | `corrupt`;
+//!   * kind: `error` | `delay:<factor>` | `crash` | `corrupt` | `stall` |
+//!     `hog[:<factor>]`;
 //!   * trigger: `p<float>` (probability per hit), `n<int>` (exactly the
 //!     n-th hit, 1-based), `u<int>` (every hit up to and including the
 //!     n-th), or omitted (every hit).
+//!
+//! `stall` is a delay so severe (×[`STALL_FACTOR`]) that the operation
+//! holds the store past any sane query deadline — the guard layer's
+//! deadline checks are what turns it into a contained failure. `hog`
+//! inflates the query's *charged bytes* by the factor (default 8×) at the
+//! stores' guarded entry points, driving the query into its memory budget;
+//! without an active guard it is a no-op.
 
 use miso_common::DetRng;
 use std::collections::HashMap;
@@ -67,7 +75,18 @@ pub enum Action {
     /// Silent data corruption: the caller flips rows in the affected copy
     /// and continues as if nothing happened. Only checksums can tell.
     Corrupt,
+    /// Pathological stall: multiply the operation's simulated cost by
+    /// [`STALL_FACTOR`] — guaranteed to blow any reasonable deadline, so
+    /// only the guard layer can contain it.
+    Stall,
+    /// Memory hog: inflate the query's charged bytes by this factor at the
+    /// guarded store entry points.
+    Hog(f64),
 }
+
+/// The cost multiplier a [`Action::Stall`] applies: large enough that one
+/// stalled store call exceeds any deadline a test or bench would configure.
+pub const STALL_FACTOR: f64 = 10_000.0;
 
 /// The kind of fault a rule injects.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,6 +99,10 @@ pub enum FaultKind {
     Crash,
     /// Silent row corruption.
     Corrupt,
+    /// Pathological stall (cost × [`STALL_FACTOR`]).
+    Stall,
+    /// Memory hog with the given charged-bytes multiplier (> 1.0 inflates).
+    Hog(f64),
 }
 
 /// When a rule fires.
@@ -269,6 +292,14 @@ fn hit_slow(point: &'static str) -> Action {
             miso_obs::count("chaos.corruptions_injected", 1);
             Action::Corrupt
         }
+        FaultKind::Stall => {
+            miso_obs::count("chaos.stalls_injected", 1);
+            Action::Stall
+        }
+        FaultKind::Hog(f) => {
+            miso_obs::count("chaos.hogs_injected", 1);
+            Action::Hog(f)
+        }
     }
 }
 
@@ -325,6 +356,8 @@ fn parse_kind(s: &str) -> Result<FaultKind, String> {
             "crash" => Ok(FaultKind::Crash),
             "delay" => Ok(FaultKind::Delay(2.0)),
             "corrupt" => Ok(FaultKind::Corrupt),
+            "stall" => Ok(FaultKind::Stall),
+            "hog" => Ok(FaultKind::Hog(8.0)),
             other => Err(format!("unknown fault kind `{other}`")),
         },
         Some(("delay", f)) => {
@@ -335,6 +368,15 @@ fn parse_kind(s: &str) -> Result<FaultKind, String> {
                 return Err(format!("delay factor `{f}` must be finite and >= 0"));
             }
             Ok(FaultKind::Delay(factor))
+        }
+        Some(("hog", f)) => {
+            let factor: f64 = f
+                .parse()
+                .map_err(|_| format!("hog factor `{f}` is not a float"))?;
+            if !factor.is_finite() || factor < 1.0 {
+                return Err(format!("hog factor `{f}` must be finite and >= 1"));
+            }
+            Ok(FaultKind::Hog(factor))
         }
         Some((other, _)) => Err(format!("unknown fault kind `{other}`")),
     }
@@ -493,5 +535,37 @@ mod tests {
         assert!(parse_spec("dw.execute=error@p1.5").is_err());
         assert!(parse_spec("dw.execute=error@x3").is_err());
         assert!(parse_spec("dw.execute=delay:NaN").is_err());
+        assert!(parse_spec("dw.execute=hog:0.5").is_err());
+        assert!(parse_spec("dw.execute=hog:NaN").is_err());
+        assert!(parse_spec("dw.execute=stall:3").is_err());
+    }
+
+    #[test]
+    fn stall_and_hog_kinds_parse_and_fire() {
+        let _g = TEST_LOCK.lock().unwrap();
+        let plan = parse_spec("hv.execute=stall@p0.5;dw.execute=hog;transfer.ship=hog:16").unwrap();
+        assert_eq!(plan.rules[0].kind, FaultKind::Stall);
+        assert_eq!(plan.rules[0].trigger, Trigger::Prob(0.5));
+        assert_eq!(plan.rules[1].kind, FaultKind::Hog(8.0));
+        assert_eq!(plan.rules[2].kind, FaultKind::Hog(16.0));
+
+        install(
+            FaultPlan::seeded(5)
+                .with_rule(FaultRule::new(
+                    "hv.execute",
+                    FaultKind::Stall,
+                    Trigger::OnHit(2),
+                ))
+                .with_rule(FaultRule::new(
+                    "dw.execute",
+                    FaultKind::Hog(4.0),
+                    Trigger::Always,
+                )),
+        );
+        assert_eq!(hit("hv.execute"), Action::Proceed);
+        assert_eq!(hit("hv.execute"), Action::Stall);
+        assert_eq!(hit("hv.execute"), Action::Proceed);
+        assert_eq!(hit("dw.execute"), Action::Hog(4.0));
+        disable();
     }
 }

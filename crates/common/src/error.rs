@@ -62,6 +62,24 @@ pub enum MisoError {
         /// Human-readable description of the violation.
         message: String,
     },
+    /// The query's guard tripped: it was cancelled explicitly or its
+    /// deadline expired. Permanent for this query (the *query* may be
+    /// resubmitted, the failed operation must not be retried in place).
+    Cancelled {
+        /// Why the token tripped (`"explicit"`, `"deadline"`).
+        reason: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
+    /// A bounded resource was exhausted: the query's memory budget, or the
+    /// system's admission capacity (overload shedding). Permanent for this
+    /// attempt; shed queries carry a retry-after hint at the driver level.
+    ResourceExhausted {
+        /// The exhausted resource (`"memory"`, `"admission"`).
+        resource: &'static str,
+        /// Human-readable description.
+        message: String,
+    },
 }
 
 impl MisoError {
@@ -101,6 +119,30 @@ impl MisoError {
             MisoError::Transient { .. } => "transient",
             MisoError::Crash { .. } => "crash",
             MisoError::Integrity { .. } => "integrity",
+            MisoError::Cancelled { .. } => "guard",
+            MisoError::ResourceExhausted { .. } => "guard",
+        }
+    }
+
+    /// A stable per-variant tag. Failure counters and the driver's failure
+    /// records key on these strings, so they are part of the observable
+    /// contract: never reuse or rename a tag, and keep this match
+    /// wildcard-free so a new variant cannot silently miscount.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MisoError::Parse(_) => "parse",
+            MisoError::Analysis(_) => "analysis",
+            MisoError::Plan(_) => "plan",
+            MisoError::Execution(_) => "execution",
+            MisoError::Store(_) => "store",
+            MisoError::Optimize(_) => "optimize",
+            MisoError::Tuning(_) => "tuning",
+            MisoError::Config(_) => "config",
+            MisoError::Transient { .. } => "transient",
+            MisoError::Crash { .. } => "crash",
+            MisoError::Integrity { .. } => "integrity",
+            MisoError::Cancelled { .. } => "cancelled",
+            MisoError::ResourceExhausted { .. } => "resource_exhausted",
         }
     }
 
@@ -118,6 +160,8 @@ impl MisoError {
             MisoError::Transient { message, .. } => message,
             MisoError::Crash { point, .. } => point,
             MisoError::Integrity { message, .. } => message,
+            MisoError::Cancelled { message, .. } => message,
+            MisoError::ResourceExhausted { message, .. } => message,
         }
     }
 
@@ -156,6 +200,12 @@ impl fmt::Display for MisoError {
             }
             MisoError::Integrity { view, message } => {
                 write!(f, "integrity error for view `{view}`: {message}")
+            }
+            MisoError::Cancelled { reason, message } => {
+                write!(f, "query cancelled ({reason}): {message}")
+            }
+            MisoError::ResourceExhausted { resource, message } => {
+                write!(f, "resource exhausted ({resource}): {message}")
             }
             _ => write!(f, "{} error: {}", self.layer(), self.message()),
         }
@@ -215,6 +265,99 @@ mod tests {
         assert!(p.is_permanent());
         assert!(!p.is_transient());
         assert_eq!(p.source(), None);
+    }
+
+    #[test]
+    fn guard_errors_are_permanent_and_tagged() {
+        let c = MisoError::Cancelled {
+            reason: "deadline",
+            message: "query deadline exceeded".into(),
+        };
+        assert!(c.is_permanent());
+        assert!(!c.is_transient());
+        assert!(!c.is_crash());
+        assert_eq!(c.kind(), "cancelled");
+        assert_eq!(c.layer(), "guard");
+        assert_eq!(c.source(), None);
+        assert_eq!(
+            c.to_string(),
+            "query cancelled (deadline): query deadline exceeded"
+        );
+
+        let r = MisoError::ResourceExhausted {
+            resource: "memory",
+            message: "budget exhausted".into(),
+        };
+        assert!(r.is_permanent());
+        assert_eq!(r.kind(), "resource_exhausted");
+        assert_eq!(
+            r.to_string(),
+            "resource exhausted (memory): budget exhausted"
+        );
+    }
+
+    /// One instance of every variant. Extending `MisoError` without
+    /// extending this list fails the exhaustiveness test below — which is
+    /// the point: `kind()` feeds failure counters, and a missed arm would
+    /// silently miscount.
+    fn one_of_each() -> Vec<MisoError> {
+        vec![
+            MisoError::Parse("p".into()),
+            MisoError::Analysis("a".into()),
+            MisoError::Plan("p".into()),
+            MisoError::Execution("e".into()),
+            MisoError::Store("s".into()),
+            MisoError::Optimize("o".into()),
+            MisoError::Tuning("t".into()),
+            MisoError::Config("c".into()),
+            MisoError::transient("dw", "m"),
+            MisoError::crash("dw", "point"),
+            MisoError::integrity("v", "m"),
+            MisoError::Cancelled {
+                reason: "explicit",
+                message: "m".into(),
+            },
+            MisoError::ResourceExhausted {
+                resource: "memory",
+                message: "m".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_has_a_stable_unique_kind_tag() {
+        let errors = one_of_each();
+        // Stability: these exact strings are the observable contract.
+        let expected = [
+            "parse",
+            "analysis",
+            "plan",
+            "execution",
+            "store",
+            "optimize",
+            "tuning",
+            "config",
+            "transient",
+            "crash",
+            "integrity",
+            "cancelled",
+            "resource_exhausted",
+        ];
+        let kinds: Vec<&'static str> = errors.iter().map(MisoError::kind).collect();
+        assert_eq!(kinds, expected);
+        // Uniqueness: two variants sharing a tag would merge their counters.
+        let mut dedup = kinds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len(), "kind tags must be unique");
+        // Coverage: `one_of_each` must track the enum. This count is the
+        // one line to update when adding a variant — the compiler forces
+        // the `kind()` arm, this forces the test data.
+        assert_eq!(errors.len(), 13, "update one_of_each() for new variants");
+        for e in &errors {
+            assert!(!e.message().is_empty());
+            assert!(!e.to_string().is_empty());
+        }
     }
 
     #[test]

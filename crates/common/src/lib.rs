@@ -19,10 +19,13 @@
 //!   checksums (`MISO_INTEGRITY`).
 //! * [`pool`] — the miso-par scoped worker pool (`MISO_THREADS`) with a
 //!   deterministic-ordering batch primitive for the tuner's what-if probes.
+//! * [`guard`] — the per-query lifecycle guard (`MISO_GUARD`): deadline,
+//!   cooperative cancellation token, and byte-denominated memory budget.
 
 pub mod budget;
 pub mod bytesize;
 pub mod error;
+pub mod guard;
 pub mod ids;
 pub mod integrity;
 pub mod pool;
@@ -33,6 +36,7 @@ pub mod time;
 pub use budget::{Budgets, DiscretizedBudget};
 pub use bytesize::ByteSize;
 pub use error::{MisoError, Result};
+pub use guard::QueryGuard;
 pub use retry::{BreakerState, CircuitBreaker, RetryPolicy};
 pub use rng::{DetRng, RandomSource};
 pub use time::{SimClock, SimDuration, SimInstant};

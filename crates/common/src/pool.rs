@@ -20,6 +20,8 @@
 //! the tuner hot path are hundreds-to-thousands of optimizer probes, each
 //! orders of magnitude more expensive than a thread spawn.
 
+use crate::error::{MisoError, Result};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Upper bound on worker threads (a safety clamp for absurd `MISO_THREADS`).
@@ -80,14 +82,30 @@ pub fn set_threads(n: usize) {
     THREADS.store(n.clamp(1, MAX_THREADS), Ordering::Relaxed);
 }
 
+/// Runs one task with a panic fence: a panicking task becomes an `Err`
+/// carrying the panic message instead of unwinding through the pool.
+fn fenced<T>(i: usize, f: impl FnOnce() -> T) -> std::result::Result<T, String> {
+    std::panic::catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        format!("worker panicked on task {i}: {msg}")
+    })
+}
+
 /// Runs `f(0), f(1), …, f(n-1)` across the pool and returns the results in
 /// task order — byte-identical to the serial `(0..n).map(f).collect()`.
 ///
 /// Tasks are pulled from a shared atomic counter (dynamic load balancing:
 /// probe costs vary wildly between a cached rewrite and a full split
-/// enumeration). A panicking task propagates its panic to the caller after
-/// the scope joins.
-pub fn run_batch<T, F>(n: usize, f: F) -> Vec<T>
+/// enumeration). A panicking task does **not** unwind through the pool or
+/// poison other workers: remaining tasks still run, and the batch returns
+/// `MisoError::Execution` for the lowest-indexed panicking task — the same
+/// error for every thread count, so one bad morsel kills one query, never
+/// the process.
+pub fn run_batch<T, F>(n: usize, f: F) -> Result<Vec<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -98,10 +116,15 @@ where
     // count can never change the output anyway).
     let workers = threads().min(n).min(cores());
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        // Same panic fence as the parallel path: thread count must not
+        // change whether a panic surfaces as an error or an unwind.
+        return (0..n)
+            .map(|i| fenced(i, || f(i)).map_err(MisoError::Execution))
+            .collect();
     }
     let next = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+    type Bucket<T> = Vec<(usize, std::result::Result<T, String>)>;
+    let buckets: Vec<Bucket<T>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
@@ -111,7 +134,7 @@ where
                         if i >= n {
                             break;
                         }
-                        local.push((i, f(i)));
+                        local.push((i, fenced(i, || f(i))));
                     }
                     local
                 })
@@ -121,19 +144,24 @@ where
             .into_iter()
             .map(|h| match h.join() {
                 Ok(local) => local,
+                // Tasks are fenced, so this is pool infrastructure dying —
+                // nothing sane to report, propagate.
                 Err(payload) => std::panic::resume_unwind(payload),
             })
             .collect()
     });
     // Deterministic ordering: place every result by its task index.
-    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut out: Vec<Option<std::result::Result<T, String>>> = (0..n).map(|_| None).collect();
     for bucket in buckets {
         for (i, v) in bucket {
             out[i] = Some(v);
         }
     }
     out.into_iter()
-        .map(|v| v.expect("every batch index is claimed exactly once"))
+        .map(|v| {
+            v.expect("every batch index is claimed exactly once")
+                .map_err(MisoError::Execution)
+        })
         .collect()
 }
 
@@ -145,7 +173,7 @@ where
 /// Chunk boundaries depend only on `chunk_size`, never on the worker count,
 /// so any per-chunk computation reassembled in chunk order is byte-identical
 /// for every `MISO_THREADS` value.
-pub fn run_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+pub fn run_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
@@ -153,7 +181,7 @@ where
 {
     assert!(chunk_size > 0, "chunk_size must be positive");
     if items.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let n = items.len().div_ceil(chunk_size);
     run_batch(n, |i| {
@@ -172,7 +200,7 @@ mod tests {
         let before = threads();
         for t in [1, 2, 8] {
             set_threads(t);
-            let got = run_batch(100, |i| i * i);
+            let got = run_batch(100, |i| i * i).unwrap();
             let want: Vec<usize> = (0..100).map(|i| i * i).collect();
             assert_eq!(got, want, "threads={t}");
         }
@@ -183,8 +211,67 @@ mod tests {
     fn empty_and_single_batches() {
         let before = threads();
         set_threads(4);
-        assert_eq!(run_batch(0, |i| i), Vec::<usize>::new());
-        assert_eq!(run_batch(1, |i| i + 7), vec![7]);
+        assert_eq!(run_batch(0, |i| i).unwrap(), Vec::<usize>::new());
+        assert_eq!(run_batch(1, |i| i + 7).unwrap(), vec![7]);
+        set_threads(before);
+    }
+
+    #[test]
+    fn worker_panic_becomes_execution_error() {
+        let before = threads();
+        for t in [1, 2, 8] {
+            set_threads(t);
+            let err = run_batch(32, |i| {
+                if i == 5 {
+                    panic!("morsel {i} exploded");
+                }
+                i
+            })
+            .unwrap_err();
+            assert_eq!(err.kind(), "execution", "threads={t}");
+            assert!(
+                err.message().contains("morsel 5 exploded"),
+                "threads={t}: {err}"
+            );
+            assert!(err.is_permanent(), "a panic is not retryable");
+        }
+        set_threads(before);
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_for_every_thread_count() {
+        let before = threads();
+        for t in [1, 4] {
+            set_threads(t);
+            let err = run_batch(64, |i| {
+                if i == 9 || i == 40 {
+                    panic!("task {i}");
+                }
+                i
+            })
+            .unwrap_err();
+            assert!(
+                err.message().contains("task 9"),
+                "threads={t}: reported {err}"
+            );
+        }
+        set_threads(before);
+    }
+
+    #[test]
+    fn chunk_panic_surfaces_from_run_chunks() {
+        let before = threads();
+        set_threads(4);
+        let items: Vec<u32> = (0..100).collect();
+        let err = run_chunks(&items, 10, |i, _chunk| {
+            if i == 3 {
+                panic!("bad chunk");
+            }
+            i
+        })
+        .unwrap_err();
+        assert_eq!(err.kind(), "execution");
+        assert!(err.message().contains("bad chunk"));
         set_threads(before);
     }
 
@@ -207,7 +294,8 @@ mod tests {
             // Sum + span per chunk; reassembled order must be chunk order.
             let parts = run_chunks(&items, 64, |i, chunk| {
                 (i, chunk[0], chunk.iter().copied().sum::<u64>())
-            });
+            })
+            .unwrap();
             assert_eq!(parts.len(), 1000usize.div_ceil(64), "threads={t}");
             for (idx, &(i, first, _)) in parts.iter().enumerate() {
                 assert_eq!(i, idx);
@@ -223,8 +311,14 @@ mod tests {
     fn chunks_on_empty_and_short_inputs() {
         let before = threads();
         set_threads(4);
-        assert_eq!(run_chunks(&[] as &[u8], 16, |_, c| c.len()), Vec::new());
-        assert_eq!(run_chunks(&[1u8, 2, 3], 16, |_, c| c.len()), vec![3]);
+        assert_eq!(
+            run_chunks(&[] as &[u8], 16, |_, c| c.len()).unwrap(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            run_chunks(&[1u8, 2, 3], 16, |_, c| c.len()).unwrap(),
+            vec![3]
+        );
         set_threads(before);
     }
 
@@ -233,7 +327,7 @@ mod tests {
         let before = threads();
         set_threads(3);
         let data: Vec<String> = (0..20).map(|i| format!("item-{i}")).collect();
-        let lens = run_batch(data.len(), |i| data[i].len());
+        let lens = run_batch(data.len(), |i| data[i].len()).unwrap();
         assert_eq!(lens.len(), 20);
         assert_eq!(lens[0], 6);
         assert_eq!(lens[10], 7);

@@ -223,6 +223,65 @@ mod tests {
     }
 
     #[test]
+    fn half_open_probe_success_closes_and_resets_failure_count() {
+        let mut clock = SimClock::new();
+        let mut cb = CircuitBreaker::new(2, SimDuration::from_secs(10));
+        assert!(!cb.record_failure(clock.now()));
+        assert!(cb.record_failure(clock.now()));
+        clock.advance(SimDuration::from_secs(10));
+        assert!(
+            allow_now(&mut cb, &clock),
+            "cooldown elapsed: probe allowed"
+        );
+        assert_eq!(cb.state(), BreakerState::HalfOpen);
+        cb.record_success();
+        assert_eq!(cb.state(), BreakerState::Closed);
+        assert!(!cb.is_open());
+        // The failure streak was cleared: it takes the full threshold of
+        // fresh failures to trip again, not a single one.
+        assert!(!cb.record_failure(clock.now()), "streak restarted at zero");
+        assert_eq!(cb.state(), BreakerState::Closed);
+        assert!(cb.record_failure(clock.now()), "threshold reached again");
+        assert!(cb.is_open());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_for_a_full_cooldown() {
+        let mut clock = SimClock::new();
+        let mut cb = CircuitBreaker::new(1, SimDuration::from_secs(50));
+        assert!(cb.record_failure(clock.now()), "threshold 1 trips at once");
+        clock.advance(SimDuration::from_secs(50));
+        assert!(allow_now(&mut cb, &clock));
+        assert_eq!(cb.state(), BreakerState::HalfOpen);
+        // A half-open failure trips regardless of the threshold count.
+        assert!(cb.record_failure(clock.now()), "probe failure re-opens");
+        assert_eq!(cb.state(), BreakerState::Open);
+        // The new cooldown is anchored at the probe failure, not the
+        // original trip: 49 s later the breaker is still open.
+        clock.advance(SimDuration::from_secs(49));
+        assert!(!allow_now(&mut cb, &clock));
+        clock.advance(SimDuration::from_secs(1));
+        assert!(
+            allow_now(&mut cb, &clock),
+            "second probe after full cooldown"
+        );
+    }
+
+    #[test]
+    fn half_open_allows_repeated_probes_until_resolution() {
+        // `allow` in HalfOpen keeps returning true: the breaker does not
+        // limit probe concurrency itself (the serial driver does), it only
+        // classifies health transitions.
+        let mut clock = SimClock::new();
+        let mut cb = CircuitBreaker::new(1, SimDuration::from_secs(5));
+        cb.record_failure(clock.now());
+        clock.advance(SimDuration::from_secs(5));
+        assert!(allow_now(&mut cb, &clock));
+        assert!(allow_now(&mut cb, &clock));
+        assert_eq!(cb.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
     fn no_retry_policy_has_zero_budget() {
         let p = RetryPolicy::none();
         assert_eq!(p.max_retries, 0);

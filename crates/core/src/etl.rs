@@ -167,6 +167,13 @@ fn etl_job(
                 slow = f;
                 None
             }
+            // ETL is an offline bulk load with no per-query deadline or
+            // budget: a stall is just an extreme slowdown, a hog a no-op.
+            miso_chaos::Action::Stall => {
+                slow = miso_chaos::STALL_FACTOR;
+                None
+            }
+            miso_chaos::Action::Hog(_) => None,
             // ETL re-reads the source log on every run, so a corrupt
             // extraction is indistinguishable from a transient failure:
             // treat it as one and let the retry loop re-run the job.

@@ -36,8 +36,8 @@ pub use audit::{AuditConfig, AuditMode, AuditReport};
 pub use calibration::{CalibrationAccumulator, CalibrationReport};
 pub use knapsack::{m_knapsack, PackItem, PackResult};
 pub use maintenance::{MaintenancePolicy, MaintenanceReport};
-pub use metrics::{ExperimentResult, QueryRecord, TtiBreakdown};
+pub use metrics::{ExperimentResult, QueryFailure, QueryRecord, TtiBreakdown};
 pub use reorg::{JournalEntry, ReorgJournal, ReorgPlan};
-pub use system::{MultistoreSystem, SystemConfig};
+pub use system::{GuardConfig, MultistoreSystem, SystemConfig};
 pub use tuner::{MisoTuner, NewDesign, TunerConfig};
 pub use variants::Variant;

@@ -77,6 +77,31 @@ impl QueryRecord {
     }
 }
 
+/// A query the guard layer terminated (shed at admission, cancelled, past
+/// its deadline, or over its memory budget) instead of completing. Failed
+/// queries never contribute a [`QueryRecord`]; they are reported here so a
+/// storm run can audit that every loss was classified, not silent.
+#[derive(Debug, Clone)]
+pub struct QueryFailure {
+    /// Stream position / identity.
+    pub query: QueryId,
+    /// Human label (e.g. `A1v2`).
+    pub label: String,
+    /// Stable error tag (`MisoError::kind()`): `cancelled` or
+    /// `resource_exhausted`.
+    pub kind: &'static str,
+    /// Human-readable error text.
+    pub message: String,
+    /// Whether the query was shed at admission (never executed) rather than
+    /// killed mid-flight.
+    pub shed: bool,
+    /// For shed queries: how long a client should wait before retrying
+    /// (the overload breaker's remaining cooldown).
+    pub retry_after: Option<SimDuration>,
+    /// When the failure was recorded.
+    pub at: SimInstant,
+}
+
 /// One reorganization phase.
 #[derive(Debug, Clone)]
 pub struct ReorgRecord {
@@ -116,6 +141,9 @@ pub struct ExperimentResult {
     /// reorganization boundary plus one for the tail of the stream; empty
     /// for variants that never execute split plans).
     pub calibrations: Vec<crate::calibration::CalibrationReport>,
+    /// Queries the guard layer terminated (always empty when guards are
+    /// disabled).
+    pub failures: Vec<QueryFailure>,
 }
 
 impl ExperimentResult {
@@ -229,6 +257,7 @@ mod tests {
             reorgs: vec![],
             tti: TtiBreakdown::default(),
             calibrations: vec![],
+            failures: vec![],
         };
         let ranked = result.by_dw_utilization();
         assert_eq!(ranked[0].label, "b");
@@ -248,6 +277,7 @@ mod tests {
             reorgs: vec![],
             tti: TtiBreakdown::default(),
             calibrations: vec![],
+            failures: vec![],
         };
         let cdf = result.exec_time_cdf(&[10.0, 100.0, 1000.0]);
         assert_eq!(cdf, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
@@ -277,6 +307,7 @@ mod tests {
             reorgs: vec![],
             tti: TtiBreakdown::default(),
             calibrations: vec![],
+            failures: vec![],
         };
         assert_eq!(result.hv_per_dw_second(2), 55.0);
         let none = ExperimentResult {
@@ -285,6 +316,7 @@ mod tests {
             reorgs: vec![],
             tti: TtiBreakdown::default(),
             calibrations: vec![],
+            failures: vec![],
         };
         assert!(none.hv_per_dw_second(1).is_infinite());
     }
@@ -297,6 +329,7 @@ mod tests {
             reorgs: vec![],
             tti: TtiBreakdown::default(),
             calibrations: vec![],
+            failures: vec![],
         };
         let c = result.cumulative_tti();
         assert_eq!(c[0].as_secs(), 10);

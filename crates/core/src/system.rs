@@ -14,10 +14,11 @@
 use crate::audit::AuditConfig;
 use crate::calibration::{op_class, CalibrationAccumulator, CalibrationReport};
 use crate::etl::{rewrite_for_dw, run_etl, DEFAULT_ETL_OVERHEAD};
-use crate::metrics::{ExperimentResult, QueryRecord, ReorgRecord, TtiBreakdown};
+use crate::metrics::{ExperimentResult, QueryFailure, QueryRecord, ReorgRecord, TtiBreakdown};
 use crate::reorg::{stage_name, JournalEntry, ReorgJournal, ReorgPlan, MAX_REORG_RECOVERIES};
 use crate::tuner::{MisoTuner, NewDesign, TunerConfig};
 use crate::variants::Variant;
+use miso_common::guard::QueryGuard;
 use miso_common::ids::QueryId;
 use miso_common::{
     Budgets, ByteSize, CircuitBreaker, DetRng, MisoError, Result, RetryPolicy, SimClock,
@@ -75,6 +76,62 @@ pub struct SystemConfig {
     /// drift is then only *observed* (gauges + reports) and the models —
     /// and therefore every plan and tuner design — are untouched.
     pub calibrate_costs: bool,
+    /// Query-lifecycle guard settings (miso-guard): admission control,
+    /// per-query deadlines, memory budgets, and overload shedding.
+    /// Disabled by default, keeping guard-free runs byte-identical.
+    pub guard: GuardConfig,
+}
+
+/// Settings for the miso-guard control plane.
+///
+/// When active, every query admitted into the online stream carries a
+/// [`QueryGuard`] with the configured deadline and memory budget; queries
+/// the guard kills are reported as [`crate::metrics::QueryFailure`]s
+/// instead of aborting the workload, and a dedicated overload breaker
+/// sheds new arrivals while recent guard kills indicate pressure.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Master switch for this system. Guards are active when this is set
+    /// *or* the process-global `MISO_GUARD` gate
+    /// ([`miso_common::guard::enabled`]) is on.
+    pub enabled: bool,
+    /// Default per-query deadline, relative to admission time. `None` =
+    /// no deadline.
+    pub deadline: Option<SimDuration>,
+    /// Per-query memory budget charged by the execution engine (join
+    /// builds, aggregate accumulators, materialization buffers).
+    /// `ByteSize::ZERO` = unlimited.
+    pub mem_budget: ByteSize,
+    /// Maximum queries admitted concurrently. The stream driver runs one
+    /// query at a time, so values ≥ 1 never bind there; `0` sheds
+    /// everything (a drain/maintenance mode, and the admission-path test
+    /// hook).
+    pub max_inflight: usize,
+    /// Consecutive guard kills before the overload breaker opens and new
+    /// arrivals are shed.
+    pub shed_threshold: u32,
+    /// How long the overload breaker sheds before letting a probe query
+    /// through; also the `retry_after` hint attached to shed failures.
+    pub shed_cooldown: SimDuration,
+}
+
+impl GuardConfig {
+    /// Guards fully off (the paper-faithful default).
+    pub fn disabled() -> Self {
+        GuardConfig {
+            enabled: false,
+            deadline: None,
+            mem_budget: ByteSize::ZERO,
+            max_inflight: usize::MAX,
+            shed_threshold: 3,
+            shed_cooldown: SimDuration::from_secs(60),
+        }
+    }
+
+    /// Whether the guard layer should be engaged for this system.
+    pub fn active(&self) -> bool {
+        self.enabled || miso_common::guard::enabled()
+    }
 }
 
 impl SystemConfig {
@@ -95,6 +152,7 @@ impl SystemConfig {
             breaker_cooldown: SimDuration::from_secs(300),
             audit: None,
             calibrate_costs: false,
+            guard: GuardConfig::disabled(),
         }
     }
 }
@@ -132,6 +190,17 @@ pub struct MultistoreSystem {
     calibration: CalibrationAccumulator,
     /// EXPLAIN ANALYZE artifacts collected while exec profiling is on.
     xrays: Vec<QueryXray>,
+    /// The guard of the query currently executing (inert between queries
+    /// and whenever the guard layer is off). Store calls clone it — an
+    /// `Arc` bump — and pass it down into the vex engine.
+    active_guard: QueryGuard,
+    /// Overload breaker: consecutive guard kills open it, shedding new
+    /// arrivals at admission for `GuardConfig::shed_cooldown`.
+    guard_breaker: CircuitBreaker,
+    /// Queries currently admitted (0 or 1 under the serial stream driver).
+    inflight: usize,
+    /// High-water mark of guard-charged bytes across all queries so far.
+    guard_peak_bytes: u64,
 }
 
 impl MultistoreSystem {
@@ -148,6 +217,8 @@ impl MultistoreSystem {
         hv.add_log(corpus.landmarks.clone());
         let background = config.background.clone();
         let dw_breaker = CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown);
+        let guard_breaker =
+            CircuitBreaker::new(config.guard.shed_threshold, config.guard.shed_cooldown);
         MultistoreSystem {
             hv,
             dw: DwStore::new(),
@@ -164,7 +235,24 @@ impl MultistoreSystem {
             scrub_cursor: 0,
             calibration: CalibrationAccumulator::new(),
             xrays: Vec::new(),
+            active_guard: QueryGuard::inert(),
+            guard_breaker,
+            inflight: 0,
+            guard_peak_bytes: 0,
         }
+    }
+
+    /// The overload (guard) breaker's current state (for tests and
+    /// reports).
+    pub fn guard_breaker_state(&self) -> miso_common::BreakerState {
+        self.guard_breaker.state()
+    }
+
+    /// High-water mark of guard-charged bytes across all queries so far.
+    /// Never exceeds the configured per-query budget: over-budget charges
+    /// are refused before they are recorded.
+    pub fn guard_peak_bytes(&self) -> u64 {
+        self.guard_peak_bytes
     }
 
     /// The DW circuit breaker's current state (for tests and reports).
@@ -473,17 +561,43 @@ impl MultistoreSystem {
             }
 
             let qid = QueryId(i as u64);
-            let record = match variant {
+
+            // Admission control (miso-guard). With guards off this whole
+            // block reduces to constructing the shared inert guard.
+            let guard = match self.admit(qid, label, clock, result) {
+                Some(g) => g,
+                None => {
+                    // Shed at admission: the failure is recorded, the
+                    // stream (and the tuner's history — the query *did*
+                    // arrive) moves on.
+                    history.push(raw.clone());
+                    continue;
+                }
+            };
+            self.active_guard = guard.clone();
+            let outcome = match variant {
                 Variant::HvOnly => {
-                    self.execute_hv_only(qid, label, raw, clock, &mut result.tti, false)?
+                    self.execute_hv_only(qid, label, raw, clock, &mut result.tti, false)
                 }
                 Variant::HvOp => {
-                    self.execute_hv_only(qid, label, raw, clock, &mut result.tti, true)?
+                    self.execute_hv_only(qid, label, raw, clock, &mut result.tti, true)
                 }
                 Variant::MsLru => {
-                    self.execute_one_with_retention(qid, label, raw, clock, &mut result.tti, true)?
+                    self.execute_one_with_retention(qid, label, raw, clock, &mut result.tti, true)
                 }
-                _ => self.execute_one(qid, label, raw, clock, &mut result.tti)?,
+                _ => self.execute_one(qid, label, raw, clock, &mut result.tti),
+            };
+            self.active_guard = QueryGuard::inert();
+            let record = match self.settle(qid, label, &guard, outcome, clock, result) {
+                Ok(Some(record)) => record,
+                Ok(None) => {
+                    // Guard kill (deadline / cancel / memory): classified,
+                    // reported, absorbed. The process and every other
+                    // query stay healthy.
+                    history.push(raw.clone());
+                    continue;
+                }
+                Err(e) => return Err(e),
             };
 
             // Retention policies.
@@ -559,6 +673,108 @@ impl MultistoreSystem {
         );
     }
 
+    // ---- Admission & guard lifecycle --------------------------------------
+
+    /// Admission control for one stream query. Returns the query's guard —
+    /// the shared inert one when the guard layer is off — or `None` when
+    /// the query was shed (its failure has already been recorded).
+    fn admit(
+        &mut self,
+        qid: QueryId,
+        label: &str,
+        clock: &SimClock,
+        result: &mut ExperimentResult,
+    ) -> Option<QueryGuard> {
+        if !self.config.guard.active() {
+            return Some(QueryGuard::inert());
+        }
+        let now = clock.now();
+        let over_capacity = self.inflight >= self.config.guard.max_inflight;
+        let overloaded = !self.guard_breaker.allow(now);
+        if over_capacity || overloaded {
+            miso_obs::count("guard.shed", 1);
+            let what = if over_capacity {
+                "admission capacity"
+            } else {
+                "overload shedding"
+            };
+            result.failures.push(QueryFailure {
+                query: qid,
+                label: label.to_string(),
+                kind: "resource_exhausted",
+                message: format!("query shed at admission ({what})"),
+                shed: true,
+                retry_after: Some(self.config.guard.shed_cooldown),
+                at: now,
+            });
+            return None;
+        }
+        self.inflight += 1;
+        miso_obs::count("guard.admitted", 1);
+        let deadline = self.config.guard.deadline.map(|d| now + d);
+        Some(QueryGuard::new(
+            deadline,
+            self.config.guard.mem_budget.as_bytes(),
+        ))
+    }
+
+    /// Post-execution guard bookkeeping: releases the admission slot,
+    /// folds the query's peak charged bytes into the run high-water mark,
+    /// classifies guard kills into [`QueryFailure`]s (returning
+    /// `Ok(None)`), and feeds the overload breaker. Non-guard errors pass
+    /// through untouched; with an inert guard this is the identity.
+    fn settle(
+        &mut self,
+        qid: QueryId,
+        label: &str,
+        guard: &QueryGuard,
+        outcome: Result<QueryRecord>,
+        clock: &SimClock,
+        result: &mut ExperimentResult,
+    ) -> Result<Option<QueryRecord>> {
+        if !guard.is_active() {
+            return outcome.map(Some);
+        }
+        self.inflight = self.inflight.saturating_sub(1);
+        self.guard_peak_bytes = self.guard_peak_bytes.max(guard.peak());
+        miso_obs::gauge("guard.peak_bytes", self.guard_peak_bytes as f64);
+        match outcome {
+            Ok(record) => {
+                self.guard_breaker.record_success();
+                Ok(Some(record))
+            }
+            Err(e) if matches!(e.kind(), "cancelled" | "resource_exhausted") => {
+                // A guard kill must never half-publish: working sets staged
+                // in DW temp space die here, and view harvesting /
+                // working-set retention are deferred past the last fallible
+                // step of a split attempt, so catalog and stores hold no
+                // trace of the dead query.
+                self.dw.clear_temp();
+                match &e {
+                    MisoError::Cancelled {
+                        reason: "deadline", ..
+                    } => miso_obs::count("guard.deadline_exceeded", 1),
+                    MisoError::Cancelled { .. } => miso_obs::count("guard.cancelled", 1),
+                    _ => miso_obs::count("guard.mem_exceeded", 1),
+                }
+                if self.guard_breaker.record_failure(clock.now()) {
+                    miso_obs::count("guard.overload_opened", 1);
+                }
+                result.failures.push(QueryFailure {
+                    query: qid,
+                    label: label.to_string(),
+                    kind: e.kind(),
+                    message: e.to_string(),
+                    shed: false,
+                    retry_after: None,
+                    at: clock.now(),
+                });
+                Ok(None)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
     // ---- Execution paths -------------------------------------------------
 
     /// Executes a query entirely in HV (HV-ONLY / HV-OP).
@@ -595,6 +811,9 @@ impl MultistoreSystem {
         self.record_bg(DwActivity::Idle, run.cost, clock);
         tti.hv_exe += run.cost;
         clock.advance(run.cost);
+        // Deadline gate *before* any view is published: a stalled run that
+        // blew its deadline leaves no trace in the catalog or stores.
+        self.active_guard.check_deadline(clock.now())?;
         if with_views {
             self.harvest_views(&rewrite.plan, &run, qid, usize::MAX);
             for v in &rewrite.used {
@@ -731,13 +950,19 @@ impl MultistoreSystem {
             HashMap::new();
         let mut actual_rows: HashMap<miso_common::ids::NodeId, u64> = HashMap::new();
 
-        // HV side.
+        // HV side. Publishing of by-products (working-set retention, view
+        // harvesting) is deferred until the split attempt is past its last
+        // fallible step — a query the guard kills mid-flight must not
+        // half-publish catalog or view state.
+        let mut hv_run: Option<miso_hv::HvRun> = None;
+        let mut retained_cuts: Vec<miso_common::ids::NodeId> = Vec::new();
         if !hv_set.is_empty() {
             let run = self.hv_execute_retry(plan, Some(&hv_set), clock, &mut tti.hv_exe)?;
             hv_time = run.cost;
             self.record_bg(DwActivity::Idle, hv_time, clock);
             tti.hv_exe += hv_time;
             clock.advance(hv_time);
+            self.active_guard.check_deadline(clock.now())?;
 
             // Ship each cut working set.
             for cut in planned.split.cut_nodes(plan) {
@@ -771,6 +996,7 @@ impl MultistoreSystem {
                     transfer_time += stretched;
                     tti.transfer += stretched;
                     clock.advance(stretched);
+                    self.active_guard.check_deadline(clock.now())?;
                     // Working sets live in temp table space for the query
                     // only.
                     self.dw.load_view(
@@ -796,15 +1022,13 @@ impl MultistoreSystem {
                     miso_obs::count("transfer.reshipped", 1);
                 }
                 if retain_ws {
-                    self.retain_working_set(plan, cut, rows.clone(), qid);
+                    retained_cuts.push(cut);
                 }
                 provided.insert(cut, rows);
             }
-            // Harvest opportunistic views from the HV-side stages.
             if planned.split.is_hv_only(plan) {
                 result_rows = run.execution.root_rows()?.len() as u64;
             }
-            self.harvest_views(plan, &run, qid, usize::MAX);
             for id in run.execution.executed_nodes() {
                 if let Some(rows) = run.execution.rows_out(id) {
                     actual_rows.insert(id, rows);
@@ -813,6 +1037,7 @@ impl MultistoreSystem {
             if profiling {
                 node_profiles.extend(run.execution.profiles().iter().map(|(&k, &v)| (k, v)));
             }
+            hv_run = Some(run);
         }
 
         // DW side.
@@ -823,6 +1048,7 @@ impl MultistoreSystem {
             dw_time = stretched;
             tti.dw_exe += stretched;
             clock.advance(stretched);
+            self.active_guard.check_deadline(clock.now())?;
             result_rows = run.execution.root_rows()?.len() as u64;
             // DW answered: the store is healthy again.
             self.dw_breaker.record_success();
@@ -838,6 +1064,17 @@ impl MultistoreSystem {
             }
         }
         self.dw.clear_temp();
+
+        // Publish by-products. Every fallible step is behind us: retained
+        // working sets become permanent DW views and HV-side stage outputs
+        // become opportunistic views, exactly as they would have mid-flight
+        // in the guard-free ordering (same LRU touch order, no charges).
+        if let Some(run) = &hv_run {
+            for cut in &retained_cuts {
+                self.retain_working_set(plan, *cut, provided[cut].clone(), qid);
+            }
+            self.harvest_views(plan, run, qid, usize::MAX);
+        }
 
         // Predicted-vs-actual drift. "Actual" store times are the simulated
         // costs charged over real executed sizes, so this comparison
@@ -1269,6 +1506,10 @@ impl MultistoreSystem {
             match miso_chaos::hit("reorg.step") {
                 miso_chaos::Action::Proceed => return Ok((1.0, false)),
                 miso_chaos::Action::Delay(f) => return Ok((f, false)),
+                // Reorg work has no per-query deadline; a stall is just a
+                // very slow movement, a hog a no-op (nothing is charged).
+                miso_chaos::Action::Stall => return Ok((miso_chaos::STALL_FACTOR, false)),
+                miso_chaos::Action::Hog(_) => return Ok((1.0, false)),
                 miso_chaos::Action::Corrupt => return Ok((1.0, true)),
                 miso_chaos::Action::Crash => return Err(MisoError::crash("tuner", "reorg.step")),
                 miso_chaos::Action::Fail if attempt < self.config.retry.max_retries => {
@@ -1564,12 +1805,14 @@ impl MultistoreSystem {
     ) -> Result<miso_hv::HvRun> {
         let hv = &self.hv;
         let udfs = &self.udfs;
+        let guard = &self.active_guard;
         retry_loop(
             &self.config.retry,
             &mut self.retry_rng,
+            guard,
             clock,
             bucket,
-            || hv.execute(plan, subset, udfs),
+            || hv.execute_guarded(plan, subset, udfs, guard),
         )
     }
 
@@ -1586,12 +1829,14 @@ impl MultistoreSystem {
     ) -> Result<miso_dw::DwRun> {
         let dw = &self.dw;
         let udfs = &self.udfs;
+        let guard = &self.active_guard;
         retry_loop(
             &self.config.retry,
             &mut self.retry_rng,
+            guard,
             clock,
             bucket,
-            || dw.execute(plan, subset, provided.clone(), udfs),
+            || dw.execute_guarded(plan, subset, provided.clone(), udfs, guard),
         )
     }
 
@@ -1610,6 +1855,15 @@ impl MultistoreSystem {
             match miso_chaos::hit("transfer.ship") {
                 miso_chaos::Action::Proceed => return Ok((base, waited, false)),
                 miso_chaos::Action::Delay(f) => return Ok((base * f, waited, false)),
+                // A stall is an extreme delay: the shipped bytes arrive,
+                // but far past any sane deadline (the caller's guard
+                // converts the blown clock into a cancellation).
+                miso_chaos::Action::Stall => {
+                    return Ok((base * miso_chaos::STALL_FACTOR, waited, false))
+                }
+                // Memory hogs target query execution; a transfer has no
+                // charged buffers to inflate.
+                miso_chaos::Action::Hog(_) => return Ok((base, waited, false)),
                 miso_chaos::Action::Corrupt => return Ok((base, waited, true)),
                 miso_chaos::Action::Crash => {
                     return Err(MisoError::crash("transfer", "transfer.ship"))
@@ -1659,12 +1913,16 @@ impl MultistoreSystem {
 fn retry_loop<T>(
     policy: &RetryPolicy,
     rng: &mut DetRng,
+    guard: &QueryGuard,
     clock: &mut SimClock,
     bucket: &mut SimDuration,
     mut op: impl FnMut() -> Result<T>,
 ) -> Result<T> {
     let mut attempt = 0u32;
     loop {
+        // A query past its deadline (or already cancelled) stops retrying:
+        // backoff waits count against the deadline like any other time.
+        guard.check_deadline(clock.now())?;
         match op() {
             Ok(v) => return Ok(v),
             Err(e) if e.is_transient() && attempt < policy.max_retries => {

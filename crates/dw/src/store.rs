@@ -1,11 +1,12 @@
 //! The DW store: permanent/temporary table spaces and costed execution.
 
 use crate::cost::DwCostModel;
+use miso_common::guard::QueryGuard;
 use miso_common::ids::NodeId;
 use miso_common::{ByteSize, MisoError, Result, SimDuration};
 use miso_data::checksum::{checksum_rows, corrupt_first_row, Checksum};
 use miso_data::{Row, Schema};
-use miso_exec::engine::{execute_subset_opts, DataSource, ExecOptions, Execution};
+use miso_exec::engine::{execute_subset_guarded, DataSource, ExecOptions, Execution};
 use miso_exec::UdfRegistry;
 use miso_plan::estimate::MapStats;
 use miso_plan::{LogicalPlan, Operator};
@@ -215,9 +216,26 @@ impl DwStore {
         provided: HashMap<NodeId, Arc<Vec<Row>>>,
         udfs: &UdfRegistry,
     ) -> Result<DwRun> {
+        self.execute_guarded(plan, subset, provided, udfs, QueryGuard::inert_ref())
+    }
+
+    /// [`DwStore::execute`] under a [`QueryGuard`]: the engine checks the
+    /// guard at every morsel-dispatch boundary and charges materializations
+    /// and join/aggregate scratch against its memory budget. Injected
+    /// `stall` faults inflate the charged cost past any sane deadline;
+    /// `hog` faults inflate the query's charged bytes by their factor.
+    pub fn execute_guarded(
+        &self,
+        plan: &LogicalPlan,
+        subset: Option<&HashSet<NodeId>>,
+        provided: HashMap<NodeId, Arc<Vec<Row>>>,
+        udfs: &UdfRegistry,
+        guard: &QueryGuard,
+    ) -> Result<DwRun> {
         let mut obs = miso_obs::span("dw.execute");
         // Fault injection: one relaxed atomic load when chaos is disabled.
         let mut chaos_slow = 1.0f64;
+        let mut hog_factor = 1.0f64;
         match miso_chaos::hit("dw.execute") {
             miso_chaos::Action::Proceed => {}
             miso_chaos::Action::Fail => {
@@ -225,6 +243,8 @@ impl DwStore {
             }
             miso_chaos::Action::Crash => return Err(MisoError::crash("dw", "dw.execute")),
             miso_chaos::Action::Delay(f) => chaos_slow = f,
+            miso_chaos::Action::Stall => chaos_slow = miso_chaos::STALL_FACTOR,
+            miso_chaos::Action::Hog(f) => hog_factor = f,
             // Corruption targets stored copies (view_read points), not
             // execution: a corrupt action here is a no-op.
             miso_chaos::Action::Corrupt => {}
@@ -259,7 +279,7 @@ impl DwStore {
         // DW only ever reads the root rows and per-node row counts, so let
         // the engine release intermediate outputs eagerly (and steal
         // uniquely-owned inputs) instead of retaining every materialization.
-        let execution = execute_subset_opts(
+        let execution = execute_subset_guarded(
             plan,
             subset,
             provided,
@@ -268,7 +288,20 @@ impl DwStore {
             ExecOptions {
                 retain_root_only: true,
             },
+            guard,
         )?;
+        if hog_factor > 1.0 && guard.is_active() {
+            // Injected memory hog: transiently charge (factor - 1)× the root
+            // output bytes. Over-budget queries die with `ResourceExhausted`;
+            // surviving hogs still move the peak gauge before releasing.
+            let real = execution
+                .executed_nodes()
+                .map(|id| execution.output_bytes(id).as_bytes())
+                .sum::<u64>();
+            let extra = ((hog_factor - 1.0) * real as f64) as u64;
+            guard.try_charge(extra)?;
+            guard.release(extra);
+        }
         let mut rows_processed = 0u64;
         for node in plan.nodes() {
             let in_subset = subset.is_none_or(|s| s.contains(&node.id));

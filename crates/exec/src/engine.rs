@@ -31,6 +31,7 @@
 use crate::eval::{eval, eval_predicate};
 use crate::profile::{self, OpProfile};
 use crate::udf::UdfRegistry;
+use miso_common::guard::QueryGuard;
 use miso_common::ids::NodeId;
 use miso_common::{pool, ByteSize, MisoError, Result};
 use miso_data::json::parse_json;
@@ -237,6 +238,36 @@ pub fn execute_subset_opts(
     udfs: &UdfRegistry,
     opts: ExecOptions,
 ) -> Result<Execution> {
+    execute_subset_guarded(
+        plan,
+        subset,
+        provided,
+        source,
+        udfs,
+        opts,
+        QueryGuard::inert_ref(),
+    )
+}
+
+/// [`execute_subset_opts`] under a [`QueryGuard`]: the guard's cancellation
+/// state is checked at every morsel-dispatch boundary (a serial point, so
+/// cancellation outcomes are thread-count-invariant), and the query's large
+/// allocations — node materialization buffers, join build tables, aggregate
+/// accumulator tables — are charged against the guard's memory budget.
+/// Charges are released as outputs are freed and fully unwound when the
+/// execution ends, success or failure. With the shared inert guard every
+/// check is one branch and no bytes are ever charged, so the guarded path
+/// costs nothing when guards are off.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_subset_guarded(
+    plan: &LogicalPlan,
+    subset: Option<&HashSet<NodeId>>,
+    provided: HashMap<NodeId, Arc<Vec<Row>>>,
+    source: &dyn DataSource,
+    udfs: &UdfRegistry,
+    opts: ExecOptions,
+    guard: &QueryGuard,
+) -> Result<Execution> {
     let root = plan.root();
     let mut outputs: HashMap<NodeId, Arc<Vec<Row>>> = HashMap::with_capacity(plan.len());
     let mut rows_out: HashMap<NodeId, u64> = HashMap::with_capacity(plan.len());
@@ -269,6 +300,8 @@ pub fn execute_subset_opts(
         profiles.reserve(plan.len());
         profile::take_dispatch();
     }
+    // Per-node materialization charges; drops (and releases) on any exit.
+    let mut ledger = ChargeLedger::new(guard);
     for node in plan.nodes() {
         if rows_out.contains_key(&node.id) {
             continue; // provided
@@ -278,6 +311,7 @@ pub fn execute_subset_opts(
                 continue;
             }
         }
+        guard.check()?;
         let mut op_span = miso_obs::span("exec.op");
         if op_span.is_active() {
             op_span.push_field("op", miso_obs::FieldValue::Str(node.op.label()));
@@ -317,7 +351,7 @@ pub fn execute_subset_opts(
         let rows: Vec<Row> = match &node.op {
             Operator::ScanLog { log } => {
                 let lines = source.log_lines(log)?;
-                let parts = par_chunks(lines, |_, chunk| {
+                let parts = par_chunks(guard, lines, |_, chunk| {
                     let mut rows = Vec::with_capacity(chunk.len());
                     let mut skipped = 0u64;
                     for line in chunk {
@@ -327,7 +361,7 @@ pub fn execute_subset_opts(
                         }
                     }
                     (rows, skipped)
-                });
+                })?;
                 let mut rows = Vec::with_capacity(lines.len());
                 for (part, skipped) in parts {
                     rows.extend(part);
@@ -339,7 +373,7 @@ pub fn execute_subset_opts(
                 let src_rows = source.view_rows(view)?;
                 concat_rows(
                     src_rows.len(),
-                    par_chunks(src_rows, |_, chunk| chunk.to_vec()),
+                    par_chunks(guard, src_rows, |_, chunk| chunk.to_vec())?,
                 )
             }
             Operator::Filter { predicate } => {
@@ -347,7 +381,7 @@ pub fn execute_subset_opts(
                     TakenInput::Owned(mut vec) => {
                         // Uniquely owned: evaluate in parallel, then move the
                         // surviving rows out instead of deep-cloning them.
-                        let parts = par_chunks(&vec, |i, chunk| -> Result<Vec<usize>> {
+                        let parts = par_chunks(guard, &vec, |i, chunk| -> Result<Vec<usize>> {
                             let base = i * MORSEL_SIZE;
                             let mut keep = Vec::new();
                             for (j, row) in chunk.iter().enumerate() {
@@ -356,7 +390,7 @@ pub fn execute_subset_opts(
                                 }
                             }
                             Ok(keep)
-                        });
+                        })?;
                         let keep = collect_ok(parts)?;
                         let mut out = Vec::with_capacity(keep.iter().map(Vec::len).sum());
                         for idx in keep.into_iter().flatten() {
@@ -365,7 +399,7 @@ pub fn execute_subset_opts(
                         out
                     }
                     TakenInput::Shared(arc) => {
-                        let parts = par_chunks(&arc, |_, chunk| -> Result<Vec<Row>> {
+                        let parts = par_chunks(guard, &arc, |_, chunk| -> Result<Vec<Row>> {
                             let mut keep = Vec::new();
                             for row in chunk {
                                 if eval_predicate(predicate, row)? {
@@ -373,14 +407,14 @@ pub fn execute_subset_opts(
                                 }
                             }
                             Ok(keep)
-                        });
+                        })?;
                         flatten_ok(parts)?
                     }
                 }
             }
             Operator::Project { exprs } => {
                 let input = input_of(&outputs, plan, node.id, 0)?;
-                let parts = par_chunks(input, |_, chunk| -> Result<Vec<Row>> {
+                let parts = par_chunks(guard, input, |_, chunk| -> Result<Vec<Row>> {
                     let mut rows = Vec::with_capacity(chunk.len());
                     for row in chunk {
                         let values: Vec<Value> = exprs
@@ -390,28 +424,28 @@ pub fn execute_subset_opts(
                         rows.push(Row::new(values));
                     }
                     Ok(rows)
-                });
+                })?;
                 flatten_ok(parts)?
             }
             Operator::Join { on } => {
                 let left = input_of(&outputs, plan, node.id, 0)?;
                 let right = input_of(&outputs, plan, node.id, 1)?;
-                hash_join(left, right, on)
+                hash_join_guarded(left, right, on, guard)?
             }
             Operator::Aggregate { group_by, aggs } => {
                 let input = input_of(&outputs, plan, node.id, 0)?;
-                aggregate(input, group_by, aggs)?
+                aggregate(input, group_by, aggs, guard)?
             }
             Operator::Udf { name, .. } => {
                 let udf = udfs.require(name)?;
                 let input = input_of(&outputs, plan, node.id, 0)?;
-                let parts = par_chunks(input, |_, chunk| -> Result<Vec<Row>> {
+                let parts = par_chunks(guard, input, |_, chunk| -> Result<Vec<Row>> {
                     let mut rows = Vec::new();
                     for row in chunk {
                         rows.extend(udf.apply(row)?);
                     }
                     Ok(rows)
-                });
+                })?;
                 flatten_ok(parts)?
             }
             Operator::Sort { keys } => {
@@ -422,12 +456,12 @@ pub fn execute_subset_opts(
                 // unstable sort reproduce stable-sort output.
                 let keyed: Vec<Vec<Value>> = concat_rows(
                     rows.len(),
-                    par_chunks(rows, |_, chunk| {
+                    par_chunks(guard, rows, |_, chunk| {
                         chunk
                             .iter()
                             .map(|row| keys.iter().map(|&(col, _)| row.get(col).clone()).collect())
                             .collect::<Vec<Vec<Value>>>()
-                    }),
+                    })?,
                 );
                 let mut order: Vec<usize> = (0..rows.len()).collect();
                 order.sort_unstable_by(|&a, &b| {
@@ -486,6 +520,7 @@ pub fn execute_subset_opts(
                 },
             );
         }
+        ledger.charge(node.id, &rows)?;
         rows_out.insert(node.id, rows.len() as u64);
         outputs.insert(node.id, Arc::new(rows));
         if opts.retain_root_only {
@@ -494,6 +529,7 @@ pub fn execute_subset_opts(
                     *p = p.saturating_sub(1);
                     if *p == 0 && *input != root {
                         outputs.remove(input);
+                        ledger.release(*input);
                     }
                 }
             }
@@ -506,6 +542,76 @@ pub fn execute_subset_opts(
         profiles,
         root,
     })
+}
+
+/// Tracks the bytes charged against a [`QueryGuard`] for each retained node
+/// output. Dropping the ledger releases every outstanding charge, so the
+/// guard's usage gauge unwinds no matter how the execution exits. With an
+/// inactive guard every method is a single branch and nothing is charged.
+struct ChargeLedger<'a> {
+    guard: &'a QueryGuard,
+    charged: HashMap<NodeId, u64>,
+}
+
+impl<'a> ChargeLedger<'a> {
+    fn new(guard: &'a QueryGuard) -> ChargeLedger<'a> {
+        ChargeLedger {
+            guard,
+            charged: HashMap::new(),
+        }
+    }
+
+    /// Charges `rows`' approximate bytes to the guard on behalf of node
+    /// `id`; fails with `ResourceExhausted` when the budget is blown.
+    fn charge(&mut self, id: NodeId, rows: &[Row]) -> Result<()> {
+        if !self.guard.is_active() {
+            return Ok(());
+        }
+        let bytes: u64 = rows.iter().map(Row::approx_bytes).sum();
+        self.guard.try_charge(bytes)?;
+        *self.charged.entry(id).or_insert(0) += bytes;
+        Ok(())
+    }
+
+    /// Releases node `id`'s charge (no-op if it never charged).
+    fn release(&mut self, id: NodeId) {
+        if let Some(bytes) = self.charged.remove(&id) {
+            self.guard.release(bytes);
+        }
+    }
+}
+
+impl Drop for ChargeLedger<'_> {
+    fn drop(&mut self) {
+        for (_, bytes) in self.charged.drain() {
+            self.guard.release(bytes);
+        }
+    }
+}
+
+/// A scoped charge for operator-internal scratch memory (join build tables,
+/// aggregate partials): charged on construction, released on drop.
+struct TempCharge<'a> {
+    guard: &'a QueryGuard,
+    bytes: u64,
+}
+
+impl<'a> TempCharge<'a> {
+    fn new(guard: &'a QueryGuard, bytes: u64) -> Result<TempCharge<'a>> {
+        if !guard.is_active() || bytes == 0 {
+            return Ok(TempCharge { guard, bytes: 0 });
+        }
+        guard.try_charge(bytes)?;
+        Ok(TempCharge { guard, bytes })
+    }
+}
+
+impl Drop for TempCharge<'_> {
+    fn drop(&mut self) {
+        if self.bytes > 0 {
+            self.guard.release(self.bytes);
+        }
+    }
 }
 
 /// A single-consumer operator's input: owned when the rows could be stolen,
@@ -577,12 +683,19 @@ fn input_of<'a>(
 
 /// Morsel dispatch: runs `f` over fixed-size chunks of `items` on the worker
 /// pool and returns per-morsel results in morsel order.
-fn par_chunks<T, R, F>(items: &[T], f: F) -> Vec<R>
+///
+/// The guard is checked once, serially, before the fan-out — the engine's
+/// cancellation boundary. Checking here (never inside workers) keeps the
+/// observed cancellation point, and thus the query's outcome, identical for
+/// every `MISO_THREADS` value. A panicking morsel surfaces as
+/// `MisoError::Execution` (see [`pool::run_batch`]).
+fn par_chunks<T, R, F>(guard: &QueryGuard, items: &[T], f: F) -> Result<Vec<R>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    guard.check()?;
     miso_obs::count("exec.morsels", items.len().div_ceil(MORSEL_SIZE) as u64);
     miso_obs::count("exec.par_rows", items.len() as u64);
     if profile::enabled() {
@@ -673,19 +786,37 @@ fn join_key_hash(row: &Row, on: &[(usize, usize)], right: bool) -> Option<u64> {
 /// run morsel-parallel over the left side, emitting matches in left-row ×
 /// right-insertion order — exactly the serial interpreter's output order.
 /// Hash collisions are disambiguated by comparing the actual key columns.
-pub fn hash_join(left: &[Row], right: &[Row], on: &[(usize, usize)]) -> Vec<Row> {
+pub fn hash_join(left: &[Row], right: &[Row], on: &[(usize, usize)]) -> Result<Vec<Row>> {
+    hash_join_guarded(left, right, on, QueryGuard::inert_ref())
+}
+
+/// Bytes the build side costs per right row: the prehashed key vector
+/// (`Option<u64>`) plus a `u32` slot in the partitioned index, with map
+/// overhead rounded up. A coarse model — the guard meters pressure, it is
+/// not an allocator.
+const JOIN_BUILD_BYTES_PER_ROW: u64 = 28;
+
+/// [`hash_join`] under a [`QueryGuard`]: the build-side hash table is
+/// charged against the memory budget for the duration of the join.
+pub(crate) fn hash_join_guarded(
+    left: &[Row],
+    right: &[Row],
+    on: &[(usize, usize)],
+    guard: &QueryGuard,
+) -> Result<Vec<Row>> {
     assert!(
         right.len() <= u32::MAX as usize,
         "build side exceeds u32 rows"
     );
+    let _build = TempCharge::new(guard, right.len() as u64 * JOIN_BUILD_BYTES_PER_ROW)?;
     let rhash: Vec<Option<u64>> = concat_rows(
         right.len(),
-        par_chunks(right, |_, chunk| {
+        par_chunks(guard, right, |_, chunk| {
             chunk
                 .iter()
                 .map(|row| join_key_hash(row, on, true))
                 .collect::<Vec<_>>()
-        }),
+        })?,
     );
     // Partitioned build: table layout is internal, so the partition count
     // may track the worker count without affecting any output.
@@ -701,8 +832,8 @@ pub fn hash_join(left: &[Row], right: &[Row], on: &[(usize, usize)]) -> Vec<Row>
             }
         }
         table
-    });
-    let parts = par_chunks(left, |_, chunk| {
+    })?;
+    let parts = par_chunks(guard, left, |_, chunk| {
         let mut out = Vec::new();
         for lrow in chunk {
             let Some(h) = join_key_hash(lrow, on, false) else {
@@ -718,8 +849,8 @@ pub fn hash_join(left: &[Row], right: &[Row], on: &[(usize, usize)]) -> Vec<Row>
             }
         }
         out
-    });
-    concat_rows(parts.iter().map(Vec::len).sum(), parts)
+    })?;
+    Ok(concat_rows(parts.iter().map(Vec::len).sum(), parts))
 }
 
 /// Streaming accumulator per aggregate function.
@@ -1021,17 +1152,34 @@ fn aggregate_morsel(
     Ok(table)
 }
 
+/// Per-group-slot byte estimate for accumulator charging: slot bookkeeping
+/// plus one accumulator's state per aggregate. Depends only on the data and
+/// the fixed morsel structure, so the charge is thread-count-invariant.
+const AGG_SLOT_BYTES: u64 = 48;
+const AGG_ACC_BYTES: u64 = 16;
+
 /// Morsel-parallel grouped aggregation: each morsel folds into a partial
 /// table, partials merge serially in morsel order. The global first-seen
 /// group order equals the serial row-order first-seen order because earlier
-/// morsels cover earlier rows.
-fn aggregate(input: &[Row], group_by: &[usize], aggs: &[miso_plan::AggExpr]) -> Result<Vec<Row>> {
+/// morsels cover earlier rows. The partial accumulator tables are charged
+/// against `guard`'s memory budget while they are alive.
+fn aggregate(
+    input: &[Row],
+    group_by: &[usize],
+    aggs: &[miso_plan::AggExpr],
+    guard: &QueryGuard,
+) -> Result<Vec<Row>> {
     let float_sum = float_sum_flags(input, aggs);
     let srcs = classify_aggs(aggs);
-    let parts = par_chunks(input, |_, chunk| {
+    let parts = par_chunks(guard, input, |_, chunk| {
         aggregate_morsel(chunk, group_by, aggs, &srcs, &float_sum)
-    });
+    })?;
     let parts = collect_ok(parts)?;
+    let slot_count: u64 = parts.iter().map(|t| t.slots.len() as u64).sum();
+    let _accs = TempCharge::new(
+        guard,
+        slot_count * (AGG_SLOT_BYTES + aggs.len() as u64 * AGG_ACC_BYTES),
+    )?;
     // Global aggregate over empty input still yields one row.
     if group_by.is_empty() && input.is_empty() {
         let accs: Vec<Acc> = aggs
@@ -1274,7 +1422,7 @@ mod tests {
             Row::new(vec![Value::Int(1), Value::str("y")]),
             Row::new(vec![Value::Null, Value::str("z")]),
         ];
-        let out = hash_join(&left, &right, &[(0, 0)]);
+        let out = hash_join(&left, &right, &[(0, 0)]).unwrap();
         assert_eq!(out.len(), 2, "uid 1 matches twice; NULLs never join");
         assert!(out.iter().all(|r| r.get(0) == &Value::Int(1)));
         assert_eq!(out[0].arity(), 4);
@@ -1289,7 +1437,7 @@ mod tests {
             Row::new(vec![Value::Int(1), Value::str("b"), Value::Int(9)]),
         ];
         let right = vec![Row::new(vec![Value::Int(1), Value::str("a")])];
-        let out = hash_join(&left, &right, &[(0, 0), (1, 1)]);
+        let out = hash_join(&left, &right, &[(0, 0), (1, 1)]).unwrap();
         assert_eq!(out.len(), 2, "both (1,a) variants match; (1,b) does not");
         assert_eq!(out[0].get(2), &Value::Int(7));
         assert_eq!(out[1].get(2), &Value::Int(8));

@@ -23,7 +23,9 @@ pub mod profile;
 pub mod serial;
 pub mod udf;
 
-pub use engine::{DataSource, ExecOptions, Execution, MemSource, MORSEL_SIZE};
+pub use engine::{
+    execute_subset_guarded, DataSource, ExecOptions, Execution, MemSource, MORSEL_SIZE,
+};
 pub use profile::OpProfile;
 pub use serial::execute_serial;
 pub use udf::{Udf, UdfRegistry};

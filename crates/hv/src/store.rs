@@ -2,12 +2,13 @@
 
 use crate::cost::HvCostModel;
 use crate::stages::{compile_stages, Stage};
+use miso_common::guard::QueryGuard;
 use miso_common::ids::NodeId;
 use miso_common::{ByteSize, MisoError, Result, SimDuration};
 use miso_data::checksum::{checksum_rows, corrupt_first_row, Checksum};
 use miso_data::logs::LogFile;
 use miso_data::{Row, Schema};
-use miso_exec::engine::{execute_subset_opts, DataSource, ExecOptions, Execution};
+use miso_exec::engine::{execute_subset_guarded, DataSource, ExecOptions, Execution};
 use miso_exec::UdfRegistry;
 use miso_plan::estimate::MapStats;
 use miso_plan::{LogicalPlan, Operator};
@@ -210,9 +211,26 @@ impl HvStore {
         subset: Option<&HashSet<NodeId>>,
         udfs: &UdfRegistry,
     ) -> Result<HvRun> {
+        self.execute_guarded(plan, subset, udfs, QueryGuard::inert_ref())
+    }
+
+    /// [`HvStore::execute`] under a [`QueryGuard`]: the engine checks the
+    /// guard at every morsel-dispatch boundary and charges materializations
+    /// against its memory budget. An injected `stall` inflates the charged
+    /// cost so far past any sane deadline that the driver's next deadline
+    /// check kills the query; an injected `hog` inflates the query's charged
+    /// bytes by its factor (a no-op under an inactive guard).
+    pub fn execute_guarded(
+        &self,
+        plan: &LogicalPlan,
+        subset: Option<&HashSet<NodeId>>,
+        udfs: &UdfRegistry,
+        guard: &QueryGuard,
+    ) -> Result<HvRun> {
         let mut obs = miso_obs::span("hv.execute");
         // Fault injection: one relaxed atomic load when chaos is disabled.
         let mut chaos_slow = 1.0f64;
+        let mut hog_factor = 1.0f64;
         match miso_chaos::hit("hv.execute") {
             miso_chaos::Action::Proceed => {}
             miso_chaos::Action::Fail => {
@@ -220,6 +238,8 @@ impl HvStore {
             }
             miso_chaos::Action::Crash => return Err(MisoError::crash("hv", "hv.execute")),
             miso_chaos::Action::Delay(f) => chaos_slow = f,
+            miso_chaos::Action::Stall => chaos_slow = miso_chaos::STALL_FACTOR,
+            miso_chaos::Action::Hog(f) => hog_factor = f,
             // Corruption targets stored copies (view_read points), not
             // execution: a corrupt action here is a no-op.
             miso_chaos::Action::Corrupt => {}
@@ -244,7 +264,7 @@ impl HvStore {
         // Full retention is load-bearing here: every stage boundary below is
         // both charged by size and harvested as an opportunistic view, so HV
         // must keep all node outputs (never `retain_root_only`).
-        let execution = execute_subset_opts(
+        let execution = execute_subset_guarded(
             plan,
             subset,
             HashMap::new(),
@@ -253,6 +273,7 @@ impl HvStore {
             ExecOptions {
                 retain_root_only: false,
             },
+            guard,
         )?;
         let mut cost = SimDuration::ZERO;
         let mut stage_costs = Vec::with_capacity(stages.len());
@@ -294,6 +315,16 @@ impl HvStore {
                     size: execution.output_bytes(node.id),
                 });
             }
+        }
+        if hog_factor > 1.0 && guard.is_active() {
+            // Injected memory hog: transiently charge (factor - 1)× the
+            // materialized bytes, as if the query ballooned. Over-budget
+            // queries die here with `ResourceExhausted`; surviving hogs
+            // still move the peak gauge before releasing.
+            let real: u64 = materialized.iter().map(|m| m.size.as_bytes()).sum();
+            let extra = ((hog_factor - 1.0) * real as f64) as u64;
+            guard.try_charge(extra)?;
+            guard.release(extra);
         }
         if obs.is_active() {
             let bytes: u64 = materialized.iter().map(|m| m.size.as_bytes()).sum();

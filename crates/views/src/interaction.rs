@@ -132,7 +132,10 @@ impl<'a> ProbeEngine<'a> {
             let (q, set) = &misses[k];
             let names: BTreeSet<String> = set.iter().map(|i| names[i].to_string()).collect();
             f(*q, &names)
-        });
+        })
+        // What-if probes are pure cost evaluations; a panic here is a bug
+        // in the cost model, not a recoverable per-query failure.
+        .unwrap_or_else(|e| panic!("what-if probe batch failed: {e}"));
         for ((q, set), c) in misses.into_iter().zip(costs) {
             self.memo[q].insert(set, c);
         }

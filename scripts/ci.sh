@@ -22,6 +22,9 @@ cargo run --release -q -p miso-bench --bin chaos
 echo "==> integrity smoke (seeded silent corruption)"
 cargo run --release -q -p miso-bench --bin integrity
 
+echo "==> soakbench smoke (guard storm: stalls, hogs, corruption, crashes)"
+cargo run --release -q -p miso-bench --bin soakbench -- --smoke
+
 echo "==> tunerbench perf smoke (record-only)"
 cargo run --release -q -p miso-bench --bin tunerbench -- --smoke
 

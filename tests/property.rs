@@ -283,6 +283,31 @@ proptest! {
     }
 }
 
+// ---- Query guard memory accounting ------------------------------------------
+
+proptest! {
+    /// Random charge/release interleavings never drive the recorded peak
+    /// past the budget (refused charges are not recorded) and never let the
+    /// gauge outrun its own high-water mark.
+    #[test]
+    fn guard_peak_never_exceeds_budget(
+        budget in 1u64..10_000,
+        ops in prop::collection::vec((any::<bool>(), 1u64..4_000), 0..64)
+    ) {
+        use miso::common::QueryGuard;
+        let guard = QueryGuard::new(None, budget);
+        for (charge, n) in ops {
+            if charge {
+                let _ = guard.try_charge(n);
+            } else {
+                guard.release(n);
+            }
+        }
+        prop_assert!(guard.peak() <= budget, "peak {} > budget {budget}", guard.peak());
+        prop_assert!(guard.used() <= guard.peak());
+    }
+}
+
 // ---- Chaos spec parsing ----------------------------------------------------
 
 proptest! {
