@@ -148,6 +148,41 @@ fn main() {
         }
     }
 
+    // --- servebench: match configs by name; the guarded figure is the
+    // 8-worker vs 1-worker qps scaling of the serving engine (simulated
+    // worker slots, so the figure is host-independent and the tolerance
+    // band mainly absorbs workload-size differences).
+    if let Some((smoke, base)) = pair("results/servebench.report.json", "BENCH_serve.json") {
+        let base_cfgs = configs(&base);
+        for cfg in configs(&smoke) {
+            let Some(name) = cfg.get_field("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(speedup) = num(cfg, "speedup") else {
+                continue;
+            };
+            let baseline = base_cfgs
+                .iter()
+                .find(|b| b.get_field("name").and_then(Value::as_str) == Some(name))
+                .and_then(|b| num(b, "speedup"));
+            let Some(baseline) = baseline else {
+                eprintln!("benchguard: no BENCH_serve.json baseline for `{name}`");
+                continue;
+            };
+            compared += 1;
+            let floor = baseline * tol;
+            let ok = speedup >= floor;
+            println!(
+                "benchguard: serve {name}: smoke {speedup:.2}x vs baseline \
+                     {baseline:.2}x (floor {floor:.2}x) {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                violations += 1;
+            }
+        }
+    }
+
     if violations > 0 {
         eprintln!(
             "benchguard: {violations} regression(s) across {compared} comparison(s){}",

@@ -212,6 +212,24 @@ pub fn disable() {
     state().enabled.store(false, Ordering::Relaxed);
 }
 
+/// Temporarily switches injection off, returning whether it was on.
+///
+/// Unlike [`install`]/[`disable`], the plan, RNG stream, and hit counters
+/// are all preserved, so a `suspend`/[`resume`] bracket is invisible to the
+/// fault sequence around it. The serving layer uses this to compute
+/// fault-free oracle/base runs in the middle of a chaos storm.
+pub fn suspend() -> bool {
+    state().enabled.swap(false, Ordering::Relaxed)
+}
+
+/// Undoes [`suspend`]: re-enables injection iff `was_on` (the value
+/// `suspend` returned), leaving RNG and hit counters untouched.
+pub fn resume(was_on: bool) {
+    if was_on {
+        state().enabled.store(true, Ordering::Relaxed);
+    }
+}
+
 /// Reads `MISO_CHAOS` and installs the parsed plan. Returns whether
 /// injection ended up enabled; a malformed spec is reported on stderr and
 /// leaves injection off.

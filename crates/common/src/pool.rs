@@ -21,8 +21,25 @@
 //! orders of magnitude more expensive than a thread spawn.
 
 use crate::error::{MisoError, Result};
+use std::cell::Cell;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Whether the current thread *is* a pool worker. A task that itself
+    /// calls [`run_batch`]/[`run_chunks`] (e.g. a serve worker running a
+    /// vex query that morsel-dispatches) must not spawn a second tier of
+    /// workers under the first: nested dispatch runs inline on the worker
+    /// thread instead. Results are position-keyed, so inlining cannot
+    /// change any output.
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the calling thread is currently inside a pool worker task
+/// (nested dispatch from such a thread runs inline).
+pub fn in_worker() -> bool {
+    IN_POOL_WORKER.with(Cell::get)
+}
 
 /// Upper bound on worker threads (a safety clamp for absurd `MISO_THREADS`).
 const MAX_THREADS: usize = 256;
@@ -113,8 +130,15 @@ where
     // `threads()` is the configured concurrency ceiling; actually spawning
     // more workers than the machine has cores only adds context-switch and
     // cache-thrash overhead (results are position-keyed, so the worker
-    // count can never change the output anyway).
-    let workers = threads().min(n).min(cores());
+    // count can never change the output anyway). Re-entrant dispatch — a
+    // pool task calling back into the pool — runs inline: the outer batch
+    // already owns the worker budget, and blocking a worker on a nested
+    // scope would oversubscribe (or, with a bounded queue, deadlock).
+    let workers = if in_worker() {
+        1
+    } else {
+        threads().min(n).min(cores())
+    };
     if workers <= 1 {
         // Same panic fence as the parallel path: thread count must not
         // change whether a panic surfaces as an error or an unwind.
@@ -128,6 +152,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
+                    IN_POOL_WORKER.with(|w| w.set(true));
                     let mut local = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -136,6 +161,9 @@ where
                         }
                         local.push((i, fenced(i, || f(i))));
                     }
+                    // Scoped threads die with the batch, but reset anyway in
+                    // case a runtime ever pools/reuses them.
+                    IN_POOL_WORKER.with(|w| w.set(false));
                     local
                 })
             })
@@ -320,6 +348,61 @@ mod tests {
             vec![3]
         );
         set_threads(before);
+    }
+
+    #[test]
+    fn nested_dispatch_runs_inline_and_correctly() {
+        let before = threads();
+        for t in [1, 4] {
+            set_threads(t);
+            // Each outer task fans out again: the inner batch must run
+            // inline on the outer worker's thread (never a second tier of
+            // workers) and still return position-keyed results.
+            let got = run_batch(6, |i| {
+                let outer_thread = std::thread::current().id();
+                let inner = run_chunks(&[1u64, 2, 3, 4, 5], 2, |ci, chunk| {
+                    assert!(in_worker() || threads() == 1 || cores() == 1);
+                    assert_eq!(
+                        std::thread::current().id(),
+                        outer_thread,
+                        "nested dispatch must not hop threads"
+                    );
+                    (ci, chunk.iter().sum::<u64>())
+                })
+                .unwrap();
+                assert_eq!(inner, vec![(0, 3), (1, 7), (2, 5)]);
+                i * 10
+            })
+            .unwrap();
+            assert_eq!(got, vec![0, 10, 20, 30, 40, 50], "threads={t}");
+        }
+        set_threads(before);
+    }
+
+    #[test]
+    fn nested_panic_still_classified() {
+        let before = threads();
+        set_threads(4);
+        let err = run_batch(3, |i| {
+            run_chunks(&[0u8; 8], 4, move |ci, _| {
+                if i == 1 && ci == 1 {
+                    panic!("nested task blew up");
+                }
+                ci
+            })
+        })
+        .unwrap()
+        .into_iter()
+        .find_map(|r| r.err())
+        .expect("the nested panic surfaces as an error");
+        assert_eq!(err.kind(), "execution");
+        assert!(err.message().contains("nested task blew up"));
+        set_threads(before);
+    }
+
+    #[test]
+    fn in_worker_is_false_outside_the_pool() {
+        assert!(!in_worker());
     }
 
     #[test]

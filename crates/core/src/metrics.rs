@@ -100,6 +100,11 @@ pub struct QueryFailure {
     pub retry_after: Option<SimDuration>,
     /// When the failure was recorded.
     pub at: SimInstant,
+    /// Owning tenant, when the query arrived through the serving layer
+    /// (`None` on the serial single-client path).
+    pub tenant: Option<String>,
+    /// Client session id within the tenant, when served concurrently.
+    pub session: Option<u64>,
 }
 
 /// One reorganization phase.

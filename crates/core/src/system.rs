@@ -275,6 +275,33 @@ impl MultistoreSystem {
         &self.transfer
     }
 
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs one reorganization phase right now against the given history
+    /// window, exactly as the streaming driver would at an epoch boundary
+    /// (M-KNAPSACK tune, journaled two-phase migration, quarantine repair).
+    ///
+    /// This is the serving layer's entry point: miso-serve stages a reorg on
+    /// its master copy while queries keep reading a published snapshot, then
+    /// publishes the result atomically.
+    pub fn reorg_now(
+        &mut self,
+        window: &[LogicalPlan],
+        clock: &mut SimClock,
+    ) -> Result<ReorgRecord> {
+        let tuner = MisoTuner::new(TunerConfig {
+            budgets: self.config.budgets,
+            history_len: self.config.history_len,
+            epoch_len: self.config.epoch_len,
+            decay: self.config.decay,
+            doi_threshold: self.config.doi_threshold,
+        });
+        self.apply_tuner(&tuner, window, clock)
+    }
+
     /// The live predicted-vs-actual drift accumulator (since the last
     /// epoch boundary).
     pub fn calibration(&self) -> &CalibrationAccumulator {
@@ -706,6 +733,8 @@ impl MultistoreSystem {
                 shed: true,
                 retry_after: Some(self.config.guard.shed_cooldown),
                 at: now,
+                tenant: None,
+                session: None,
             });
             return None;
         }
@@ -768,6 +797,8 @@ impl MultistoreSystem {
                     shed: false,
                     retry_after: None,
                     at: clock.now(),
+                    tenant: None,
+                    session: None,
                 });
                 Ok(None)
             }
@@ -1071,7 +1102,11 @@ impl MultistoreSystem {
         // in the guard-free ordering (same LRU touch order, no charges).
         if let Some(run) = &hv_run {
             for cut in &retained_cuts {
-                self.retain_working_set(plan, *cut, provided[cut].clone(), qid);
+                // A cut that was never shipped (defensive: retained_cuts is
+                // built from `provided` keys) is skipped, not a panic.
+                if let Some(rows) = provided.get(cut) {
+                    self.retain_working_set(plan, *cut, rows.clone(), qid);
+                }
             }
             self.harvest_views(plan, run, qid, usize::MAX);
         }
@@ -1691,7 +1726,13 @@ impl MultistoreSystem {
             if plan.node(m.node).op.is_scan() {
                 continue;
             }
-            let name = fps[&m.node].view_name();
+            // Materialized output for a node the fingerprint map doesn't know
+            // (can't happen for a well-formed plan, but a poisoned plan must
+            // kill one harvest, never the process).
+            let Some(fp) = fps.get(&m.node) else {
+                continue;
+            };
+            let name = fp.view_name();
             if self.catalog.contains(&name) {
                 // Same semantics already known; refresh HV residency if the
                 // contents were dropped from both stores — which happens
@@ -1776,7 +1817,12 @@ impl MultistoreSystem {
         qid: QueryId,
     ) {
         let fps = fingerprint_all(plan);
-        let name = fps[&node].view_name();
+        // An unknown node means the caller handed us a cut that isn't part of
+        // this plan; dropping the retention is safe (it is an optimization).
+        let Some(fp) = fps.get(&node) else {
+            return;
+        };
+        let name = fp.view_name();
         if self.dw.has_view(&name) {
             return;
         }

@@ -44,7 +44,10 @@ pub struct DwRun {
 }
 
 /// The simulated parallel data warehouse.
-#[derive(Debug, Default)]
+///
+/// `Clone` is deliberate: the serving layer snapshots the store into an
+/// immutable epoch image (row payloads are `Arc`-shared, so clones are cheap).
+#[derive(Debug, Default, Clone)]
 pub struct DwStore {
     permanent: HashMap<String, StoredView>,
     temporary: HashMap<String, StoredView>,

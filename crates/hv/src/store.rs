@@ -55,7 +55,12 @@ pub struct HvRun {
 }
 
 /// The simulated Hive/Hadoop store.
-#[derive(Debug, Default)]
+///
+/// `Clone` is deliberate: the serving layer snapshots the whole store into an
+/// immutable epoch image, so reorganization can stage changes off to the side
+/// and publish atomically. Row payloads are `Arc`-shared, so a clone is cheap
+/// relative to the data it references.
+#[derive(Debug, Default, Clone)]
 pub struct HvStore {
     logs: HashMap<String, LogFile>,
     views: HashMap<String, StoredView>,
@@ -280,7 +285,7 @@ impl HvStore {
         let mut materialized = Vec::with_capacity(stages.len());
         let mut stage_outputs: HashSet<NodeId> = HashSet::new();
         for stage in &stages {
-            let mut c = self.charge_stage(plan, stage, &execution);
+            let mut c = self.charge_stage(plan, stage, &execution)?;
             if chaos_slow != 1.0 {
                 // Injected straggler: every stage runs slower by the factor.
                 c = c * chaos_slow;
@@ -348,16 +353,29 @@ impl HvStore {
 
     /// Stage cost: leaf reads (log file bytes / view bytes) + upstream stage
     /// output reads + per-row processing + materialized output write.
-    fn charge_stage(&self, plan: &LogicalPlan, stage: &Stage, exec: &Execution) -> SimDuration {
+    fn charge_stage(
+        &self,
+        plan: &LogicalPlan,
+        stage: &Stage,
+        exec: &Execution,
+    ) -> Result<SimDuration> {
         let mut bytes_in = ByteSize::ZERO;
         let mut rows_processed = 0u64;
         for &id in &stage.nodes {
             match &plan.node(id).op {
                 Operator::ScanLog { log } => {
-                    bytes_in += self.logs[log].size;
+                    let f = self
+                        .logs
+                        .get(log)
+                        .ok_or_else(|| MisoError::Store(format!("HV has no log `{log}`")))?;
+                    bytes_in += f.size;
                 }
                 Operator::ScanView { view, .. } => {
-                    bytes_in += self.views[view].size;
+                    let v = self
+                        .views
+                        .get(view)
+                        .ok_or_else(|| MisoError::Store(format!("HV has no view `{view}`")))?;
+                    bytes_in += v.size;
                 }
                 _ => {}
             }
@@ -370,8 +388,9 @@ impl HvStore {
             bytes_in += exec.output_bytes(up);
         }
         let bytes_out = exec.output_bytes(stage.output);
-        self.cost_model
-            .stage_cost(bytes_in, bytes_out, rows_processed)
+        Ok(self
+            .cost_model
+            .stage_cost(bytes_in, bytes_out, rows_processed))
     }
 
     /// Cost of dumping a working set for transfer to DW.

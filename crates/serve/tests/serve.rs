@@ -1,0 +1,440 @@
+//! Epoch-publish correctness: atomic snapshot visibility, admission-time
+//! pinning, drain classification, and crash-safe reorg commit.
+//!
+//! These tests exercise the promises DESIGN.md §15 makes about the serving
+//! layer's epoch lifecycle:
+//!
+//! * a reader racing a reorg commit observes *either* the old image *or*
+//!   the new one, never a mixed catalog (real-thread race + deterministic
+//!   crash-at-every-step sweep through the engine);
+//! * in-flight queries finish against their admission-time snapshot;
+//! * queries killed at the drain deadline are classified losses;
+//! * a crash mid-commit recovers through the reorg journal and converges to
+//!   the same design a crash-free run commits.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use miso_common::ids::QueryId;
+use miso_common::{Budgets, ByteSize, SimClock, SimDuration};
+use miso_core::{MultistoreSystem, SystemConfig, Variant};
+use miso_data::logs::{Corpus, LogsConfig};
+use miso_dw::DwStore;
+use miso_exec::UdfRegistry;
+use miso_hv::HvStore;
+use miso_lang::compile;
+use miso_optimizer::TransferModel;
+use miso_plan::LogicalPlan;
+use miso_serve::{EpochSnapshot, ServeConfig, ServeEngine, SnapExecutor, SnapshotCell};
+use miso_views::{ViewCatalog, ViewDef};
+
+/// Chaos state (plans, RNG, hit counters, the enabled flag toggled by
+/// suspend/resume) is process-global; tests that install, disable, or rely
+/// on suspended chaos must not interleave. Poisoning is ignored — a failed
+/// test must not cascade.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn chaos_guard() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny_system(budget_kib: u64) -> MultistoreSystem {
+    let corpus = Corpus::generate(&LogsConfig::tiny());
+    let budgets = Budgets::new(
+        ByteSize::from_kib(budget_kib),
+        ByteSize::from_kib(budget_kib),
+        ByteSize::from_kib(budget_kib),
+    )
+    .with_discretization(ByteSize::from_kib(16));
+    MultistoreSystem::new(
+        &corpus,
+        miso_lang::Catalog::standard(),
+        UdfRegistry::new(),
+        SystemConfig::paper_default(budgets),
+    )
+}
+
+fn queries() -> Vec<(String, LogicalPlan)> {
+    let c = miso_lang::Catalog::standard();
+    [
+        "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+         WHERE t.followers > 100 GROUP BY t.city",
+        "SELECT t.city AS city, COUNT(*) AS n, AVG(t.sentiment) AS s FROM twitter t \
+         WHERE t.followers > 100 GROUP BY t.city",
+        "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+         WHERE t.followers > 100 GROUP BY t.city ORDER BY n DESC LIMIT 5",
+        "SELECT f.city AS city, COUNT(*) AS n FROM foursquare f \
+         WHERE f.likes > 2 GROUP BY f.city",
+    ]
+    .iter()
+    .enumerate()
+    .map(|(i, sql)| (format!("q{i}"), compile(sql, &c).unwrap()))
+    .collect()
+}
+
+fn snapshot_of(sys: &MultistoreSystem, epoch: u64) -> EpochSnapshot {
+    EpochSnapshot {
+        epoch,
+        hv: sys.hv.clone(),
+        dw: sys.dw.clone(),
+        catalog: sys.catalog.clone(),
+        transfer: sys.transfer_model().clone(),
+    }
+}
+
+/// A reader racing reorg commits never observes a half-updated image: the
+/// catalog and the HV view residency always agree, and the view count always
+/// matches the epoch number. If publish updated its parts non-atomically,
+/// the racing loads below would catch a mix.
+#[test]
+fn racing_reader_never_observes_mixed_snapshot() {
+    const EPOCHS: u64 = 200;
+    let lang = miso_lang::Catalog::standard();
+    // Epoch k's image carries exactly views v_1..v_k, registered in the
+    // catalog AND installed in HV as one unit.
+    let mut staged = Vec::new();
+    let mut hv = HvStore::new();
+    let mut catalog = ViewCatalog::new();
+    for k in 1..=EPOCHS {
+        let sql = format!(
+            "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+             WHERE t.followers > {k} GROUP BY t.city"
+        );
+        let plan = compile(&sql, &lang).unwrap();
+        let schema = plan.schema().clone();
+        let def = ViewDef::from_plan(plan, ByteSize::from_kib(1), 0, QueryId(k));
+        let name = def.name.clone();
+        catalog.register(def);
+        hv.install_view(&name, schema, Arc::new(Vec::new()));
+        staged.push(EpochSnapshot {
+            epoch: k,
+            hv: hv.clone(),
+            dw: DwStore::new(),
+            catalog: catalog.clone(),
+            transfer: TransferModel::default(),
+        });
+    }
+
+    let cell = Arc::new(SnapshotCell::new(EpochSnapshot {
+        epoch: 0,
+        hv: HvStore::new(),
+        dw: DwStore::new(),
+        catalog: ViewCatalog::new(),
+        transfer: TransferModel::default(),
+    }));
+    let done = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let cell = cell.clone();
+            let done = done.clone();
+            std::thread::spawn(move || {
+                let mut loads = 0u64;
+                while !done.load(Ordering::Relaxed) {
+                    let snap = cell.load();
+                    let hv_views = snap.hv.view_names();
+                    assert_eq!(
+                        snap.catalog.len() as u64,
+                        snap.epoch,
+                        "epoch {} published with {} catalog entries",
+                        snap.epoch,
+                        snap.catalog.len()
+                    );
+                    assert_eq!(
+                        hv_views.len(),
+                        snap.catalog.len(),
+                        "catalog and HV residency diverged within one epoch"
+                    );
+                    for def in snap.catalog.defs() {
+                        assert!(
+                            snap.hv.has_view(&def.name),
+                            "catalog lists {} but HV does not carry it",
+                            def.name
+                        );
+                    }
+                    loads += 1;
+                }
+                loads
+            })
+        })
+        .collect();
+
+    for snap in staged {
+        cell.publish(snap);
+    }
+    assert_eq!(cell.epoch(), EPOCHS);
+    done.store(true, Ordering::Relaxed);
+    for r in readers {
+        let loads = r.join().expect("reader never panics");
+        assert!(loads > 0, "reader must have raced at least one load");
+    }
+}
+
+/// An in-flight query's `Arc`-held admission snapshot is bit-for-bit
+/// unaffected by a concurrent publish: re-running it after the reorg commits
+/// reproduces the admission-time base run exactly — answer *and* costs.
+#[test]
+fn drained_inflight_work_uses_admission_snapshot() {
+    let _chaos = chaos_guard();
+    let mut sys = tiny_system(100_000);
+    let workload = queries();
+    let snap0 = Arc::new(snapshot_of(&sys, 0));
+    let none = BTreeSet::new();
+
+    let mut exec = SnapExecutor::new(UdfRegistry::new());
+    let (label, plan) = &workload[0];
+    let before = exec.run(&snap0, label, plan, &none, false).unwrap();
+
+    // "Reorg commits" — the serial driver harvests views and retunes,
+    // changing catalog/HV/DW state; epoch 1 is published from it.
+    sys.run_workload(Variant::MsMiso, &workload).unwrap();
+    let cell = SnapshotCell::new(EpochSnapshot {
+        epoch: 0,
+        ..(*snap0).clone()
+    });
+    let held = cell.load();
+    cell.publish(snapshot_of(&sys, 1));
+    assert_eq!(cell.epoch(), 1);
+    assert_eq!(held.epoch, 0, "in-flight query keeps its admission image");
+
+    // A fresh executor (no memo carry-over) against the held snapshot
+    // reproduces the admission-time run exactly.
+    let mut fresh = SnapExecutor::new(UdfRegistry::new());
+    let after = fresh.run(&held, label, plan, &none, false).unwrap();
+    assert_eq!(after.result_rows, before.result_rows);
+    assert_eq!(after.checksum, before.checksum);
+    assert_eq!(after.service(), before.service());
+    assert_eq!(after.bytes_transferred, before.bytes_transferred);
+
+    // And the *published* epoch still returns the same answer (views only
+    // ever rewrite, never change semantics), even if its costs differ.
+    let published = fresh.run(&cell.load(), label, plan, &none, false).unwrap();
+    assert_eq!(published.result_rows, before.result_rows);
+    assert_eq!(published.checksum, before.checksum);
+}
+
+fn sweep_config() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        sessions: 8,
+        tenants: 2,
+        queries_per_session: 3,
+        seed: 5,
+        mean_think: SimDuration::from_secs(5),
+        reorg_every: 4,
+        drain: SimDuration::from_secs(1),
+        ..ServeConfig::standard()
+    }
+}
+
+fn sweep_engine() -> ServeEngine {
+    let sys = tiny_system(100_000);
+    ServeEngine::new(sweep_config(), sys, queries(), UdfRegistry::new())
+}
+
+/// Deterministic interleaving sweep: crash the reorg at every individual
+/// step (chaos `reorg.step=crash@n{k}` fires on exactly the k-th step) while
+/// the engine is serving. Whatever the interleaving, every delivered answer
+/// matches the serial oracle, every loss is classified, and the published
+/// epoch advances only by whole commits.
+#[test]
+fn crash_at_every_reorg_step_never_mixes_epochs() {
+    let _chaos = chaos_guard();
+    // Crash-free control: fixes the sweep's expected delivery totals.
+    miso_chaos::disable();
+    let control = sweep_engine().run();
+    assert!(control.reorgs >= 1, "control run must reorganize");
+    assert_eq!(control.wrong_answers, 0);
+    assert_eq!(control.unclassified, 0);
+
+    for k in 1..=8u64 {
+        let spec = format!("seed=7;reorg.step=crash@n{k}");
+        let plan = miso_chaos::parse_spec(&spec).expect("sweep spec parses");
+        miso_chaos::install(plan);
+        let report = sweep_engine().run();
+        miso_chaos::disable();
+
+        assert_eq!(
+            report.wrong_answers, 0,
+            "crash at reorg step {k} produced wrong answers"
+        );
+        assert_eq!(
+            report.unclassified, 0,
+            "crash at reorg step {k} left unclassified losses"
+        );
+        assert_eq!(
+            report.submitted,
+            report.delivered + report.shed + report.killed,
+            "crash at reorg step {k} lost track of a query"
+        );
+        // Epochs advance only by whole published reorgs; an abandoned reorg
+        // leaves the epoch untouched.
+        assert_eq!(report.final_epoch, report.reorgs);
+        assert!(
+            report.reorgs + report.reorg_failures >= 1,
+            "crash at reorg step {k}: the reorg must commit or fail classified"
+        );
+        // Recovery costs sim time (shifting drain boundaries), so delivery
+        // totals may differ from the control — but the server must keep
+        // serving through the crash.
+        assert!(
+            report.delivered > 0,
+            "crash at reorg step {k} starved delivery entirely"
+        );
+    }
+}
+
+/// The same serving config replays bit-identically: the discrete-event loop
+/// is deterministic, so epoch boundaries, drains, and latencies reproduce.
+#[test]
+fn serving_replays_deterministically() {
+    let _chaos = chaos_guard();
+    miso_chaos::disable();
+    let a = sweep_engine().run();
+    let b = sweep_engine().run();
+    assert_eq!(a.submitted, b.submitted);
+    assert_eq!(a.delivered, b.delivered);
+    assert_eq!(a.shed, b.shed);
+    assert_eq!(a.killed, b.killed);
+    assert_eq!(a.drained, b.drained);
+    assert_eq!(a.reorgs, b.reorgs);
+    assert_eq!(a.final_epoch, b.final_epoch);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.p50, b.p50);
+    assert_eq!(a.p99, b.p99);
+}
+
+/// Queries killed at the drain deadline are classified `cancelled` losses
+/// with tenant/session attribution — and everything that was delivered is
+/// still oracle-correct.
+#[test]
+fn drain_kills_are_classified_cancellations() {
+    let _chaos = chaos_guard();
+    miso_chaos::disable();
+    let cfg = ServeConfig {
+        // Zero-length drain window: any old-epoch straggler at publish time
+        // is killed immediately at the boundary.
+        drain: SimDuration::ZERO,
+        mean_think: SimDuration::from_secs(1),
+        ..sweep_config()
+    };
+    let sys = tiny_system(100_000);
+    let report = ServeEngine::new(cfg, sys, queries(), UdfRegistry::new()).run();
+    assert!(report.reorgs >= 1, "run must publish at least one epoch");
+    assert!(
+        report.drained > 0,
+        "zero drain window with saturated workers must drain stragglers"
+    );
+    assert_eq!(report.wrong_answers, 0);
+    assert_eq!(report.unclassified, 0);
+    let drains: Vec<_> = report
+        .failures
+        .iter()
+        .filter(|f| f.message.contains("drained at epoch"))
+        .collect();
+    assert_eq!(drains.len() as u64, report.drained);
+    for f in drains {
+        assert_eq!(f.kind, "cancelled");
+        assert!(f.tenant.is_some() && f.session.is_some());
+        assert!(!f.shed);
+    }
+}
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+/// Crash-during-commit, journal variant: the reorg journal is two-phase, so
+/// a crash **before** the commit record rolls the migration back (the
+/// pre-reorg design survives untouched) and a crash **after** it rolls
+/// forward (the crashed twin converges to exactly the design a crash-free
+/// twin commits). Either way the resulting image is a consistent, atomic
+/// epoch that serves the same answers.
+#[test]
+fn crashed_commit_recovers_to_the_crash_free_design() {
+    let _chaos = chaos_guard();
+    let workload = queries();
+    let window: Vec<LogicalPlan> = workload.iter().map(|(_, p)| p.clone()).collect();
+    // Three twin systems with identical workload history.
+    let mut twin = || {
+        miso_chaos::disable();
+        let mut sys = tiny_system(100_000);
+        sys.run_workload(Variant::MsMiso, &workload).unwrap();
+        sys
+    };
+    let mut control = twin();
+    let mut pre_commit = twin();
+    let mut post_commit = twin();
+    let pre_reorg_hv = sorted(control.hv.view_names());
+    let pre_reorg_dw = sorted(control.dw.view_names());
+
+    miso_chaos::disable();
+    let mut clock = SimClock::new();
+    let rec = control.reorg_now(&window, &mut clock).unwrap();
+    assert_eq!(rec.recoveries, 0, "crash-free commit needs no recovery");
+    assert!(!rec.rolled_back);
+    assert!(
+        !rec.moved_to_dw.is_empty(),
+        "the tuner must migrate something for the crash sweep to mean anything"
+    );
+
+    // Crash on step 2: mid-staging, before the journal's Commit record —
+    // recovery must roll the whole migration back.
+    let plan = miso_chaos::parse_spec("seed=3;reorg.step=crash@n2").unwrap();
+    miso_chaos::install(plan);
+    let mut clock = SimClock::new();
+    let rec = pre_commit.reorg_now(&window, &mut clock).unwrap();
+    miso_chaos::disable();
+    assert!(
+        rec.recoveries >= 1,
+        "the crash must force a journal recovery"
+    );
+    assert!(rec.rolled_back, "a pre-commit crash rolls back");
+    assert!(rec.moved_to_dw.is_empty() && rec.moved_to_hv.is_empty());
+    assert_eq!(sorted(pre_commit.hv.view_names()), pre_reorg_hv);
+    assert_eq!(sorted(pre_commit.dw.view_names()), pre_reorg_dw);
+
+    // Crash on step 4: mid-apply, after the Commit record — recovery must
+    // roll forward to exactly the crash-free design.
+    let plan = miso_chaos::parse_spec("seed=3;reorg.step=crash@n4").unwrap();
+    miso_chaos::install(plan);
+    let mut clock = SimClock::new();
+    let rec = post_commit.reorg_now(&window, &mut clock).unwrap();
+    miso_chaos::disable();
+    assert!(
+        rec.recoveries >= 1,
+        "the crash must force a journal recovery"
+    );
+    assert!(!rec.rolled_back, "a post-commit crash rolls forward");
+    assert_eq!(post_commit.catalog.names(), control.catalog.names());
+    assert_eq!(
+        sorted(post_commit.hv.view_names()),
+        sorted(control.hv.view_names())
+    );
+    assert_eq!(
+        sorted(post_commit.dw.view_names()),
+        sorted(control.dw.view_names())
+    );
+
+    // Whichever side of the commit the crash landed on, the recovered image
+    // is a publishable epoch serving the same answers as the control's.
+    let none = BTreeSet::new();
+    let snap_control = snapshot_of(&control, 1);
+    for sys in [&pre_commit, &post_commit] {
+        let snap = snapshot_of(sys, 1);
+        let mut exec_a = SnapExecutor::new(UdfRegistry::new());
+        let mut exec_b = SnapExecutor::new(UdfRegistry::new());
+        for (label, plan) in &workload {
+            let a = exec_a
+                .run(&snap_control, label, plan, &none, false)
+                .unwrap();
+            let b = exec_b.run(&snap, label, plan, &none, false).unwrap();
+            assert_eq!(
+                a.result_rows, b.result_rows,
+                "{label} diverged after recovery"
+            );
+            assert_eq!(a.checksum, b.checksum, "{label} diverged after recovery");
+        }
+    }
+}

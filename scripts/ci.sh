@@ -31,6 +31,9 @@ cargo run --release -q -p miso-bench --bin tunerbench -- --smoke
 echo "==> execbench perf smoke (record-only)"
 cargo run --release -q -p miso-bench --bin execbench -- --smoke
 
+echo "==> servebench smoke (concurrent serving: epochs, drain, fairness, storm)"
+cargo run --release -q -p miso-bench --bin servebench -- --smoke
+
 echo "==> benchguard (smoke vs committed BENCH_*.json; warn-only unless MISO_BENCH_STRICT=1)"
 cargo run --release -q -p miso-bench --bin benchguard
 
