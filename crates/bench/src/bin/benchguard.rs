@@ -15,6 +15,7 @@
 
 use miso_data::json::parse_json;
 use miso_data::Value;
+use std::collections::BTreeSet;
 
 fn load(path: &str) -> Option<Value> {
     let text = std::fs::read_to_string(path).ok()?;
@@ -62,6 +63,24 @@ fn num(v: &Value, field: &str) -> Option<f64> {
     v.get_field(field).and_then(Value::as_f64)
 }
 
+/// A baselined configuration that no longer appears in the fresh report is
+/// itself a regression signal — the bench silently stopped covering it (a
+/// renamed pipeline, a dropped row count, a pruned sweep point). Warns once
+/// per vanished key and counts a violation.
+fn check_vanished(
+    bench: &str,
+    baseline_keys: impl IntoIterator<Item = String>,
+    report_keys: &BTreeSet<String>,
+    violations: &mut u32,
+) {
+    for key in baseline_keys.into_iter().collect::<BTreeSet<_>>() {
+        if !report_keys.contains(&key) {
+            eprintln!("benchguard: {bench} `{key}` is baselined but missing from the new report");
+            *violations += 1;
+        }
+    }
+}
+
 fn main() {
     let tol = std::env::var("MISO_BENCH_TOL")
         .ok()
@@ -75,6 +94,20 @@ fn main() {
     // with the smallest row count is the closest shape to the smoke run.
     if let Some((smoke, base)) = pair("results/execbench.report.json", "BENCH_exec.json") {
         let base_cfgs = configs(&base);
+        let smoke_keys: BTreeSet<String> = configs(&smoke)
+            .iter()
+            .filter_map(|c| c.get_field("pipeline").and_then(Value::as_str))
+            .map(str::to_string)
+            .collect();
+        check_vanished(
+            "exec pipeline",
+            base_cfgs
+                .iter()
+                .filter_map(|b| b.get_field("pipeline").and_then(Value::as_str))
+                .map(str::to_string),
+            &smoke_keys,
+            &mut violations,
+        );
         for cfg in configs(&smoke) {
             let Some(pipeline) = cfg.get_field("pipeline").and_then(Value::as_str) else {
                 continue;
@@ -112,6 +145,18 @@ fn main() {
     // --- tunerbench: match configs by (views, queries).
     if let Some((smoke, base)) = pair("results/tunerbench.report.json", "BENCH_tuner.json") {
         let base_cfgs = configs(&base);
+        let key = |c: &Value| -> Option<String> {
+            Some(format!("v{} q{}", num(c, "views")?, num(c, "queries")?))
+        };
+        let smoke_keys: BTreeSet<String> = configs(&smoke).iter().filter_map(|c| key(c)).collect();
+        // Smoke tuner sweeps are a deliberate subset of the baselined grid,
+        // so individual vanished configs are expected; only a report that
+        // covers *none* of the baselined grid signals lost coverage.
+        let base_keys: BTreeSet<String> = base_cfgs.iter().filter_map(|b| key(b)).collect();
+        if !base_keys.is_empty() && base_keys.intersection(&smoke_keys).count() == 0 {
+            eprintln!("benchguard: tuner report covers none of the baselined configs");
+            violations += 1;
+        }
         for cfg in configs(&smoke) {
             let (Some(views), Some(queries)) = (num(cfg, "views"), num(cfg, "queries")) else {
                 continue;
@@ -154,6 +199,20 @@ fn main() {
     // band mainly absorbs workload-size differences).
     if let Some((smoke, base)) = pair("results/servebench.report.json", "BENCH_serve.json") {
         let base_cfgs = configs(&base);
+        let smoke_keys: BTreeSet<String> = configs(&smoke)
+            .iter()
+            .filter_map(|c| c.get_field("name").and_then(Value::as_str))
+            .map(str::to_string)
+            .collect();
+        check_vanished(
+            "serve config",
+            base_cfgs
+                .iter()
+                .filter_map(|b| b.get_field("name").and_then(Value::as_str))
+                .map(str::to_string),
+            &smoke_keys,
+            &mut violations,
+        );
         for cfg in configs(&smoke) {
             let Some(name) = cfg.get_field("name").and_then(Value::as_str) else {
                 continue;

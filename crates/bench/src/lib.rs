@@ -90,6 +90,7 @@ pub fn obs_init() -> bool {
     miso_common::integrity::init_from_env();
     miso_common::guard::init_from_env();
     miso_exec::profile::init_from_env();
+    miso_exec::col::init_from_env();
     miso_obs::init_from_env()
 }
 

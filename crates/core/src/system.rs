@@ -80,6 +80,11 @@ pub struct SystemConfig {
     /// per-query deadlines, memory budgets, and overload shedding.
     /// Disabled by default, keeping guard-free runs byte-identical.
     pub guard: GuardConfig,
+    /// Columnar batch execution (miso-col) for the engine's hot relational
+    /// core. Default **on**; output is bit-identical either way, so this is
+    /// purely a performance knob. The `MISO_COL` environment variable, when
+    /// set, overrides this at system construction.
+    pub columnar: bool,
 }
 
 /// Settings for the miso-guard control plane.
@@ -153,6 +158,7 @@ impl SystemConfig {
             audit: None,
             calibrate_costs: false,
             guard: GuardConfig::disabled(),
+            columnar: true,
         }
     }
 }
@@ -211,6 +217,10 @@ impl MultistoreSystem {
         udfs: UdfRegistry,
         config: SystemConfig,
     ) -> Self {
+        // Apply the columnar knob process-wide, then let `MISO_COL` win so
+        // operators can flip the path without touching configs.
+        miso_exec::col::set_enabled(config.columnar);
+        miso_exec::col::init_from_env();
         let mut hv = HvStore::new();
         hv.add_log(corpus.twitter.clone());
         hv.add_log(corpus.foursquare.clone());

@@ -1,0 +1,952 @@
+//! Typed columnar batches — the MonetDB/X100-style vectorized
+//! representation the morsel engine runs on.
+//!
+//! A [`ColBatch`] holds one typed vector per column ([`Column`]) plus an
+//! explicit row count, so empty-arity batches still know their length.
+//! Typed columns (`Int`/`Float`/`Bool`/`Str`) carry a null bitmap
+//! ([`Nulls`]); null slots hold a default payload (`0`, `0.0`, `false`,
+//! `""`) and are masked out on read. Columns whose values mix types — or
+//! hold arrays/objects — fall back to a [`Column::Mixed`] vector of boxed
+//! [`Value`]s, so **every** row set pivots losslessly:
+//! `rows → ColBatch → rows` is an identity (see the round-trip tests and
+//! the extern-deps proptest in `tests/batch_prop.rs`).
+//!
+//! Reads go through [`Cell`], a borrowed scalar view that reproduces
+//! `Value`'s cross-type equality, ordering and hashing (Int/Float compare
+//! numerically, NaN is self-equal and sorts last, ±0.0 coincide) without
+//! materializing a `Value`. The engine's columnar operators consume cells
+//! for the generic path and reach into the typed vectors for the fast
+//! paths.
+
+use crate::value::{cmp_f64, Row, Value};
+use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
+
+/// Null bitmap: bit `i` set ⇒ slot `i` is NULL. An empty word vector means
+/// "no nulls", so all-valid columns pay nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Nulls {
+    words: Vec<u64>,
+}
+
+impl Nulls {
+    /// A bitmap with no nulls set.
+    pub fn none() -> Nulls {
+        Nulls::default()
+    }
+
+    /// Is slot `i` null? Out-of-range bits read as valid.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Marks slot `i` null, growing the word vector as needed.
+    pub fn set(&mut self, i: usize) {
+        let word = i / 64;
+        if self.words.len() <= word {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (i % 64);
+    }
+
+    /// True iff any slot is null.
+    pub fn any(&self) -> bool {
+        self.words.iter().any(|w| *w != 0)
+    }
+}
+
+/// One typed column vector. Null slots in typed variants hold a default
+/// payload and are masked by the bitmap; `Mixed` stores `Value`s verbatim
+/// (including `Value::Null`) for columns that don't fit a single scalar
+/// type.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Column {
+    Int(Vec<i64>, Nulls),
+    Float(Vec<f64>, Nulls),
+    Bool(Vec<bool>, Nulls),
+    Str(Vec<String>, Nulls),
+    Mixed(Vec<Value>),
+}
+
+/// A borrowed scalar view of one slot. `Val` only ever carries the
+/// container types (`Array`/`Object`); scalar `Value`s in a `Mixed` column
+/// are unwrapped into the typed variants so every consumer handles one
+/// shape per type.
+#[derive(Clone, Copy, Debug)]
+pub enum Cell<'a> {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+    Val(&'a Value),
+}
+
+impl<'a> Cell<'a> {
+    /// Wraps a borrowed `Value`, unwrapping scalars.
+    #[inline]
+    pub fn of(v: &'a Value) -> Cell<'a> {
+        match v {
+            Value::Null => Cell::Null,
+            Value::Bool(b) => Cell::Bool(*b),
+            Value::Int(i) => Cell::Int(*i),
+            Value::Float(f) => Cell::Float(*f),
+            Value::Str(s) => Cell::Str(s),
+            other => Cell::Val(other),
+        }
+    }
+
+    /// True iff this is the NULL cell.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// Owned `Value` (clones strings/containers).
+    pub fn to_value(&self) -> Value {
+        match self {
+            Cell::Null => Value::Null,
+            Cell::Bool(b) => Value::Bool(*b),
+            Cell::Int(i) => Value::Int(*i),
+            Cell::Float(f) => Value::Float(*f),
+            Cell::Str(s) => Value::Str((*s).to_string()),
+            Cell::Val(v) => (*v).clone(),
+        }
+    }
+
+    /// Mirror of [`Value::as_i64`]: Int only, no float coercion.
+    #[inline]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Cell::Int(i) => Some(*i),
+            Cell::Val(v) => v.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Mirror of [`Value::as_f64`].
+    #[inline]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(*i as f64),
+            Cell::Float(f) => Some(*f),
+            Cell::Val(v) => v.as_f64(),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Cell::Null => 0,
+            Cell::Bool(_) => 1,
+            Cell::Int(_) | Cell::Float(_) => 2,
+            Cell::Str(_) => 3,
+            Cell::Val(v) => v.type_rank(),
+        }
+    }
+
+    /// Total order identical to `Value::cmp` on the equivalent owned value.
+    pub fn cmp_value(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Cell::Null, Value::Null) => Ordering::Equal,
+            (Cell::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Cell::Int(a), Value::Int(b)) => a.cmp(b),
+            (Cell::Int(a), Value::Float(b)) => cmp_f64(*a as f64, *b),
+            (Cell::Float(a), Value::Int(b)) => cmp_f64(*a, *b as f64),
+            (Cell::Float(a), Value::Float(b)) => cmp_f64(*a, *b),
+            (Cell::Str(a), Value::Str(b)) => (*a).cmp(b.as_str()),
+            (Cell::Val(v), o) => (*v).cmp(o),
+            (a, b) => a.type_rank().cmp(&b.type_rank()),
+        }
+    }
+
+    /// Equality identical to `Value::eq` on the equivalent owned value.
+    #[inline]
+    pub fn eq_value(&self, other: &Value) -> bool {
+        self.cmp_value(other) == Ordering::Equal
+    }
+
+    /// Footprint charge, matching [`Value::approx_bytes`].
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Cell::Null | Cell::Bool(_) => 1,
+            Cell::Int(_) | Cell::Float(_) => 8,
+            Cell::Str(s) => 4 + s.len() as u64,
+            Cell::Val(v) => v.approx_bytes(),
+        }
+    }
+}
+
+/// Hash stream identical to `Value::hash` on the equivalent owned value,
+/// so cells can probe maps keyed by `Value` group/join keys.
+impl Hash for Cell<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Cell::Null => 0u8.hash(state),
+            Cell::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            Cell::Int(i) => {
+                2u8.hash(state);
+                Value::float_bits(*i as f64).hash(state);
+            }
+            Cell::Float(f) => {
+                2u8.hash(state);
+                Value::float_bits(*f).hash(state);
+            }
+            Cell::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Cell::Val(v) => v.hash(state),
+        }
+    }
+}
+
+impl Column {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int(v, _) => v.len(),
+            Column::Float(v, _) => v.len(),
+            Column::Bool(v, _) => v.len(),
+            Column::Str(v, _) => v.len(),
+            Column::Mixed(v) => v.len(),
+        }
+    }
+
+    /// True iff the column has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Is slot `i` null?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            Column::Int(_, n) | Column::Float(_, n) | Column::Bool(_, n) | Column::Str(_, n) => {
+                n.is_null(i)
+            }
+            Column::Mixed(v) => v[i].is_null(),
+        }
+    }
+
+    /// Borrowed scalar view of slot `i`.
+    #[inline]
+    pub fn cell(&self, i: usize) -> Cell<'_> {
+        match self {
+            Column::Int(v, n) => {
+                if n.is_null(i) {
+                    Cell::Null
+                } else {
+                    Cell::Int(v[i])
+                }
+            }
+            Column::Float(v, n) => {
+                if n.is_null(i) {
+                    Cell::Null
+                } else {
+                    Cell::Float(v[i])
+                }
+            }
+            Column::Bool(v, n) => {
+                if n.is_null(i) {
+                    Cell::Null
+                } else {
+                    Cell::Bool(v[i])
+                }
+            }
+            Column::Str(v, n) => {
+                if n.is_null(i) {
+                    Cell::Null
+                } else {
+                    Cell::Str(&v[i])
+                }
+            }
+            Column::Mixed(v) => Cell::of(&v[i]),
+        }
+    }
+
+    /// Owned `Value` of slot `i`.
+    pub fn value(&self, i: usize) -> Value {
+        self.cell(i).to_value()
+    }
+
+    /// Copies the slots at `sel` (in order) into a new column.
+    pub fn gather(&self, sel: &[u32]) -> Column {
+        fn pick<T: Clone + Default>(v: &[T], n: &Nulls, sel: &[u32]) -> (Vec<T>, Nulls) {
+            let mut out = Vec::with_capacity(sel.len());
+            let mut nulls = Nulls::none();
+            for (j, &i) in sel.iter().enumerate() {
+                if n.is_null(i as usize) {
+                    nulls.set(j);
+                    out.push(T::default());
+                } else {
+                    out.push(v[i as usize].clone());
+                }
+            }
+            (out, nulls)
+        }
+        match self {
+            Column::Int(v, n) => {
+                let (out, nulls) = pick(v, n, sel);
+                Column::Int(out, nulls)
+            }
+            Column::Float(v, n) => {
+                let (out, nulls) = pick(v, n, sel);
+                Column::Float(out, nulls)
+            }
+            Column::Bool(v, n) => {
+                let (out, nulls) = pick(v, n, sel);
+                Column::Bool(out, nulls)
+            }
+            Column::Str(v, n) => {
+                let (out, nulls) = pick(v, n, sel);
+                Column::Str(out, nulls)
+            }
+            Column::Mixed(v) => Column::Mixed(sel.iter().map(|&i| v[i as usize].clone()).collect()),
+        }
+    }
+
+    /// Copies the first `n` slots into a new column.
+    pub fn head(&self, n: usize) -> Column {
+        let n = n.min(self.len()) as u32;
+        self.gather(&(0..n).collect::<Vec<u32>>())
+    }
+
+    /// Concatenates parts in order. Parts that classified differently
+    /// (possible when producers chunk independently) degrade to `Mixed`.
+    pub fn concat(mut parts: Vec<Column>) -> Column {
+        if parts.len() == 1 {
+            return parts.pop().expect("one part");
+        }
+        let total: usize = parts.iter().map(Column::len).sum();
+        let mut b = ColBuilder::new();
+        for part in parts {
+            b.reserve(total.saturating_sub(b.len()));
+            match part {
+                Column::Int(v, n) => {
+                    for (i, x) in v.into_iter().enumerate() {
+                        if n.is_null(i) {
+                            b.push_null();
+                        } else {
+                            b.push_i64(x);
+                        }
+                    }
+                }
+                Column::Float(v, n) => {
+                    for (i, x) in v.into_iter().enumerate() {
+                        if n.is_null(i) {
+                            b.push_null();
+                        } else {
+                            b.push_f64(x);
+                        }
+                    }
+                }
+                Column::Bool(v, n) => {
+                    for (i, x) in v.into_iter().enumerate() {
+                        if n.is_null(i) {
+                            b.push_null();
+                        } else {
+                            b.push_bool(x);
+                        }
+                    }
+                }
+                Column::Str(v, n) => {
+                    for (i, x) in v.into_iter().enumerate() {
+                        if n.is_null(i) {
+                            b.push_null();
+                        } else {
+                            b.push_str(x);
+                        }
+                    }
+                }
+                Column::Mixed(v) => {
+                    for x in v {
+                        b.push_value(x);
+                    }
+                }
+            }
+        }
+        b.finish()
+    }
+}
+
+/// Incremental column builder. Starts untyped, commits to the variant of
+/// the first non-null push, and degrades to `Mixed` on a type clash —
+/// never lossy.
+#[derive(Debug)]
+pub enum ColBuilder {
+    /// Only nulls pushed so far.
+    Unknown(usize),
+    Int(Vec<i64>, Nulls),
+    Float(Vec<f64>, Nulls),
+    Bool(Vec<bool>, Nulls),
+    Str(Vec<String>, Nulls),
+    Mixed(Vec<Value>),
+}
+
+impl Default for ColBuilder {
+    fn default() -> Self {
+        ColBuilder::new()
+    }
+}
+
+impl ColBuilder {
+    pub fn new() -> ColBuilder {
+        ColBuilder::Unknown(0)
+    }
+
+    /// Slots pushed so far.
+    pub fn len(&self) -> usize {
+        match self {
+            ColBuilder::Unknown(n) => *n,
+            ColBuilder::Int(v, _) => v.len(),
+            ColBuilder::Float(v, _) => v.len(),
+            ColBuilder::Bool(v, _) => v.len(),
+            ColBuilder::Str(v, _) => v.len(),
+            ColBuilder::Mixed(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reserves capacity for `extra` more slots.
+    pub fn reserve(&mut self, extra: usize) {
+        match self {
+            ColBuilder::Unknown(_) => {}
+            ColBuilder::Int(v, _) => v.reserve(extra),
+            ColBuilder::Float(v, _) => v.reserve(extra),
+            ColBuilder::Bool(v, _) => v.reserve(extra),
+            ColBuilder::Str(v, _) => v.reserve(extra),
+            ColBuilder::Mixed(v) => v.reserve(extra),
+        }
+    }
+
+    /// Rewrites the accumulated prefix as boxed `Value`s (type clash).
+    fn degrade(&mut self) -> &mut Vec<Value> {
+        let values: Vec<Value> = match std::mem::replace(self, ColBuilder::Unknown(0)) {
+            ColBuilder::Unknown(n) => vec![Value::Null; n],
+            ColBuilder::Int(v, n) => materialize(v, n, Value::Int),
+            ColBuilder::Float(v, n) => materialize(v, n, Value::Float),
+            ColBuilder::Bool(v, n) => materialize(v, n, Value::Bool),
+            ColBuilder::Str(v, n) => materialize(v, n, Value::Str),
+            ColBuilder::Mixed(v) => v,
+        };
+        *self = ColBuilder::Mixed(values);
+        match self {
+            ColBuilder::Mixed(v) => v,
+            _ => unreachable!("just assigned Mixed"),
+        }
+    }
+
+    pub fn push_null(&mut self) {
+        match self {
+            ColBuilder::Unknown(n) => *n += 1,
+            ColBuilder::Int(v, n) => {
+                n.set(v.len());
+                v.push(0);
+            }
+            ColBuilder::Float(v, n) => {
+                n.set(v.len());
+                v.push(0.0);
+            }
+            ColBuilder::Bool(v, n) => {
+                n.set(v.len());
+                v.push(false);
+            }
+            ColBuilder::Str(v, n) => {
+                n.set(v.len());
+                v.push(String::new());
+            }
+            ColBuilder::Mixed(v) => v.push(Value::Null),
+        }
+    }
+
+    pub fn push_i64(&mut self, x: i64) {
+        match self {
+            ColBuilder::Unknown(n) => {
+                let mut v = Vec::with_capacity(*n + 1);
+                let mut nulls = Nulls::none();
+                for i in 0..*n {
+                    nulls.set(i);
+                    v.push(0);
+                }
+                v.push(x);
+                *self = ColBuilder::Int(v, nulls);
+            }
+            ColBuilder::Int(v, _) => v.push(x),
+            _ => self.degrade().push(Value::Int(x)),
+        }
+    }
+
+    pub fn push_f64(&mut self, x: f64) {
+        match self {
+            ColBuilder::Unknown(n) => {
+                let mut v = Vec::with_capacity(*n + 1);
+                let mut nulls = Nulls::none();
+                for i in 0..*n {
+                    nulls.set(i);
+                    v.push(0.0);
+                }
+                v.push(x);
+                *self = ColBuilder::Float(v, nulls);
+            }
+            ColBuilder::Float(v, _) => v.push(x),
+            _ => self.degrade().push(Value::Float(x)),
+        }
+    }
+
+    pub fn push_bool(&mut self, x: bool) {
+        match self {
+            ColBuilder::Unknown(n) => {
+                let mut v = Vec::with_capacity(*n + 1);
+                let mut nulls = Nulls::none();
+                for i in 0..*n {
+                    nulls.set(i);
+                    v.push(false);
+                }
+                v.push(x);
+                *self = ColBuilder::Bool(v, nulls);
+            }
+            ColBuilder::Bool(v, _) => v.push(x),
+            _ => self.degrade().push(Value::Bool(x)),
+        }
+    }
+
+    pub fn push_str(&mut self, x: String) {
+        match self {
+            ColBuilder::Unknown(n) => {
+                let mut v = Vec::with_capacity(*n + 1);
+                let mut nulls = Nulls::none();
+                for i in 0..*n {
+                    nulls.set(i);
+                    v.push(String::new());
+                }
+                v.push(x);
+                *self = ColBuilder::Str(v, nulls);
+            }
+            ColBuilder::Str(v, _) => v.push(x),
+            _ => self.degrade().push(Value::Str(x)),
+        }
+    }
+
+    /// Pushes any `Value`, classifying or degrading as needed.
+    pub fn push_value(&mut self, x: Value) {
+        match x {
+            Value::Null => self.push_null(),
+            Value::Int(i) => self.push_i64(i),
+            Value::Float(f) => self.push_f64(f),
+            Value::Bool(b) => self.push_bool(b),
+            Value::Str(s) => self.push_str(s),
+            other => self.degrade().push(other),
+        }
+    }
+
+    pub fn finish(self) -> Column {
+        match self {
+            // All-null columns have no scalar type; store the nulls verbatim.
+            ColBuilder::Unknown(n) => Column::Mixed(vec![Value::Null; n]),
+            ColBuilder::Int(v, n) => Column::Int(v, n),
+            ColBuilder::Float(v, n) => Column::Float(v, n),
+            ColBuilder::Bool(v, n) => Column::Bool(v, n),
+            ColBuilder::Str(v, n) => Column::Str(v, n),
+            ColBuilder::Mixed(v) => Column::Mixed(v),
+        }
+    }
+}
+
+fn materialize<T>(v: Vec<T>, nulls: Nulls, wrap: impl Fn(T) -> Value) -> Vec<Value> {
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            if nulls.is_null(i) {
+                Value::Null
+            } else {
+                wrap(x)
+            }
+        })
+        .collect()
+}
+
+/// A columnar batch: one [`Column`] per output column plus an explicit row
+/// count (columns may be absent entirely for arity-0 rows).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColBatch {
+    columns: Vec<Column>,
+    len: usize,
+}
+
+impl ColBatch {
+    /// Builds a batch from columns; all columns must share `len`.
+    pub fn from_columns(columns: Vec<Column>, len: usize) -> ColBatch {
+        debug_assert!(columns.iter().all(|c| c.len() == len));
+        ColBatch { columns, len }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The column vectors.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column `c` (panics when out of range — callers gate on arity).
+    pub fn col(&self, c: usize) -> &Column {
+        &self.columns[c]
+    }
+
+    /// Borrowed scalar at (`row`, `col`).
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> Cell<'_> {
+        self.columns[col].cell(row)
+    }
+
+    /// Pivots rows into columns. Returns `None` when arities are ragged —
+    /// a batch is rectangular by construction, so such inputs stay rows.
+    pub fn from_rows(rows: &[Row]) -> Option<ColBatch> {
+        let Some(first) = rows.first() else {
+            return Some(ColBatch {
+                columns: Vec::new(),
+                len: 0,
+            });
+        };
+        let arity = first.arity();
+        if rows.iter().any(|r| r.arity() != arity) {
+            return None;
+        }
+        let mut builders: Vec<ColBuilder> = (0..arity).map(|_| ColBuilder::new()).collect();
+        for b in &mut builders {
+            b.reserve(rows.len());
+        }
+        for row in rows {
+            for (b, v) in builders.iter_mut().zip(row.values()) {
+                b.push_value(v.clone());
+            }
+        }
+        Some(ColBatch {
+            columns: builders.into_iter().map(ColBuilder::finish).collect(),
+            len: rows.len(),
+        })
+    }
+
+    /// Pivots back to rows, cloning cell payloads.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len)
+            .map(|i| Row::new(self.columns.iter().map(|c| c.value(i)).collect()))
+            .collect()
+    }
+
+    /// Pivots back to rows, consuming the batch so string/container
+    /// payloads move instead of cloning.
+    pub fn into_rows(self) -> Vec<Row> {
+        let len = self.len;
+        let mut cols: Vec<std::vec::IntoIter<Value>> = self
+            .columns
+            .into_iter()
+            .map(|c| {
+                let vals: Vec<Value> = match c {
+                    Column::Int(v, n) => materialize(v, n, Value::Int),
+                    Column::Float(v, n) => materialize(v, n, Value::Float),
+                    Column::Bool(v, n) => materialize(v, n, Value::Bool),
+                    Column::Str(v, n) => materialize(v, n, Value::Str),
+                    Column::Mixed(v) => v,
+                };
+                vals.into_iter()
+            })
+            .collect();
+        (0..len)
+            .map(|_| {
+                Row::new(
+                    cols.iter_mut()
+                        .map(|it| it.next().expect("column length matches batch len"))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
+    /// Copies the rows at `sel` (in order) into a new batch.
+    pub fn gather(&self, sel: &[u32]) -> ColBatch {
+        ColBatch {
+            columns: self.columns.iter().map(|c| c.gather(sel)).collect(),
+            len: sel.len(),
+        }
+    }
+
+    /// Pivots the selected row indexes straight to rows — the
+    /// late-materialization shortcut for a filter whose output is about to
+    /// be materialized anyway, skipping the intermediate gathered batch.
+    /// Equivalent to `self.gather(sel).to_rows()`.
+    pub fn rows_at(&self, sel: &[u32]) -> Vec<Row> {
+        sel.iter()
+            .map(|&i| {
+                Row::new(
+                    self.columns
+                        .iter()
+                        .map(|c| c.value(i as usize))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect()
+    }
+
+    /// Copies the first `n` rows into a new batch.
+    pub fn head(&self, n: usize) -> ColBatch {
+        let n = n.min(self.len);
+        ColBatch {
+            columns: self.columns.iter().map(|c| c.head(n)).collect(),
+            len: n,
+        }
+    }
+
+    /// Concatenates batches of equal arity in order.
+    pub fn concat(parts: Vec<ColBatch>) -> ColBatch {
+        if parts.len() == 1 {
+            return parts.into_iter().next().expect("one part");
+        }
+        let len = parts.iter().map(|p| p.len).sum();
+        let arity = parts.first().map_or(0, ColBatch::arity);
+        debug_assert!(parts.iter().all(|p| p.arity() == arity));
+        let mut per_col: Vec<Vec<Column>> = (0..arity).map(|_| Vec::new()).collect();
+        for part in parts {
+            for (i, col) in part.columns.into_iter().enumerate() {
+                per_col[i].push(col);
+            }
+        }
+        ColBatch {
+            columns: per_col.into_iter().map(Column::concat).collect(),
+            len,
+        }
+    }
+
+    /// Footprint charge identical to summing [`Row::approx_bytes`] over the
+    /// pivoted rows — the guard's ledger must see the same bytes whichever
+    /// representation a node produced.
+    pub fn row_bytes(&self) -> u64 {
+        let cells: u64 = self
+            .columns
+            .iter()
+            .map(|c| (0..c.len()).map(|i| c.cell(i).approx_bytes()).sum::<u64>())
+            .sum();
+        2 * self.len as u64 + cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn value_matrix() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(0.0),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Float(f64::INFINITY),
+            Value::Float(3.5),
+            Value::str(""),
+            Value::str("héllo"),
+            Value::Array(vec![Value::Int(1), Value::Null]),
+            Value::object(vec![("k".into(), Value::str("v"))]),
+        ]
+    }
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    /// rows → ColBatch → rows is identity for every Value variant,
+    /// including NULLs, in homogeneous and deliberately clashing columns.
+    #[test]
+    fn round_trip_is_identity() {
+        let matrix = value_matrix();
+        // One row per value (single column), plus rows that force clashes.
+        let mut rows: Vec<Row> = matrix.iter().map(|v| Row::new(vec![v.clone()])).collect();
+        rows.push(Row::new(vec![Value::Int(7)]));
+        let batch = ColBatch::from_rows(&rows).expect("rectangular");
+        assert_eq!(batch.len(), rows.len());
+        assert_eq!(batch.to_rows(), rows);
+        assert_eq!(batch.clone().into_rows(), rows);
+    }
+
+    #[test]
+    fn round_trip_typed_columns_with_nulls() {
+        let rows: Vec<Row> = (0..200)
+            .map(|i| {
+                Row::new(vec![
+                    if i % 7 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(i)
+                    },
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::str(format!("s{i}"))
+                    },
+                    Value::Float(i as f64 / 3.0),
+                    Value::Bool(i % 2 == 0),
+                ])
+            })
+            .collect();
+        let batch = ColBatch::from_rows(&rows).expect("rectangular");
+        // Typed classification happened (not a Mixed fallback).
+        assert!(matches!(batch.col(0), Column::Int(..)));
+        assert!(matches!(batch.col(1), Column::Str(..)));
+        assert!(matches!(batch.col(2), Column::Float(..)));
+        assert!(matches!(batch.col(3), Column::Bool(..)));
+        assert_eq!(batch.to_rows(), rows);
+        assert_eq!(batch.into_rows(), rows);
+    }
+
+    #[test]
+    fn all_null_and_empty_and_zero_arity_round_trip() {
+        let empty: Vec<Row> = Vec::new();
+        assert_eq!(ColBatch::from_rows(&empty).unwrap().to_rows(), empty);
+
+        let nulls: Vec<Row> = (0..5).map(|_| Row::new(vec![Value::Null])).collect();
+        assert_eq!(ColBatch::from_rows(&nulls).unwrap().to_rows(), nulls);
+
+        let zero_arity: Vec<Row> = (0..4).map(|_| Row::new(vec![])).collect();
+        let b = ColBatch::from_rows(&zero_arity).unwrap();
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.arity(), 0);
+        assert_eq!(b.to_rows(), zero_arity);
+    }
+
+    #[test]
+    fn ragged_rows_stay_rows() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Int(1), Value::Int(2)]),
+        ];
+        assert!(ColBatch::from_rows(&rows).is_none());
+    }
+
+    /// A type clash mid-column converts the typed prefix to Mixed without
+    /// losing any value.
+    #[test]
+    fn type_clash_degrades_losslessly() {
+        let rows = vec![
+            Row::new(vec![Value::Int(1)]),
+            Row::new(vec![Value::Null]),
+            Row::new(vec![Value::str("x")]),
+            Row::new(vec![Value::Float(2.5)]),
+        ];
+        let batch = ColBatch::from_rows(&rows).unwrap();
+        assert!(matches!(batch.col(0), Column::Mixed(_)));
+        assert_eq!(batch.to_rows(), rows);
+    }
+
+    #[test]
+    fn gather_head_and_concat() {
+        let rows: Vec<Row> = (0..10)
+            .map(|i| Row::new(vec![Value::Int(i), Value::str(format!("r{i}"))]))
+            .collect();
+        let batch = ColBatch::from_rows(&rows).unwrap();
+        let picked = batch.gather(&[9, 0, 3]);
+        assert_eq!(
+            picked.to_rows(),
+            vec![rows[9].clone(), rows[0].clone(), rows[3].clone()]
+        );
+        assert_eq!(batch.rows_at(&[9, 0, 3]), picked.to_rows());
+        assert_eq!(batch.rows_at(&[]), Vec::<Row>::new());
+        assert_eq!(batch.head(3).to_rows(), rows[..3].to_vec());
+        let joined = ColBatch::concat(vec![batch.head(2), batch.gather(&[5])]);
+        assert_eq!(
+            joined.to_rows(),
+            vec![rows[0].clone(), rows[1].clone(), rows[5].clone()]
+        );
+    }
+
+    /// Concatenating chunks that classified differently degrades to Mixed
+    /// but keeps values exact.
+    #[test]
+    fn concat_heterogeneous_chunks() {
+        let a = ColBatch::from_rows(&[Row::new(vec![Value::Int(1)])]).unwrap();
+        let b = ColBatch::from_rows(&[Row::new(vec![Value::str("x")])]).unwrap();
+        let joined = ColBatch::concat(vec![a, b]);
+        assert_eq!(
+            joined.to_rows(),
+            vec![
+                Row::new(vec![Value::Int(1)]),
+                Row::new(vec![Value::str("x")])
+            ]
+        );
+    }
+
+    /// The ledger must charge identical bytes for a batch and its pivoted
+    /// rows.
+    #[test]
+    fn row_bytes_matches_pivoted_rows() {
+        let matrix = value_matrix();
+        let rows: Vec<Row> = matrix
+            .chunks(3)
+            .map(|c| Row::new(c.to_vec()))
+            .filter(|r| r.arity() == 3)
+            .collect();
+        let batch = ColBatch::from_rows(&rows).unwrap();
+        let expected: u64 = rows.iter().map(Row::approx_bytes).sum();
+        assert_eq!(batch.row_bytes(), expected);
+    }
+
+    /// Cell comparison, equality, hashing and byte accounting agree with
+    /// the equivalent owned `Value` across the full variant matrix.
+    #[test]
+    fn cell_semantics_match_value_semantics() {
+        let matrix = value_matrix();
+        let rows: Vec<Row> = matrix.iter().map(|v| Row::new(vec![v.clone()])).collect();
+        let batch = ColBatch::from_rows(&rows).unwrap();
+        for i in 0..batch.len() {
+            let cell = batch.cell(i, 0);
+            let owned = cell.to_value();
+            assert_eq!(owned, matrix[i].clone());
+            assert_eq!(hash_of(&cell), hash_of(&owned), "hash parity at {i}");
+            assert_eq!(cell.approx_bytes(), owned.approx_bytes());
+            assert_eq!(cell.as_i64(), owned.as_i64());
+            assert_eq!(
+                cell.as_f64().map(f64::to_bits),
+                owned.as_f64().map(f64::to_bits)
+            );
+            for other in &matrix {
+                assert_eq!(
+                    cell.cmp_value(other),
+                    owned.cmp(other),
+                    "cmp parity {owned:?} vs {other:?}"
+                );
+                assert_eq!(cell.eq_value(other), &owned == other);
+            }
+        }
+        // Cross-type numeric equality survives the cell view.
+        let b = ColBatch::from_rows(&[Row::new(vec![Value::Int(3)])]).unwrap();
+        assert!(b.cell(0, 0).eq_value(&Value::Float(3.0)));
+        assert_eq!(hash_of(&b.cell(0, 0)), hash_of(&Value::Float(3.0)));
+    }
+}

@@ -346,9 +346,213 @@ fn utf8_width(first_byte: u8) -> usize {
     }
 }
 
+/// A scalar from the zero-copy flat-line fast path: strings borrow from the
+/// input line instead of allocating.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FlatVal<'a> {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+}
+
+impl FlatVal<'_> {
+    /// The equivalent owned [`Value`].
+    pub fn to_value(&self) -> Value {
+        match self {
+            FlatVal::Null => Value::Null,
+            FlatVal::Bool(b) => Value::Bool(*b),
+            FlatVal::Int(i) => Value::Int(*i),
+            FlatVal::Float(f) => Value::Float(*f),
+            FlatVal::Str(s) => Value::Str((*s).to_string()),
+        }
+    }
+}
+
+/// Zero-copy fast parse of one **flat** JSON object line — the shape of
+/// every generated log record: `{"key": scalar, ...}` with no nesting and
+/// no string escapes. The columnar scan uses this to feed typed column
+/// vectors without materializing a [`Value`] tree per line.
+///
+/// Returns `None` as soon as anything outside the subset appears (nested
+/// containers, `\` escapes, a non-object top level, trailing characters…);
+/// the caller must then fall back to [`parse_json`]. The guarantee is
+/// one-sided and exact: `Some(fields)` implies
+/// `parse_json(line) == Ok(Value::object(fields as owned values))`
+/// with the same duplicate-key (last-wins) and number semantics — the
+/// grammar below is byte-for-byte the strict parser's.
+pub fn parse_flat_line(line: &str) -> Option<Vec<(&str, FlatVal<'_>)>> {
+    let b = line.as_bytes();
+    let mut pos = 0usize;
+    let skip_ws = |pos: &mut usize| {
+        while matches!(b.get(*pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            *pos += 1;
+        }
+    };
+    // A `"`-delimited run with no escapes and no control bytes; multi-byte
+    // UTF-8 passes through untouched (its bytes are all >= 0x80).
+    let simple_str = |pos: &mut usize| -> Option<&str> {
+        if b.get(*pos) != Some(&b'"') {
+            return None;
+        }
+        let start = *pos + 1;
+        let mut i = start;
+        loop {
+            match b.get(i)? {
+                b'"' => break,
+                b'\\' => return None,
+                c if *c < 0x20 => return None,
+                _ => i += 1,
+            }
+        }
+        *pos = i + 1;
+        // `start..i` is bounded by ASCII quotes, so it is a char boundary.
+        Some(&line[start..i])
+    };
+    skip_ws(&mut pos);
+    if b.get(pos) != Some(&b'{') {
+        return None;
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(&mut pos);
+    if b.get(pos) == Some(&b'}') {
+        pos += 1;
+    } else {
+        loop {
+            skip_ws(&mut pos);
+            let key = simple_str(&mut pos)?;
+            skip_ws(&mut pos);
+            if b.get(pos) != Some(&b':') {
+                return None;
+            }
+            pos += 1;
+            skip_ws(&mut pos);
+            let val = match b.get(pos)? {
+                b'"' => FlatVal::Str(simple_str(&mut pos)?),
+                b't' if b[pos..].starts_with(b"true") => {
+                    pos += 4;
+                    FlatVal::Bool(true)
+                }
+                b'f' if b[pos..].starts_with(b"false") => {
+                    pos += 5;
+                    FlatVal::Bool(false)
+                }
+                b'n' if b[pos..].starts_with(b"null") => {
+                    pos += 4;
+                    FlatVal::Null
+                }
+                c if *c == b'-' || c.is_ascii_digit() => {
+                    // Same number grammar as `Parser::parse_number`.
+                    let start = pos;
+                    if b.get(pos) == Some(&b'-') {
+                        pos += 1;
+                    }
+                    while matches!(b.get(pos), Some(c) if c.is_ascii_digit()) {
+                        pos += 1;
+                    }
+                    let mut is_float = false;
+                    if b.get(pos) == Some(&b'.') {
+                        is_float = true;
+                        pos += 1;
+                        while matches!(b.get(pos), Some(c) if c.is_ascii_digit()) {
+                            pos += 1;
+                        }
+                    }
+                    if matches!(b.get(pos), Some(b'e' | b'E')) {
+                        is_float = true;
+                        pos += 1;
+                        if matches!(b.get(pos), Some(b'+' | b'-')) {
+                            pos += 1;
+                        }
+                        while matches!(b.get(pos), Some(c) if c.is_ascii_digit()) {
+                            pos += 1;
+                        }
+                    }
+                    let text = &line[start..pos];
+                    if text.is_empty() || text == "-" {
+                        return None;
+                    }
+                    if is_float {
+                        FlatVal::Float(text.parse::<f64>().ok()?)
+                    } else {
+                        match text.parse::<i64>() {
+                            Ok(i) => FlatVal::Int(i),
+                            Err(_) => FlatVal::Float(text.parse::<f64>().ok()?),
+                        }
+                    }
+                }
+                _ => return None,
+            };
+            fields.push((key, val));
+            skip_ws(&mut pos);
+            match b.get(pos) {
+                Some(b',') => pos += 1,
+                Some(b'}') => {
+                    pos += 1;
+                    break;
+                }
+                _ => return None,
+            }
+        }
+    }
+    skip_ws(&mut pos);
+    if pos != b.len() {
+        return None;
+    }
+    Some(fields)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The fast path must agree with the strict parser wherever it accepts,
+    /// and decline (never mis-accept) everything else.
+    #[test]
+    fn flat_line_agrees_with_strict_parser() {
+        let accepted = [
+            r#"{}"#,
+            r#"{"a": 1}"#,
+            r#"  { "a" : -12 , "b" : "x y" , "c" : true , "d" : null }  "#,
+            r#"{"f": 3.5, "g": 1e3, "h": -0.0, "i": 1., "j": 1E+2}"#,
+            r#"{"dup": 1, "dup": 2}"#,
+            r#"{"big": 99999999999999999999}"#,
+            r#"{"uni": "héllo ✓"}"#,
+            r#"{"empty": ""}"#,
+        ];
+        for line in accepted {
+            let flat =
+                parse_flat_line(line).unwrap_or_else(|| panic!("fast path should accept {line}"));
+            let owned = Value::object(
+                flat.iter()
+                    .map(|(k, v)| ((*k).to_string(), v.to_value()))
+                    .collect(),
+            );
+            assert_eq!(parse_json(line).unwrap(), owned, "disagreement on {line}");
+        }
+        let declined = [
+            r#"{"nested": {"a": 1}}"#,
+            r#"{"arr": [1]}"#,
+            r#"{"esc": "a\"b"}"#,
+            r#"{"esc": "a\\b"}"#,
+            r#"{"bad": tru}"#,
+            r#"{"bad": 1x}"#,
+            r#"{"bad": -}"#,
+            r#"{"bad": 1e}"#,
+            r#"{"a": 1} trailing"#,
+            r#"{"a": 1"#,
+            r#"[1, 2]"#,
+            r#"42"#,
+            r#"{"a": 1,}"#,
+            "not json at all",
+            "",
+        ];
+        for line in declined {
+            assert!(parse_flat_line(line).is_none(), "should decline {line}");
+        }
+    }
 
     #[test]
     fn parses_scalars() {

@@ -9,6 +9,8 @@
 //!   total order and hashing suitable for join/group keys;
 //! * [`json`] — a minimal hand-written JSON parser/printer (the sanctioned
 //!   offline dependency set has `serde` but not `serde_json`);
+//! * [`batch`] — typed columnar batches ([`batch::ColBatch`]) for the
+//!   vectorized executor, with lossless row pivots at store boundaries;
 //! * [`schema`] — field/record schemas for structured intermediates;
 //! * [`logs`] — deterministic synthetic generators for the three data sets
 //!   with shared join keys (user ids across Twitter/Foursquare, venue ids
@@ -16,6 +18,7 @@
 //! * [`stats`] — lightweight column statistics feeding cardinality
 //!   estimation in `miso-plan`.
 
+pub mod batch;
 pub mod checksum;
 pub mod json;
 pub mod logs;
@@ -23,6 +26,7 @@ pub mod schema;
 pub mod stats;
 pub mod value;
 
+pub use batch::{Cell, ColBatch, ColBuilder, Column, Nulls};
 pub use checksum::{checksum_rows, Checksum};
 pub use schema::{DataType, Field, Schema};
 pub use value::{Row, Value};

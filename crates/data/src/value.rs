@@ -109,7 +109,7 @@ impl Value {
     }
 
     /// A rank used to order values of different types.
-    fn type_rank(&self) -> u8 {
+    pub(crate) fn type_rank(&self) -> u8 {
         match self {
             Value::Null => 0,
             Value::Bool(_) => 1,
@@ -143,7 +143,7 @@ impl Value {
     }
 
     /// Canonical NaN-normalized bits for float hashing/equality.
-    fn float_bits(f: f64) -> u64 {
+    pub(crate) fn float_bits(f: f64) -> u64 {
         if f.is_nan() {
             f64::NAN.to_bits()
         } else if f == 0.0 {
@@ -191,7 +191,7 @@ impl Ord for Value {
 
 /// Total order on floats: ordinary order, with NaN greater than everything
 /// and equal to itself.
-fn cmp_f64(a: f64, b: f64) -> Ordering {
+pub(crate) fn cmp_f64(a: f64, b: f64) -> Ordering {
     match (a.is_nan(), b.is_nan()) {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,

@@ -5,13 +5,13 @@ use miso_common::guard::QueryGuard;
 use miso_common::ids::NodeId;
 use miso_common::{ByteSize, MisoError, Result, SimDuration};
 use miso_data::checksum::{checksum_rows, corrupt_first_row, Checksum};
-use miso_data::{Row, Schema};
+use miso_data::{ColBatch, Row, Schema};
 use miso_exec::engine::{execute_subset_guarded, DataSource, ExecOptions, Execution};
 use miso_exec::UdfRegistry;
 use miso_plan::estimate::MapStats;
 use miso_plan::{LogicalPlan, Operator};
 use std::collections::{HashMap, HashSet};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Which table space a relation lives in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +27,11 @@ struct StoredView {
     schema: Schema,
     rows: Arc<Vec<Row>>,
     size: ByteSize,
+    /// Lazily pivoted columnar twin of `rows`, shared with the engine so
+    /// repeated queries over the same view skip the pivot. `None` caches
+    /// "ragged, not pivotable". Reset whenever `rows` is mutated
+    /// (corruption injection), so the twin can never diverge.
+    cols: OnceLock<Option<Arc<ColBatch>>>,
     /// Content checksum recorded at load time. Never updated by
     /// [`DwStore::corrupt_view`]/[`DwStore::corrupt_temp`] — verification
     /// compares the stored bytes against this load-time truth.
@@ -77,6 +82,7 @@ impl DwStore {
             rows,
             size,
             checksum,
+            cols: OnceLock::new(),
         };
         match space {
             TableSpace::Permanent => self.permanent.insert(name.to_string(), stored),
@@ -165,6 +171,7 @@ impl DwStore {
         let Some(view) = self.permanent.get_mut(name) else {
             return false;
         };
+        view.cols = OnceLock::new();
         corrupt_first_row(&mut view.rows)
     }
 
@@ -174,6 +181,7 @@ impl DwStore {
         let Some(view) = self.temporary.get_mut(name) else {
             return false;
         };
+        view.cols = OnceLock::new();
         corrupt_first_row(&mut view.rows)
     }
 
@@ -290,6 +298,7 @@ impl DwStore {
             udfs,
             ExecOptions {
                 retain_root_only: true,
+                ..ExecOptions::default()
             },
             guard,
         )?;
@@ -389,6 +398,16 @@ impl DataSource for DwStore {
             .get(view)
             .or_else(|| self.temporary.get(view))
             .map(|v| v.rows.clone())
+    }
+
+    fn view_cols_shared(&self, view: &str) -> Option<Arc<ColBatch>> {
+        let v = self
+            .permanent
+            .get(view)
+            .or_else(|| self.temporary.get(view))?;
+        v.cols
+            .get_or_init(|| ColBatch::from_rows(&v.rows).map(Arc::new))
+            .clone()
     }
 }
 

@@ -28,6 +28,7 @@
 //! equality at every probe), replacing the per-row `Vec` key allocations of
 //! the row-at-a-time interpreter preserved in [`crate::serial`].
 
+use crate::col;
 use crate::eval::{eval, eval_predicate};
 use crate::profile::{self, OpProfile};
 use crate::udf::UdfRegistry;
@@ -35,12 +36,12 @@ use miso_common::guard::QueryGuard;
 use miso_common::ids::NodeId;
 use miso_common::{pool, ByteSize, MisoError, Result};
 use miso_data::json::parse_json;
-use miso_data::{Row, Value};
+use miso_data::{Cell, ColBatch, Row, Value};
 use miso_plan::fingerprint::{fnv1a_hash_one, FnvHasher};
 use miso_plan::{AggFunc, LogicalPlan, Operator};
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hash, Hasher};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Rows per morsel. Fixed — never derived from the worker count — so the
@@ -61,6 +62,12 @@ pub trait DataSource {
     fn view_rows_shared(&self, _view: &str) -> Option<Arc<Vec<Row>>> {
         None
     }
+    /// Columnar companion to [`DataSource::view_rows_shared`]: a shared
+    /// [`ColBatch`] pivot of the view, for sources that can serve one.
+    /// `None` (the default) keeps downstream operators on the row path.
+    fn view_cols_shared(&self, _view: &str) -> Option<Arc<ColBatch>> {
+        None
+    }
 }
 
 /// An in-memory [`DataSource`].
@@ -68,6 +75,10 @@ pub trait DataSource {
 pub struct MemSource {
     logs: HashMap<String, Vec<String>>,
     views: HashMap<String, Arc<Vec<Row>>>,
+    /// Lazily pivoted columnar twins of `views`, built on first columnar
+    /// scan and shared thereafter (`None` caches "not pivotable", i.e. a
+    /// ragged-arity view). Re-registering a view resets its slot.
+    cols: HashMap<String, OnceLock<Option<Arc<ColBatch>>>>,
 }
 
 impl MemSource {
@@ -83,7 +94,9 @@ impl MemSource {
 
     /// Registers a view's rows.
     pub fn add_view(&mut self, name: impl Into<String>, rows: Vec<Row>) {
-        self.views.insert(name.into(), Arc::new(rows));
+        let name = name.into();
+        self.cols.insert(name.clone(), OnceLock::new());
+        self.views.insert(name, Arc::new(rows));
     }
 }
 
@@ -105,10 +118,17 @@ impl DataSource for MemSource {
     fn view_rows_shared(&self, view: &str) -> Option<Arc<Vec<Row>>> {
         self.views.get(view).cloned()
     }
+
+    fn view_cols_shared(&self, view: &str) -> Option<Arc<ColBatch>> {
+        let slot = self.cols.get(view)?;
+        let rows = self.views.get(view)?;
+        slot.get_or_init(|| ColBatch::from_rows(rows).map(Arc::new))
+            .clone()
+    }
 }
 
 /// Execution knobs orthogonal to *what* is computed.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct ExecOptions {
     /// Release each node's output as soon as its last in-subset consumer has
     /// run, keeping only the root (plus never-consumed outputs). This frees
@@ -118,6 +138,22 @@ pub struct ExecOptions {
     /// opportunistic view candidate. Row counts stay queryable for all
     /// executed nodes via [`Execution::rows_out`].
     pub retain_root_only: bool,
+    /// Run eligible operators column-at-a-time over [`ColBatch`]es (see
+    /// [`crate::col`]). Only engages together with `retain_root_only`: full
+    /// retention is the HV harvest contract — every node output must be
+    /// observable as rows — so each node would pay a pivot anyway and the
+    /// row path is strictly cheaper there. Output is bit-identical either
+    /// way; ineligible operators fall back to rows per node.
+    pub columnar: bool,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            retain_root_only: false,
+            columnar: col::enabled(),
+        }
+    }
 }
 
 /// The result of executing (part of) a plan.
@@ -300,6 +336,43 @@ pub fn execute_subset_guarded(
         profiles.reserve(plan.len());
         profile::take_dispatch();
     }
+    // Columnar execution engages only under root-only retention (see
+    // [`ExecOptions::columnar`]).
+    let columnar = opts.columnar && opts.retain_root_only;
+    // Columnar node outputs, kept beside `outputs`. A node normally lives
+    // in exactly one map (zero-copy view scans may publish both
+    // representations); whatever survives to the end is pivoted to rows.
+    let mut col_outputs: HashMap<NodeId, Arc<ColBatch>> = HashMap::new();
+    // Scan→project fusion: log scans whose single consumer is a SerDe-shaped
+    // projection parse straight into typed column vectors, skipping the
+    // intermediate JSON object rows entirely. Because the scan's output is
+    // never materialized, fusion stays off under profiling or an active
+    // guard — both account per-node materializations and must see the same
+    // numbers as the row path.
+    let mut fused: HashMap<NodeId, NodeId> = HashMap::new(); // scan → project
+    if columnar && !profiling && !guard.is_active() {
+        let executes =
+            |id: NodeId| subset.is_none_or(|s| s.contains(&id)) && !rows_out.contains_key(&id);
+        for node in plan.nodes() {
+            let Operator::Project { exprs } = &node.op else {
+                continue;
+            };
+            if !executes(node.id) || node.inputs.len() != 1 {
+                continue;
+            }
+            let scan = node.inputs[0];
+            if scan != root
+                && executes(scan)
+                && pending.get(&scan).copied() == Some(1)
+                && matches!(plan.node(scan).op, Operator::ScanLog { .. })
+                && col::fused_fields(exprs.iter().map(|(_, e)| e)).is_some()
+            {
+                fused.insert(scan, node.id);
+            }
+        }
+    }
+    // Batches parsed by fused scans, waiting for their projection node.
+    let mut fused_ready: HashMap<NodeId, ColBatch> = HashMap::new();
     // Per-node materialization charges; drops (and releases) on any exit.
     let mut ledger = ChargeLedger::new(guard);
     for node in plan.nodes() {
@@ -344,13 +417,58 @@ pub fn execute_subset_guarded(
                     );
                 }
                 rows_out.insert(node.id, shared.len() as u64);
+                if columnar {
+                    // Publish the columnar twin alongside the zero-copy
+                    // rows: column-eligible consumers pick up the batch,
+                    // row-wise ones (joins) keep the free Arc handle.
+                    if let Some(cols) = source.view_cols_shared(view) {
+                        col_outputs.insert(node.id, cols);
+                    }
+                }
                 outputs.insert(node.id, shared);
                 continue;
             }
         }
-        let rows: Vec<Row> = match &node.op {
+        // Fused scan+project: parse the lines straight into column vectors
+        // and stash the batch for the projection node. Mirrors the zero-copy
+        // scan bookkeeping — the scan's row output never materializes.
+        if let Some(&project) = fused.get(&node.id) {
+            let Operator::ScanLog { log } = &node.op else {
+                unreachable!("fusion pre-pass only maps log scans");
+            };
+            let Operator::Project { exprs } = &plan.node(project).op else {
+                unreachable!("fusion pre-pass only maps projections");
+            };
+            let fields = col::fused_fields(exprs.iter().map(|(_, e)| e))
+                .expect("fusion pre-pass verified the projection shape");
+            let lines = source.log_lines(log)?;
+            let parts = par_chunks(guard, lines, |_, chunk| {
+                col::parse_lines_fused(chunk, &fields)
+            })?;
+            let mut batches = Vec::with_capacity(parts.len());
+            for (batch, skipped) in parts {
+                batches.push(batch);
+                skipped_lines += skipped as u64;
+            }
+            let batch = ColBatch::concat(batches);
+            miso_obs::count("exec.col_batches", lines.len().div_ceil(MORSEL_SIZE) as u64);
+            miso_obs::observe("exec.op_ns", t0.elapsed().as_nanos() as u64);
+            if op_span.is_active() {
+                op_span.push_field("rows_out", miso_obs::FieldValue::U64(batch.len() as u64));
+                miso_obs::observe("exec.op_rows_out", batch.len() as u64);
+            }
+            miso_obs::count("exec.ops_executed", 1);
+            rows_out.insert(node.id, batch.len() as u64);
+            fused_ready.insert(project, batch);
+            continue;
+        }
+        let produced: Produced = match &node.op {
             Operator::ScanLog { log } => {
                 let lines = source.log_lines(log)?;
+                if columnar {
+                    // A log scan that could not fuse materializes rows.
+                    miso_obs::count("exec.col_fallback_rows", lines.len() as u64);
+                }
                 let parts = par_chunks(guard, lines, |_, chunk| {
                     let mut rows = Vec::with_capacity(chunk.len());
                     let mut skipped = 0u64;
@@ -367,77 +485,196 @@ pub fn execute_subset_guarded(
                     rows.extend(part);
                     skipped_lines += skipped;
                 }
-                rows
+                Produced::Rows(rows)
             }
             Operator::ScanView { view, .. } => {
                 let src_rows = source.view_rows(view)?;
-                concat_rows(
+                Produced::Rows(concat_rows(
                     src_rows.len(),
                     par_chunks(guard, src_rows, |_, chunk| chunk.to_vec())?,
-                )
+                ))
             }
             Operator::Filter { predicate } => {
-                match take_input(&mut outputs, &pending, node, 0, opts, root)? {
-                    TakenInput::Owned(mut vec) => {
-                        // Uniquely owned: evaluate in parallel, then move the
-                        // surviving rows out instead of deep-cloning them.
-                        let parts = par_chunks(guard, &vec, |i, chunk| -> Result<Vec<usize>> {
-                            let base = i * MORSEL_SIZE;
-                            let mut keep = Vec::new();
-                            for (j, row) in chunk.iter().enumerate() {
-                                if eval_predicate(predicate, row)? {
-                                    keep.push(base + j);
-                                }
-                            }
-                            Ok(keep)
-                        })?;
-                        let keep = collect_ok(parts)?;
-                        let mut out = Vec::with_capacity(keep.iter().map(Vec::len).sum());
-                        for idx in keep.into_iter().flatten() {
-                            out.push(std::mem::take(&mut vec[idx]));
-                        }
-                        out
+                let input_id = node.inputs[0];
+                let col_input = if columnar && col::vectorizable(predicate) {
+                    ensure_cols(&outputs, &mut col_outputs, input_id);
+                    col_outputs.get(&input_id).cloned()
+                } else {
+                    None
+                };
+                if let Some(batch) = col_input {
+                    miso_obs::count("exec.col_batches", batch.len().div_ceil(MORSEL_SIZE) as u64);
+                    let parts = par_ranges(guard, batch.len(), |_, start, n| {
+                        col::eval_vec(predicate, &batch, start, n, None)
+                            .map(|pred| col::select_true(&pred, start, n))
+                    })?;
+                    let parts = collect_ok(parts)?;
+                    let sel = concat_rows(parts.iter().map(Vec::len).sum(), parts);
+                    if node.id == root {
+                        // The root's batch would be pivoted to rows at the
+                        // end anyway; materializing straight from the input
+                        // batch + selection skips the gathered intermediate.
+                        Produced::Rows(batch.rows_at(&sel))
+                    } else {
+                        Produced::Cols(batch.gather(&sel))
                     }
-                    TakenInput::Shared(arc) => {
-                        let parts = par_chunks(guard, &arc, |_, chunk| -> Result<Vec<Row>> {
-                            let mut keep = Vec::new();
-                            for row in chunk {
-                                if eval_predicate(predicate, row)? {
-                                    keep.push(row.clone());
-                                }
+                } else {
+                    note_col_fallback(columnar, &rows_out, input_id);
+                    ensure_rows(&mut outputs, &mut col_outputs, &pending, input_id, root);
+                    match take_input(&mut outputs, &pending, node, 0, opts, root)? {
+                        TakenInput::Owned(mut vec) => {
+                            // Uniquely owned: evaluate in parallel, then move
+                            // the surviving rows out instead of deep-cloning.
+                            let parts =
+                                par_chunks(guard, &vec, |i, chunk| -> Result<Vec<usize>> {
+                                    let base = i * MORSEL_SIZE;
+                                    let mut keep = Vec::new();
+                                    for (j, row) in chunk.iter().enumerate() {
+                                        if eval_predicate(predicate, row)? {
+                                            keep.push(base + j);
+                                        }
+                                    }
+                                    Ok(keep)
+                                })?;
+                            let keep = collect_ok(parts)?;
+                            let mut out = Vec::with_capacity(keep.iter().map(Vec::len).sum());
+                            for idx in keep.into_iter().flatten() {
+                                out.push(std::mem::take(&mut vec[idx]));
                             }
-                            Ok(keep)
-                        })?;
-                        flatten_ok(parts)?
+                            Produced::Rows(out)
+                        }
+                        TakenInput::Shared(arc) => {
+                            let parts = par_chunks(guard, &arc, |_, chunk| -> Result<Vec<Row>> {
+                                let mut keep = Vec::new();
+                                for row in chunk {
+                                    if eval_predicate(predicate, row)? {
+                                        keep.push(row.clone());
+                                    }
+                                }
+                                Ok(keep)
+                            })?;
+                            Produced::Rows(flatten_ok(parts)?)
+                        }
                     }
                 }
             }
             Operator::Project { exprs } => {
-                let input = input_of(&outputs, plan, node.id, 0)?;
-                let parts = par_chunks(guard, input, |_, chunk| -> Result<Vec<Row>> {
-                    let mut rows = Vec::with_capacity(chunk.len());
-                    for row in chunk {
-                        let values: Vec<Value> = exprs
-                            .iter()
-                            .map(|(_, e)| eval(e, row))
-                            .collect::<Result<_>>()?;
-                        rows.push(Row::new(values));
-                    }
-                    Ok(rows)
-                })?;
-                flatten_ok(parts)?
+                let input_id = node.inputs[0];
+                let col_input = if columnar && exprs.iter().all(|(_, e)| col::vectorizable(e)) {
+                    ensure_cols(&outputs, &mut col_outputs, input_id);
+                    col_outputs.get(&input_id).cloned()
+                } else {
+                    None
+                };
+                if let Some(batch) = fused_ready.remove(&node.id) {
+                    // The fused scan already produced this projection.
+                    Produced::Cols(batch)
+                } else if let Some(batch) = col_input {
+                    miso_obs::count("exec.col_batches", batch.len().div_ceil(MORSEL_SIZE) as u64);
+                    let parts =
+                        par_ranges(guard, batch.len(), |_, start, n| -> Result<ColBatch> {
+                            let cols = exprs
+                                .iter()
+                                .map(|(_, e)| {
+                                    col::eval_vec(e, &batch, start, n, None)
+                                        .map(|v| v.into_column(n))
+                                })
+                                .collect::<Result<Vec<_>>>()?;
+                            Ok(ColBatch::from_columns(cols, n))
+                        })?;
+                    Produced::Cols(ColBatch::concat(collect_ok(parts)?))
+                } else {
+                    note_col_fallback(columnar, &rows_out, input_id);
+                    ensure_rows(&mut outputs, &mut col_outputs, &pending, input_id, root);
+                    let input = input_of(&outputs, plan, node.id, 0)?;
+                    let parts = par_chunks(guard, input, |_, chunk| -> Result<Vec<Row>> {
+                        let mut rows = Vec::with_capacity(chunk.len());
+                        for row in chunk {
+                            let values: Vec<Value> = exprs
+                                .iter()
+                                .map(|(_, e)| eval(e, row))
+                                .collect::<Result<_>>()?;
+                            rows.push(Row::new(values));
+                        }
+                        Ok(rows)
+                    })?;
+                    Produced::Rows(flatten_ok(parts)?)
+                }
             }
             Operator::Join { on } => {
+                // Joins stay row-wise by design (see DESIGN.md §16).
+                ensure_rows(
+                    &mut outputs,
+                    &mut col_outputs,
+                    &pending,
+                    node.inputs[0],
+                    root,
+                );
+                ensure_rows(
+                    &mut outputs,
+                    &mut col_outputs,
+                    &pending,
+                    node.inputs[1],
+                    root,
+                );
                 let left = input_of(&outputs, plan, node.id, 0)?;
                 let right = input_of(&outputs, plan, node.id, 1)?;
-                hash_join_guarded(left, right, on, guard)?
+                Produced::Rows(hash_join_guarded(left, right, on, guard)?)
             }
             Operator::Aggregate { group_by, aggs } => {
-                let input = input_of(&outputs, plan, node.id, 0)?;
-                aggregate(input, group_by, aggs, guard)?
+                let input_id = node.inputs[0];
+                // Columnar-eligible: every key and aggregate source is an
+                // in-range bare column (or COUNT(*)); general expressions
+                // keep the row path so error behaviour matches exactly.
+                // The shape check comes first so ineligible aggregates
+                // (UDF/expression inputs) never pay a speculative pivot.
+                let shape_ok = aggs
+                    .iter()
+                    .all(|a| matches!(&a.input, None | Some(miso_plan::Expr::Column(_))));
+                let col_input = if columnar && shape_ok {
+                    ensure_cols(&outputs, &mut col_outputs, input_id);
+                    col_outputs.get(&input_id).cloned().filter(|b| {
+                        group_by.iter().all(|&g| g < b.arity())
+                            && aggs.iter().all(|a| match &a.input {
+                                None => true,
+                                Some(miso_plan::Expr::Column(c)) => *c < b.arity(),
+                                Some(_) => false,
+                            })
+                    })
+                } else {
+                    None
+                };
+                if let Some(batch) = col_input {
+                    miso_obs::count("exec.col_batches", batch.len().div_ceil(MORSEL_SIZE) as u64);
+                    let float_sum = col_float_sum_flags(&batch, aggs);
+                    let srcs = classify_aggs(aggs);
+                    let parts = par_ranges(guard, batch.len(), |_, start, n| {
+                        aggregate_morsel_cols(&batch, start, n, group_by, aggs, &srcs, &float_sum)
+                    })?;
+                    Produced::Rows(finish_aggregate(
+                        parts,
+                        group_by,
+                        aggs,
+                        &float_sum,
+                        batch.is_empty(),
+                        guard,
+                    )?)
+                } else {
+                    note_col_fallback(columnar, &rows_out, input_id);
+                    ensure_rows(&mut outputs, &mut col_outputs, &pending, input_id, root);
+                    let input = input_of(&outputs, plan, node.id, 0)?;
+                    Produced::Rows(aggregate(input, group_by, aggs, guard)?)
+                }
             }
             Operator::Udf { name, .. } => {
                 let udf = udfs.require(name)?;
+                ensure_rows(
+                    &mut outputs,
+                    &mut col_outputs,
+                    &pending,
+                    node.inputs[0],
+                    root,
+                );
                 let input = input_of(&outputs, plan, node.id, 0)?;
                 let parts = par_chunks(guard, input, |_, chunk| -> Result<Vec<Row>> {
                     let mut rows = Vec::new();
@@ -446,9 +683,16 @@ pub fn execute_subset_guarded(
                     }
                     Ok(rows)
                 })?;
-                flatten_ok(parts)?
+                Produced::Rows(flatten_ok(parts)?)
             }
             Operator::Sort { keys } => {
+                ensure_rows(
+                    &mut outputs,
+                    &mut col_outputs,
+                    &pending,
+                    node.inputs[0],
+                    root,
+                );
                 let input = take_input(&mut outputs, &pending, node, 0, opts, root)?;
                 let rows = input.rows();
                 // Extract each row's key values exactly once (in parallel),
@@ -475,27 +719,43 @@ pub fn execute_subset_guarded(
                     a.cmp(&b)
                 });
                 match input {
-                    TakenInput::Owned(mut vec) => order
-                        .into_iter()
-                        .map(|i| std::mem::take(&mut vec[i]))
-                        .collect(),
-                    TakenInput::Shared(arc) => order.into_iter().map(|i| arc[i].clone()).collect(),
+                    TakenInput::Owned(mut vec) => Produced::Rows(
+                        order
+                            .into_iter()
+                            .map(|i| std::mem::take(&mut vec[i]))
+                            .collect(),
+                    ),
+                    TakenInput::Shared(arc) => {
+                        Produced::Rows(order.into_iter().map(|i| arc[i].clone()).collect())
+                    }
                 }
             }
             Operator::Limit { n } => {
-                match take_input(&mut outputs, &pending, node, 0, opts, root)? {
-                    TakenInput::Owned(mut vec) => {
-                        vec.truncate(*n as usize);
-                        vec
+                let input_id = node.inputs[0];
+                if let Some(batch) = columnar
+                    .then(|| col_outputs.get(&input_id).cloned())
+                    .flatten()
+                {
+                    miso_obs::count("exec.col_batches", batch.len().div_ceil(MORSEL_SIZE) as u64);
+                    Produced::Cols(batch.head(*n as usize))
+                } else {
+                    match take_input(&mut outputs, &pending, node, 0, opts, root)? {
+                        TakenInput::Owned(mut vec) => {
+                            vec.truncate(*n as usize);
+                            Produced::Rows(vec)
+                        }
+                        TakenInput::Shared(arc) => {
+                            Produced::Rows(arc.iter().take(*n as usize).cloned().collect())
+                        }
                     }
-                    TakenInput::Shared(arc) => arc.iter().take(*n as usize).cloned().collect(),
                 }
             }
         };
+        let n_out = produced.len() as u64;
         miso_obs::observe("exec.op_ns", t0.elapsed().as_nanos() as u64);
         if op_span.is_active() {
-            op_span.push_field("rows_out", miso_obs::FieldValue::U64(rows.len() as u64));
-            miso_obs::observe("exec.op_rows_out", rows.len() as u64);
+            op_span.push_field("rows_out", miso_obs::FieldValue::U64(n_out));
+            miso_obs::observe("exec.op_rows_out", n_out);
         }
         miso_obs::count("exec.ops_executed", 1);
         if profiling {
@@ -513,27 +773,46 @@ pub fn execute_subset_guarded(
                 OpProfile {
                     wall_ns: t0.elapsed().as_nanos() as u64,
                     rows_in,
-                    rows_out: rows.len() as u64,
-                    bytes_out: rows.iter().map(Row::approx_bytes).sum(),
+                    rows_out: n_out,
+                    bytes_out: produced.bytes(),
                     morsels,
                     par_rows,
                 },
             );
         }
-        ledger.charge(node.id, &rows)?;
-        rows_out.insert(node.id, rows.len() as u64);
-        outputs.insert(node.id, Arc::new(rows));
+        ledger.charge(node.id, &produced)?;
+        rows_out.insert(node.id, n_out);
+        match produced {
+            Produced::Rows(rows) => {
+                outputs.insert(node.id, Arc::new(rows));
+            }
+            Produced::Cols(batch) => {
+                col_outputs.insert(node.id, Arc::new(batch));
+            }
+        }
         if opts.retain_root_only {
             for input in &node.inputs {
                 if let Some(p) = pending.get_mut(input) {
                     *p = p.saturating_sub(1);
                     if *p == 0 && *input != root {
                         outputs.remove(input);
+                        col_outputs.remove(input);
                         ledger.release(*input);
                     }
                 }
             }
         }
+    }
+    // Whatever is still columnar — the root, or a never-consumed output —
+    // pivots to rows here: `Execution` speaks rows at every boundary.
+    for (id, batch) in col_outputs {
+        if outputs.contains_key(&id) {
+            continue;
+        }
+        let rows = Arc::try_unwrap(batch)
+            .map(ColBatch::into_rows)
+            .unwrap_or_else(|arc| arc.to_rows());
+        outputs.insert(id, Arc::new(rows));
     }
     Ok(Execution {
         outputs,
@@ -541,6 +820,117 @@ pub fn execute_subset_guarded(
         skipped_lines,
         profiles,
         root,
+    })
+}
+
+/// One operator's materialized output, in whichever representation the
+/// operator body produced.
+enum Produced {
+    Rows(Vec<Row>),
+    Cols(ColBatch),
+}
+
+impl Produced {
+    fn len(&self) -> usize {
+        match self {
+            Produced::Rows(rows) => rows.len(),
+            Produced::Cols(batch) => batch.len(),
+        }
+    }
+
+    /// Guard/profile byte size — identical whichever representation was
+    /// produced ([`ColBatch::row_bytes`] matches summed
+    /// [`Row::approx_bytes`] by construction).
+    fn bytes(&self) -> u64 {
+        match self {
+            Produced::Rows(rows) => rows.iter().map(Row::approx_bytes).sum(),
+            Produced::Cols(batch) => batch.row_bytes(),
+        }
+    }
+}
+
+/// Counts a columnar-mode operator that ran its row path anyway, charging
+/// the input's row count to the `exec.col_fallback_rows` counter.
+fn note_col_fallback(columnar: bool, rows_out: &HashMap<NodeId, u64>, input: NodeId) {
+    if columnar {
+        if let Some(&n) = rows_out.get(&input) {
+            miso_obs::count("exec.col_fallback_rows", n);
+        }
+    }
+}
+
+/// Guarantees `outputs` holds a row representation of node `id`, pivoting
+/// its columnar output when that is the only one present. When this node's
+/// consumer is the last one, the batch is consumed so string payloads move;
+/// otherwise it is copied and the batch stays shared for later consumers.
+/// Missing nodes are left missing — the caller's input lookup reports them
+/// with the usual "neither executed nor provided" error.
+fn ensure_rows(
+    outputs: &mut HashMap<NodeId, Arc<Vec<Row>>>,
+    col_outputs: &mut HashMap<NodeId, Arc<ColBatch>>,
+    pending: &HashMap<NodeId, usize>,
+    id: NodeId,
+    root: NodeId,
+) {
+    if outputs.contains_key(&id) || !col_outputs.contains_key(&id) {
+        return;
+    }
+    let last = id != root && pending.get(&id).copied() == Some(1);
+    let rows = if last {
+        let arc = col_outputs.remove(&id).expect("checked above");
+        Arc::try_unwrap(arc)
+            .map(ColBatch::into_rows)
+            .unwrap_or_else(|arc| arc.to_rows())
+    } else {
+        col_outputs[&id].to_rows()
+    };
+    outputs.insert(id, Arc::new(rows));
+}
+
+/// The inverse of [`ensure_rows`]: a vectorizable consumer wants node `id`
+/// as a batch, but only a row representation exists — a provided seed (the
+/// shipped working set at the DataSource boundary) or a row-producing
+/// upstream operator such as a join. Pivots once and caches the batch
+/// beside the rows for any later consumer; ragged row sets stay row-only
+/// and the consumer falls back. Callers gate on consumer eligibility first
+/// so ineligible operators never pay a speculative pivot.
+fn ensure_cols(
+    outputs: &HashMap<NodeId, Arc<Vec<Row>>>,
+    col_outputs: &mut HashMap<NodeId, Arc<ColBatch>>,
+    id: NodeId,
+) {
+    if col_outputs.contains_key(&id) {
+        return;
+    }
+    if let Some(rows) = outputs.get(&id) {
+        if let Some(batch) = ColBatch::from_rows(rows) {
+            col_outputs.insert(id, Arc::new(batch));
+        }
+    }
+}
+
+/// Columnar twin of [`par_chunks`]: morsel dispatch over index ranges of a
+/// batch instead of row slices. `f` receives `(morsel index, start, len)`.
+/// Counter and guard behaviour match `par_chunks` exactly so profiles and
+/// cancellation outcomes are representation-independent.
+fn par_ranges<R, F>(guard: &QueryGuard, len: usize, f: F) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, usize, usize) -> R + Sync,
+{
+    guard.check()?;
+    let morsels = len.div_ceil(MORSEL_SIZE);
+    miso_obs::count("exec.morsels", morsels as u64);
+    miso_obs::count("exec.par_rows", len as u64);
+    if profile::enabled() {
+        profile::note_dispatch(morsels as u64, len as u64);
+    }
+    if morsels == 0 {
+        return Ok(Vec::new());
+    }
+    pool::run_batch(morsels, |i| {
+        let start = i * MORSEL_SIZE;
+        f(i, start, MORSEL_SIZE.min(len - start))
     })
 }
 
@@ -561,13 +951,15 @@ impl<'a> ChargeLedger<'a> {
         }
     }
 
-    /// Charges `rows`' approximate bytes to the guard on behalf of node
-    /// `id`; fails with `ResourceExhausted` when the budget is blown.
-    fn charge(&mut self, id: NodeId, rows: &[Row]) -> Result<()> {
+    /// Charges the output's approximate bytes to the guard on behalf of
+    /// node `id`; fails with `ResourceExhausted` when the budget is blown.
+    /// [`Produced::bytes`] is representation-independent, so the guard sees
+    /// the same charge whichever path an operator ran.
+    fn charge(&mut self, id: NodeId, produced: &Produced) -> Result<()> {
         if !self.guard.is_active() {
             return Ok(());
         }
-        let bytes: u64 = rows.iter().map(Row::approx_bytes).sum();
+        let bytes = produced.bytes();
         self.guard.try_charge(bytes)?;
         *self.charged.entry(id).or_insert(0) += bytes;
         Ok(())
@@ -936,6 +1328,55 @@ impl Acc {
         }
     }
 
+    /// [`Acc::update`] on a borrowed columnar cell — branch-for-branch the
+    /// same semantics ([`Cell`]'s accessors mirror [`Value`]'s), cloning a
+    /// value only when an accumulator actually retains it.
+    pub(crate) fn update_cell(&mut self, c: &Cell<'_>) {
+        match self {
+            Acc::Count(n) => {
+                if !c.is_null() {
+                    *n += 1;
+                }
+            }
+            Acc::CountDistinct(set) => {
+                if !c.is_null() {
+                    set.insert(c.to_value());
+                }
+            }
+            Acc::SumInt(acc, seen) => {
+                if let Some(i) = c.as_i64() {
+                    *acc += i;
+                    *seen = true;
+                } else if let Some(f) = c.as_f64() {
+                    *acc += f as i64;
+                    *seen = true;
+                }
+            }
+            Acc::SumFloat(acc, seen) => {
+                if let Some(f) = c.as_f64() {
+                    *acc += f;
+                    *seen = true;
+                }
+            }
+            Acc::Min(cur) => {
+                if !c.is_null() && cur.as_ref().is_none_or(|m| c.cmp_value(m).is_lt()) {
+                    *cur = Some(c.to_value());
+                }
+            }
+            Acc::Max(cur) => {
+                if !c.is_null() && cur.as_ref().is_none_or(|m| c.cmp_value(m).is_gt()) {
+                    *cur = Some(c.to_value());
+                }
+            }
+            Acc::Avg { sum, n } => {
+                if let Some(f) = c.as_f64() {
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+        }
+    }
+
     /// Folds another accumulator of the *same variant* into this one — the
     /// morsel-partial merge. Merging happens serially in morsel index order,
     /// so the result (float summation grouping included) depends only on the
@@ -1028,6 +1469,31 @@ pub(crate) fn float_sum_flags(input: &[Row], aggs: &[miso_plan::AggExpr]) -> Vec
                         Value::Int(_) => return false,
                         _ => continue,
                     }
+                }
+            }
+            false
+        })
+        .collect()
+}
+
+/// [`float_sum_flags`] over a columnar batch. Only consulted when every SUM
+/// source is an in-range bare column — where scalar evaluation cannot fail —
+/// so scanning cells in row order reproduces the row-path scan exactly.
+fn col_float_sum_flags(batch: &ColBatch, aggs: &[miso_plan::AggExpr]) -> Vec<bool> {
+    aggs.iter()
+        .map(|agg| {
+            if agg.func != AggFunc::Sum {
+                return false;
+            }
+            let Some(miso_plan::Expr::Column(c)) = &agg.input else {
+                return false;
+            };
+            let col = batch.col(*c);
+            for i in 0..col.len() {
+                match col.cell(i) {
+                    Cell::Float(_) => return true,
+                    Cell::Int(_) => return false,
+                    _ => {}
                 }
             }
             false
@@ -1152,6 +1618,64 @@ fn aggregate_morsel(
     Ok(table)
 }
 
+/// Accumulates one columnar morsel `[start, start + n)` into a fresh partial
+/// [`GroupTable`]. Only reached for batch-eligible aggregates (every source
+/// is `COUNT(*)` or an in-range bare column), so unlike [`aggregate_morsel`]
+/// nothing here can fail. Group hashes go through [`Cell`]'s `Hash`, which
+/// streams identically to [`Value`]'s, so partial tables merge with row-path
+/// partials' semantics bit-for-bit.
+fn aggregate_morsel_cols(
+    batch: &ColBatch,
+    start: usize,
+    n: usize,
+    group_by: &[usize],
+    aggs: &[miso_plan::AggExpr],
+    srcs: &[AggSrc<'_>],
+    float_sum: &[bool],
+) -> GroupTable {
+    let mut table = GroupTable::with_capacity(n.min(1024));
+    for i in start..start + n {
+        let hash = if let [g] = group_by {
+            fnv1a_hash_one(&batch.cell(i, *g))
+        } else {
+            let mut h = FnvHasher::default();
+            for &g in group_by {
+                batch.cell(i, g).hash(&mut h);
+            }
+            h.finish()
+        };
+        let slot = match table.find(hash, |key| {
+            group_by
+                .iter()
+                .zip(key)
+                .all(|(&g, k)| batch.cell(i, g).eq_value(k))
+        }) {
+            Some(slot) => slot,
+            None => {
+                let key: Vec<Value> = group_by
+                    .iter()
+                    .map(|&g| batch.cell(i, g).to_value())
+                    .collect();
+                let accs: Vec<Acc> = aggs
+                    .iter()
+                    .zip(float_sum)
+                    .map(|(a, &fs)| Acc::new(a.func, fs))
+                    .collect();
+                table.insert(hash, key, accs)
+            }
+        };
+        let accs = &mut table.slots[slot].2;
+        for (acc, src) in accs.iter_mut().zip(srcs) {
+            match src {
+                AggSrc::CountAll => acc.update(None),
+                AggSrc::Col(c) => acc.update_cell(&batch.cell(i, *c)),
+                AggSrc::Expr(_) => unreachable!("columnar aggregate requires column sources"),
+            }
+        }
+    }
+    table
+}
+
 /// Per-group-slot byte estimate for accumulator charging: slot bookkeeping
 /// plus one accumulator's state per aggregate. Depends only on the data and
 /// the fixed morsel structure, so the charge is thread-count-invariant.
@@ -1175,16 +1699,29 @@ fn aggregate(
         aggregate_morsel(chunk, group_by, aggs, &srcs, &float_sum)
     })?;
     let parts = collect_ok(parts)?;
+    finish_aggregate(parts, group_by, aggs, &float_sum, input.is_empty(), guard)
+}
+
+/// Shared tail of row and columnar aggregation: charges the partial tables,
+/// merges them serially in morsel order, and emits the grouped output rows.
+fn finish_aggregate(
+    parts: Vec<GroupTable>,
+    group_by: &[usize],
+    aggs: &[miso_plan::AggExpr],
+    float_sum: &[bool],
+    input_empty: bool,
+    guard: &QueryGuard,
+) -> Result<Vec<Row>> {
     let slot_count: u64 = parts.iter().map(|t| t.slots.len() as u64).sum();
     let _accs = TempCharge::new(
         guard,
         slot_count * (AGG_SLOT_BYTES + aggs.len() as u64 * AGG_ACC_BYTES),
     )?;
     // Global aggregate over empty input still yields one row.
-    if group_by.is_empty() && input.is_empty() {
+    if group_by.is_empty() && input_empty {
         let accs: Vec<Acc> = aggs
             .iter()
-            .zip(&float_sum)
+            .zip(float_sum)
             .map(|(a, &fs)| Acc::new(a.func, fs))
             .collect();
         let values: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
@@ -1668,6 +2205,7 @@ mod tests {
             &udfs,
             ExecOptions {
                 retain_root_only: true,
+                ..ExecOptions::default()
             },
         )
         .unwrap();
@@ -1698,5 +2236,314 @@ mod tests {
             }
         }
         pool::set_threads(before);
+    }
+
+    /// Root-only retention with `columnar` explicitly set.
+    fn lean(columnar: bool) -> ExecOptions {
+        ExecOptions {
+            retain_root_only: true,
+            columnar,
+        }
+    }
+
+    fn run_opts(plan: &LogicalPlan, src: &MemSource, opts: ExecOptions) -> Execution {
+        execute_subset_opts(plan, None, HashMap::new(), src, &UdfRegistry::new(), opts).unwrap()
+    }
+
+    /// A multi-morsel log pipeline that hits every columnar operator body:
+    /// fused scan+project, vectorized filter, columnar grouped aggregation.
+    fn columnar_pipeline() -> (LogicalPlan, MemSource) {
+        let mut src = MemSource::new();
+        let lines: Vec<String> = (0..12_000)
+            .map(|i| {
+                if i % 97 == 13 {
+                    "oops not json".to_string()
+                } else if i % 53 == 0 {
+                    // Missing score: NULL after projection.
+                    format!(r#"{{"uid": {}, "city": "c{}"}}"#, i % 50, i % 7)
+                } else {
+                    format!(
+                        r#"{{"uid": {}, "city": "c{}", "score": {}}}"#,
+                        i % 50,
+                        i % 7,
+                        (i * 31) % 1000
+                    )
+                }
+            })
+            .collect();
+        src.add_log("events", lines);
+        let mut b = PlanBuilder::new();
+        let scan = b
+            .add(
+                Operator::ScanLog {
+                    log: "events".into(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![
+                        ("uid".into(), Expr::col(0).get("uid").cast(DataType::Int)),
+                        ("city".into(), Expr::col(0).get("city").cast(DataType::Str)),
+                        (
+                            "score".into(),
+                            Expr::col(0).get("score").cast(DataType::Int),
+                        ),
+                    ],
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let filt = b
+            .add(
+                Operator::Filter {
+                    predicate: Expr::Binary {
+                        op: miso_plan::BinOp::Lt,
+                        left: Box::new(Expr::col(2)),
+                        right: Box::new(Expr::lit(700i64)),
+                    },
+                },
+                vec![proj],
+            )
+            .unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![1],
+                    aggs: vec![
+                        AggExpr::new(AggFunc::Count, None, "n"),
+                        AggExpr::new(AggFunc::Sum, Some(Expr::col(2)), "total"),
+                        AggExpr::new(AggFunc::Min, Some(Expr::col(0)), "lo"),
+                        AggExpr::new(AggFunc::Max, Some(Expr::col(2)), "hi"),
+                        AggExpr::new(AggFunc::Avg, Some(Expr::col(2)), "avg"),
+                    ],
+                },
+                vec![filt],
+            )
+            .unwrap();
+        (b.finish(agg).unwrap(), src)
+    }
+
+    #[test]
+    fn columnar_lean_matches_row_path_and_serial_oracle() {
+        let (plan, src) = columnar_pipeline();
+        let udfs = UdfRegistry::new();
+        let serial = crate::serial::execute_serial(&plan, &src, &udfs).unwrap();
+        let before = pool::threads();
+        for t in [1, 8] {
+            pool::set_threads(t);
+            let col = run_opts(&plan, &src, lean(true));
+            let row = run_opts(&plan, &src, lean(false));
+            assert_eq!(
+                col.root_rows().unwrap(),
+                serial.root_rows().unwrap(),
+                "columnar vs serial, threads={t}"
+            );
+            assert_eq!(
+                row.root_rows().unwrap(),
+                serial.root_rows().unwrap(),
+                "row vs serial, threads={t}"
+            );
+            assert_eq!(col.skipped_lines, serial.skipped_lines);
+            // The fused scan still reports per-node row counts.
+            for id in serial.executed_nodes() {
+                assert_eq!(
+                    col.rows_out(id),
+                    serial.rows_out(id),
+                    "node {id} threads={t}"
+                );
+            }
+        }
+        pool::set_threads(before);
+    }
+
+    #[test]
+    fn columnar_outputs_are_thread_count_invariant() {
+        let (plan, src) = columnar_pipeline();
+        let before = pool::threads();
+        let mut reference: Option<Vec<Row>> = None;
+        for t in [1, 2, 8] {
+            pool::set_threads(t);
+            let exec = run_opts(&plan, &src, lean(true));
+            let rows = exec.root_rows().unwrap().to_vec();
+            match &reference {
+                None => reference = Some(rows),
+                Some(want) => assert_eq!(&rows, want, "threads={t}"),
+            }
+        }
+        pool::set_threads(before);
+    }
+
+    /// View scans publish a columnar twin beside the zero-copy rows; the
+    /// filter consumes the batch while sort/limit pivot back — the whole
+    /// steal pipeline must agree with its row-mode run.
+    #[test]
+    fn columnar_view_scan_matches_row_path() {
+        let (plan, src) = steal_pipeline();
+        let col = run_opts(&plan, &src, lean(true));
+        let row = run_opts(&plan, &src, lean(false));
+        assert_eq!(col.root_rows().unwrap(), row.root_rows().unwrap());
+    }
+
+    /// Joins stay row-wise: with columnar on, the join's view inputs use the
+    /// zero-copy row handles; the downstream aggregate pivots the joined
+    /// rows to a batch on demand (`ensure_cols`) and must still agree with
+    /// the row path.
+    #[test]
+    fn columnar_join_pipeline_matches_row_path() {
+        let mut src = MemSource::new();
+        src.add_view(
+            "facts",
+            (0..5_000)
+                .map(|i| Row::new(vec![Value::Int(i % 400), Value::Int(i)]))
+                .collect(),
+        );
+        src.add_view(
+            "dims",
+            (0..400)
+                .map(|i| Row::new(vec![Value::Int(i), Value::str(format!("seg-{}", i % 13))]))
+                .collect(),
+        );
+        let schema = |fields: Vec<Field>| Schema::new(fields);
+        let mut b = PlanBuilder::new();
+        let facts = b
+            .add(
+                Operator::ScanView {
+                    view: "facts".into(),
+                    schema: schema(vec![
+                        Field::new("k", DataType::Int),
+                        Field::new("v", DataType::Int),
+                    ]),
+                },
+                vec![],
+            )
+            .unwrap();
+        let dims = b
+            .add(
+                Operator::ScanView {
+                    view: "dims".into(),
+                    schema: schema(vec![
+                        Field::new("k", DataType::Int),
+                        Field::new("seg", DataType::Str),
+                    ]),
+                },
+                vec![],
+            )
+            .unwrap();
+        let join = b
+            .add(Operator::Join { on: vec![(0, 0)] }, vec![facts, dims])
+            .unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![3],
+                    aggs: vec![
+                        AggExpr::new(AggFunc::Count, None, "n"),
+                        AggExpr::new(AggFunc::Sum, Some(Expr::col(1)), "total"),
+                    ],
+                },
+                vec![join],
+            )
+            .unwrap();
+        let plan = b.finish(agg).unwrap();
+        let col = run_opts(&plan, &src, lean(true));
+        let row = run_opts(&plan, &src, lean(false));
+        assert_eq!(col.root_rows().unwrap(), row.root_rows().unwrap());
+    }
+
+    /// The production DW shape: a working set shipped from HV arrives as a
+    /// *provided* row seed (not a view scan), and the vectorizable consumers
+    /// above it — filter, project, aggregate — must pivot it on demand
+    /// (`ensure_cols`) and agree with the row path and the full execution.
+    #[test]
+    fn columnar_provided_seed_matches_row_path() {
+        let mut src = MemSource::new();
+        src.add_view(
+            "ws",
+            (0..9_000)
+                .map(|i| {
+                    Row::new(vec![
+                        Value::str(format!("city-{}", i % 23)),
+                        Value::Int(i % 500),
+                        Value::Float(i as f64 / 7.0),
+                    ])
+                })
+                .collect(),
+        );
+        let mut b = PlanBuilder::new();
+        let scan = b
+            .add(
+                Operator::ScanView {
+                    view: "ws".into(),
+                    schema: Schema::new(vec![
+                        Field::new("city", DataType::Str),
+                        Field::new("n", DataType::Int),
+                        Field::new("score", DataType::Float),
+                    ]),
+                },
+                vec![],
+            )
+            .unwrap();
+        let filter = b
+            .add(
+                Operator::Filter {
+                    predicate: Expr::Binary {
+                        op: miso_plan::BinOp::Gt,
+                        left: Box::new(Expr::col(1)),
+                        right: Box::new(Expr::lit(100i64)),
+                    },
+                },
+                vec![scan],
+            )
+            .unwrap();
+        let proj = b
+            .add(
+                Operator::Project {
+                    exprs: vec![
+                        ("city".into(), Expr::col(0)),
+                        ("score".into(), Expr::col(2)),
+                    ],
+                },
+                vec![filter],
+            )
+            .unwrap();
+        let agg = b
+            .add(
+                Operator::Aggregate {
+                    group_by: vec![0],
+                    aggs: vec![
+                        AggExpr::new(AggFunc::Count, None, "n"),
+                        AggExpr::new(AggFunc::Sum, Some(Expr::col(1)), "total"),
+                    ],
+                },
+                vec![proj],
+            )
+            .unwrap();
+        let plan = b.finish(agg).unwrap();
+        let udfs = UdfRegistry::new();
+        let full = execute(&plan, &src, &udfs).unwrap();
+        // Ship the scan's output as a provided seed, DW-style: the consumer
+        // subset never sees the view, only the pre-staged rows.
+        let provided: HashMap<NodeId, Arc<Vec<Row>>> =
+            [(scan, full.output(scan).clone())].into_iter().collect();
+        let dw_set: HashSet<NodeId> = [filter, proj, agg].into_iter().collect();
+        for columnar in [true, false] {
+            let dw = execute_subset_opts(
+                &plan,
+                Some(&dw_set),
+                provided.clone(),
+                &src,
+                &udfs,
+                lean(columnar),
+            )
+            .unwrap();
+            assert_eq!(
+                dw.root_rows().unwrap(),
+                full.root_rows().unwrap(),
+                "columnar={columnar}"
+            );
+        }
     }
 }

@@ -31,23 +31,7 @@ pub fn eval(expr: &Expr, row: &Row) -> Result<Value> {
             Ok(v.get_field(key).cloned().unwrap_or(Value::Null))
         }
         Expr::Cast { input, ty } => Ok(cast(eval(input, row)?, *ty)),
-        Expr::Unary { op, input } => {
-            let v = eval(input, row)?;
-            Ok(match op {
-                UnaryOp::IsNull => Value::Bool(v.is_null()),
-                UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
-                UnaryOp::Not => match v {
-                    Value::Bool(b) => Value::Bool(!b),
-                    Value::Null => Value::Null,
-                    _ => Value::Null,
-                },
-                UnaryOp::Neg => match v {
-                    Value::Int(i) => Value::Int(-i),
-                    Value::Float(f) => Value::Float(-f),
-                    _ => Value::Null,
-                },
-            })
-        }
+        Expr::Unary { op, input } => Ok(eval_unary(*op, eval(input, row)?)),
         Expr::Binary { op, left, right } => {
             // Short-circuit logical operators before evaluating both sides.
             if matches!(op, BinOp::And | BinOp::Or) {
@@ -69,28 +53,58 @@ pub fn eval_predicate(expr: &Expr, row: &Row) -> Result<bool> {
     Ok(eval(expr, row)?.is_true())
 }
 
-fn eval_logical(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value> {
-    let l = eval(left, row)?;
-    match (op, &l) {
-        (BinOp::And, Value::Bool(false)) => Ok(Value::Bool(false)),
-        (BinOp::Or, Value::Bool(true)) => Ok(Value::Bool(true)),
-        _ => {
-            let r = eval(right, row)?;
-            Ok(match (op, l, r) {
-                (BinOp::And, Value::Bool(a), Value::Bool(b)) => Value::Bool(a && b),
-                (BinOp::Or, Value::Bool(a), Value::Bool(b)) => Value::Bool(a || b),
-                // NULL-involving logical ops: approximate three-valued logic.
-                (BinOp::And, Value::Null, Value::Bool(false))
-                | (BinOp::And, Value::Bool(false), Value::Null) => Value::Bool(false),
-                (BinOp::Or, Value::Null, Value::Bool(true))
-                | (BinOp::Or, Value::Bool(true), Value::Null) => Value::Bool(true),
-                _ => Value::Null,
-            })
-        }
+/// The unary-operator body, shared verbatim with the vectorized evaluator.
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> Value {
+    match op {
+        UnaryOp::IsNull => Value::Bool(v.is_null()),
+        UnaryOp::IsNotNull => Value::Bool(!v.is_null()),
+        UnaryOp::Not => match v {
+            Value::Bool(b) => Value::Bool(!b),
+            Value::Null => Value::Null,
+            _ => Value::Null,
+        },
+        UnaryOp::Neg => match v {
+            Value::Int(i) => Value::Int(-i),
+            Value::Float(f) => Value::Float(-f),
+            _ => Value::Null,
+        },
     }
 }
 
-fn eval_binary(op: BinOp, l: Value, r: Value) -> Value {
+fn eval_logical(op: BinOp, left: &Expr, right: &Expr, row: &Row) -> Result<Value> {
+    let l = eval(left, row)?;
+    if logical_short_circuits(op, &l) {
+        return Ok(l);
+    }
+    let r = eval(right, row)?;
+    Ok(logical_combine(op, l, r))
+}
+
+/// `false AND _` / `true OR _` decide without the right side — the left
+/// value *is* the result.
+pub(crate) fn logical_short_circuits(op: BinOp, l: &Value) -> bool {
+    matches!(
+        (op, l),
+        (BinOp::And, Value::Bool(false)) | (BinOp::Or, Value::Bool(true))
+    )
+}
+
+/// The non-short-circuit half of AND/OR, shared verbatim with the
+/// vectorized evaluator.
+pub(crate) fn logical_combine(op: BinOp, l: Value, r: Value) -> Value {
+    match (op, l, r) {
+        (BinOp::And, Value::Bool(a), Value::Bool(b)) => Value::Bool(a && b),
+        (BinOp::Or, Value::Bool(a), Value::Bool(b)) => Value::Bool(a || b),
+        // NULL-involving logical ops: approximate three-valued logic.
+        (BinOp::And, Value::Null, Value::Bool(false))
+        | (BinOp::And, Value::Bool(false), Value::Null) => Value::Bool(false),
+        (BinOp::Or, Value::Null, Value::Bool(true))
+        | (BinOp::Or, Value::Bool(true), Value::Null) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+pub(crate) fn eval_binary(op: BinOp, l: Value, r: Value) -> Value {
     if l.is_null() || r.is_null() {
         return Value::Null;
     }

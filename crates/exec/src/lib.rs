@@ -10,6 +10,9 @@
 //!   NULL-tolerant operators, scalar builtins);
 //! * [`udf`] — the user-defined-function registry (UDFs are the operators
 //!   that pin plan subtrees to HV);
+//! * [`col`] — columnar (vectorized) execution support: the `MISO_COL`
+//!   toggle, the morsel-at-a-time expression evaluator over
+//!   [`miso_data::ColBatch`], and the fused scan+project line parser;
 //! * [`engine`] — the morsel-parallel operator interpreter (miso-vex):
 //!   executes a plan DAG over a [`engine::DataSource`], materializing every
 //!   node's output (the materialization behaviour that yields opportunistic
@@ -17,6 +20,7 @@
 //! * [`serial`] — the original row-at-a-time interpreter, preserved as the
 //!   differential-testing oracle and benchmark baseline.
 
+pub mod col;
 pub mod engine;
 pub mod eval;
 pub mod profile;

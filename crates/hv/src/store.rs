@@ -277,6 +277,7 @@ impl HvStore {
             udfs,
             ExecOptions {
                 retain_root_only: false,
+                ..ExecOptions::default()
             },
             guard,
         )?;

@@ -28,8 +28,11 @@ cargo run --release -q -p miso-bench --bin soakbench -- --smoke
 echo "==> tunerbench perf smoke (record-only)"
 cargo run --release -q -p miso-bench --bin tunerbench -- --smoke
 
-echo "==> execbench perf smoke (record-only)"
-cargo run --release -q -p miso-bench --bin execbench -- --smoke
+echo "==> execbench perf smoke, row mode (MISO_COL=0; output verified against serial)"
+MISO_COL=0 cargo run --release -q -p miso-bench --bin execbench -- --smoke
+
+echo "==> execbench perf smoke, columnar mode (record-only; output verified against serial)"
+MISO_COL=1 cargo run --release -q -p miso-bench --bin execbench -- --smoke
 
 echo "==> servebench smoke (concurrent serving: epochs, drain, fairness, storm)"
 cargo run --release -q -p miso-bench --bin servebench -- --smoke

@@ -133,6 +133,7 @@ fn run_guarded(
         &UdfRegistry::new(),
         ExecOptions {
             retain_root_only: false,
+            ..ExecOptions::default()
         },
         guard,
     )
