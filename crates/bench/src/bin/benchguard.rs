@@ -242,6 +242,55 @@ fn main() {
         }
     }
 
+    // --- ivmbench: match configs by shape name; the guarded figure is the
+    // wall-clock speedup of delta-fold maintenance over forced full
+    // recomputation. Smoke runs use a tiny corpus where fixed per-append
+    // overheads weigh more, so the usual tolerance band applies.
+    if let Some((smoke, base)) = pair("results/ivmbench.report.json", "BENCH_ivm.json") {
+        let base_cfgs = configs(&base);
+        let smoke_keys: BTreeSet<String> = configs(&smoke)
+            .iter()
+            .filter_map(|c| c.get_field("name").and_then(Value::as_str))
+            .map(str::to_string)
+            .collect();
+        check_vanished(
+            "ivm shape",
+            base_cfgs
+                .iter()
+                .filter_map(|b| b.get_field("name").and_then(Value::as_str))
+                .map(str::to_string),
+            &smoke_keys,
+            &mut violations,
+        );
+        for cfg in configs(&smoke) {
+            let Some(name) = cfg.get_field("name").and_then(Value::as_str) else {
+                continue;
+            };
+            let Some(speedup) = num(cfg, "speedup") else {
+                continue;
+            };
+            let baseline = base_cfgs
+                .iter()
+                .find(|b| b.get_field("name").and_then(Value::as_str) == Some(name))
+                .and_then(|b| num(b, "speedup"));
+            let Some(baseline) = baseline else {
+                eprintln!("benchguard: no BENCH_ivm.json baseline for `{name}`");
+                continue;
+            };
+            compared += 1;
+            let floor = baseline * tol;
+            let ok = speedup >= floor;
+            println!(
+                "benchguard: ivm {name}: smoke {speedup:.2}x vs baseline \
+                     {baseline:.2}x (floor {floor:.2}x) {}",
+                if ok { "ok" } else { "REGRESSION" }
+            );
+            if !ok {
+                violations += 1;
+            }
+        }
+    }
+
     if violations > 0 {
         eprintln!(
             "benchguard: {violations} regression(s) across {compared} comparison(s){}",

@@ -35,9 +35,9 @@ pub mod variants;
 pub use audit::{AuditConfig, AuditMode, AuditReport};
 pub use calibration::{CalibrationAccumulator, CalibrationReport};
 pub use knapsack::{m_knapsack, PackItem, PackResult};
-pub use maintenance::{MaintenancePolicy, MaintenanceReport};
+pub use maintenance::{MaintAction, MaintDecision, MaintenancePolicy, MaintenanceReport};
 pub use metrics::{ExperimentResult, QueryFailure, QueryRecord, TtiBreakdown};
 pub use reorg::{JournalEntry, ReorgJournal, ReorgPlan};
-pub use system::{GuardConfig, MultistoreSystem, SystemConfig};
+pub use system::{GrowthConfig, GuardConfig, MultistoreSystem, SystemConfig};
 pub use tuner::{MisoTuner, NewDesign, TunerConfig};
 pub use variants::Variant;

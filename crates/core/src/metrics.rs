@@ -149,6 +149,9 @@ pub struct ExperimentResult {
     /// Queries the guard layer terminated (always empty when guards are
     /// disabled).
     pub failures: Vec<QueryFailure>,
+    /// Streaming-growth maintenance reports, one per ingested delta batch
+    /// (empty unless `SystemConfig::growth` is set).
+    pub maintenance: Vec<crate::maintenance::MaintenanceReport>,
 }
 
 impl ExperimentResult {
@@ -259,10 +262,7 @@ mod tests {
                 rec("b", 10, 90, 0, 200),
                 rec("c", 0, 0, 0, 200),
             ],
-            reorgs: vec![],
-            tti: TtiBreakdown::default(),
-            calibrations: vec![],
-            failures: vec![],
+            ..Default::default()
         };
         let ranked = result.by_dw_utilization();
         assert_eq!(ranked[0].label, "b");
@@ -279,10 +279,7 @@ mod tests {
                 rec("b", 50, 0, 0, 55),
                 rec("c", 500, 0, 0, 555),
             ],
-            reorgs: vec![],
-            tti: TtiBreakdown::default(),
-            calibrations: vec![],
-            failures: vec![],
+            ..Default::default()
         };
         let cdf = result.exec_time_cdf(&[10.0, 100.0, 1000.0]);
         assert_eq!(cdf, vec![1.0 / 3.0, 2.0 / 3.0, 1.0]);
@@ -309,19 +306,13 @@ mod tests {
         let result = ExperimentResult {
             variant: "test".into(),
             records: vec![rec("a", 55, 1, 0, 56), rec("b", 55, 1, 0, 112)],
-            reorgs: vec![],
-            tti: TtiBreakdown::default(),
-            calibrations: vec![],
-            failures: vec![],
+            ..Default::default()
         };
         assert_eq!(result.hv_per_dw_second(2), 55.0);
         let none = ExperimentResult {
             variant: "x".into(),
             records: vec![rec("a", 5, 0, 0, 5)],
-            reorgs: vec![],
-            tti: TtiBreakdown::default(),
-            calibrations: vec![],
-            failures: vec![],
+            ..Default::default()
         };
         assert!(none.hv_per_dw_second(1).is_infinite());
     }
@@ -331,10 +322,7 @@ mod tests {
         let result = ExperimentResult {
             variant: "test".into(),
             records: vec![rec("a", 1, 0, 0, 10), rec("b", 1, 0, 0, 25)],
-            reorgs: vec![],
-            tti: TtiBreakdown::default(),
-            calibrations: vec![],
-            failures: vec![],
+            ..Default::default()
         };
         let c = result.cumulative_tti();
         assert_eq!(c[0].as_secs(), 10);

@@ -85,6 +85,37 @@ pub struct SystemConfig {
     /// purely a performance knob. The `MISO_COL` environment variable, when
     /// set, overrides this at system construction.
     pub columnar: bool,
+    /// Incremental view maintenance (miso-ivm) for the Refresh policy.
+    /// Default **on**: maintainable views fold appended deltas into live
+    /// state in O(|delta|) instead of recomputing; results and checksums
+    /// are bit-identical to full recomputation either way, so this too is
+    /// a performance knob. The `MISO_IVM` environment variable, when set,
+    /// overrides this at system construction (`0`/`off`/`false` disable).
+    pub ivm: bool,
+    /// Delta-apply size policy: when a delta carries more than this
+    /// fraction of the base log's pre-append rows, maintenance falls back
+    /// to a full rebuild (which also resets fold state).
+    pub ivm_max_delta_frac: f64,
+    /// Optional streaming-growth schedule for the online stream: when set,
+    /// every reorganization boundary first ingests a generated append-only
+    /// delta batch through [`crate::MaintenancePolicy`]-driven maintenance,
+    /// so the corpus grows across epochs. `None` (the default) keeps
+    /// growth-free runs byte-identical.
+    pub growth: Option<GrowthConfig>,
+}
+
+/// Streaming-growth schedule for [`MultistoreSystem::run_stream`].
+#[derive(Debug, Clone)]
+pub struct GrowthConfig {
+    /// Which base log grows.
+    pub kind: miso_data::logs::LogKind,
+    /// Appended records per growth step (one step per reorg boundary).
+    pub records_per_epoch: usize,
+    /// How affected views are maintained.
+    pub policy: crate::MaintenancePolicy,
+    /// Generator parameters for the delta batches (normally the same
+    /// config that generated the corpus, so schemas line up).
+    pub logs: miso_data::logs::LogsConfig,
 }
 
 /// Settings for the miso-guard control plane.
@@ -159,6 +190,9 @@ impl SystemConfig {
             calibrate_costs: false,
             guard: GuardConfig::disabled(),
             columnar: true,
+            ivm: true,
+            ivm_max_delta_frac: 0.25,
+            growth: None,
         }
     }
 }
@@ -207,6 +241,10 @@ pub struct MultistoreSystem {
     inflight: usize,
     /// High-water mark of guard-charged bytes across all queries so far.
     guard_peak_bytes: u64,
+    /// Live incremental-maintenance state per view (digest, join build
+    /// sides, aggregate fold state). Populated lazily by Refresh-policy
+    /// maintenance; views without entries simply rebuild on first refresh.
+    pub(crate) ivm_state: HashMap<String, crate::maintenance::IvmViewState>,
 }
 
 impl MultistoreSystem {
@@ -221,6 +259,11 @@ impl MultistoreSystem {
         // operators can flip the path without touching configs.
         miso_exec::col::set_enabled(config.columnar);
         miso_exec::col::init_from_env();
+        // `MISO_IVM` likewise overrides the config knob when set.
+        let mut config = config;
+        if let Ok(v) = std::env::var("MISO_IVM") {
+            config.ivm = !matches!(v.trim(), "0" | "off" | "false" | "OFF" | "FALSE");
+        }
         let mut hv = HvStore::new();
         hv.add_log(corpus.twitter.clone());
         hv.add_log(corpus.foursquare.clone());
@@ -249,6 +292,7 @@ impl MultistoreSystem {
             guard_breaker,
             inflight: 0,
             guard_peak_bytes: 0,
+            ivm_state: HashMap::new(),
         }
     }
 
@@ -558,6 +602,24 @@ impl MultistoreSystem {
         let mut history: Vec<LogicalPlan> = Vec::new();
 
         for (i, (label, raw)) in queries.iter().enumerate() {
+            // Streaming growth: at every reorganization boundary the corpus
+            // may grow first, so the tuner below sees post-append statistics
+            // and maintenance costs. Runs for *all* variants (the base data
+            // grows regardless of who is tuning).
+            if i > 0 && i % self.config.reorg_every == 0 {
+                if let Some(growth) = self.config.growth.clone() {
+                    let batch = (i / self.config.reorg_every) as u64;
+                    let delta = miso_data::Delta::generated(
+                        &growth.logs,
+                        growth.kind,
+                        batch,
+                        growth.records_per_epoch,
+                    );
+                    let report = self.grow(&delta, growth.policy, clock)?;
+                    result.tti.tune += report.cost;
+                    result.maintenance.push(report);
+                }
+            }
             // Reorganization phase every `reorg_every` queries (not before
             // the first query: there is nothing to tune yet).
             if variant.uses_miso_tuner() && i > 0 && i % self.config.reorg_every == 0 {
@@ -1210,7 +1272,13 @@ impl MultistoreSystem {
         let mut tune_hv = current_hv.clone();
         tune_hv.extend(quarantined.iter().cloned());
         let stats = self.build_stats();
-        let mut new_design = tuner.tune(
+        // Under a growth schedule, keeping a view costs upkeep too: charge
+        // each candidate its estimated per-window maintenance cost so
+        // delta-maintainable views out-compete equal-benefit views that
+        // need full recomputation. Without growth the map is empty and the
+        // tuner's arithmetic is untouched.
+        let maint_cost = self.maintenance_costs();
+        let mut new_design = tuner.tune_with_maintenance(
             &tune_hv,
             &current_dw,
             &self.catalog,
@@ -1219,6 +1287,7 @@ impl MultistoreSystem {
             &self.hv.cost_model,
             &self.dw.cost_model,
             &self.transfer,
+            &maint_cost,
         );
         let mut duration = self.config.tune_compute;
         let mut repaired = Vec::new();

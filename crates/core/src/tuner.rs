@@ -164,6 +164,40 @@ impl MisoTuner {
         dw_cost: &DwCostModel,
         transfer: &TransferModel,
     ) -> NewDesign {
+        self.tune_with_maintenance(
+            current_hv,
+            current_dw,
+            catalog,
+            history,
+            stats,
+            hv_cost,
+            dw_cost,
+            transfer,
+            &HashMap::new(),
+        )
+    }
+
+    /// [`MisoTuner::tune`], with a per-view *maintenance cost* term
+    /// (simulated seconds per history window, estimated by the caller from
+    /// its growth schedule). Keeping a view is only worth its benefit
+    /// minus what it will cost to keep current, so each candidate item's
+    /// benefit is charged the summed maintenance cost of its views before
+    /// the knapsack phases — delta-maintainable views (cheap upkeep)
+    /// thereby out-compete full-recompute views of equal query benefit.
+    /// An empty map reproduces `tune` exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tune_with_maintenance(
+        &self,
+        current_hv: &BTreeSet<String>,
+        current_dw: &BTreeSet<String>,
+        catalog: &ViewCatalog,
+        history: &[LogicalPlan],
+        stats: &MapStats,
+        hv_cost: &HvCostModel,
+        dw_cost: &DwCostModel,
+        transfer: &TransferModel,
+        maint_cost: &HashMap<String, f64>,
+    ) -> NewDesign {
         let mut obs = miso_obs::span("tuner.tune");
         let budgets = &self.config.budgets;
         // Per-dimension discretization: at least the configured unit, but
@@ -265,6 +299,20 @@ impl MisoTuner {
         // Phase 1: pack DW. HV-resident members consume B_t (Case 1).
         let size_of =
             |v: &str| -> ByteSize { catalog.get(v).map(|d| d.size).unwrap_or(ByteSize::ZERO) };
+        // Charge each item's benefit with the maintenance cost of keeping
+        // its views current over the window. The `> 0.0` guard keeps the
+        // no-growth path bit-identical (no float round-trip at all).
+        let charged = |views: &BTreeSet<String>, benefit: f64| -> f64 {
+            let penalty: f64 = views
+                .iter()
+                .map(|v| maint_cost.get(v).copied().unwrap_or(0.0))
+                .sum();
+            if penalty > 0.0 {
+                (benefit - penalty).max(0.0)
+            } else {
+                benefit
+            }
+        };
         let dw_items: Vec<PackItem> = items
             .iter()
             .map(|item| {
@@ -279,7 +327,7 @@ impl MisoTuner {
                     views: item.views.iter().cloned().collect(),
                     storage_units: storage.units_ceil(dw_unit),
                     transfer_units: transfer_bytes.units_ceil(tu_unit),
-                    benefit: item.benefit,
+                    benefit: charged(&item.views, item.benefit),
                 }
             })
             .collect();
@@ -323,7 +371,7 @@ impl MisoTuner {
                     views: item.views.iter().cloned().collect(),
                     storage_units: storage.units_ceil(hv_unit),
                     transfer_units: transfer_bytes.units_ceil(tu_unit),
-                    benefit: item.benefit,
+                    benefit: charged(&item.views, item.benefit),
                 }
             })
             .collect();

@@ -1,0 +1,260 @@
+//! End-to-end incremental-maintenance guarantees, exercised through the
+//! public `MultistoreSystem` API:
+//!
+//! * delta-applied views are row- and **checksum-identical** to fully
+//!   rebuilt views (the incrementally re-stamped digest equals a
+//!   from-scratch `checksum_rows` over the stored rows);
+//! * results and checksums are invariant under the `ivm` toggle and under
+//!   the worker-pool thread count;
+//! * a corrupted view quarantines through the integrity path, appends
+//!   defer its rebuild (reason `Quarantined`, no resurrection behind the
+//!   auditor's back), the reorg repair path recomputes it over the grown
+//!   log, and maintenance then resumes folding deltas;
+//! * a growth schedule threaded through `run_stream` grows the corpus
+//!   between epochs and surfaces per-batch maintenance reports.
+
+use miso_common::{pool, Budgets, ByteSize, SimClock};
+use miso_core::{
+    AuditConfig, MaintAction, MaintenancePolicy, MultistoreSystem, SystemConfig, Variant,
+};
+use miso_data::checksum_rows;
+use miso_data::logs::{Corpus, LogKind, LogsConfig};
+use miso_data::Delta;
+use miso_exec::engine::DataSource;
+use miso_lang::compile;
+use miso_plan::LogicalPlan;
+use miso_views::FullReason;
+use miso_workload::{standard_udfs, workload_catalog};
+use std::collections::BTreeMap;
+
+fn budgets() -> Budgets {
+    Budgets::new(
+        ByteSize::from_mib(64),
+        ByteSize::from_mib(8),
+        ByteSize::from_mib(4),
+    )
+    .with_discretization(ByteSize::from_kib(16))
+}
+
+fn system_with(corpus: &Corpus, config: SystemConfig) -> MultistoreSystem {
+    MultistoreSystem::new(corpus, workload_catalog(), standard_udfs(), config)
+}
+
+fn queries() -> Vec<(String, LogicalPlan)> {
+    let catalog = workload_catalog();
+    vec![
+        (
+            "filtered".to_string(),
+            compile(
+                "SELECT t.tweet_id AS id, t.city AS city FROM twitter t WHERE t.followers > 10",
+                &catalog,
+            )
+            .unwrap(),
+        ),
+        (
+            "grouped".to_string(),
+            compile(
+                "SELECT t.city AS c, COUNT(*) AS n, SUM(t.followers) AS s FROM twitter t \
+                 WHERE t.followers > 10 GROUP BY t.city",
+                &catalog,
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+/// Creates views, appends `batches` delta batches under Refresh, and
+/// returns the per-view catalog checksums afterwards.
+fn grow_and_fingerprint(
+    cfg: &LogsConfig,
+    config: SystemConfig,
+    batches: u64,
+) -> (MultistoreSystem, BTreeMap<String, u64>) {
+    let corpus = Corpus::generate(cfg);
+    let mut sys = system_with(&corpus, config);
+    sys.run_workload(Variant::HvOp, &queries()).unwrap();
+    let mut clock = SimClock::new();
+    for batch in 0..batches {
+        let delta = Delta::generated(cfg, LogKind::Twitter, batch, 80);
+        sys.grow(&delta, MaintenancePolicy::Refresh, &mut clock)
+            .unwrap();
+    }
+    let sums = sys
+        .catalog
+        .defs()
+        .iter()
+        .filter_map(|d| d.checksum.map(|c| (d.name.clone(), c.0)))
+        .collect();
+    (sys, sums)
+}
+
+#[test]
+fn delta_applied_checksum_equals_full_rebuild_checksum() {
+    let cfg = LogsConfig::tiny();
+    let (sys, _) = grow_and_fingerprint(&cfg, SystemConfig::paper_default(budgets()), 3);
+    // After warm-state folds, every view's catalog checksum — stamped
+    // incrementally through the running digest — must equal a from-scratch
+    // checksum of the rows actually stored.
+    let mut checked = 0;
+    for def in sys.catalog.defs() {
+        let rows = sys
+            .hv
+            .view_rows(&def.name)
+            .or_else(|| sys.dw.view_rows_arc(&def.name))
+            .expect("maintained view is resident");
+        assert_eq!(
+            def.checksum,
+            Some(checksum_rows(&rows)),
+            "{}: incremental stamp diverged from full rebuild",
+            def.name
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "no views were maintained");
+}
+
+#[test]
+fn ivm_toggle_does_not_change_results_or_checksums() {
+    let cfg = LogsConfig::tiny();
+    let on = SystemConfig::paper_default(budgets());
+    assert!(on.ivm, "IVM defaults on");
+    let mut off = SystemConfig::paper_default(budgets());
+    off.ivm = false;
+    let (mut sys_on, sums_on) = grow_and_fingerprint(&cfg, on, 3);
+    let (mut sys_off, sums_off) = grow_and_fingerprint(&cfg, off, 3);
+    assert_eq!(sums_on, sums_off, "checksums diverge across the ivm toggle");
+    // And the answers over the maintained views agree.
+    let r_on = sys_on.run_workload(Variant::HvOp, &queries()).unwrap();
+    let r_off = sys_off.run_workload(Variant::HvOp, &queries()).unwrap();
+    for (a, b) in r_on.records.iter().zip(&r_off.records) {
+        assert_eq!(a.result_rows, b.result_rows, "{}", a.label);
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_maintained_views() {
+    let cfg = LogsConfig::tiny();
+    pool::set_threads(1);
+    let (_, serial) = grow_and_fingerprint(&cfg, SystemConfig::paper_default(budgets()), 3);
+    pool::set_threads(8);
+    let (_, parallel) = grow_and_fingerprint(&cfg, SystemConfig::paper_default(budgets()), 3);
+    pool::set_threads(0); // restore default sizing for other tests
+    assert_eq!(
+        serial, parallel,
+        "maintained view checksums must be thread-count invariant"
+    );
+}
+
+#[test]
+fn corruption_quarantines_then_reorg_repairs_and_folding_resumes() {
+    let cfg = LogsConfig::tiny();
+    let corpus = Corpus::generate(&cfg);
+    let mut sys = system_with(&corpus, SystemConfig::paper_default(budgets()));
+    let qs = queries();
+    sys.run_workload(Variant::MsMiso, &qs).unwrap();
+    let mut clock = SimClock::new();
+    // Warm the fold state.
+    for batch in 0..2u64 {
+        let delta = Delta::generated(&cfg, LogKind::Twitter, batch, 60);
+        sys.grow(&delta, MaintenancePolicy::Refresh, &mut clock)
+            .unwrap();
+    }
+
+    // Corrupt one maintained HV view; the audit scrub must quarantine it.
+    let victim = sys
+        .hv
+        .view_names()
+        .into_iter()
+        .find(|v| sys.catalog.contains(v))
+        .expect("an HV-resident catalog view exists");
+    assert!(sys.hv.corrupt_view(&victim));
+    let report = sys
+        .audit_pass(&AuditConfig::strict(ByteSize::from_mib(64)))
+        .unwrap();
+    assert_eq!(report.quarantined, vec![victim.clone()]);
+    assert!(sys.catalog.is_quarantined(&victim));
+
+    // Appends while quarantined: the rebuild is deferred (reported, not
+    // resurrected — the store must stay clean for the auditor).
+    let delta = Delta::generated(&cfg, LogKind::Twitter, 2, 60);
+    let mreport = sys
+        .grow(&delta, MaintenancePolicy::Refresh, &mut clock)
+        .unwrap();
+    let decision = mreport
+        .decisions
+        .iter()
+        .find(|d| d.view == victim)
+        .expect("quarantined view is still an affected view");
+    assert_eq!(decision.reason, Some(FullReason::Quarantined));
+    assert!(!sys.hv.has_view(&victim), "must not resurrect behind audit");
+    let audit_again = sys
+        .audit_pass(&AuditConfig::strict(ByteSize::from_mib(64)))
+        .unwrap();
+    assert!(audit_again.violations.is_empty());
+
+    // The existing repair path: reorganizations offer quarantined views to
+    // the tuner and recompute the keepers over the (grown) base log.
+    sys.run_workload(Variant::MsMiso, &qs).unwrap();
+    assert!(
+        !sys.catalog.is_quarantined(&victim),
+        "reorg must repair or drop the quarantined view"
+    );
+    if let Some(def) = sys.catalog.get(&victim) {
+        let rows = sys
+            .hv
+            .view_rows(&victim)
+            .or_else(|| sys.dw.view_rows_arc(&victim))
+            .expect("repaired view is resident");
+        assert_eq!(def.checksum, Some(checksum_rows(&rows)));
+    }
+
+    // Maintenance resumes: the next appends fold deltas again.
+    let mut folded = 0;
+    for batch in 3..5u64 {
+        let delta = Delta::generated(&cfg, LogKind::Twitter, batch, 60);
+        let r = sys
+            .grow(&delta, MaintenancePolicy::Refresh, &mut clock)
+            .unwrap();
+        folded += r
+            .decisions
+            .iter()
+            .filter(|d| d.action == MaintAction::Delta)
+            .count();
+    }
+    assert!(folded > 0, "delta folding must resume after repair");
+}
+
+#[test]
+fn growth_schedule_feeds_the_stream() {
+    let cfg = LogsConfig::tiny();
+    let corpus = Corpus::generate(&cfg);
+    let mut config = SystemConfig::paper_default(budgets());
+    config.growth = Some(miso_core::GrowthConfig {
+        kind: LogKind::Twitter,
+        records_per_epoch: 100,
+        policy: MaintenancePolicy::Refresh,
+        logs: cfg.clone(),
+    });
+    let mut sys = system_with(&corpus, config);
+    // 8 queries at reorg_every=3 → growth steps before queries 3 and 6.
+    let qs: Vec<_> = (0..4).flat_map(|_| queries()).collect();
+    let result = sys.run_workload(Variant::MsMiso, &qs).unwrap();
+    assert_eq!(result.maintenance.len(), 2, "one report per growth step");
+    let grown: u64 = result
+        .maintenance
+        .iter()
+        .map(|r| r.appended.as_bytes())
+        .sum();
+    assert!(grown > 0);
+    assert_eq!(
+        sys.hv.log_lines("twitter").unwrap().len(),
+        cfg.tweets + 200,
+        "corpus grew by records_per_epoch per boundary"
+    );
+
+    // Identical run without growth: corpus untouched, no reports.
+    let mut baseline = system_with(&corpus, SystemConfig::paper_default(budgets()));
+    let base_result = baseline.run_workload(Variant::MsMiso, &qs).unwrap();
+    assert!(base_result.maintenance.is_empty());
+    assert_eq!(baseline.hv.log_lines("twitter").unwrap().len(), cfg.tweets);
+}

@@ -80,10 +80,92 @@ pub fn checksum_rows(rows: &[Row]) -> Checksum {
     for row in rows {
         acc = acc.wrapping_add(checksum_row(row));
     }
+    finish_digest(acc, rows.len() as u64)
+}
+
+fn finish_digest(sum: u64, count: u64) -> Checksum {
     let mut h = Fnv::new();
-    h.u64(acc);
-    h.u64(rows.len() as u64);
+    h.u64(sum);
+    h.u64(count);
     Checksum(h.finish())
+}
+
+/// The incremental state behind [`checksum_rows`]: the commutative wrapping
+/// sum of per-row digests plus the row count.
+///
+/// Because the combiner is a wrapping sum, the multiset digest forms a
+/// group: rows can be added *and removed* in any order, and
+/// [`RowSetDigest::finish`] always equals [`checksum_rows`] over the
+/// resulting multiset. This is what makes incremental view maintenance
+/// re-stamp a checksum in O(|delta|) — the maintainer carries the
+/// `(sum, count)` state next to the view, folds in appended rows and folds
+/// out replaced aggregate rows, and the restamped checksum is bit-identical
+/// to a full rebuild's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RowSetDigest {
+    sum: u64,
+    count: u64,
+}
+
+impl RowSetDigest {
+    /// State for the empty multiset.
+    pub fn new() -> RowSetDigest {
+        RowSetDigest::default()
+    }
+
+    /// State for an existing row set (O(|rows|), paid once at build time).
+    pub fn from_rows(rows: &[Row]) -> RowSetDigest {
+        let mut d = RowSetDigest::new();
+        d.add_rows(rows);
+        d
+    }
+
+    /// Folds one row into the multiset.
+    pub fn add_row(&mut self, row: &Row) {
+        self.sum = self.sum.wrapping_add(checksum_row(row));
+        self.count += 1;
+    }
+
+    /// Folds a batch of rows into the multiset.
+    pub fn add_rows(&mut self, rows: &[Row]) {
+        for row in rows {
+            self.add_row(row);
+        }
+    }
+
+    /// Removes one row from the multiset (the caller asserts it is
+    /// present; removing an absent row silently corrupts the digest, which
+    /// the maintainer's verify-against-catalog check would then catch).
+    pub fn remove_row(&mut self, row: &Row) {
+        debug_assert!(self.count > 0, "removing from an empty multiset digest");
+        self.sum = self.sum.wrapping_sub(checksum_row(row));
+        self.count = self.count.wrapping_sub(1);
+    }
+
+    /// Swaps `old` for `new` in one step (aggregate group update).
+    pub fn replace_row(&mut self, old: &Row, new: &Row) {
+        self.sum = self
+            .sum
+            .wrapping_sub(checksum_row(old))
+            .wrapping_add(checksum_row(new));
+    }
+
+    /// Merges another digest's multiset into this one.
+    pub fn merge(&mut self, other: &RowSetDigest) {
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.count += other.count;
+    }
+
+    /// Rows currently in the multiset.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The checksum of the current multiset — bit-identical to
+    /// [`checksum_rows`] over the same rows.
+    pub fn finish(&self) -> Checksum {
+        finish_digest(self.sum, self.count)
+    }
 }
 
 /// Silently flips one value in the first non-empty row (simulated bit
@@ -246,6 +328,57 @@ mod tests {
         assert!(!corrupt_first_row(&mut empty));
         let mut zero_arity = Arc::new(vec![row(vec![])]);
         assert!(!corrupt_first_row(&mut zero_arity));
+    }
+
+    #[test]
+    fn rowset_digest_matches_full_checksum() {
+        let rows: Vec<Row> = (0..37)
+            .map(|i| {
+                row(vec![
+                    Value::Int(i),
+                    Value::str(format!("r{i}")),
+                    if i % 5 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(i as f64 / 3.0)
+                    },
+                ])
+            })
+            .collect();
+        // Build from scratch vs fold one at a time.
+        let whole = RowSetDigest::from_rows(&rows);
+        assert_eq!(whole.finish(), checksum_rows(&rows));
+        assert_eq!(whole.count(), rows.len() as u64);
+        // Base + delta fold equals the full digest for every split point.
+        for split in [0, 1, 17, rows.len()] {
+            let mut d = RowSetDigest::from_rows(&rows[..split]);
+            d.add_rows(&rows[split..]);
+            assert_eq!(d.finish(), checksum_rows(&rows), "split {split}");
+        }
+        // Merge of two halves equals the whole.
+        let mut left = RowSetDigest::from_rows(&rows[..20]);
+        left.merge(&RowSetDigest::from_rows(&rows[20..]));
+        assert_eq!(left.finish(), checksum_rows(&rows));
+    }
+
+    #[test]
+    fn rowset_digest_remove_and_replace_are_exact_inverses() {
+        let a = row(vec![Value::str("austin"), Value::Int(3)]);
+        let b = row(vec![Value::str("boston"), Value::Int(5)]);
+        let c = row(vec![Value::str("boston"), Value::Int(9)]);
+        let mut d = RowSetDigest::from_rows(&[a.clone(), b.clone()]);
+        // Replace b -> c: must equal a fresh digest of {a, c}.
+        d.replace_row(&b, &c);
+        assert_eq!(d.finish(), checksum_rows(&[a.clone(), c.clone()]));
+        // Remove c: back to just {a}.
+        d.remove_row(&c);
+        assert_eq!(d.finish(), checksum_rows(std::slice::from_ref(&a)));
+        // Add/remove in a different order than the rebuild would see.
+        let mut e = RowSetDigest::new();
+        e.add_row(&c);
+        e.add_row(&a);
+        e.remove_row(&c);
+        assert_eq!(e.finish(), checksum_rows(&[a]));
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 pub mod batch;
 pub mod checksum;
+pub mod delta;
 pub mod json;
 pub mod logs;
 pub mod schema;
@@ -27,6 +28,7 @@ pub mod stats;
 pub mod value;
 
 pub use batch::{Cell, ColBatch, ColBuilder, Column, Nulls};
-pub use checksum::{checksum_rows, Checksum};
+pub use checksum::{checksum_rows, Checksum, RowSetDigest};
+pub use delta::Delta;
 pub use schema::{DataType, Field, Schema};
 pub use value::{Row, Value};

@@ -42,6 +42,17 @@ impl LogKind {
             LogKind::Landmarks => "landmarks",
         }
     }
+
+    /// The inverse of [`LogKind::table_name`] (used when routing a
+    /// [`crate::Delta`] carrying only the table name).
+    pub fn from_table_name(name: &str) -> Option<LogKind> {
+        match name {
+            "twitter" => Some(LogKind::Twitter),
+            "foursquare" => Some(LogKind::Foursquare),
+            "landmarks" => Some(LogKind::Landmarks),
+            _ => None,
+        }
+    }
 }
 
 /// Generation parameters for the full corpus.

@@ -91,6 +91,31 @@ impl DwStore {
         (size, cost)
     }
 
+    /// Loads a permanent view whose size and content checksum the caller
+    /// computed incrementally (the IVM maintenance path): nothing here
+    /// re-scans the rows, keeping a delta apply O(|delta|). The caller is
+    /// responsible for `checksum` being the exact [`checksum_rows`] value
+    /// of `rows`.
+    pub fn load_view_with_checksum(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: Arc<Vec<Row>>,
+        size: ByteSize,
+        checksum: Checksum,
+    ) {
+        self.permanent.insert(
+            name.to_string(),
+            StoredView {
+                schema,
+                rows,
+                size,
+                cols: OnceLock::new(),
+                checksum,
+            },
+        );
+    }
+
     /// Removes a permanent view, returning its contents for migration.
     pub fn evict_view(&mut self, name: &str) -> Option<(Schema, Arc<Vec<Row>>, ByteSize)> {
         self.permanent

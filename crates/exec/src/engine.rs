@@ -1424,29 +1424,36 @@ impl Acc {
     }
 
     pub(crate) fn finish(self) -> Value {
+        self.finish_ref()
+    }
+
+    /// [`Acc::finish`] without consuming the accumulator — the incremental
+    /// maintainer emits a group's current output row while keeping the
+    /// accumulator alive for the next delta.
+    pub(crate) fn finish_ref(&self) -> Value {
         match self {
-            Acc::Count(n) => Value::Int(n),
+            Acc::Count(n) => Value::Int(*n),
             Acc::CountDistinct(set) => Value::Int(set.len() as i64),
             Acc::SumInt(acc, seen) => {
-                if seen {
-                    Value::Int(acc)
+                if *seen {
+                    Value::Int(*acc)
                 } else {
                     Value::Null
                 }
             }
             Acc::SumFloat(acc, seen) => {
-                if seen {
-                    Value::Float(acc)
+                if *seen {
+                    Value::Float(*acc)
                 } else {
                     Value::Null
                 }
             }
-            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Min(v) | Acc::Max(v) => v.clone().unwrap_or(Value::Null),
             Acc::Avg { sum, n } => {
-                if n == 0 {
+                if *n == 0 {
                     Value::Null
                 } else {
-                    Value::Float(sum / n as f64)
+                    Value::Float(sum / *n as f64)
                 }
             }
         }
@@ -1504,7 +1511,7 @@ fn col_float_sum_flags(batch: &ColBatch, aggs: &[miso_plan::AggExpr]) -> Vec<boo
 /// FNV-1a hash of a row's group-by columns (equal key tuples collide by the
 /// `Hash`/`Eq` contract; unequal tuples are verified at the slot).
 #[inline]
-fn group_hash(row: &Row, group_by: &[usize]) -> u64 {
+pub(crate) fn group_hash(row: &Row, group_by: &[usize]) -> u64 {
     if let [g] = group_by {
         return fnv1a_hash_one(row.get(*g));
     }
@@ -1519,14 +1526,14 @@ fn group_hash(row: &Row, group_by: &[usize]) -> u64 {
 /// are only cloned when a *new* group is created; existing groups are found
 /// by hash + in-place column comparison, so steady-state rows allocate
 /// nothing for keying.
-struct GroupTable {
+pub(crate) struct GroupTable {
     /// `(key hash, key values, accumulators)` in first-seen order.
-    slots: Vec<(u64, Vec<Value>, Vec<Acc>)>,
+    pub(crate) slots: Vec<(u64, Vec<Value>, Vec<Acc>)>,
     index: PrehashedMap<Vec<u32>>,
 }
 
 impl GroupTable {
-    fn with_capacity(capacity: usize) -> GroupTable {
+    pub(crate) fn with_capacity(capacity: usize) -> GroupTable {
         GroupTable {
             slots: Vec::with_capacity(capacity),
             index: prehashed_map(capacity),
@@ -1534,7 +1541,7 @@ impl GroupTable {
     }
 
     /// Finds the slot whose key satisfies `eq`, if any.
-    fn find(&self, hash: u64, eq: impl Fn(&[Value]) -> bool) -> Option<usize> {
+    pub(crate) fn find(&self, hash: u64, eq: impl Fn(&[Value]) -> bool) -> Option<usize> {
         self.index
             .get(&hash)?
             .iter()
@@ -1542,7 +1549,7 @@ impl GroupTable {
             .find(|&s| eq(&self.slots[s].1))
     }
 
-    fn insert(&mut self, hash: u64, key: Vec<Value>, accs: Vec<Acc>) -> usize {
+    pub(crate) fn insert(&mut self, hash: u64, key: Vec<Value>, accs: Vec<Acc>) -> usize {
         let slot = self.slots.len();
         assert!(slot <= u32::MAX as usize, "group count exceeds u32 slots");
         self.slots.push((hash, key, accs));
@@ -1553,7 +1560,7 @@ impl GroupTable {
 
 /// An aggregate's input, pre-classified so the per-row hot loop can borrow
 /// plain column references instead of paying an owned `eval` clone.
-enum AggSrc<'a> {
+pub(crate) enum AggSrc<'a> {
     /// `COUNT(*)` — no input expression.
     CountAll,
     /// A bare column reference: borrow the value in place.
@@ -1562,7 +1569,7 @@ enum AggSrc<'a> {
     Expr(&'a miso_plan::Expr),
 }
 
-fn classify_aggs(aggs: &[miso_plan::AggExpr]) -> Vec<AggSrc<'_>> {
+pub(crate) fn classify_aggs(aggs: &[miso_plan::AggExpr]) -> Vec<AggSrc<'_>> {
     aggs.iter()
         .map(|a| match &a.input {
             None => AggSrc::CountAll,
@@ -1573,7 +1580,7 @@ fn classify_aggs(aggs: &[miso_plan::AggExpr]) -> Vec<AggSrc<'_>> {
 }
 
 /// Accumulates one morsel into a fresh partial [`GroupTable`].
-fn aggregate_morsel(
+pub(crate) fn aggregate_morsel(
     chunk: &[Row],
     group_by: &[usize],
     aggs: &[miso_plan::AggExpr],

@@ -1,0 +1,356 @@
+//! Incremental aggregate maintenance state.
+//!
+//! The engine's morsel-parallel aggregation ends in one global
+//! [`GroupTable`](crate::engine): groups in first-seen input order, one
+//! accumulator per aggregate per group. [`AggState`] keeps that table
+//! *alive* between refreshes so an append-only delta folds into it in
+//! O(|delta|), instead of re-aggregating the full input.
+//!
+//! The fold is **bit-identical** to a full rebuild for the accumulator
+//! variants it accepts:
+//!
+//! * `COUNT` / `COUNT DISTINCT` — integer adds / set union, associative;
+//! * integer `SUM` — `i64` addition, order-independent;
+//! * `MIN` / `MAX` — strict comparisons keep the first-seen value on ties,
+//!   and appends only ever add later-seen values;
+//! * group order — rebuilds emit groups in first-seen input order, which is
+//!   prefix-stable under appends: existing groups keep their row index, new
+//!   groups append in delta first-seen order.
+//!
+//! Float accumulation (`AVG`, float `SUM`) is rejected at build time and
+//! re-checked per delta: IEEE 754 addition is non-associative, and the
+//! rebuild's morsel grouping (fixed 4096-row boundaries over the *grown*
+//! input) differs from a row-order delta fold, so the low bits could
+//! diverge. Those views fall back to full recomputation.
+//!
+//! The int-vs-float `SUM` decision itself is replayed exactly: the engine
+//! scans the input in row order and decides from the first `Int`/`Float`
+//! value (`float_sum_flags`). [`AggState`] carries a per-aggregate
+//! tri-state — `Int` once some base value decided it, `Undecided` while no
+//! numeric value has appeared — and resolves `Undecided` against each
+//! delta the way the engine would against the grown input.
+
+use crate::engine::{aggregate_morsel, classify_aggs, group_hash, Acc, AggSrc, GroupTable};
+use crate::eval::eval;
+use miso_common::Result;
+use miso_data::{Row, Value};
+use miso_plan::expr::{AggExpr, AggFunc, Expr};
+use std::collections::BTreeSet;
+
+/// Per-aggregate `SUM` typing state (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SumFlag {
+    /// Not a `SUM` (or `COUNT(*)`-style with no input): typing never moves.
+    NotSum,
+    /// Some base-input value decided integer accumulation; appends cannot
+    /// change the engine's first-value decision.
+    Int,
+    /// No numeric input value seen yet — the next delta may still decide.
+    Undecided,
+}
+
+/// The changed rows a delta fold produced: existing groups that were
+/// updated (by slot index == view row index) and brand-new groups, in
+/// first-seen delta order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggApplied {
+    /// `(slot, new aggregate output row)` for every touched existing group,
+    /// in ascending slot order.
+    pub updated: Vec<(usize, Row)>,
+    /// Output rows of groups first seen in this delta, in insertion order.
+    pub appended: Vec<Row>,
+}
+
+/// Outcome of folding one delta into an [`AggState`].
+pub enum FoldOutcome {
+    /// The fold applied; the changed rows are enclosed.
+    Applied(AggApplied),
+    /// A `SUM` resolved to float accumulation mid-stream — the caller must
+    /// fall back to a full recomputation (order-sensitive arithmetic).
+    FloatSum,
+}
+
+/// Live aggregation state for one maintained view: the serial-equivalent
+/// group table plus the per-aggregate `SUM` typing flags.
+pub struct AggState {
+    table: GroupTable,
+    flags: Vec<SumFlag>,
+}
+
+impl AggState {
+    /// Replays `input` (the aggregate's full input, in row order) into
+    /// fresh state. Returns `None` when the aggregate is not incrementally
+    /// maintainable — `AVG` present, or a `SUM` that resolves to float
+    /// accumulation — in which case the caller keeps no state.
+    pub fn build(input: &[Row], group_by: &[usize], aggs: &[AggExpr]) -> Result<Option<AggState>> {
+        let mut flags = Vec::with_capacity(aggs.len());
+        for agg in aggs {
+            if agg.func == AggFunc::Avg {
+                return Ok(None);
+            }
+            if agg.func != AggFunc::Sum {
+                flags.push(SumFlag::NotSum);
+                continue;
+            }
+            let Some(e) = &agg.input else {
+                flags.push(SumFlag::NotSum);
+                continue;
+            };
+            match first_numeric(input, e) {
+                Some(true) => return Ok(None),
+                Some(false) => flags.push(SumFlag::Int),
+                None => flags.push(SumFlag::Undecided),
+            }
+        }
+        // A single-chunk "morsel" IS the serial replay; for the accepted
+        // accumulator variants it equals the engine's morsel-merged table.
+        let float_sum = vec![false; aggs.len()];
+        let srcs = classify_aggs(aggs);
+        let mut table = aggregate_morsel(input, group_by, aggs, &srcs, &float_sum)?;
+        if group_by.is_empty() && table.slots.is_empty() {
+            // A global aggregate over empty input still has one output row;
+            // materialize the implicit group so deltas update slot 0.
+            let hash = group_hash(&Row::new(vec![]), &[]);
+            let accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.func, false)).collect();
+            table.insert(hash, Vec::new(), accs);
+        }
+        Ok(Some(AggState { table, flags }))
+    }
+
+    /// Number of group slots (== maintained view rows before projection).
+    pub fn groups(&self) -> usize {
+        self.table.slots.len()
+    }
+
+    /// Rough retained bytes, for memory accounting.
+    pub fn approx_bytes(&self) -> u64 {
+        let keys: u64 = self
+            .table
+            .slots
+            .iter()
+            .map(|(_, key, accs)| 32 + 24 * key.len() as u64 + 48 * accs.len() as u64)
+            .sum();
+        keys + 64
+    }
+
+    /// The full output row set in slot order — equals what the engine's
+    /// aggregation emits over the same input. Used to (re)derive the stored
+    /// view when state is first built.
+    pub fn output_rows(&self) -> Vec<Row> {
+        (0..self.table.slots.len())
+            .map(|s| self.row_at(s))
+            .collect()
+    }
+
+    /// Folds one delta (the aggregate's delta-input rows, in order) into
+    /// the state and reports exactly which output rows changed.
+    pub fn apply(
+        &mut self,
+        delta: &[Row],
+        group_by: &[usize],
+        aggs: &[AggExpr],
+    ) -> Result<FoldOutcome> {
+        // Resolve still-undecided SUM typings against the delta, exactly as
+        // the engine's first-value scan over the grown input would: the
+        // base contributed no numeric values, so the delta's first numeric
+        // value is the grown input's first numeric value.
+        for (flag, agg) in self.flags.iter_mut().zip(aggs) {
+            if *flag != SumFlag::Undecided {
+                continue;
+            }
+            let Some(e) = &agg.input else { continue };
+            match first_numeric(delta, e) {
+                Some(true) => return Ok(FoldOutcome::FloatSum),
+                Some(false) => *flag = SumFlag::Int,
+                None => {}
+            }
+        }
+        let srcs = classify_aggs(aggs);
+        let before = self.table.slots.len();
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for row in delta {
+            let hash = group_hash(row, group_by);
+            let slot = match self.table.find(hash, |key| {
+                group_by.iter().zip(key).all(|(&g, k)| row.get(g) == k)
+            }) {
+                Some(slot) => slot,
+                None => {
+                    let key: Vec<Value> = group_by.iter().map(|&g| row.get(g).clone()).collect();
+                    let accs: Vec<Acc> = aggs.iter().map(|a| Acc::new(a.func, false)).collect();
+                    self.table.insert(hash, key, accs)
+                }
+            };
+            if slot < before {
+                touched.insert(slot);
+            }
+            let accs = &mut self.table.slots[slot].2;
+            for (acc, src) in accs.iter_mut().zip(&srcs) {
+                match src {
+                    AggSrc::CountAll => acc.update(None),
+                    AggSrc::Col(c) if *c < row.arity() => acc.update(Some(row.get(*c))),
+                    AggSrc::Col(c) => {
+                        let v = eval(&Expr::Column(*c), row)?;
+                        acc.update(Some(&v));
+                    }
+                    AggSrc::Expr(e) => {
+                        let v = eval(e, row)?;
+                        acc.update(Some(&v));
+                    }
+                }
+            }
+        }
+        let updated: Vec<(usize, Row)> = touched.iter().map(|&s| (s, self.row_at(s))).collect();
+        let appended: Vec<Row> = (before..self.table.slots.len())
+            .map(|s| self.row_at(s))
+            .collect();
+        Ok(FoldOutcome::Applied(AggApplied { updated, appended }))
+    }
+
+    fn row_at(&self, slot: usize) -> Row {
+        let (_, key, accs) = &self.table.slots[slot];
+        let mut values = key.clone();
+        values.extend(accs.iter().map(Acc::finish_ref));
+        Row::new(values)
+    }
+}
+
+/// First-value SUM typing scan, identical to the engine's
+/// `float_sum_flags`: `Some(true)` = float, `Some(false)` = int, `None` =
+/// no numeric value in `input`.
+fn first_numeric(input: &[Row], e: &Expr) -> Option<bool> {
+    for row in input {
+        if let Ok(v) = eval(e, row) {
+            match v {
+                Value::Float(_) => return Some(true),
+                Value::Int(_) => return Some(false),
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// Applies the maintained view's post-aggregate projection layers
+/// (bottom-up) to one changed aggregate row, producing the stored-view row.
+/// Mirrors the engine's `Project`: one output row per input row, evaluation
+/// errors propagate.
+pub fn apply_projection(layers: &[Vec<(String, Expr)>], row: &Row) -> Result<Row> {
+    let mut cur = row.clone();
+    for layer in layers {
+        let values: Vec<Value> = layer
+            .iter()
+            .map(|(_, e)| eval(e, &cur))
+            .collect::<Result<_>>()?;
+        cur = Row::new(values);
+    }
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_plan::expr::AggFunc;
+
+    fn rows(spec: &[(&str, i64)]) -> Vec<Row> {
+        spec.iter()
+            .map(|(city, score)| Row::new(vec![Value::str(*city), Value::Int(*score)]))
+            .collect()
+    }
+
+    fn all_aggs() -> Vec<AggExpr> {
+        vec![
+            AggExpr::new(AggFunc::Count, None, "n"),
+            AggExpr::new(AggFunc::CountDistinct, Some(Expr::col(1)), "d"),
+            AggExpr::new(AggFunc::Sum, Some(Expr::col(1)), "s"),
+            AggExpr::new(AggFunc::Min, Some(Expr::col(1)), "lo"),
+            AggExpr::new(AggFunc::Max, Some(Expr::col(1)), "hi"),
+        ]
+    }
+
+    /// Build-on-base + delta fold must equal build-on-full for every split.
+    #[test]
+    fn delta_fold_equals_full_replay() {
+        let full = rows(&[
+            ("sf", 10),
+            ("ny", 20),
+            ("sf", 10),
+            ("la", 5),
+            ("ny", -3),
+            ("sf", 7),
+            ("austin", 0),
+        ]);
+        let aggs = all_aggs();
+        for split in 0..=full.len() {
+            let mut state = AggState::build(&full[..split], &[0], &aggs)
+                .unwrap()
+                .expect("int aggs are maintainable");
+            let mut view = state.output_rows();
+            match state.apply(&full[split..], &[0], &aggs).unwrap() {
+                FoldOutcome::Applied(applied) => {
+                    for (slot, row) in applied.updated {
+                        view[slot] = row;
+                    }
+                    view.extend(applied.appended);
+                }
+                FoldOutcome::FloatSum => panic!("int sum must not resolve float"),
+            }
+            let oracle = AggState::build(&full, &[0], &aggs).unwrap().unwrap();
+            assert_eq!(view, oracle.output_rows(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_base_updates_in_place() {
+        let aggs = vec![AggExpr::new(AggFunc::Count, None, "n")];
+        let mut state = AggState::build(&[], &[], &aggs).unwrap().unwrap();
+        assert_eq!(state.groups(), 1, "implicit global group");
+        assert_eq!(state.output_rows(), vec![Row::new(vec![Value::Int(0)])]);
+        let FoldOutcome::Applied(applied) = state
+            .apply(&rows(&[("sf", 1), ("ny", 2)]), &[], &aggs)
+            .unwrap()
+        else {
+            panic!("count is never float");
+        };
+        assert_eq!(applied.appended, vec![]);
+        assert_eq!(applied.updated, vec![(0, Row::new(vec![Value::Int(2)]))]);
+    }
+
+    #[test]
+    fn float_sum_is_rejected_at_build_and_detected_in_delta() {
+        let aggs = vec![AggExpr::new(AggFunc::Sum, Some(Expr::col(1)), "s")];
+        let floaty = vec![Row::new(vec![Value::str("sf"), Value::Float(1.5)])];
+        assert!(AggState::build(&floaty, &[0], &aggs).unwrap().is_none());
+        let avg = vec![AggExpr::new(AggFunc::Avg, Some(Expr::col(1)), "a")];
+        assert!(AggState::build(&[], &[0], &avg).unwrap().is_none());
+        // All-null base leaves the SUM undecided; a float delta detects.
+        let nullish = vec![Row::new(vec![Value::str("sf"), Value::Null])];
+        let mut state = AggState::build(&nullish, &[0], &aggs).unwrap().unwrap();
+        assert!(matches!(
+            state.apply(&floaty, &[0], &aggs).unwrap(),
+            FoldOutcome::FloatSum
+        ));
+        // ... while an int delta decides int and folds.
+        let mut state = AggState::build(&nullish, &[0], &aggs).unwrap().unwrap();
+        assert!(matches!(
+            state.apply(&rows(&[("sf", 4)]), &[0], &aggs).unwrap(),
+            FoldOutcome::Applied(_)
+        ));
+    }
+
+    #[test]
+    fn projection_layers_compose() {
+        let layers = vec![
+            vec![
+                ("b".to_string(), Expr::col(1)),
+                ("a".to_string(), Expr::col(0)),
+            ],
+            vec![("a2".to_string(), Expr::col(1))],
+        ];
+        let row = Row::new(vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            apply_projection(&layers, &row).unwrap(),
+            Row::new(vec![Value::Int(1)])
+        );
+        assert_eq!(apply_projection(&[], &row).unwrap(), row);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod col;
 pub mod engine;
 pub mod eval;
+pub mod ivm;
 pub mod profile;
 pub mod serial;
 pub mod udf;
@@ -30,6 +31,7 @@ pub mod udf;
 pub use engine::{
     execute_subset_guarded, DataSource, ExecOptions, Execution, MemSource, MORSEL_SIZE,
 };
+pub use ivm::{apply_projection, AggApplied, AggState, FoldOutcome};
 pub use profile::OpProfile;
 pub use serial::execute_serial;
 pub use udf::{Udf, UdfRegistry};

@@ -123,9 +123,42 @@ impl HvStore {
         size
     }
 
+    /// Installs a view whose size and content checksum the caller computed
+    /// incrementally (the IVM maintenance path). Trusting the provided
+    /// metadata keeps a delta apply O(|delta|): nothing here re-scans the
+    /// rows. The caller is responsible for `checksum` being the exact
+    /// [`checksum_rows`] value of `rows` — the incremental
+    /// [`miso_data::RowSetDigest`] guarantees that by construction.
+    pub fn install_view_with_checksum(
+        &mut self,
+        name: &str,
+        schema: Schema,
+        rows: Arc<Vec<Row>>,
+        size: ByteSize,
+        checksum: Checksum,
+    ) {
+        self.views.insert(
+            name.to_string(),
+            StoredView {
+                schema,
+                rows,
+                size,
+                checksum,
+            },
+        );
+    }
+
     /// Removes a view, returning its size if it existed.
     pub fn remove_view(&mut self, name: &str) -> Option<ByteSize> {
         self.views.remove(name).map(|v| v.size)
+    }
+
+    /// Removes a view and returns its full contents (schema, rows, size).
+    /// The maintenance layer uses this to take sole ownership of the row
+    /// `Arc` before a delta apply, so extending the rows is a cheap
+    /// in-place `Arc::make_mut` instead of a deep clone.
+    pub fn take_view(&mut self, name: &str) -> Option<(Schema, Arc<Vec<Row>>, ByteSize)> {
+        self.views.remove(name).map(|v| (v.schema, v.rows, v.size))
     }
 
     /// Whether a view is present.

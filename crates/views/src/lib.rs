@@ -10,6 +10,9 @@
 //!   algorithm role of the paper's \[15\]);
 //! * [`benefit`] — per-view benefit and the **predicted future benefit**
 //!   with per-epoch decay over the sliding workload history (\[18\]);
+//! * [`maint`] — delta maintainability: which view shapes can absorb an
+//!   append-only base-log delta incrementally (and the rewritten delta
+//!   plan), versus which must fully recompute and why;
 //! * [`interaction`] — signed degree-of-interaction (\[20\]), the stable
 //!   partition into interacting sets (\[19\]), and sparsification into
 //!   independent knapsack items (paper §4.3), probed through the batched
@@ -20,12 +23,14 @@
 pub mod benefit;
 pub mod containment;
 pub mod interaction;
+pub mod maint;
 pub mod rewrite;
 pub mod view;
 pub mod viewset;
 
 pub use benefit::decay_weights;
 pub use interaction::{analyze_candidates, AnalysisConfig, CostFn, KnapsackItem, ViewInfo};
+pub use maint::{analyze_maintenance, is_maintainable, FullReason, MaintPlan};
 pub use rewrite::{rewrite_with_catalog, rewrite_with_views};
 pub use view::{ViewCatalog, ViewDef};
 pub use viewset::ViewSet;

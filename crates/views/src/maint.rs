@@ -1,0 +1,521 @@
+//! Delta maintainability analysis for materialized views.
+//!
+//! Given a view's defining plan and the base log that just grew, this
+//! module decides whether the view can be maintained **incrementally** from
+//! the appended delta — and if so, produces the rewritten *delta plan* the
+//! executor runs over just the new lines. The per-operator algebra (for
+//! append-only deltas; logs never see in-place updates):
+//!
+//! | operator            | delta rule                                       |
+//! |---------------------|--------------------------------------------------|
+//! | `ScanLog` (changed) | Δout = parse(Δlines)                             |
+//! | `Filter`/`Project`/`Udf` | per-record: Δout = op(Δin)                  |
+//! | `Join` (Δ on probe/left side) | Δout = Δleft ⋈ stored build side       |
+//! | `Join` (Δ on build/right side) | **full refresh** (output interleaves) |
+//! | `Aggregate` (topmost, under `Project`s only) | fold Δin into state     |
+//! | `Aggregate` (mid-plan), `Sort`, `Limit` | **full refresh**             |
+//! | `ScanView` anywhere | **full refresh** (view-over-view chains)         |
+//!
+//! An aggregate may sit under a chain of `Project`s (lowering always adds a
+//! final SELECT-list projection): projects are 1:1 per row, so a group
+//! update stays position-stable through them — the maintainer re-evaluates
+//! the projection over just the changed aggregate rows and patches the view
+//! in place. A `Filter` above the aggregate would *remove* rows when a
+//! group's updated value leaves the predicate, which append-only
+//! maintenance cannot express — full refresh.
+//!
+//! The rules are chosen so a delta-applied view is **bit-identical** to a
+//! full rebuild, not merely set-equal: the engine emits join output in
+//! left-row × right-insertion order and aggregate groups in first-seen
+//! order, both of which are prefix-stable under appends to the probe side.
+//! A delta on the build side would interleave new matches among old output
+//! rows, and a mid-plan aggregate would feed *changed* (not appended) rows
+//! downstream — both fall back to recomputation, with the reason reported.
+//!
+//! Float accumulation (`AVG`, and `SUM` over floats) is excluded even at
+//! the root: IEEE 754 addition is not associative, and the morsel-parallel
+//! rebuild folds partial sums in morsel order while a delta fold would run
+//! in row order. Integer sums wrap, so they stay order-independent.
+
+use miso_common::ids::NodeId;
+use miso_data::DataType;
+use miso_plan::expr::{AggExpr, AggFunc, Expr};
+use miso_plan::{LogicalPlan, Operator, PlanBuilder};
+use std::collections::HashSet;
+
+/// Name of the synthetic `ScanView` leaf standing in for a join's stored
+/// build side in a delta plan. The `§` prefix keeps it disjoint from real
+/// view names (fingerprint strings), and the node id is the right input's
+/// id in the *defining* plan.
+pub fn build_side_name(node: NodeId) -> String {
+    format!("§ivm:{}", node.raw())
+}
+
+/// A join build side the maintainer must snapshot: the right input's rows,
+/// captured when maintenance state is built and probed on every delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildSide {
+    /// The right input node in the defining plan.
+    pub node: NodeId,
+    /// The `ScanView` name the delta plan references it by.
+    pub name: String,
+}
+
+/// A per-record delta pipeline: run `plan` over just the delta lines (join
+/// build sides resolved from stored state) and append its output rows to
+/// the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaAppend {
+    /// The rewritten delta plan (build sides replaced by `ScanView`s).
+    pub plan: LogicalPlan,
+    /// Build sides the plan references, in first-use order (deduplicated).
+    pub builds: Vec<BuildSide>,
+}
+
+/// A topmost-aggregate fold: run `input` over the delta, fold its rows
+/// into the view's stored accumulator state, then push the changed
+/// aggregate rows through the `post` projection layers and patch the view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaAggregate {
+    /// Delta pipeline for the aggregate's input subtree.
+    pub input: DeltaAppend,
+    /// The aggregate node in the defining plan.
+    pub agg: NodeId,
+    /// Grouping columns.
+    pub group_by: Vec<usize>,
+    /// Aggregates computed per group.
+    pub aggs: Vec<AggExpr>,
+    /// Projection layers between the aggregate and the root, bottom-up
+    /// (often exactly one: the lowered SELECT-list projection). Each layer
+    /// maps one aggregate output row to one view row.
+    pub post: Vec<Vec<(String, Expr)>>,
+}
+
+/// How a view can be maintained from an append-only delta.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintPlan {
+    /// Delta rows append to the stored view.
+    Append(DeltaAppend),
+    /// Delta rows fold into stored aggregate state.
+    Aggregate(Box<DeltaAggregate>),
+}
+
+impl MaintPlan {
+    /// The delta pipeline to execute (the aggregate's input for folds).
+    pub fn delta_plan(&self) -> &LogicalPlan {
+        match self {
+            MaintPlan::Append(a) => &a.plan,
+            MaintPlan::Aggregate(a) => &a.input.plan,
+        }
+    }
+
+    /// Build sides the delta pipeline references.
+    pub fn builds(&self) -> &[BuildSide] {
+        match self {
+            MaintPlan::Append(a) => &a.builds,
+            MaintPlan::Aggregate(a) => &a.input.builds,
+        }
+    }
+}
+
+/// Why a view must be fully recomputed instead of delta-maintained. The
+/// first five are structural (decided from the plan alone); the rest are
+/// runtime policy decisions made by the maintenance layer and carried here
+/// so reports use one vocabulary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FullReason {
+    /// The view does not scan the changed log at all.
+    Unaffected,
+    /// The view scans another view (view-over-view chains re-snapshot).
+    ViewOverView,
+    /// An operator on the delta path has no append-only delta rule.
+    NonMaintainableOp(String),
+    /// The changed log feeds a join's build (right) side.
+    DeltaOnBuildSide,
+    /// `AVG`/float `SUM`: IEEE 754 accumulation is order-sensitive.
+    FloatAggregate,
+    /// Policy: the delta is too large a fraction of the base for the
+    /// delta path to win.
+    DeltaTooLarge {
+        /// Rows in the delta batch.
+        delta_rows: u64,
+        /// Rows in the base log before the append.
+        base_rows: u64,
+    },
+    /// The view is quarantined; repair goes through the integrity path.
+    Quarantined,
+    /// No maintenance state yet — this refresh builds it (warm-up).
+    StateCold,
+    /// Stored maintenance state disagrees with the catalog checksum.
+    StateStale,
+    /// Incremental maintenance is switched off (`MISO_IVM=0`).
+    IvmDisabled,
+}
+
+impl std::fmt::Display for FullReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FullReason::Unaffected => write!(f, "view does not scan the changed log"),
+            FullReason::ViewOverView => write!(f, "view scans another view"),
+            FullReason::NonMaintainableOp(op) => write!(f, "non-maintainable operator {op}"),
+            FullReason::DeltaOnBuildSide => write!(f, "delta reaches a join build side"),
+            FullReason::FloatAggregate => write!(f, "float aggregate is order-sensitive"),
+            FullReason::DeltaTooLarge {
+                delta_rows,
+                base_rows,
+            } => write!(f, "delta too large ({delta_rows} rows vs {base_rows} base)"),
+            FullReason::Quarantined => write!(f, "view is quarantined"),
+            FullReason::StateCold => write!(f, "no maintenance state yet"),
+            FullReason::StateStale => write!(f, "maintenance state out of date"),
+            FullReason::IvmDisabled => write!(f, "incremental maintenance disabled"),
+        }
+    }
+}
+
+impl FullReason {
+    /// Short machine-readable tag for counters and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FullReason::Unaffected => "unaffected",
+            FullReason::ViewOverView => "view_over_view",
+            FullReason::NonMaintainableOp(_) => "non_maintainable_op",
+            FullReason::DeltaOnBuildSide => "delta_on_build_side",
+            FullReason::FloatAggregate => "float_aggregate",
+            FullReason::DeltaTooLarge { .. } => "delta_too_large",
+            FullReason::Quarantined => "quarantined",
+            FullReason::StateCold => "state_cold",
+            FullReason::StateStale => "state_stale",
+            FullReason::IvmDisabled => "ivm_disabled",
+        }
+    }
+
+    /// Whether this full refresh is a *fallback* — the plan shape is
+    /// maintainable but a runtime condition forced recomputation this time.
+    pub fn is_fallback(&self) -> bool {
+        matches!(
+            self,
+            FullReason::DeltaTooLarge { .. }
+                | FullReason::Quarantined
+                | FullReason::StateCold
+                | FullReason::StateStale
+                | FullReason::FloatAggregate
+        )
+    }
+}
+
+/// Classifies how (whether) `plan` can be maintained when `changed_log`
+/// grows by an append-only delta. On success, the returned [`MaintPlan`]
+/// carries the rewritten delta pipeline; on failure, the [`FullReason`]
+/// says exactly why a full recomputation is required.
+pub fn analyze_maintenance(plan: &LogicalPlan, changed_log: &str) -> Result<MaintPlan, FullReason> {
+    if !plan.scanned_views().is_empty() {
+        return Err(FullReason::ViewOverView);
+    }
+    let reachable = plan.descendants(plan.root());
+    // Taint pass: a node is tainted iff its subtree scans the changed log.
+    // Arena order is topological, so one forward sweep suffices.
+    let mut tainted: HashSet<NodeId> = HashSet::new();
+    for node in plan.nodes() {
+        if !reachable.contains(&node.id) {
+            continue;
+        }
+        let t = match &node.op {
+            Operator::ScanLog { log } => log == changed_log,
+            _ => node.inputs.iter().any(|i| tainted.contains(i)),
+        };
+        if t {
+            tainted.insert(node.id);
+        }
+    }
+    if !tainted.contains(&plan.root()) {
+        return Err(FullReason::Unaffected);
+    }
+    // Rule pass: every tainted (delta-path) operator must have a delta rule.
+    let root = plan.root();
+    let mut tainted_aggs: Vec<NodeId> = Vec::new();
+    for node in plan.nodes() {
+        if !tainted.contains(&node.id) {
+            continue;
+        }
+        match &node.op {
+            Operator::ScanLog { .. }
+            | Operator::Filter { .. }
+            | Operator::Project { .. }
+            | Operator::Udf { .. } => {}
+            Operator::Join { .. } => {
+                if tainted.contains(&node.inputs[1]) {
+                    return Err(FullReason::DeltaOnBuildSide);
+                }
+            }
+            Operator::Aggregate { aggs, .. } => {
+                let input_schema = &plan.node(node.inputs[0]).schema;
+                for agg in aggs {
+                    match agg.func {
+                        AggFunc::Avg => return Err(FullReason::FloatAggregate),
+                        AggFunc::Sum => {
+                            // A statically-Float sum is certainly order-
+                            // sensitive; Int stays int, and dynamically
+                            // typed inputs are re-checked at fold time.
+                            if let Some(e) = &agg.input {
+                                if e.infer_type(input_schema) == DataType::Float {
+                                    return Err(FullReason::FloatAggregate);
+                                }
+                            }
+                        }
+                        AggFunc::Count | AggFunc::CountDistinct | AggFunc::Min | AggFunc::Max => {}
+                    }
+                }
+                tainted_aggs.push(node.id);
+            }
+            op @ (Operator::Sort { .. } | Operator::Limit { .. }) => {
+                return Err(FullReason::NonMaintainableOp(op.label()));
+            }
+            Operator::ScanView { .. } => unreachable!("scanned views already rejected"),
+        }
+    }
+    // At most one aggregate, and it must hang off the root through a chain
+    // of per-row projections (the lowered SELECT-list projection): a group
+    // update then stays position-stable all the way to the stored view.
+    type AggSpine = (NodeId, Vec<usize>, Vec<AggExpr>, Vec<Vec<(String, Expr)>>);
+    let root_agg: Option<AggSpine> = match tainted_aggs.as_slice() {
+        [] => None,
+        [agg] => {
+            let mut post: Vec<Vec<(String, Expr)>> = Vec::new();
+            let mut cur = root;
+            while cur != *agg {
+                match &plan.node(cur).op {
+                    Operator::Project { exprs } => {
+                        post.push(exprs.clone());
+                        cur = plan.node(cur).inputs[0];
+                    }
+                    op => {
+                        return Err(FullReason::NonMaintainableOp(format!(
+                            "{} above the aggregate",
+                            op.label()
+                        )))
+                    }
+                }
+            }
+            post.reverse();
+            let Operator::Aggregate { group_by, aggs } = &plan.node(*agg).op else {
+                unreachable!("collected from Aggregate arms only");
+            };
+            Some((*agg, group_by.clone(), aggs.clone(), post))
+        }
+        _ => {
+            return Err(FullReason::NonMaintainableOp(
+                "multiple aggregates on the delta path".into(),
+            ))
+        }
+    };
+    // Rewrite pass: copy the tainted spine below the aggregate (or the
+    // whole spine for per-record views), replacing every join's (clean)
+    // build side with a ScanView over the stored snapshot. The aggregate
+    // and its post-projections are not part of the delta plan — the fold
+    // into stored accumulators happens outside the engine.
+    let delta_root = match &root_agg {
+        Some((agg, ..)) => plan.node(*agg).inputs[0],
+        None => root,
+    };
+    let skip_above: HashSet<NodeId> = match &root_agg {
+        Some((agg, ..)) => {
+            let below = plan.descendants(*agg);
+            tainted
+                .iter()
+                .copied()
+                .filter(|id| *id == *agg || !below.contains(id))
+                .collect()
+        }
+        None => HashSet::new(),
+    };
+    let mut b = PlanBuilder::new();
+    let mut mapping = std::collections::HashMap::new();
+    let mut builds: Vec<BuildSide> = Vec::new();
+    let fail = |e: miso_common::MisoError| {
+        FullReason::NonMaintainableOp(format!("delta plan construction: {e}"))
+    };
+    for node in plan.nodes() {
+        if !tainted.contains(&node.id) || skip_above.contains(&node.id) {
+            continue;
+        }
+        let new_id = match &node.op {
+            Operator::Join { on } => {
+                let left = mapping[&node.inputs[0]];
+                let right = plan.node(node.inputs[1]);
+                let name = build_side_name(right.id);
+                if !builds.iter().any(|bs| bs.node == right.id) {
+                    builds.push(BuildSide {
+                        node: right.id,
+                        name: name.clone(),
+                    });
+                }
+                let rv = b
+                    .add(
+                        Operator::ScanView {
+                            view: name,
+                            schema: right.schema.clone(),
+                        },
+                        vec![],
+                    )
+                    .map_err(fail)?;
+                b.add(Operator::Join { on: on.clone() }, vec![left, rv])
+                    .map_err(fail)?
+            }
+            op => {
+                let inputs: Vec<NodeId> = node.inputs.iter().map(|i| mapping[i]).collect();
+                b.add(op.clone(), inputs).map_err(fail)?
+            }
+        };
+        mapping.insert(node.id, new_id);
+    }
+    let delta_plan = b.finish(mapping[&delta_root]).map_err(fail)?;
+    let append = DeltaAppend {
+        plan: delta_plan,
+        builds,
+    };
+    Ok(match root_agg {
+        Some((agg, group_by, aggs, post)) => MaintPlan::Aggregate(Box::new(DeltaAggregate {
+            input: append,
+            agg,
+            group_by,
+            aggs,
+            post,
+        })),
+        None => MaintPlan::Append(append),
+    })
+}
+
+/// Whether `plan` has an incremental delta rule for appends to `log`
+/// (ignoring runtime policy) — the tuner's cost model uses this to price
+/// per-epoch upkeep.
+pub fn is_maintainable(plan: &LogicalPlan, log: &str) -> bool {
+    analyze_maintenance(plan, log).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use miso_lang::{compile, Catalog};
+
+    fn plan(sql: &str) -> LogicalPlan {
+        compile(sql, &Catalog::standard()).expect("compiles")
+    }
+
+    #[test]
+    fn per_record_pipeline_is_appendable() {
+        let p =
+            plan("SELECT t.user_id AS uid, t.city AS city FROM twitter t WHERE t.followers > 10");
+        match analyze_maintenance(&p, "twitter") {
+            Ok(MaintPlan::Append(a)) => {
+                assert!(a.builds.is_empty());
+                assert_eq!(a.plan.schema().names(), p.schema().names());
+                assert_eq!(a.plan.base_logs(), vec!["twitter"]);
+            }
+            other => panic!("expected Append, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unaffected_log_is_reported() {
+        let p = plan("SELECT t.city AS city FROM twitter t");
+        assert_eq!(
+            analyze_maintenance(&p, "landmarks"),
+            Err(FullReason::Unaffected)
+        );
+    }
+
+    #[test]
+    fn root_aggregate_folds() {
+        let p = plan(
+            "SELECT t.city AS city, COUNT(*) AS n, MIN(t.followers) AS lo \
+             FROM twitter t GROUP BY t.city",
+        );
+        match analyze_maintenance(&p, "twitter") {
+            Ok(MaintPlan::Aggregate(a)) => {
+                assert_eq!(a.group_by, vec![0]);
+                assert_eq!(a.aggs.len(), 2);
+                // The delta plan is the aggregate's input, not the aggregate.
+                assert!(!a
+                    .input
+                    .plan
+                    .nodes()
+                    .iter()
+                    .any(|n| matches!(n.op, Operator::Aggregate { .. })));
+            }
+            other => panic!("expected Aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_side_join_delta_is_maintainable_build_side_is_not() {
+        let sql = "SELECT t.city AS city, COUNT(*) AS n FROM twitter t \
+                   JOIN foursquare f ON t.user_id = f.user_id GROUP BY t.city";
+        let p = plan(sql);
+        // Twitter is the left (probe) side: maintainable with one build.
+        match analyze_maintenance(&p, "twitter") {
+            Ok(mp @ MaintPlan::Aggregate(_)) => {
+                assert_eq!(mp.builds().len(), 1);
+                let dp = mp.delta_plan();
+                assert_eq!(dp.scanned_views(), vec![mp.builds()[0].name.clone()]);
+                assert_eq!(dp.base_logs(), vec!["twitter"]);
+            }
+            other => panic!("expected Aggregate, got {other:?}"),
+        }
+        // Foursquare feeds the build side: full refresh.
+        assert_eq!(
+            analyze_maintenance(&p, "foursquare"),
+            Err(FullReason::DeltaOnBuildSide)
+        );
+    }
+
+    #[test]
+    fn order_sensitive_shapes_fall_back() {
+        let sorted = plan("SELECT t.city AS city FROM twitter t ORDER BY t.city");
+        assert!(matches!(
+            analyze_maintenance(&sorted, "twitter"),
+            Err(FullReason::NonMaintainableOp(_))
+        ));
+        let avg = plan("SELECT AVG(t.followers) AS a FROM twitter t");
+        assert_eq!(
+            analyze_maintenance(&avg, "twitter"),
+            Err(FullReason::FloatAggregate)
+        );
+        let fsum = plan("SELECT SUM(t.sentiment) AS s FROM twitter t");
+        assert_eq!(
+            analyze_maintenance(&fsum, "twitter"),
+            Err(FullReason::FloatAggregate)
+        );
+        let isum = plan("SELECT SUM(t.retweets) AS s FROM twitter t");
+        assert!(analyze_maintenance(&isum, "twitter").is_ok());
+    }
+
+    #[test]
+    fn view_scans_force_full() {
+        let p = plan("SELECT t.city AS city FROM twitter t WHERE t.followers > 10");
+        let rewritten = p.replace_with_view(p.root(), "v_x").unwrap();
+        assert_eq!(
+            analyze_maintenance(&rewritten, "twitter"),
+            Err(FullReason::ViewOverView)
+        );
+    }
+
+    #[test]
+    fn reason_tags_are_stable() {
+        assert_eq!(FullReason::DeltaOnBuildSide.tag(), "delta_on_build_side");
+        assert!(FullReason::StateCold.is_fallback());
+        assert!(!FullReason::DeltaOnBuildSide.is_fallback());
+        assert!(FullReason::DeltaTooLarge {
+            delta_rows: 10,
+            base_rows: 20
+        }
+        .is_fallback());
+        let text = format!(
+            "{}",
+            FullReason::DeltaTooLarge {
+                delta_rows: 10,
+                base_rows: 20
+            }
+        );
+        assert!(text.contains("10 rows"));
+    }
+}

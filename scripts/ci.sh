@@ -37,6 +37,9 @@ MISO_COL=1 cargo run --release -q -p miso-bench --bin execbench -- --smoke
 echo "==> servebench smoke (concurrent serving: epochs, drain, fairness, storm)"
 cargo run --release -q -p miso-bench --bin servebench -- --smoke
 
+echo "==> ivmbench smoke (delta maintenance vs full recompute; checksum identity)"
+cargo run --release -q -p miso-bench --bin ivmbench -- --smoke
+
 echo "==> benchguard (smoke vs committed BENCH_*.json; warn-only unless MISO_BENCH_STRICT=1)"
 cargo run --release -q -p miso-bench --bin benchguard
 
